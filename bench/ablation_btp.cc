@@ -1,0 +1,50 @@
+// Ablation (beyond the paper): what does the bandwidth-TIME product buy
+// over its parts? Runs ROST's switching machinery with three criteria:
+//   * btp        -- the paper's rule (BTP + bandwidth guard),
+//   * bandwidth  -- switch whenever the child has strictly more bandwidth
+//                   (a distributed approximation of BO),
+//   * age        -- switch whenever the child is strictly older (a
+//                   distributed approximation of TO / longest-first).
+// BTP should combine the bandwidth criterion's shallow tree with the age
+// criterion's stable ancestors.
+#include <iostream>
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace omcast;
+  util::FlagSet flags;
+  bench::DefineCommonFlags(flags);
+  if (!flags.Parse(argc, argv)) return 1;
+  const bench::BenchEnv env = bench::MakeEnv(flags);
+  bench::PrintHeader("Ablation -- ROST switching criterion", env);
+
+  struct Row {
+    const char* label;
+    core::SwitchCriterion criterion;
+  };
+  const Row rows[] = {
+      {"btp (paper)", core::SwitchCriterion::kBtp},
+      {"bandwidth-only", core::SwitchCriterion::kBandwidthOnly},
+      {"age-only", core::SwitchCriterion::kAgeOnly},
+  };
+
+  util::Table table({"criterion", "disruptions/node", "delay(ms)", "stretch",
+                     "reconnects/node"});
+  for (const Row& row : rows) {
+    exp::ScenarioConfig config = env.BaseConfig();
+    config.population = env.focus_size;
+    config.rost.criterion = row.criterion;
+    const auto reps = bench::RunTreeReps(env, exp::Algorithm::kRost, config);
+    table.AddRow(
+        row.label,
+        {bench::MeanOf(reps, [](const auto& r) { return r.avg_disruptions; }),
+         bench::MeanOf(reps, [](const auto& r) { return r.avg_delay_ms; }),
+         bench::MeanOf(reps, [](const auto& r) { return r.avg_stretch; }),
+         bench::MeanOf(reps,
+                       [](const auto& r) { return r.avg_reconnections; })});
+  }
+  table.Print(std::cout, "switching-criterion ablation (" +
+                             std::to_string(env.focus_size) + " members)");
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Shared scaffolding for the figure-reproduction benches.
+//
+// Every bench accepts:
+//   --scale=small|paper   both use the paper's 15,600-host GT-ITM topology;
+//                         small (default) sweeps steady-state sizes
+//                         {2000, 3500, 5000} so the whole suite runs in
+//                         minutes, paper sweeps the exact Section 5 sizes
+//                         {2000, 5000, 8000, 11000, 14000} (tens of
+//                         minutes, dominated by the centralized relaxed
+//                         BO/TO baselines' global scans).
+//   --seed=N              base RNG seed.
+//   --warmup=S --measure=S  override the phase lengths (seconds).
+//
+// Output is the figure's series as an aligned text table, one row per
+// x-axis point, one column per curve -- the same rows the paper plots.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "exp/scenario.h"
+#include "net/topology.h"
+#include "rand/rng.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+namespace omcast::bench {
+
+struct BenchEnv {
+  bool paper_scale;
+  std::uint64_t seed;
+  int reps;  // independent repetitions averaged per data point
+  double warmup_s;
+  double measure_s;
+  // The five steady-state sizes of Figs. 4, 7, 8, 10, 12 (scaled at small).
+  std::vector<int> sizes;
+  // The single-size experiments (Figs. 5, 11, 13: the paper's "8000").
+  int focus_size;
+  net::Topology topology;
+
+  exp::ScenarioConfig BaseConfig() const {
+    exp::ScenarioConfig c;
+    c.warmup_s = warmup_s;
+    c.measure_s = measure_s;
+    c.seed = seed;
+    // At small scale the source capacity and the gossip-view size shrink
+    // with the population, keeping their ratios to the network size near
+    // the paper's values -- otherwise a 100-slot root swallows half of a
+    // 500-member overlay and every algorithm looks identical. The root
+    // keeps >= 40 slots because tree growth is a branching process with
+    // ~0.9 per-lineage extinction probability (55.5% free-riders): the
+    // source must seed enough independent lineages to survive.
+    return c;
+  }
+};
+
+// Registers the common flags on `flags`.
+inline void DefineCommonFlags(util::FlagSet& flags) {
+  flags.Define("scale", "small", "small | paper (Section 5 sizes)")
+      .Define("seed", "1", "base RNG seed")
+      .Define("reps", "3", "independent repetitions averaged per point")
+      .Define("warmup", "-1", "warm-up seconds (-1: scale default)")
+      .Define("measure", "-1", "measurement seconds (-1: scale default)");
+}
+
+// Builds the environment (including the topology) from parsed flags.
+inline BenchEnv MakeEnv(const util::FlagSet& flags) {
+  const bool paper = flags.GetString("scale") == "paper";
+  const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed"));
+  rnd::Rng topo_rng(seed ^ 0x70706fULL);
+  BenchEnv env{
+      paper,
+      seed,
+      flags.GetInt("reps"),
+      /*warmup_s=*/paper ? 7200.0 : 5400.0,
+      /*measure_s=*/3600.0,
+      paper ? std::vector<int>{2000, 5000, 8000, 11000, 14000}
+            : std::vector<int>{2000, 3500, 5000},
+      paper ? 8000 : 2000,
+      net::Topology::Generate(net::PaperTopologyParams(), topo_rng)};
+  if (flags.GetDouble("warmup") >= 0.0) env.warmup_s = flags.GetDouble("warmup");
+  if (flags.GetDouble("measure") >= 0.0)
+    env.measure_s = flags.GetDouble("measure");
+  return env;
+}
+
+inline void PrintHeader(const std::string& figure, const BenchEnv& env) {
+  std::cout << "=== " << figure << " ===\n"
+            << "scale: " << (env.paper_scale ? "paper" : "small")
+            << "  topology: " << env.topology.num_stub_nodes()
+            << " hosts  warmup: " << env.warmup_s
+            << "s  measure: " << env.measure_s << "s  seed: " << env.seed
+            << "  reps: " << env.reps << "\n\n";
+}
+
+// Runs a tree scenario `env.reps` times (seeds env.seed, env.seed+1, ...)
+// and returns per-rep results for averaging.
+inline std::vector<exp::TreeScenarioResult> RunTreeReps(
+    const BenchEnv& env, exp::Algorithm algorithm, exp::ScenarioConfig config) {
+  std::vector<exp::TreeScenarioResult> out;
+  for (int rep = 0; rep < env.reps; ++rep) {
+    config.seed = env.seed + static_cast<std::uint64_t>(rep);
+    out.push_back(RunTreeScenario(env.topology, algorithm, config));
+  }
+  return out;
+}
+
+// Mean of a field over repetition results.
+template <typename T, typename F>
+double MeanOf(const std::vector<T>& reps, F field) {
+  double sum = 0.0;
+  for (const T& r : reps) sum += field(r);
+  return reps.empty() ? 0.0 : sum / static_cast<double>(reps.size());
+}
+
+}  // namespace omcast::bench

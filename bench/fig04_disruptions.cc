@@ -1,0 +1,36 @@
+// Fig. 4: average number of streaming disruptions per node vs steady-state
+// network size, for the five tree-construction algorithms.
+//
+// Paper shape: minimum-depth and longest-first worst; relaxed BO better;
+// relaxed TO better still; ROST best (36-57% below relaxed BO).
+#include <iostream>
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace omcast;
+  util::FlagSet flags;
+  bench::DefineCommonFlags(flags);
+  if (!flags.Parse(argc, argv)) return 1;
+  const bench::BenchEnv env = bench::MakeEnv(flags);
+  bench::PrintHeader("Fig. 4 -- avg streaming disruptions per node", env);
+
+  std::vector<std::string> header = {"size"};
+  for (const exp::Algorithm a : exp::AllAlgorithms())
+    header.push_back(exp::AlgorithmLabel(a));
+  util::Table table(std::move(header));
+
+  for (const int size : env.sizes) {
+    std::vector<double> row;
+    for (const exp::Algorithm a : exp::AllAlgorithms()) {
+      exp::ScenarioConfig config = env.BaseConfig();
+      config.population = size;
+      const auto reps = bench::RunTreeReps(env, a, config);
+      row.push_back(bench::MeanOf(
+          reps, [](const auto& r) { return r.avg_disruptions; }));
+    }
+    table.AddRow(std::to_string(size), row);
+  }
+  table.Print(std::cout, "avg disruptions per node (rows: steady-state size)");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Fig. 5: CDF of the per-member disruption count in a network of the focus
+// size (the paper's 8000-node instance), for the five algorithms, evaluated
+// at the paper's 1,2,4,...,128 grid.
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/stats.h"
+
+int main(int argc, char** argv) {
+  using namespace omcast;
+  util::FlagSet flags;
+  bench::DefineCommonFlags(flags);
+  if (!flags.Parse(argc, argv)) return 1;
+  const bench::BenchEnv env = bench::MakeEnv(flags);
+  bench::PrintHeader("Fig. 5 -- CDF of per-member disruption count", env);
+
+  const std::vector<double> grid = {1, 2, 4, 8, 16, 32, 64, 128};
+  std::vector<std::string> header = {"disruptions<="};
+  for (const exp::Algorithm a : exp::AllAlgorithms())
+    header.push_back(exp::AlgorithmLabel(a));
+  util::Table table(std::move(header));
+
+  std::vector<std::vector<double>> cdfs;
+  for (const exp::Algorithm a : exp::AllAlgorithms()) {
+    exp::ScenarioConfig config = env.BaseConfig();
+    config.population = env.focus_size;
+    std::vector<double> samples;
+    for (const auto& rep : bench::RunTreeReps(env, a, config))
+      samples.insert(samples.end(), rep.disruption_samples.begin(),
+                     rep.disruption_samples.end());
+    cdfs.push_back(util::CdfAt(std::move(samples), grid));
+  }
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    std::vector<double> row;
+    for (const auto& cdf : cdfs) row.push_back(100.0 * cdf[i]);
+    table.AddRow(util::FormatDouble(grid[i], 0), row, 1);
+  }
+  table.Print(std::cout, "cumulative % of members with <= X disruptions (" +
+                             std::to_string(env.focus_size) + " members)");
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Fig. 7: average end-to-end service delay (ms along the overlay paths) vs
+// steady-state network size. ROST should be the best of the three
+// distributed algorithms and within ~10-25% of the centralized relaxed-BO.
+#include <iostream>
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace omcast;
+  util::FlagSet flags;
+  bench::DefineCommonFlags(flags);
+  if (!flags.Parse(argc, argv)) return 1;
+  const bench::BenchEnv env = bench::MakeEnv(flags);
+  bench::PrintHeader("Fig. 7 -- avg end-to-end service delay (ms)", env);
+
+  std::vector<std::string> header = {"size"};
+  for (const exp::Algorithm a : exp::AllAlgorithms())
+    header.push_back(exp::AlgorithmLabel(a));
+  util::Table table(std::move(header));
+
+  for (const int size : env.sizes) {
+    std::vector<double> row;
+    for (const exp::Algorithm a : exp::AllAlgorithms()) {
+      exp::ScenarioConfig config = env.BaseConfig();
+      config.population = size;
+      const auto reps = bench::RunTreeReps(env, a, config);
+      row.push_back(
+          bench::MeanOf(reps, [](const auto& r) { return r.avg_delay_ms; }));
+    }
+    table.AddRow(std::to_string(size), row, 1);
+  }
+  table.Print(std::cout, "avg service delay in ms (rows: steady-state size)");
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Fig. 8: average network stretch (overlay path delay / direct unicast
+// delay) vs steady-state network size.
+#include <iostream>
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace omcast;
+  util::FlagSet flags;
+  bench::DefineCommonFlags(flags);
+  if (!flags.Parse(argc, argv)) return 1;
+  const bench::BenchEnv env = bench::MakeEnv(flags);
+  bench::PrintHeader("Fig. 8 -- avg network stretch", env);
+
+  std::vector<std::string> header = {"size"};
+  for (const exp::Algorithm a : exp::AllAlgorithms())
+    header.push_back(exp::AlgorithmLabel(a));
+  util::Table table(std::move(header));
+
+  for (const int size : env.sizes) {
+    std::vector<double> row;
+    for (const exp::Algorithm a : exp::AllAlgorithms()) {
+      exp::ScenarioConfig config = env.BaseConfig();
+      config.population = size;
+      const auto reps = bench::RunTreeReps(env, a, config);
+      row.push_back(
+          bench::MeanOf(reps, [](const auto& r) { return r.avg_stretch; }));
+    }
+    table.AddRow(std::to_string(size), row, 2);
+  }
+  table.Print(std::cout, "avg stretch (rows: steady-state size)");
+  return 0;
+}

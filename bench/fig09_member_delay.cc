@@ -1,0 +1,61 @@
+// Fig. 9: service delay over time of the same "typical member" as Fig. 6.
+// Under ROST (and relaxed TO) the member's delay should shrink as it climbs;
+// under the others it fluctuates without converging.
+#include <iostream>
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace omcast;
+  util::FlagSet flags;
+  bench::DefineCommonFlags(flags);
+  flags.Define("trace-minutes", "300", "how long to follow the member");
+  flags.Define("member-bw", "2.0", "tagged member bandwidth");
+  if (!flags.Parse(argc, argv)) return 1;
+  const bench::BenchEnv env = bench::MakeEnv(flags);
+  bench::PrintHeader("Fig. 9 -- service delay of a typical member (ms)", env);
+
+  const double trace_s = flags.GetDouble("trace-minutes") * 60.0;
+  const double member_bw = flags.GetDouble("member-bw");
+  std::vector<std::string> header = {"minute"};
+  for (const exp::Algorithm a : exp::AllAlgorithms())
+    header.push_back(exp::AlgorithmLabel(a));
+  util::Table table(std::move(header));
+
+  // One tagged member per run (as in the paper); averaged across reps to
+  // take the edge off the single-member anecdote.
+  std::vector<std::vector<exp::TraceResult>> traces;
+  for (const exp::Algorithm a : exp::AllAlgorithms()) {
+    std::vector<exp::TraceResult> reps;
+    for (int rep = 0; rep < env.reps; ++rep) {
+      exp::ScenarioConfig config = env.BaseConfig();
+      config.population = env.focus_size;
+      config.seed = env.seed + static_cast<std::uint64_t>(rep);
+      config.snapshot_interval_s = 300.0;  // delay sample cadence
+      reps.push_back(RunMemberTraceScenario(env.topology, a, config, member_bw,
+                                            trace_s + 600.0, trace_s));
+    }
+    traces.push_back(std::move(reps));
+  }
+  for (double minute = 0.0; minute <= trace_s / 60.0 + 1e-9; minute += 30.0) {
+    std::vector<double> row;
+    for (const auto& reps : traces) {
+      double sum = 0.0;
+      int counted = 0;
+      for (const auto& trace : reps) {
+        // Latest delay sample at or before this minute.
+        double delay = 0.0;
+        for (const auto& p : trace.delay_ms)
+          if (p.t_min <= minute + 1e-9) delay = p.v;
+        if (delay > 0.0) {
+          sum += delay;
+          ++counted;
+        }
+      }
+      row.push_back(counted > 0 ? sum / counted : 0.0);
+    }
+    table.AddRow(util::FormatDouble(minute, 0), row, 1);
+  }
+  table.Print(std::cout, "tagged member's service delay (ms) over time");
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Fig. 10: protocol overhead -- average number of reconnections the
+// optimization mechanism imposes on a member during its lifetime, vs
+// network size. Minimum-depth and longest-first impose none by
+// construction; ROST should stay far below one; the centralized relaxed
+// BO/TO pay the most.
+#include <iostream>
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace omcast;
+  util::FlagSet flags;
+  bench::DefineCommonFlags(flags);
+  if (!flags.Parse(argc, argv)) return 1;
+  const bench::BenchEnv env = bench::MakeEnv(flags);
+  bench::PrintHeader("Fig. 10 -- protocol overhead (reconnections per node)",
+                     env);
+
+  std::vector<std::string> header = {"size"};
+  for (const exp::Algorithm a : exp::AllAlgorithms())
+    header.push_back(exp::AlgorithmLabel(a));
+  util::Table table(std::move(header));
+
+  for (const int size : env.sizes) {
+    std::vector<double> row;
+    for (const exp::Algorithm a : exp::AllAlgorithms()) {
+      exp::ScenarioConfig config = env.BaseConfig();
+      config.population = size;
+      const auto reps = bench::RunTreeReps(env, a, config);
+      row.push_back(bench::MeanOf(
+          reps, [](const auto& r) { return r.avg_reconnections; }));
+    }
+    table.AddRow(std::to_string(size), row);
+  }
+  table.Print(std::cout,
+              "avg optimization-induced reconnections per member lifetime");
+  return 0;
+}

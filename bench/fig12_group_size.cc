@@ -1,0 +1,39 @@
+// Fig. 12: average starving time ratio vs network size for recovery group
+// sizes 1-4 (minimum-depth tree, CER recovery with MLC-selected groups,
+// 10 pkt/s stream, 5 s playback buffer, 5 s detection + 10 s rejoin).
+// Increasing the group from 1 to 3 should cut the ratio by about an order
+// of magnitude.
+#include <iostream>
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace omcast;
+  util::FlagSet flags;
+  bench::DefineCommonFlags(flags);
+  if (!flags.Parse(argc, argv)) return 1;
+  const bench::BenchEnv env = bench::MakeEnv(flags);
+  bench::PrintHeader("Fig. 12 -- avg starving time ratio vs group size", env);
+
+  util::Table table({"size", "group=1", "group=2", "group=3", "group=4"});
+  for (const int size : env.sizes) {
+    std::vector<double> row;
+    for (int group = 1; group <= 4; ++group) {
+      stream::StreamParams sp;
+      sp.recovery_group_size = group;
+      double sum = 0.0;
+      for (int rep = 0; rep < env.reps; ++rep) {
+        exp::ScenarioConfig config = env.BaseConfig();
+        config.population = size;
+        config.seed = env.seed + static_cast<std::uint64_t>(rep);
+        sum += RunStreamScenario(env.topology, exp::Algorithm::kMinDepth,
+                                 config, sp)
+                   .avg_starving_ratio;
+      }
+      row.push_back(100.0 * sum / env.reps);
+    }
+    table.AddRow(std::to_string(size), row);
+  }
+  table.Print(std::cout, "avg starving time ratio (%), min-depth tree + CER");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Fig. 13: average starving time ratio vs playback buffer size (5-30 s) for
+// recovery group sizes 1-3 at the focus network size. A single recovery
+// node needs a very deep buffer (~27 s) to reach the quality two nodes
+// deliver with only 5 s.
+#include <iostream>
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace omcast;
+  util::FlagSet flags;
+  bench::DefineCommonFlags(flags);
+  if (!flags.Parse(argc, argv)) return 1;
+  const bench::BenchEnv env = bench::MakeEnv(flags);
+  bench::PrintHeader("Fig. 13 -- avg starving time ratio vs buffer size", env);
+
+  util::Table table({"buffer(s)", "group=1", "group=2", "group=3"});
+  for (const double buffer : {5.0, 10.0, 15.0, 20.0, 25.0, 30.0}) {
+    std::vector<double> row;
+    for (int group = 1; group <= 3; ++group) {
+      stream::StreamParams sp;
+      sp.recovery_group_size = group;
+      sp.buffer_s = buffer;
+      double sum = 0.0;
+      for (int rep = 0; rep < env.reps; ++rep) {
+        exp::ScenarioConfig config = env.BaseConfig();
+        config.population = env.focus_size;
+        config.seed = env.seed + static_cast<std::uint64_t>(rep);
+        sum += RunStreamScenario(env.topology, exp::Algorithm::kMinDepth,
+                                 config, sp)
+                   .avg_starving_ratio;
+      }
+      row.push_back(100.0 * sum / env.reps);
+    }
+    table.AddRow(util::FormatDouble(buffer, 0), row);
+  }
+  table.Print(std::cout, "avg starving time ratio (%), " +
+                             std::to_string(env.focus_size) +
+                             " members, min-depth tree + CER");
+  return 0;
+}

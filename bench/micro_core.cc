@@ -1,0 +1,107 @@
+// Microbenchmarks (google-benchmark) for the building blocks on the hot
+// paths of the simulation: the event queue, the topology delay oracle,
+// partial-tree construction + MLC selection, the per-outage recovery model,
+// and a full small churn scenario.
+#include <benchmark/benchmark.h>
+
+#include "core/cer/mlc.h"
+#include "core/cer/partial_tree.h"
+#include "core/cer/recovery.h"
+#include "exp/scenario.h"
+#include "net/topology.h"
+#include "rand/rng.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace omcast;
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    long count = 0;
+    for (int i = 0; i < n; ++i)
+      sim.ScheduleAt(static_cast<double>(i % 97), [&count] { ++count; });
+    sim.Run();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(100000);
+
+void BM_TopologyGenerate(benchmark::State& state) {
+  for (auto _ : state) {
+    rnd::Rng rng(1);
+    const net::Topology t =
+        net::Topology::Generate(net::PaperTopologyParams(), rng);
+    benchmark::DoNotOptimize(t.num_stub_nodes());
+  }
+}
+BENCHMARK(BM_TopologyGenerate)->Unit(benchmark::kMillisecond);
+
+void BM_DelayOracle(benchmark::State& state) {
+  rnd::Rng rng(1);
+  const net::Topology t =
+      net::Topology::Generate(net::PaperTopologyParams(), rng);
+  rnd::Rng pick(2);
+  for (auto _ : state) {
+    const auto a = static_cast<net::HostId>(
+        pick.UniformIndex(static_cast<std::size_t>(t.num_stub_nodes())));
+    const auto b = static_cast<net::HostId>(
+        pick.UniformIndex(static_cast<std::size_t>(t.num_stub_nodes())));
+    benchmark::DoNotOptimize(t.Delay(a, b));
+  }
+}
+BENCHMARK(BM_DelayOracle);
+
+void BM_MlcSelection(benchmark::State& state) {
+  // A realistic partial view: ~100 known members of a churned overlay.
+  sim::Simulator sim;
+  rnd::Rng topo_rng(1);
+  const net::Topology topo =
+      net::Topology::Generate(net::SmallTopologyParams(), topo_rng);
+  overlay::Session session(sim, topo,
+                           exp::MakeProtocol(exp::Algorithm::kMinDepth,
+                                             core::RostParams{}),
+                           overlay::SessionParams{}, 3);
+  session.Prepopulate(800);
+  sim.RunUntil(600.0);
+  rnd::Rng rng(7);
+  for (auto _ : state) {
+    const auto known = session.SampleCandidates(100, overlay::kNoNode);
+    const core::PartialTree view = core::PartialTree::Build(session.tree(), known);
+    benchmark::DoNotOptimize(
+        core::FindMlcGroup(view, 3, overlay::kNoNode, rng));
+  }
+}
+BENCHMARK(BM_MlcSelection);
+
+void BM_SimulateOutage(benchmark::State& state) {
+  core::OutageSpec spec;
+  spec.chain = {{true, 0.3, 0.01}, {true, 0.4, 0.01}, {true, 0.2, 0.01}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::SimulateOutage(spec));
+  }
+}
+BENCHMARK(BM_SimulateOutage);
+
+void BM_ChurnScenario(benchmark::State& state) {
+  rnd::Rng topo_rng(1);
+  const net::Topology topo =
+      net::Topology::Generate(net::SmallTopologyParams(), topo_rng);
+  for (auto _ : state) {
+    exp::ScenarioConfig config;
+    config.population = 500;
+    config.warmup_s = 600.0;
+    config.measure_s = 600.0;
+    config.seed = 5;
+    benchmark::DoNotOptimize(
+        RunTreeScenario(topo, exp::Algorithm::kRost, config));
+  }
+}
+BENCHMARK(BM_ChurnScenario)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,28 @@
+#!/bin/bash
+# Regenerates every paper figure at the full Section 5 scale into
+# results/paper/. Expect a few hours on one core; the sweep figures
+# (4, 7, 8, 10) dominate because the centralized relaxed-BO/TO baselines
+# do a global scan per join.
+set -u
+cd "$(dirname "$0")/.."
+mkdir -p results/paper
+run() {
+  echo "=== START $1 (reps=$2) $(date +%H:%M:%S) ==="
+  ./build/bench/"$1" --scale=paper --reps="$2" > "results/paper/$1.txt" 2>&1
+  echo "=== DONE  $1 $(date +%H:%M:%S) ==="
+}
+run fig04_disruptions 1
+run fig07_service_delay 1
+run fig08_stretch 1
+run fig10_protocol_cost 1
+run fig05_disruption_cdf 1
+run fig11_switch_interval 2
+run fig12_group_size 2
+run fig13_buffer_size 2
+run fig14_rost_cer 3
+run fig06_member_disruptions 1
+run fig09_member_delay 1
+run ablation_btp 2
+run ablation_mlc 2
+run ablation_gossip 2
+echo ALL-PAPER-BENCHES-DONE

@@ -1,0 +1,11 @@
+#!/bin/bash
+# Regenerates every figure at the fast default scale into results/small/.
+set -u
+cd "$(dirname "$0")/.."
+mkdir -p results/small
+for b in build/bench/fig* build/bench/ablation*; do
+  name=$(basename "$b")
+  echo "=== $name ==="
+  "$b" > "results/small/$name.txt" 2>&1
+done
+echo ALL-SMALL-BENCHES-DONE

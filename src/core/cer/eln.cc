@@ -1,0 +1,47 @@
+#include "core/cer/eln.h"
+
+#include "util/check.h"
+
+namespace omcast::core {
+
+ElnTracker::ElnTracker(int gap_threshold) : gap_threshold_(gap_threshold) {
+  util::Check(gap_threshold > 0, "ELN gap threshold must be positive");
+}
+
+void ElnTracker::Account(std::int64_t seq, bool via_eln) {
+  util::Check(seq >= 0, "sequence numbers are non-negative");
+  if (seq > max_seen_) max_seen_ = seq;
+  if (seq <= frontier_ || pending_.contains(seq)) {
+    // Already accounted. A data arrival for an ELN-covered hole is the
+    // upstream repair reaching us.
+    if (!via_eln) eln_covered_.erase(seq);
+    return;
+  }
+  if (via_eln) {
+    eln_covered_.insert(seq);
+    to_forward_.push_back(seq);
+  }
+  pending_.insert(seq);
+  while (!pending_.empty() && *pending_.begin() == frontier_ + 1) {
+    ++frontier_;
+    pending_.erase(pending_.begin());
+  }
+}
+
+void ElnTracker::OnData(std::int64_t seq) { Account(seq, false); }
+
+void ElnTracker::OnEln(std::int64_t seq) { Account(seq, true); }
+
+ElnTracker::Status ElnTracker::status() const {
+  if (max_seen_ - frontier_ > gap_threshold_) return Status::kParentFailure;
+  if (!eln_covered_.empty()) return Status::kUpstreamLoss;
+  return Status::kHealthy;
+}
+
+std::vector<std::int64_t> ElnTracker::TakeForwardNotifications() {
+  std::vector<std::int64_t> out;
+  out.swap(to_forward_);
+  return out;
+}
+
+}  // namespace omcast::core

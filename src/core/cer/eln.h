@@ -1,0 +1,63 @@
+// Explicit Loss Notification (ELN) -- paper Section 4.2.
+//
+// A member that detects a packet loss sends its children a notification
+// carrying only the missed sequence number, so downstream members can tell
+// "my parent is also missing this packet" (rely on upstream recovery; do
+// not rejoin) apart from "my parent went silent" (parent failure or link
+// breakage; launch the rejoin process). A member infers parent failure when
+// the gap between the highest sequence accounted for (by data *or* ELN) and
+// the contiguous frontier exceeds a threshold (the paper's "sequence
+// gap > 3").
+//
+// The tracker is a per-member state machine over sequence numbers; the
+// streaming layer and the unit tests drive it with explicit event streams.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+namespace omcast::core {
+
+class ElnTracker {
+ public:
+  enum class Status {
+    kHealthy,        // contiguous stream, nothing outstanding
+    kUpstreamLoss,   // holes exist but every hole is ELN-covered
+    kParentFailure,  // unaccounted gap exceeded the threshold
+  };
+
+  explicit ElnTracker(int gap_threshold = 3);
+
+  // A data packet with sequence `seq` arrived from the parent (also used
+  // for repaired packets arriving from recovery nodes).
+  void OnData(std::int64_t seq);
+
+  // An ELN for `seq` arrived: the parent announced it is missing `seq` too.
+  void OnEln(std::int64_t seq);
+
+  Status status() const;
+
+  // Sequences this member should itself ELN-forward to its children:
+  // everything it has had to account for via ELN since the last call.
+  std::vector<std::int64_t> TakeForwardNotifications();
+
+  // Highest sequence s such that all of [0, s] are accounted for (data or
+  // ELN); -1 initially.
+  std::int64_t frontier() const { return frontier_; }
+
+  // Holes at or below the frontier that are ELN-covered and still unrepaired.
+  std::size_t outstanding_eln_holes() const { return eln_covered_.size(); }
+
+ private:
+  void Account(std::int64_t seq, bool via_eln);
+
+  int gap_threshold_;
+  std::int64_t frontier_ = -1;   // all seqs <= frontier_ accounted
+  std::int64_t max_seen_ = -1;   // highest seq accounted (any kind)
+  std::set<std::int64_t> pending_;      // accounted, above the frontier
+  std::set<std::int64_t> eln_covered_;  // accounted via ELN, not yet repaired
+  std::vector<std::int64_t> to_forward_;
+};
+
+}  // namespace omcast::core

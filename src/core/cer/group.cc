@@ -1,0 +1,37 @@
+#include "core/cer/group.h"
+
+#include <algorithm>
+
+#include "core/cer/mlc.h"
+#include "core/cer/partial_tree.h"
+
+namespace omcast::core {
+
+using overlay::NodeId;
+using overlay::Session;
+
+std::vector<NodeId> SelectRecoveryGroup(Session& session, NodeId requester,
+                                        int k, GroupSelection selection) {
+  std::vector<NodeId> known = session.SampleCandidates(
+      session.params().candidate_sample_size, requester);
+  std::erase(known, requester);
+  std::erase(known, overlay::kRootId);  // the source streams, it is not a
+                                        // residual-bandwidth repair peer
+
+  std::vector<NodeId> group;
+  if (selection == GroupSelection::kMlc) {
+    const PartialTree view = PartialTree::Build(session.tree(), known);
+    group = FindMlcGroup(view, k, requester, session.rng());
+  } else {
+    group = session.rng().SampleWithoutReplacement(
+        std::move(known), static_cast<std::size_t>(k));
+  }
+  std::erase(group, overlay::kRootId);
+
+  std::sort(group.begin(), group.end(), [&](NodeId a, NodeId b) {
+    return session.DelayMs(requester, a) < session.DelayMs(requester, b);
+  });
+  return group;
+}
+
+}  // namespace omcast::core

@@ -1,0 +1,24 @@
+// Recovery-group selection strategies (paper Section 4.1 vs the baselines
+// of Section 6): MLC (Algorithm 1 on the member's partial tree view) or
+// uniform-random from the member's known set. Either way the group is
+// ordered by network distance from the requester, which is the order the
+// repair chain is walked in.
+#pragma once
+
+#include <vector>
+
+#include "overlay/session.h"
+
+namespace omcast::core {
+
+enum class GroupSelection { kMlc, kRandom };
+
+// Picks up to `k` recovery members for `requester` from its gossip view
+// (session.params().candidate_sample_size known members), ordered nearest
+// first. The requester's own fragment is excluded -- its descendants share
+// all of its losses.
+std::vector<overlay::NodeId> SelectRecoveryGroup(overlay::Session& session,
+                                                 overlay::NodeId requester,
+                                                 int k, GroupSelection selection);
+
+}  // namespace omcast::core

@@ -1,0 +1,80 @@
+#include "core/cer/mlc.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace omcast::core {
+
+std::vector<overlay::NodeId> FindMlcGroup(const PartialTree& view, int k,
+                                          overlay::NodeId exclude,
+                                          rnd::Rng& rng) {
+  std::vector<overlay::NodeId> group;
+  if (view.empty() || k <= 0) return group;
+  const auto levels = view.Levels();
+
+  // Step 1: first level Li with |Li| < K <= |Li+1|. If the view never gets
+  // that wide, fall back to the level feeding the widest next level.
+  std::size_t li = levels.size();  // sentinel: not found
+  for (std::size_t i = 0; i + 1 < levels.size(); ++i) {
+    if (static_cast<int>(levels[i].size()) < k &&
+        static_cast<int>(levels[i + 1].size()) >= k) {
+      li = i;
+      break;
+    }
+  }
+  if (li == levels.size()) {
+    std::size_t widest_next = 0;
+    for (std::size_t i = 0; i + 1 < levels.size(); ++i) {
+      if (levels[i + 1].size() > levels[widest_next + 1].size()) widest_next = i;
+    }
+    if (levels.size() < 2) return group;  // only the root is known
+    li = widest_next;
+  }
+
+  // Step 2: collect K subtree roots G0, one random child per parent in Li,
+  // round-robin so no parent contributes a second child before every parent
+  // contributed one.
+  std::vector<std::vector<int>> remaining_children;
+  for (int v : levels[li])
+    remaining_children.push_back(view.nodes()[static_cast<std::size_t>(v)].children);
+  std::vector<int> g0;
+  bool progress = true;
+  while (static_cast<int>(g0.size()) < k && progress) {
+    progress = false;
+    for (auto& children : remaining_children) {
+      if (children.empty()) continue;
+      const std::size_t pick = rng.UniformIndex(children.size());
+      g0.push_back(children[pick]);
+      children[pick] = children.back();
+      children.pop_back();
+      progress = true;
+      if (static_cast<int>(g0.size()) == k) break;
+    }
+  }
+
+  // Step 3: one random descendant per chosen subtree.
+  for (int root : g0) {
+    std::vector<int> candidates = view.Descendants(root);
+    candidates.push_back(root);  // a leaf subtree stands in for itself
+    // Filter the requester out.
+    std::erase_if(candidates, [&](int idx) {
+      return view.nodes()[static_cast<std::size_t>(idx)].id == exclude;
+    });
+    if (candidates.empty()) continue;
+    const int pick = candidates[rng.UniformIndex(candidates.size())];
+    group.push_back(view.nodes()[static_cast<std::size_t>(pick)].id);
+  }
+  return group;
+}
+
+long TotalLossCorrelation(const overlay::Tree& tree,
+                          const std::vector<overlay::NodeId>& group) {
+  long total = 0;
+  for (std::size_t i = 0; i < group.size(); ++i)
+    for (std::size_t j = i + 1; j < group.size(); ++j)
+      total += tree.SharedPathEdges(group[i], group[j]);
+  return total;
+}
+
+}  // namespace omcast::core

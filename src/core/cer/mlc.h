@@ -1,0 +1,34 @@
+// Minimum-loss-correlation (MLC) recovery-group selection -- Algorithm 1 of
+// paper Section 4.1.
+//
+// Loss correlation w(v1, v2) counts the tree edges shared by the root paths
+// of v1 and v2; the MLC group minimizes the pairwise sum. Algorithm 1
+// approximates this on the member's partial tree view:
+//   1. find the first level Li with |Li| < K <= |Li+1|;
+//   2. take one random child of each vi in Li (round-robin) until K subtree
+//      roots G0 are collected -- at most ceil(K/|Li|) roots share a parent,
+//      so pairwise shared edges stay minimal;
+//   3. pick one random descendant from each chosen subtree (load balancing
+//      and isolation alternatives). A root with no known descendants stands
+//      in for itself.
+#pragma once
+
+#include <vector>
+
+#include "core/cer/partial_tree.h"
+#include "rand/rng.h"
+
+namespace omcast::core {
+
+// Returns up to `k` member ids forming the MLC group; fewer when the
+// partial view is too small. `exclude` (the requester) never appears.
+std::vector<overlay::NodeId> FindMlcGroup(const PartialTree& view, int k,
+                                          overlay::NodeId exclude,
+                                          rnd::Rng& rng);
+
+// Sum of pairwise loss correlations w(vi, vj) over a group, evaluated on
+// the *real* tree (tests and the MLC-vs-random ablation).
+long TotalLossCorrelation(const overlay::Tree& tree,
+                          const std::vector<overlay::NodeId>& group);
+
+}  // namespace omcast::core

@@ -1,0 +1,81 @@
+#include "core/cer/partial_tree.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace omcast::core {
+
+int PartialTree::InternNode(overlay::NodeId id, int layer) {
+  if (const auto it = index_.find(id); it != index_.end()) return it->second;
+  const int idx = static_cast<int>(nodes_.size());
+  Node n;
+  n.id = id;
+  n.layer = layer;
+  nodes_.push_back(std::move(n));
+  index_.emplace(id, idx);
+  return idx;
+}
+
+PartialTree PartialTree::Build(const overlay::Tree& tree,
+                               const std::vector<overlay::NodeId>& known) {
+  PartialTree pt;
+  for (overlay::NodeId id : known) {
+    if (!tree.IsRooted(id)) continue;
+    // Walk the ancestor chain (the record's content) up to the root,
+    // splicing it into the view.
+    overlay::NodeId cur = id;
+    int child_idx = -1;
+    while (cur != overlay::kNoNode) {
+      const overlay::Member& m = tree.Get(cur);
+      const bool seen = pt.index_.contains(cur);
+      const int idx = pt.InternNode(cur, m.layer);
+      if (child_idx != -1 && pt.nodes_[static_cast<std::size_t>(child_idx)].parent == -1 &&
+          !tree.Get(pt.nodes_[static_cast<std::size_t>(child_idx)].id).IsRoot()) {
+        pt.nodes_[static_cast<std::size_t>(child_idx)].parent = idx;
+        pt.nodes_[static_cast<std::size_t>(idx)].children.push_back(child_idx);
+      }
+      if (m.IsRoot()) pt.root_ = idx;
+      if (seen) break;  // the rest of the chain is already spliced
+      child_idx = idx;
+      cur = m.parent;
+    }
+  }
+  return pt;
+}
+
+std::vector<std::vector<int>> PartialTree::Levels() const {
+  std::vector<std::vector<int>> levels;
+  if (root_ < 0) return levels;
+  std::vector<int> frontier = {root_};
+  while (!frontier.empty()) {
+    levels.push_back(frontier);
+    std::vector<int> next;
+    for (int idx : frontier) {
+      const Node& n = nodes_[static_cast<std::size_t>(idx)];
+      next.insert(next.end(), n.children.begin(), n.children.end());
+    }
+    frontier = std::move(next);
+  }
+  return levels;
+}
+
+std::vector<int> PartialTree::Descendants(int idx) const {
+  std::vector<int> out;
+  std::vector<int> stack = nodes_[static_cast<std::size_t>(idx)].children;
+  while (!stack.empty()) {
+    const int cur = stack.back();
+    stack.pop_back();
+    out.push_back(cur);
+    const Node& n = nodes_[static_cast<std::size_t>(cur)];
+    stack.insert(stack.end(), n.children.begin(), n.children.end());
+  }
+  return out;
+}
+
+int PartialTree::IndexOf(overlay::NodeId id) const {
+  const auto it = index_.find(id);
+  return it == index_.end() ? -1 : it->second;
+}
+
+}  // namespace omcast::core

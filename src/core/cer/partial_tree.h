@@ -1,0 +1,54 @@
+// Partial-tree reconstruction (paper Section 4.1, Fig. 3).
+//
+// During the multicast, members periodically exchange neighbour information,
+// so each member knows a medium-sized subset (~100) of other members. Each
+// known member's record carries the addresses, layer numbers and out-degrees
+// of all its *ancestors*, so the knowing member can splice the records into
+// a partial view of the real multicast tree: exactly the union of the known
+// members' root paths. Algorithm 1 (MLC group selection) runs on this view.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "overlay/tree.h"
+
+namespace omcast::core {
+
+class PartialTree {
+ public:
+  struct Node {
+    overlay::NodeId id = overlay::kNoNode;
+    int parent = -1;  // local index; -1 for the root
+    int layer = 0;
+    std::vector<int> children;  // local indices
+  };
+
+  // Builds the partial view from `known` members of `tree` (each must be
+  // rooted; unrooted entries are skipped -- a gossip record pointing into a
+  // detached fragment is stale).
+  static PartialTree Build(const overlay::Tree& tree,
+                           const std::vector<overlay::NodeId>& known);
+
+  const std::vector<Node>& nodes() const { return nodes_; }
+  int root_index() const { return root_; }
+  bool empty() const { return nodes_.empty(); }
+
+  // Local indices grouped by layer; levels[0] == {root}.
+  std::vector<std::vector<int>> Levels() const;
+
+  // All strict descendants of local node `idx`.
+  std::vector<int> Descendants(int idx) const;
+
+  // Local index of a member, or -1.
+  int IndexOf(overlay::NodeId id) const;
+
+ private:
+  int InternNode(overlay::NodeId id, int layer);
+
+  std::vector<Node> nodes_;
+  std::unordered_map<overlay::NodeId, int> index_;
+  int root_ = -1;
+};
+
+}  // namespace omcast::core

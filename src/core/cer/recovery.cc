@@ -1,0 +1,80 @@
+#include "core/cer/recovery.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace omcast::core {
+
+OutageResult SimulateOutage(const OutageSpec& spec) {
+  util::Check(spec.detect_s >= 0.0 && spec.rejoin_s >= 0.0,
+              "outage phases must be non-negative");
+  util::Check(spec.buffer_s >= 0.0, "buffer must be non-negative");
+  util::Check(spec.packet_rate > 0.0, "packet rate must be positive");
+
+  OutageResult result;
+  const double hole_s = spec.detect_s + spec.rejoin_s;
+  result.packets_total =
+      static_cast<int>(std::llround(hole_s * spec.packet_rate));
+
+  // Assemble the repair chain: walk sources in distance order, accumulating
+  // request-forwarding latency; dead/affected nodes NACK and forward. Under
+  // cooperative mode stripes accumulate until they cover the full rate;
+  // under single-source mode the walk stops at the first usable node.
+  double latency = 0.0;
+  double rate = 0.0;
+  double service_latency = 0.0;  // latency until the first serving node
+  bool serving = false;
+  for (const RecoverySource& src : spec.chain) {
+    latency += src.hop_latency_s;
+    if (!src.usable || src.rate_fraction <= 0.0) continue;
+    if (!serving) {
+      service_latency = latency;
+      serving = true;
+    }
+    rate += src.rate_fraction;
+    if (spec.mode == RecoveryMode::kSingleSource) break;
+    if (rate >= 1.0) break;  // stripes cover the full stream rate
+  }
+  rate = std::min(rate, 1.0);
+  result.aggregate_rate = rate;
+
+  // Recovery cannot start before the failure is detected and the request
+  // has reached the serving stripe(s).
+  const double service_start = spec.detect_s + service_latency;
+  result.service_start_s = service_start;
+
+  if (rate <= 0.0 || result.packets_total == 0) {
+    result.packets_lost = result.packets_total;
+    result.starving_s =
+        static_cast<double>(result.packets_total) / spec.packet_rate;
+    return result;
+  }
+
+  // Serve hole packets in sequence order at the aggregate rate. Packet n is
+  // generated at g_n = n / packet_rate (failure at t = 0), can be served no
+  // earlier than its generation or the service start, and must arrive by
+  // g_n + buffer_s to make its playback deadline. Expired packets are
+  // skipped without consuming service time ("any packet missing the
+  // playback deadline is meaningless").
+  const double service_time = 1.0 / (rate * spec.packet_rate);
+  double server_free_at = service_start;
+  for (int n = 0; n < result.packets_total; ++n) {
+    const double generated = static_cast<double>(n) / spec.packet_rate;
+    const double deadline = generated + spec.buffer_s;
+    const double start = std::max(server_free_at, generated);
+    const double done = start + service_time;
+    if (done <= deadline) {
+      ++result.packets_recovered;
+      server_free_at = done;
+    } else {
+      ++result.packets_lost;
+    }
+  }
+  result.starving_s =
+      static_cast<double>(result.packets_lost) / spec.packet_rate;
+  return result;
+}
+
+}  // namespace omcast::core

@@ -1,0 +1,247 @@
+#include "core/rost/rost.h"
+
+#include <algorithm>
+
+#include "proto/selection.h"
+#include "util/check.h"
+
+namespace omcast::core {
+
+using overlay::kNoNode;
+using overlay::kRootId;
+using overlay::Member;
+using overlay::NodeId;
+using overlay::Session;
+
+RostProtocol::RostProtocol(RostParams params)
+    : params_(params), referees_(params.referee) {
+  util::Check(params_.switching_interval_s > 0.0,
+              "switching interval must be positive");
+}
+
+RostProtocol::NodeState& RostProtocol::StateFor(NodeId id) {
+  if (state_.size() <= static_cast<std::size_t>(id))
+    state_.resize(static_cast<std::size_t>(id) + 1);
+  return state_[static_cast<std::size_t>(id)];
+}
+
+bool RostProtocol::TryAttach(Session& session, NodeId id) {
+  // Joining is the minimum-depth rule: newcomers start low and earn their
+  // way up via BTP (Section 3.3: moving nodes up gradually keeps short-lived
+  // clients from climbing on arrival).
+  const std::vector<NodeId> candidates =
+      session.CollectJoinPool(session.params().candidate_sample_size, id);
+  const NodeId parent = proto::PickMinDepthParent(session, candidates, id);
+  if (parent == kNoNode) return false;
+  session.tree().Attach(parent, id);
+  return true;
+}
+
+void RostProtocol::OnAttached(Session& session, NodeId id) {
+  NodeState& st = StateFor(id);
+  st.recovering = false;
+  if (params_.use_referees && !referees_.IsEnrolled(id))
+    referees_.Enroll(session, id);
+  ScheduleCheck(session, id, params_.switching_interval_s);
+}
+
+void RostProtocol::OnDeparture(Session& session, NodeId id) {
+  NodeState& st = StateFor(id);
+  if (st.timer == sim::kInvalidEventId) return;
+  session.simulator().Cancel(st.timer);
+  st.timer = sim::kInvalidEventId;
+}
+
+void RostProtocol::OnOrphaned(Session&, NodeId id) {
+  // Mid failure-recovery: the member neither initiates switches nor lets
+  // others lock it into one (Section 3.3 lock rule).
+  StateFor(id).recovering = true;
+}
+
+void RostProtocol::ScheduleCheck(Session& session, NodeId id, double delay_s) {
+  NodeState& st = StateFor(id);
+  if (st.timer != sim::kInvalidEventId) session.simulator().Cancel(st.timer);
+  st.timer = session.simulator().ScheduleAfter(
+      delay_s, [this, &session, id] { CheckSwitch(session, id); });
+}
+
+double RostProtocol::EffectiveBtp(Session& session, NodeId id) {
+  const sim::Time now = session.simulator().now();
+  if (params_.use_referees && referees_.IsEnrolled(id))
+    return referees_.VerifiedBandwidth(session, id) *
+           referees_.VerifiedAge(session, id, now);
+  return session.tree().Get(id).ClaimedBtp(now);
+}
+
+double RostProtocol::EffectiveBandwidth(Session& session, NodeId id) {
+  if (params_.use_referees && referees_.IsEnrolled(id))
+    return referees_.VerifiedBandwidth(session, id);
+  return session.tree().Get(id).reported_bandwidth;
+}
+
+double RostProtocol::EffectiveAge(Session& session, NodeId id) {
+  const sim::Time now = session.simulator().now();
+  if (params_.use_referees && referees_.IsEnrolled(id))
+    return referees_.VerifiedAge(session, id, now);
+  const overlay::Member& m = session.tree().Get(id);
+  return m.Age(now) + m.reported_age_bonus;
+}
+
+bool RostProtocol::TryLock(Session& session, const std::vector<NodeId>& set) {
+  const sim::Time now = session.simulator().now();
+  for (NodeId id : set) {
+    const NodeState& st = StateFor(id);
+    if (st.locked_until > now || st.recovering) return false;
+  }
+  for (NodeId id : set) StateFor(id).locked_until = now + params_.lock_hold_s;
+  return true;
+}
+
+void RostProtocol::CheckSwitchNow(Session& session, NodeId id) {
+  CheckSwitch(session, id);
+}
+
+void RostProtocol::CheckSwitch(Session& session, NodeId id) {
+  overlay::Tree& tree = session.tree();
+  Member& m = tree.Get(id);
+  if (!m.alive) return;
+  StateFor(id).timer = sim::kInvalidEventId;
+
+  // While detached (rejoining) or inside an orphaned fragment, just keep
+  // the periodic check alive.
+  if (m.parent == kNoNode || !tree.IsRooted(id)) {
+    ScheduleCheck(session, id, params_.switching_interval_s);
+    return;
+  }
+  const NodeId parent = m.parent;
+  if (parent == kRootId) {
+    // The source has infinite BTP; nothing to compare against.
+    ScheduleCheck(session, id, params_.switching_interval_s);
+    return;
+  }
+
+  if (!SwitchConditionHolds(session, id, parent)) {
+    ScheduleCheck(session, id, params_.switching_interval_s);
+    return;
+  }
+
+  // Lock set: self, parent, grandparent, own children, siblings.
+  std::vector<NodeId> lock_set = {id, parent, tree.Get(parent).parent};
+  for (NodeId c : m.children) lock_set.push_back(c);
+  for (NodeId s : tree.Get(parent).children)
+    if (s != id) lock_set.push_back(s);
+  if (!TryLock(session, lock_set)) {
+    ++lock_conflicts_;
+    ScheduleCheck(session, id, params_.lock_retry_delay_s);
+    return;
+  }
+
+  if (!SwitchFeasible(session, id, parent)) {
+    ++infeasible_;
+    ScheduleCheck(session, id, params_.switching_interval_s);
+    return;
+  }
+
+  PerformSwitch(session, id, parent);
+  ScheduleCheck(session, id, params_.switching_interval_s);
+}
+
+bool RostProtocol::SwitchConditionHolds(Session& session, NodeId id,
+                                        NodeId parent) {
+  switch (params_.criterion) {
+    case SwitchCriterion::kBtp:
+      // The paper's rule: BTP strictly larger AND bandwidth no smaller
+      // (the bandwidth guard avoids switches the parent would undo by
+      // out-earning the child later, Section 3.3).
+      return EffectiveBtp(session, id) > EffectiveBtp(session, parent) &&
+             EffectiveBandwidth(session, id) >=
+                 EffectiveBandwidth(session, parent);
+    case SwitchCriterion::kBandwidthOnly:
+      return EffectiveBandwidth(session, id) >
+             EffectiveBandwidth(session, parent);
+    case SwitchCriterion::kAgeOnly:
+      return EffectiveAge(session, id) > EffectiveAge(session, parent);
+  }
+  return false;
+}
+
+bool RostProtocol::SwitchFeasible(Session& session, NodeId id,
+                                  NodeId parent) const {
+  // Structural feasibility against *actual* capacities: the switch
+  // handshake itself reveals an out-degree shortage (e.g. a bandwidth
+  // cheater) and the swap aborts.
+  const overlay::Tree& tree = session.tree();
+  const Member& m = tree.Get(id);
+  const Member& p = tree.Get(parent);
+  const int siblings = static_cast<int>(p.children.size()) - 1;
+  const int former = static_cast<int>(m.children.size());
+  const int overflow = std::max(0, former - p.capacity);
+  return m.capacity >= 1 + siblings + overflow;
+}
+
+void RostProtocol::OnPrepopulated(Session& session, NodeId id) {
+  // Replay the member's historical switching: one opportunity per elapsed
+  // switching interval of its age, each climbing at most one level.
+  overlay::Tree& tree = session.tree();
+  const double age = tree.Get(id).Age(session.simulator().now());
+  long opportunities =
+      static_cast<long>(age / params_.switching_interval_s);
+  opportunities = std::min(opportunities, 256L);
+  while (opportunities-- > 0) {
+    const Member& m = tree.Get(id);
+    if (m.parent == kNoNode || m.parent == kRootId) break;
+    const NodeId parent = m.parent;
+    if (!SwitchConditionHolds(session, id, parent)) break;
+    if (!SwitchFeasible(session, id, parent)) break;
+    PerformSwitch(session, id, parent);
+  }
+}
+
+void RostProtocol::PerformSwitch(Session& session, NodeId child,
+                                 NodeId parent) {
+  overlay::Tree& tree = session.tree();
+  const NodeId grand = tree.Get(parent).parent;
+  util::Check(grand != kNoNode, "switch requires a grandparent");
+
+  std::vector<NodeId> siblings;
+  for (NodeId s : tree.Get(parent).children)
+    if (s != child) siblings.push_back(s);
+  std::vector<NodeId> former = tree.Get(child).children;
+
+  // Disassemble the neighbourhood.
+  for (NodeId s : siblings) tree.Detach(s);
+  for (NodeId k : former) tree.Detach(k);
+  tree.Detach(child);
+  tree.Detach(parent);
+
+  // Promote the child into the parent's position.
+  tree.Attach(grand, child);
+  tree.Attach(child, parent);
+  for (NodeId s : siblings) {
+    tree.Attach(child, s);
+    ++tree.Get(s).reconnections;
+  }
+
+  // The demoted parent adopts the child's former children up to capacity;
+  // the largest-BTP overflow stays with the promoted node (Fig. 2's f).
+  const sim::Time now = session.simulator().now();
+  std::sort(former.begin(), former.end(), [&](NodeId a, NodeId b) {
+    return tree.Get(a).Btp(now) > tree.Get(b).Btp(now);
+  });
+  const int overflow =
+      std::max(0, static_cast<int>(former.size()) - tree.Get(parent).capacity);
+  for (std::size_t i = 0; i < former.size(); ++i) {
+    if (static_cast<int>(i) < overflow) {
+      // Stays with its old parent (the promoted node): no reconnection.
+      tree.Attach(child, former[i]);
+    } else {
+      tree.Attach(parent, former[i]);
+      ++tree.Get(former[i]).reconnections;
+    }
+  }
+  ++tree.Get(child).reconnections;
+  ++tree.Get(parent).reconnections;
+  ++switches_;
+}
+
+}  // namespace omcast::core

@@ -1,0 +1,98 @@
+// Reusable experiment scenarios mirroring paper Section 5:
+// equilibrium-pre-populated session, Poisson arrivals at
+// lambda = population / 1809 (Little's law), a warm-up phase for the tree
+// structure to equilibrate under the protocol, then a measurement window.
+//
+// Three runners cover all figures:
+//   * RunTreeScenario       -- structural reliability/quality metrics
+//                              (Figs. 4, 5, 7, 8, 10, 11)
+//   * RunMemberTraceScenario-- one tagged "typical member" time series
+//                              (Figs. 6, 9)
+//   * RunStreamScenario     -- starving-time-ratio with a StreamingLayer
+//                              (Figs. 12, 13, 14)
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/rost/rost.h"
+#include "net/topology.h"
+#include "overlay/session.h"
+#include "stream/streaming.h"
+
+namespace omcast::exp {
+
+enum class Algorithm {
+  kMinDepth,
+  kLongestFirst,
+  kRelaxedBo,
+  kRelaxedTo,
+  kRost,
+};
+
+// The five algorithms in the paper's plotting order.
+std::vector<Algorithm> AllAlgorithms();
+const char* AlgorithmLabel(Algorithm a);
+std::unique_ptr<overlay::Protocol> MakeProtocol(Algorithm a,
+                                                const core::RostParams& rost);
+
+struct ScenarioConfig {
+  int population = 1000;          // steady-state size M
+  double warmup_s = 1800.0;       // structure equilibration before measuring
+  double measure_s = 3600.0;      // measurement window length
+  std::uint64_t seed = 1;
+  double snapshot_interval_s = 300.0;
+  core::RostParams rost;          // used when algorithm == kRost
+  overlay::SessionParams session;
+};
+
+struct TreeScenarioResult {
+  double avg_disruptions = 0.0;
+  double disruptions_ci95 = 0.0;
+  double avg_reconnections = 0.0;
+  double avg_delay_ms = 0.0;
+  double avg_stretch = 0.0;
+  double avg_depth = 0.0;
+  double avg_population = 0.0;
+  int qualifying_members = 0;
+  std::vector<double> disruption_samples;
+  // ROST only; -1 otherwise.
+  long rost_switches = -1;
+  long rost_lock_conflicts = -1;
+};
+
+TreeScenarioResult RunTreeScenario(const net::Topology& topology, Algorithm a,
+                                   const ScenarioConfig& config);
+
+struct StreamScenarioResult {
+  double avg_starving_ratio = 0.0;  // 0..1
+  double ci95 = 0.0;
+  int members = 0;
+  long outages = 0;
+  double avg_recovery_rate = 0.0;  // aggregate repair rate assembled
+};
+
+StreamScenarioResult RunStreamScenario(const net::Topology& topology,
+                                       Algorithm a,
+                                       const ScenarioConfig& config,
+                                       const stream::StreamParams& stream);
+
+struct TracePoint {
+  double t_min = 0.0;  // minutes since the tagged member joined
+  double v = 0.0;
+};
+
+struct TraceResult {
+  std::vector<TracePoint> cumulative_disruptions;
+  std::vector<TracePoint> delay_ms;
+};
+
+// Injects a "typical member" (moderate bandwidth, long lifetime) once the
+// network is in steady state and traces it for `trace_s` seconds
+// (Figs. 6 and 9 trace 300 minutes).
+TraceResult RunMemberTraceScenario(const net::Topology& topology, Algorithm a,
+                                   const ScenarioConfig& config,
+                                   double member_bandwidth,
+                                   double member_lifetime_s, double trace_s);
+
+}  // namespace omcast::exp

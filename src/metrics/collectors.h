@@ -1,0 +1,110 @@
+// Metrics collectors for the paper's evaluation (Section 6). Each collector
+// hooks into a Session and accumulates one family of measurements:
+//
+//   * MemberOutcomes  -- per-lifetime disruption / reconnection counts of
+//                        members that complete their lifetime inside the
+//                        measurement window (Figs. 4, 5, 10, 11);
+//   * TreeSnapshots   -- periodic whole-tree service delay / stretch / depth
+//                        averages (Figs. 7, 8, 11);
+//   * MemberTrace     -- time series of one tagged member's cumulative
+//                        disruptions and service delay (Figs. 6, 9).
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "overlay/session.h"
+#include "util/stats.h"
+
+namespace omcast::metrics {
+
+class MemberOutcomes {
+ public:
+  explicit MemberOutcomes(overlay::Session& session);
+
+  // Members qualify when they joined at/after time 0 (i.e. are not
+  // pre-populated) and depart inside [begin, end].
+  void SetWindow(double begin_s, double end_s);
+
+  // Also records every still-alive member that joined at/after time 0
+  // (with the disruptions/reconnections accrued so far). Call once at the
+  // window end: the paper's averages are over *all* multicast members, so
+  // long-lived members -- exactly those the reliability-oriented trees
+  // protect -- must not be censored out.
+  void HarvestAliveMembers();
+
+  const util::RunningStat& disruptions() const { return disruptions_; }
+  const util::RunningStat& reconnections() const { return reconnections_; }
+  const std::vector<double>& disruption_samples() const {
+    return disruption_samples_;
+  }
+  int qualifying_members() const {
+    return static_cast<int>(disruptions_.count());
+  }
+
+ private:
+  overlay::Session& session_;
+  double begin_ = 0.0;
+  double end_ = std::numeric_limits<double>::infinity();
+  util::RunningStat disruptions_;
+  util::RunningStat reconnections_;
+  std::vector<double> disruption_samples_;
+};
+
+class TreeSnapshots {
+ public:
+  // Snapshots every `interval_s` within [begin, end] once Start() is called.
+  TreeSnapshots(overlay::Session& session, double interval_s);
+
+  void Start(double begin_s, double end_s);
+
+  // Statistics over member-snapshots (every rooted member at every snap).
+  const util::RunningStat& delay_ms() const { return delay_ms_; }
+  const util::RunningStat& stretch() const { return stretch_; }
+  // Statistics over snapshots.
+  const util::RunningStat& depth() const { return depth_; }
+  const util::RunningStat& population() const { return population_; }
+  int snapshots_taken() const { return snaps_; }
+
+ private:
+  void Snap(double end_s);
+
+  overlay::Session& session_;
+  double interval_s_;
+  util::RunningStat delay_ms_;
+  util::RunningStat stretch_;
+  util::RunningStat depth_;
+  util::RunningStat population_;
+  int snaps_ = 0;
+};
+
+class MemberTrace {
+ public:
+  // Samples the tracked member's service delay every `sample_interval_s`.
+  MemberTrace(overlay::Session& session, double sample_interval_s);
+
+  // Starts tracking `id` now; disruptions and delay samples accumulate
+  // until the member departs.
+  void Track(overlay::NodeId id);
+
+  struct Point {
+    double t = 0.0;  // simulation time, seconds
+    double v = 0.0;
+  };
+  // Cumulative disruption count over time (one point per disruption).
+  const std::vector<Point>& disruption_series() const { return disruptions_; }
+  // Service delay (ms) samples over time.
+  const std::vector<Point>& delay_series() const { return delays_; }
+
+ private:
+  void SampleDelay();
+
+  overlay::Session& session_;
+  double sample_interval_s_;
+  overlay::NodeId tracked_ = overlay::kNoNode;
+  int count_ = 0;
+  std::vector<Point> disruptions_;
+  std::vector<Point> delays_;
+};
+
+}  // namespace omcast::metrics

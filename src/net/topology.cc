@@ -1,0 +1,240 @@
+#include "net/topology.h"
+
+#include <limits>
+#include <queue>
+
+#include "util/check.h"
+
+namespace omcast::net {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Floyd-Warshall over a dense matrix (row-major n*n), in place.
+void FloydWarshall(int n, std::vector<double>& dist) {
+  for (int k = 0; k < n; ++k)
+    for (int i = 0; i < n; ++i) {
+      const double dik = dist[static_cast<std::size_t>(i) * n + k];
+      if (dik == kInf) continue;
+      for (int j = 0; j < n; ++j) {
+        const double via = dik + dist[static_cast<std::size_t>(k) * n + j];
+        double& d = dist[static_cast<std::size_t>(i) * n + j];
+        if (via < d) d = via;
+      }
+    }
+}
+
+// Builds a connected random graph on `n` local nodes: a randomized ring
+// guarantees connectivity, then each non-ring pair gets a chord with
+// probability `chord_prob`. Returns local (a, b, delay) edges.
+struct LocalEdge {
+  int a;
+  int b;
+  double delay;
+};
+
+std::vector<LocalEdge> ConnectedRandomGraph(int n, double chord_prob,
+                                            double delay_lo, double delay_hi,
+                                            rnd::Rng& rng) {
+  std::vector<LocalEdge> edges;
+  if (n <= 1) return edges;
+  std::vector<int> order(n);
+  for (int i = 0; i < n; ++i) order[i] = i;
+  rng.Shuffle(order);
+  for (int i = 0; i < n; ++i) {
+    edges.push_back({order[i], order[(i + 1) % n],
+                     rng.Uniform(delay_lo, delay_hi)});
+    if (n == 2) break;  // a 2-ring would duplicate the single edge
+  }
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j) {
+      if (rng.Bernoulli(chord_prob))
+        edges.push_back({i, j, rng.Uniform(delay_lo, delay_hi)});
+    }
+  return edges;
+}
+
+std::vector<double> ApspFromLocalEdges(int n,
+                                       const std::vector<LocalEdge>& edges) {
+  std::vector<double> dist(static_cast<std::size_t>(n) * n, kInf);
+  for (int i = 0; i < n; ++i) dist[static_cast<std::size_t>(i) * n + i] = 0.0;
+  for (const auto& e : edges) {
+    double& ab = dist[static_cast<std::size_t>(e.a) * n + e.b];
+    double& ba = dist[static_cast<std::size_t>(e.b) * n + e.a];
+    if (e.delay < ab) ab = e.delay;
+    if (e.delay < ba) ba = e.delay;
+  }
+  FloydWarshall(n, dist);
+  return dist;
+}
+
+}  // namespace
+
+TopologyParams PaperTopologyParams() { return TopologyParams{}; }
+
+TopologyParams TinyTopologyParams() {
+  TopologyParams p;
+  p.transit_domains = 2;
+  p.transit_nodes_per_domain = 3;
+  p.stub_domains_per_transit_node = 2;
+  p.nodes_per_stub_domain = 8;
+  return p;
+}
+
+TopologyParams SmallTopologyParams() {
+  TopologyParams p;
+  p.transit_domains = 6;
+  p.transit_nodes_per_domain = 8;
+  p.stub_domains_per_transit_node = 3;
+  p.nodes_per_stub_domain = 16;  // 48 transit + 2304 stub hosts
+  return p;
+}
+
+Topology Topology::Generate(const TopologyParams& params, rnd::Rng& rng) {
+  util::Check(params.transit_domains >= 1, "need >= 1 transit domain");
+  util::Check(params.transit_nodes_per_domain >= 1, "need >= 1 transit node");
+  util::Check(params.stub_domains_per_transit_node >= 1,
+              "need >= 1 stub domain per transit node");
+  util::Check(params.nodes_per_stub_domain >= 1, "need >= 1 node per stub");
+
+  Topology t;
+  t.params_ = params;
+  t.num_transit_nodes_ =
+      params.transit_domains * params.transit_nodes_per_domain;
+  t.num_stub_domains_ =
+      t.num_transit_nodes_ * params.stub_domains_per_transit_node;
+  t.num_stub_nodes_ = t.num_stub_domains_ * params.nodes_per_stub_domain;
+
+  const int T = t.num_transit_nodes_;
+  const int tn = params.transit_nodes_per_domain;
+
+  // --- Transit core: intra-domain connected graphs + inter-domain links.
+  std::vector<LocalEdge> core_edges;  // over global transit indices
+  for (int d = 0; d < params.transit_domains; ++d) {
+    const int base = d * tn;
+    for (const auto& e : ConnectedRandomGraph(
+             tn, params.intra_transit_edge_prob, params.tt_delay_lo,
+             params.tt_delay_hi, rng)) {
+      core_edges.push_back({base + e.a, base + e.b, e.delay});
+    }
+  }
+  // Domain-level connectivity: randomized ring over domains plus chords;
+  // each domain-level edge lands on random transit nodes of the two domains.
+  if (params.transit_domains > 1) {
+    std::vector<int> order(params.transit_domains);
+    for (int i = 0; i < params.transit_domains; ++i) order[i] = i;
+    rng.Shuffle(order);
+    auto add_interdomain = [&](int da, int db) {
+      const int a = da * tn + rng.UniformInt(0, tn - 1);
+      const int b = db * tn + rng.UniformInt(0, tn - 1);
+      core_edges.push_back(
+          {a, b, rng.Uniform(params.tt_delay_lo, params.tt_delay_hi)});
+    };
+    for (int i = 0; i < params.transit_domains; ++i) {
+      add_interdomain(order[i], order[(i + 1) % params.transit_domains]);
+      if (params.transit_domains == 2) break;
+    }
+    for (int i = 0; i < params.transit_domains; ++i)
+      for (int j = i + 1; j < params.transit_domains; ++j)
+        if (rng.Bernoulli(params.inter_transit_edge_prob))
+          add_interdomain(i, j);
+  }
+  t.transit_dist_ = ApspFromLocalEdges(T, core_edges);
+
+  // --- Stub domains.
+  const int ns = params.nodes_per_stub_domain;
+  t.intra_dist_.resize(t.num_stub_domains_);
+  t.gateway_index_.resize(t.num_stub_domains_);
+  t.gateway_edge_delay_.resize(t.num_stub_domains_);
+  std::vector<std::vector<LocalEdge>> stub_edges(t.num_stub_domains_);
+  for (int d = 0; d < t.num_stub_domains_; ++d) {
+    stub_edges[d] =
+        ConnectedRandomGraph(ns, params.intra_stub_edge_prob,
+                             params.ss_delay_lo, params.ss_delay_hi, rng);
+    t.intra_dist_[d] = ApspFromLocalEdges(ns, stub_edges[d]);
+    t.gateway_index_[d] = rng.UniformInt(0, ns - 1);
+    t.gateway_edge_delay_[d] =
+        rng.Uniform(params.ts_delay_lo, params.ts_delay_hi);
+  }
+
+  // --- Flat edge list for validation: stub host h -> h,
+  // transit node x -> num_stub_nodes_ + x.
+  for (const auto& e : core_edges)
+    t.flat_edges_.push_back(
+        {t.num_stub_nodes_ + e.a, t.num_stub_nodes_ + e.b, e.delay});
+  for (int d = 0; d < t.num_stub_domains_; ++d) {
+    const int base = d * ns;
+    for (const auto& e : stub_edges[d])
+      t.flat_edges_.push_back({base + e.a, base + e.b, e.delay});
+    t.flat_edges_.push_back({base + t.gateway_index_[d],
+                             t.num_stub_nodes_ + t.TransitOfDomain(d),
+                             t.gateway_edge_delay_[d]});
+  }
+  return t;
+}
+
+int Topology::DomainOf(HostId h) const {
+  util::Check(h >= 0 && h < num_stub_nodes_, "host id out of range");
+  return h / params_.nodes_per_stub_domain;
+}
+
+int Topology::IndexInDomain(HostId h) const {
+  return h % params_.nodes_per_stub_domain;
+}
+
+int Topology::TransitOfDomain(int domain) const {
+  util::Check(domain >= 0 && domain < num_stub_domains_,
+              "stub domain out of range");
+  return domain / params_.stub_domains_per_transit_node;
+}
+
+double Topology::Delay(HostId a, HostId b) const {
+  if (a == b) return 0.0;
+  const int da = DomainOf(a);
+  const int db = DomainOf(b);
+  const int n = params_.nodes_per_stub_domain;
+  const int ia = IndexInDomain(a);
+  const int ib = IndexInDomain(b);
+  if (da == db) return intra_dist_[da][static_cast<std::size_t>(ia) * n + ib];
+  const int ta = TransitOfDomain(da);
+  const int tb = TransitOfDomain(db);
+  const double to_gw_a =
+      intra_dist_[da][static_cast<std::size_t>(ia) * n + gateway_index_[da]];
+  const double to_gw_b =
+      intra_dist_[db][static_cast<std::size_t>(ib) * n + gateway_index_[db]];
+  const double core =
+      transit_dist_[static_cast<std::size_t>(ta) * num_transit_nodes_ + tb];
+  return to_gw_a + gateway_edge_delay_[da] + core + gateway_edge_delay_[db] +
+         to_gw_b;
+}
+
+std::vector<FlatEdge> Topology::FlatEdges() const { return flat_edges_; }
+
+std::vector<double> Dijkstra(int node_count, const std::vector<FlatEdge>& edges,
+                             int source) {
+  util::Check(source >= 0 && source < node_count, "source out of range");
+  std::vector<std::vector<std::pair<int, double>>> adj(node_count);
+  for (const auto& e : edges) {
+    adj[e.a].push_back({e.b, e.delay_ms});
+    adj[e.b].push_back({e.a, e.delay_ms});
+  }
+  std::vector<double> dist(node_count, kInf);
+  using Item = std::pair<double, int>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  dist[source] = 0.0;
+  pq.push({0.0, source});
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[u]) continue;
+    for (const auto& [v, w] : adj[u]) {
+      if (d + w < dist[v]) {
+        dist[v] = d + w;
+        pq.push({dist[v], v});
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace omcast::net

@@ -1,0 +1,129 @@
+// GT-ITM transit-stub topology generator (Zegura, Calvert, Bhattacharjee,
+// INFOCOM'96), as used by the paper's Section 5:
+//
+//   * a core of transit domains, each a connected random graph of transit
+//     nodes, with the domains themselves forming a connected random graph;
+//   * every transit node attaches several stub domains; each stub domain is
+//     a small connected random graph of stub nodes (end hosts) and reaches
+//     the core through one gateway stub node;
+//   * link delays: transit-transit U[15,25] ms, transit-stub U[5,9] ms,
+//     stub-stub U[2,4] ms.
+//
+// The paper's instance has 15,600 nodes: we use 12 transit domains x 20
+// transit nodes (240), each transit node carrying 4 stub domains of 16 hosts
+// (15,360 stub hosts). Overlay members are stub hosts.
+//
+// Routing is hierarchical (intra-stub-domain shortest path; stub -> gateway
+// -> transit core shortest path -> gateway -> stub), which is exact for this
+// topology family whenever stub domains are pure leaves, and is the routing
+// policy real transit-stub networks implement. This keeps the delay oracle
+// at O(1) per query after O(domains * n^3 + T^3) precomputation instead of a
+// 15,600^2 APSP table.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rand/rng.h"
+
+namespace omcast::net {
+
+// Global index of a stub host, in [0, num_stub_nodes()).
+using HostId = int;
+
+struct TopologyParams {
+  int transit_domains = 12;
+  int transit_nodes_per_domain = 20;
+  int stub_domains_per_transit_node = 4;
+  int nodes_per_stub_domain = 16;
+
+  // Delay ranges in milliseconds (paper Section 5).
+  double tt_delay_lo = 15.0;
+  double tt_delay_hi = 25.0;
+  double ts_delay_lo = 5.0;
+  double ts_delay_hi = 9.0;
+  double ss_delay_lo = 2.0;
+  double ss_delay_hi = 4.0;
+
+  // Probability of an extra chord between a pair of nodes beyond the
+  // connectivity-guaranteeing ring, within transit domains / between transit
+  // domains / within stub domains.
+  double intra_transit_edge_prob = 0.5;
+  double inter_transit_edge_prob = 0.5;
+  double intra_stub_edge_prob = 0.3;
+};
+
+// The paper's 15,600-node instance.
+TopologyParams PaperTopologyParams();
+
+// A small instance for unit tests and quick examples (~100 hosts).
+TopologyParams TinyTopologyParams();
+
+// A mid-size instance (~2300 hosts) for the fast default scale of the
+// figure benches, where steady-state populations stay below ~2000.
+TopologyParams SmallTopologyParams();
+
+// An undirected weighted edge of the flat graph view (for validation).
+struct FlatEdge {
+  int a = 0;
+  int b = 0;
+  double delay_ms = 0.0;
+};
+
+class Topology {
+ public:
+  // Generates a topology; all randomness comes from `rng`.
+  static Topology Generate(const TopologyParams& params, rnd::Rng& rng);
+
+  int num_stub_nodes() const { return num_stub_nodes_; }
+  int num_transit_nodes() const { return num_transit_nodes_; }
+  int num_stub_domains() const { return num_stub_domains_; }
+  const TopologyParams& params() const { return params_; }
+
+  // One-way propagation delay in milliseconds between stub hosts `a` and
+  // `b` under hierarchical routing. Delay(a, a) == 0; symmetric.
+  double Delay(HostId a, HostId b) const;
+
+  // Stub domain a host belongs to, in [0, num_stub_domains()).
+  int DomainOf(HostId h) const;
+
+  // Transit node (global transit index) a stub domain attaches to.
+  int TransitOfDomain(int domain) const;
+
+  // Flat view of every node and link, for validating the hierarchical delay
+  // oracle against plain Dijkstra in tests. Node numbering of the flat
+  // graph: stub host h -> h; transit node t -> num_stub_nodes() + t.
+  std::vector<FlatEdge> FlatEdges() const;
+  int FlatNodeCount() const { return num_stub_nodes_ + num_transit_nodes_; }
+
+ private:
+  Topology() = default;
+
+  // Index of host `h` within its stub domain.
+  int IndexInDomain(HostId h) const;
+
+  TopologyParams params_;
+  int num_stub_nodes_ = 0;
+  int num_transit_nodes_ = 0;
+  int num_stub_domains_ = 0;
+
+  // Per stub domain: dense APSP matrix (n*n, row-major) of intra-domain
+  // delays, the gateway's index within the domain, and the delay of the
+  // gateway<->transit edge.
+  std::vector<std::vector<double>> intra_dist_;
+  std::vector<int> gateway_index_;
+  std::vector<double> gateway_edge_delay_;
+
+  // Transit core APSP (num_transit_nodes^2, row-major).
+  std::vector<double> transit_dist_;
+
+  // Flat edge list kept for validation/export.
+  std::vector<FlatEdge> flat_edges_;
+};
+
+// Dijkstra over an explicit edge list; returns distances from `source`.
+// Exposed for tests and for small custom graphs.
+std::vector<double> Dijkstra(int node_count, const std::vector<FlatEdge>& edges,
+                             int source);
+
+}  // namespace omcast::net

@@ -1,0 +1,90 @@
+// Gossip-based membership service.
+//
+// The paper assumes that "during the multicast process, nodes periodically
+// exchange neighbor information with each other, so each node will know
+// about a medium-sized (e.g., 100) subset of other nodes" (Section 4.1).
+// The experiment harness models this abstractly with uniform sampling; this
+// module implements the real protocol so that assumption can be validated
+// (see bench/ablation_gossip and the gossip tests):
+//
+//   * every member keeps a bounded partial view (default 100 entries) of
+//     (member id, last-heard time) records;
+//   * a fresh member bootstraps its view from the source and its parent;
+//   * every period each member picks a random partner from its view and
+//     performs a push-pull exchange of a random slice of entries; contacting
+//     a dead partner removes it from the view;
+//   * entries not refreshed within a TTL are pruned, so departed members
+//     wash out of the views over a few periods.
+//
+// GossipService implements MembershipOracle, so a Session can run all
+// join/recovery discovery over these views instead of uniform sampling.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "overlay/session.h"
+#include "rand/rng.h"
+
+namespace omcast::overlay {
+
+struct GossipParams {
+  int view_size = 100;       // max entries per member
+  double period_s = 30.0;    // exchange period
+  int exchange_size = 50;    // entries shipped per push-pull
+  double entry_ttl_s = 300.0;  // prune entries older than this
+};
+
+class GossipService final : public MembershipOracle {
+ public:
+  // Installs hooks on `session`; construct before driving the session and
+  // call session.SetMembershipOracle(&service) to route discovery here.
+  GossipService(Session& session, GossipParams params, std::uint64_t seed);
+
+  std::vector<NodeId> KnownMembers(Session& session, NodeId requester,
+                                   int k) override;
+
+  // --- introspection (tests / ablation) -----------------------------------
+  std::size_t ViewSize(NodeId member) const;
+  // Fraction of the member's view entries that are currently alive.
+  double LiveFraction(NodeId member) const;
+  long exchanges_performed() const { return exchanges_; }
+  long dead_contacts() const { return dead_contacts_; }
+  // Ages (now - heard_at) of the member's view entries, for tests.
+  std::vector<double> EntryAges(NodeId member, double now) const;
+  // Number of gossip ticks the member has executed (tests/debug).
+  long TickCount(NodeId member) const;
+
+ private:
+  struct Entry {
+    NodeId id = kNoNode;
+    double heard_at = 0.0;
+  };
+  struct View {
+    std::vector<Entry> entries;
+    bool active = false;
+    long ticks = 0;
+    sim::EventId timer = sim::kInvalidEventId;
+  };
+
+  View& ViewFor(NodeId member);
+  void Activate(NodeId member);
+  void Deactivate(NodeId member);
+  void Tick(NodeId member);
+  // Merges `incoming` into `member`'s view: freshest record per id wins,
+  // oldest entries are dropped beyond view_size, self-records are ignored.
+  void Merge(NodeId member, const std::vector<Entry>& incoming);
+  std::vector<Entry> SampleSlice(NodeId member);
+  void Prune(View& view, double now);
+
+  Session& session_;
+  GossipParams params_;
+  rnd::Rng rng_;
+  // Keyed map (not a vector): Tick/Merge hold references across calls that
+  // may create other members' views, so reference stability is required.
+  std::unordered_map<NodeId, View> views_;
+  long exchanges_ = 0;
+  long dead_contacts_ = 0;
+};
+
+}  // namespace omcast::overlay

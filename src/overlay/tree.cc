@@ -1,0 +1,229 @@
+#include "overlay/tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "util/check.h"
+
+namespace omcast::overlay {
+namespace {
+
+int CapacityFor(double bandwidth) {
+  // Out-degree constraint: number of full-rate children the access link can
+  // feed (stream rate is 1 in bandwidth units).
+  return static_cast<int>(std::floor(bandwidth));
+}
+
+}  // namespace
+
+Tree::Tree(net::HostId root_host, double root_bandwidth) {
+  Member root;
+  root.id = kRootId;
+  root.host = root_host;
+  root.bandwidth = root_bandwidth;
+  root.reported_bandwidth = root_bandwidth;
+  root.capacity = CapacityFor(root_bandwidth);
+  root.alive = true;
+  root.in_tree = true;
+  root.layer = 0;
+  root.lifetime = std::numeric_limits<double>::infinity();
+  // The source is pre-assigned an effectively infinite age so that it is the
+  // oldest member under any time-ordering rule and its BTP dominates every
+  // member's (Section 3.3: "the multicast source is preassigned an infinite
+  // BTP, and always remains at the top of the tree"). A finite sentinel
+  // keeps BTP arithmetic free of inf/NaN.
+  root.join_time = -4.0e9;
+  members_.push_back(root);
+}
+
+NodeId Tree::CreateMember(net::HostId host, double bandwidth,
+                          sim::Time join_time, sim::Time lifetime) {
+  util::Check(bandwidth >= 0.0, "bandwidth must be non-negative");
+  util::Check(lifetime > 0.0, "lifetime must be positive");
+  Member m;
+  m.id = static_cast<NodeId>(members_.size());
+  m.host = host;
+  m.bandwidth = bandwidth;
+  m.reported_bandwidth = bandwidth;
+  m.capacity = CapacityFor(bandwidth);
+  m.join_time = join_time;
+  m.lifetime = lifetime;
+  m.alive = true;
+  m.in_tree = false;
+  members_.push_back(std::move(m));
+  return members_.back().id;
+}
+
+Member& Tree::Get(NodeId id) {
+  util::Check(id >= 0 && static_cast<std::size_t>(id) < members_.size(),
+              "node id out of range");
+  return members_[static_cast<std::size_t>(id)];
+}
+
+const Member& Tree::Get(NodeId id) const {
+  util::Check(id >= 0 && static_cast<std::size_t>(id) < members_.size(),
+              "node id out of range");
+  return members_[static_cast<std::size_t>(id)];
+}
+
+void Tree::Attach(NodeId parent, NodeId child) {
+  Member& p = Get(parent);
+  Member& c = Get(child);
+  util::Check(p.alive && c.alive, "attach requires both members alive");
+  util::Check(c.parent == kNoNode, "child already attached");
+  util::Check(p.SpareCapacity() > 0, "attach would exceed out-degree");
+  util::Check(!IsInSubtreeOf(parent, child), "attach would create a cycle");
+  util::Check(IsRooted(parent), "parent must be connected to the root");
+  p.children.push_back(child);
+  c.parent = parent;
+  c.in_tree = true;
+  RecomputeLayers(child);
+}
+
+void Tree::Detach(NodeId child) {
+  Member& c = Get(child);
+  util::Check(c.parent != kNoNode, "detach requires an attached member");
+  Member& p = Get(c.parent);
+  auto it = std::find(p.children.begin(), p.children.end(), child);
+  util::Check(it != p.children.end(), "parent/child link out of sync");
+  p.children.erase(it);
+  c.parent = kNoNode;
+  c.in_tree = false;
+}
+
+std::vector<NodeId> Tree::RemoveFromTree(NodeId id) {
+  Member& m = Get(id);
+  if (m.parent != kNoNode) Detach(id);
+  std::vector<NodeId> orphans = m.children;
+  for (NodeId c : orphans) {
+    Member& cm = Get(c);
+    cm.parent = kNoNode;
+    cm.in_tree = false;
+  }
+  m.children.clear();
+  m.in_tree = false;
+  return orphans;
+}
+
+bool Tree::IsRooted(NodeId id) const {
+  NodeId cur = id;
+  while (true) {
+    const Member& m = Get(cur);
+    if (m.IsRoot()) return true;
+    if (m.parent == kNoNode) return false;
+    cur = m.parent;
+  }
+}
+
+bool Tree::IsInSubtreeOf(NodeId id, NodeId maybe_ancestor) const {
+  NodeId cur = id;
+  while (cur != kNoNode) {
+    if (cur == maybe_ancestor) return true;
+    cur = Get(cur).parent;
+  }
+  return false;
+}
+
+void Tree::ForEachDescendant(NodeId id,
+                             const std::function<void(NodeId)>& fn) const {
+  std::vector<NodeId> stack = Get(id).children;
+  while (!stack.empty()) {
+    const NodeId cur = stack.back();
+    stack.pop_back();
+    fn(cur);
+    const Member& m = Get(cur);
+    stack.insert(stack.end(), m.children.begin(), m.children.end());
+  }
+}
+
+std::size_t Tree::CountDescendants(NodeId id) const {
+  std::size_t n = 0;
+  ForEachDescendant(id, [&n](NodeId) { ++n; });
+  return n;
+}
+
+std::vector<NodeId> Tree::PathToRoot(NodeId id) const {
+  std::vector<NodeId> path;
+  NodeId cur = id;
+  while (cur != kNoNode) {
+    path.push_back(cur);
+    cur = Get(cur).parent;
+  }
+  util::Check(Get(path.back()).IsRoot(), "path must end at the root");
+  return path;
+}
+
+int Tree::SharedPathEdges(NodeId a, NodeId b) const {
+  // The root paths share edges from the root down to the lowest common
+  // ancestor: w(a,b) == layer(LCA). Walk both parent chains to the root and
+  // count the common prefix (from the root side).
+  std::vector<NodeId> pa = PathToRoot(a);
+  std::vector<NodeId> pb = PathToRoot(b);
+  int shared = 0;
+  auto ia = pa.rbegin();
+  auto ib = pb.rbegin();
+  // Skip the root itself (a shared *node*, not edge), then count matching
+  // steps; each matching node beyond the root adds one shared edge.
+  while (ia != pa.rend() && ib != pb.rend() && *ia == *ib) {
+    ++ia;
+    ++ib;
+    ++shared;
+  }
+  return shared - 1;  // nodes-in-common minus one == edges in common
+}
+
+int Tree::Depth() const {
+  int depth = 0;
+  for (const Member& m : members_)
+    if (m.alive && m.in_tree && IsRooted(m.id)) depth = std::max(depth, m.layer);
+  return depth;
+}
+
+void Tree::RecomputeLayers(NodeId fragment_root) {
+  Member& r = Get(fragment_root);
+  util::Check(r.parent != kNoNode, "fragment root must be attached");
+  r.layer = Get(r.parent).layer + 1;
+  std::vector<NodeId> stack = {fragment_root};
+  while (!stack.empty()) {
+    const NodeId cur = stack.back();
+    stack.pop_back();
+    const int next_layer = Get(cur).layer + 1;
+    for (NodeId c : Get(cur).children) {
+      Get(c).layer = next_layer;
+      stack.push_back(c);
+    }
+  }
+}
+
+void Tree::CheckInvariants() const {
+  for (const Member& m : members_) {
+    if (!m.alive) {
+      util::Check(m.children.empty() && m.parent == kNoNode,
+                  "dead member must be fully detached");
+      continue;
+    }
+    util::Check(static_cast<int>(m.children.size()) <= m.capacity,
+                "out-degree constraint violated (node " +
+                    std::to_string(m.id) + ": " +
+                    std::to_string(m.children.size()) + " children, capacity " +
+                    std::to_string(m.capacity) + ")");
+    for (NodeId c : m.children) {
+      const Member& cm = Get(c);
+      util::Check(cm.parent == m.id, "child->parent link out of sync");
+      util::Check(cm.alive, "dead member still attached");
+      if (m.in_tree && IsRooted(m.id))
+        util::Check(cm.layer == m.layer + 1, "layer must be parent's + 1");
+    }
+    if (m.parent != kNoNode) {
+      const Member& pm = Get(m.parent);
+      util::Check(std::find(pm.children.begin(), pm.children.end(), m.id) !=
+                      pm.children.end(),
+                  "parent->child link out of sync");
+    }
+    if (m.IsRoot()) util::Check(m.parent == kNoNode, "root has no parent");
+  }
+}
+
+}  // namespace omcast::overlay

@@ -1,0 +1,74 @@
+// Multicast tree structure operations over a member store.
+//
+// The Tree owns the member records (so ids remain valid for metrics after a
+// member departs) and maintains the parent/children/layer relations with
+// invariant checking: capacity is never exceeded, layers are always
+// parent.layer + 1, and attach never creates a cycle.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "overlay/member.h"
+
+namespace omcast::overlay {
+
+class Tree {
+ public:
+  // Creates the store with the root (source) member occupying id 0.
+  Tree(net::HostId root_host, double root_bandwidth);
+
+  // Adds a member record (not yet in the tree); returns its id.
+  NodeId CreateMember(net::HostId host, double bandwidth, sim::Time join_time,
+                      sim::Time lifetime);
+
+  Member& Get(NodeId id);
+  const Member& Get(NodeId id) const;
+  std::size_t size() const { return members_.size(); }
+
+  // Attaches `child` (possibly the root of an orphaned fragment) under
+  // `parent`. Requires spare capacity and that `parent` is rooted and not
+  // inside `child`'s fragment. Recomputes layers of the whole fragment.
+  void Attach(NodeId parent, NodeId child);
+
+  // Detaches `child` from its parent (keeping its own children): it becomes
+  // an orphaned fragment root. No-op layers (fixed on re-attach).
+  void Detach(NodeId child);
+
+  // Removes a departing member entirely: detaches it from its parent and
+  // orphans each of its children (returned in `orphans`). The member record
+  // stays (dead) for metrics.
+  std::vector<NodeId> RemoveFromTree(NodeId id);
+
+  // True if walking the parent chain from `id` reaches the root.
+  bool IsRooted(NodeId id) const;
+
+  // True if `maybe_ancestor` lies on the parent chain of `id` (inclusive of
+  // id itself when equal).
+  bool IsInSubtreeOf(NodeId id, NodeId maybe_ancestor) const;
+
+  // Applies `fn` to every member of the subtree rooted at `id`, excluding
+  // `id` itself.
+  void ForEachDescendant(NodeId id, const std::function<void(NodeId)>& fn) const;
+
+  std::size_t CountDescendants(NodeId id) const;
+
+  // Number of tree edges shared by the root paths of a and b -- the loss
+  // correlation function w(a, b) of Section 4.1. Both must be rooted.
+  int SharedPathEdges(NodeId a, NodeId b) const;
+
+  // Maximum layer among rooted, alive members.
+  int Depth() const;
+
+  // Aborts if any structural invariant is violated (O(n); tests and
+  // debug-path use).
+  void CheckInvariants() const;
+
+ private:
+  void RecomputeLayers(NodeId fragment_root);
+  std::vector<NodeId> PathToRoot(NodeId id) const;  // id first, root last
+
+  std::vector<Member> members_;
+};
+
+}  // namespace omcast::overlay

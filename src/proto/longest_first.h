@@ -1,0 +1,17 @@
+// The longest-first algorithm (paper Section 2.1, Sripanidkulchai et al.):
+// a (re)joining member picks the longest-lived discovered member with spare
+// capacity. Exploits the long-tailed lifetime distribution but produces a
+// tall tree. No optimization overhead.
+#pragma once
+
+#include "overlay/session.h"
+
+namespace omcast::proto {
+
+class LongestFirstProtocol final : public overlay::Protocol {
+ public:
+  std::string name() const override { return "longest-first"; }
+  bool TryAttach(overlay::Session& session, overlay::NodeId id) override;
+};
+
+}  // namespace omcast::proto

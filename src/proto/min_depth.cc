@@ -1,0 +1,17 @@
+#include "proto/min_depth.h"
+
+#include "proto/selection.h"
+
+namespace omcast::proto {
+
+bool MinDepthProtocol::TryAttach(overlay::Session& session,
+                                 overlay::NodeId id) {
+  const std::vector<overlay::NodeId> candidates =
+      session.CollectJoinPool(session.params().candidate_sample_size, id);
+  const overlay::NodeId parent = PickMinDepthParent(session, candidates, id);
+  if (parent == overlay::kNoNode) return false;
+  session.tree().Attach(parent, id);
+  return true;
+}
+
+}  // namespace omcast::proto

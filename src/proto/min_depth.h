@@ -1,0 +1,17 @@
+// The minimum-depth algorithm (paper Section 2.1): a (re)joining member
+// discovers up to ~100 members and picks the spare-capacity parent highest
+// in the tree, ties broken by network delay. Fully distributed; imposes no
+// optimization overhead (no evictions, no switches).
+#pragma once
+
+#include "overlay/session.h"
+
+namespace omcast::proto {
+
+class MinDepthProtocol final : public overlay::Protocol {
+ public:
+  std::string name() const override { return "min-depth"; }
+  bool TryAttach(overlay::Session& session, overlay::NodeId id) override;
+};
+
+}  // namespace omcast::proto

@@ -1,0 +1,67 @@
+#include "proto/selection.h"
+
+namespace omcast::proto {
+
+using overlay::kNoNode;
+using overlay::kRootId;
+using overlay::NodeId;
+using overlay::Session;
+using overlay::Tree;
+
+NodeId PickMinDepthParent(Session& session,
+                          const std::vector<NodeId>& candidates,
+                          NodeId joining) {
+  NodeId best = kNoNode;
+  int best_layer = 0;
+  double best_delay = 0.0;
+  for (NodeId c : candidates) {
+    const overlay::Member& m = session.tree().Get(c);
+    if (m.SpareCapacity() <= 0) continue;
+    const double delay = session.DelayMs(c, joining);
+    if (best == kNoNode || m.layer < best_layer ||
+        (m.layer == best_layer && delay < best_delay)) {
+      best = c;
+      best_layer = m.layer;
+      best_delay = delay;
+    }
+  }
+  return best;
+}
+
+NodeId PickOldestParent(Session& session, const std::vector<NodeId>& candidates,
+                        NodeId joining) {
+  NodeId best = kNoNode;
+  double best_join = 0.0;
+  double best_delay = 0.0;
+  for (NodeId c : candidates) {
+    const overlay::Member& m = session.tree().Get(c);
+    if (m.SpareCapacity() <= 0) continue;
+    const double delay = session.DelayMs(c, joining);
+    // Oldest member == smallest join time.
+    if (best == kNoNode || m.join_time < best_join ||
+        (m.join_time == best_join && delay < best_delay)) {
+      best = c;
+      best_join = m.join_time;
+      best_delay = delay;
+    }
+  }
+  return best;
+}
+
+std::vector<std::vector<NodeId>> LayersByBfs(const Tree& tree) {
+  std::vector<std::vector<NodeId>> layers;
+  layers.push_back({kRootId});
+  std::size_t level = 0;
+  while (level < layers.size()) {
+    std::vector<NodeId> next;
+    for (NodeId id : layers[level]) {
+      const overlay::Member& m = tree.Get(id);
+      next.insert(next.end(), m.children.begin(), m.children.end());
+    }
+    if (!next.empty()) layers.push_back(std::move(next));
+    ++level;
+  }
+  return layers;
+}
+
+}  // namespace omcast::proto

@@ -1,0 +1,51 @@
+#include "rand/distributions.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace omcast::rnd {
+
+BoundedPareto::BoundedPareto(double shape, double lo, double hi)
+    : shape_(shape), lo_(lo), hi_(hi), tail_at_hi_(std::pow(lo / hi, shape)) {
+  util::Check(shape > 0.0, "BoundedPareto: shape > 0");
+  util::Check(lo > 0.0 && lo < hi, "BoundedPareto: 0 < lo < hi");
+}
+
+double BoundedPareto::Sample(Rng& rng) const {
+  // Inverse CDF: with U ~ Uniform[0,1),
+  //   x = lo / (1 - U * (1 - (lo/hi)^shape))^(1/shape)
+  const double u = rng.Uniform(0.0, 1.0);
+  const double x = lo_ / std::pow(1.0 - u * (1.0 - tail_at_hi_), 1.0 / shape_);
+  // Guard against floating point spill just past hi.
+  return x > hi_ ? hi_ : x;
+}
+
+double BoundedPareto::Cdf(double x) const {
+  if (x <= lo_) return 0.0;
+  if (x >= hi_) return 1.0;
+  return (1.0 - std::pow(lo_ / x, shape_)) / (1.0 - tail_at_hi_);
+}
+
+LognormalDist::LognormalDist(double mu, double sigma) : mu_(mu), sigma_(sigma) {
+  util::Check(sigma > 0.0, "LognormalDist: sigma > 0");
+}
+
+double LognormalDist::Sample(Rng& rng) const {
+  return rng.Lognormal(mu_, sigma_);
+}
+
+double LognormalDist::Mean() const {
+  return std::exp(mu_ + sigma_ * sigma_ / 2.0);
+}
+
+BoundedPareto PaperBandwidthDist() {
+  return BoundedPareto(kBandwidthParetoShape, kBandwidthParetoLo,
+                       kBandwidthParetoHi);
+}
+
+LognormalDist PaperLifetimeDist() {
+  return LognormalDist(kLifetimeLogMu, kLifetimeLogSigma);
+}
+
+}  // namespace omcast::rnd

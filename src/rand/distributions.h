@@ -1,0 +1,63 @@
+// The workload distributions of paper Section 5:
+//   * member outbound bandwidth ~ BoundedPareto(shape 1.2, lo 0.5, hi 100)
+//     (units of the stream rate, so bandwidth < 1 means a free-rider),
+//   * member lifetime ~ Lognormal(location 5.5, shape 2.0) seconds,
+//     mean ~= 1809 s, a long-tailed distribution per Veloso et al.
+#pragma once
+
+#include "rand/rng.h"
+
+namespace omcast::rnd {
+
+// Pareto truncated to [lo, hi], sampled by inverse-CDF.
+class BoundedPareto {
+ public:
+  BoundedPareto(double shape, double lo, double hi);
+
+  double Sample(Rng& rng) const;
+
+  // CDF P(X <= x); clamps outside [lo, hi]. Used by tests to verify e.g.
+  // the ~55.5% free-rider fraction the paper quotes.
+  double Cdf(double x) const;
+
+  double shape() const { return shape_; }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+
+ private:
+  double shape_;
+  double lo_;
+  double hi_;
+  double tail_at_hi_;  // (lo/hi)^shape, the truncated tail mass
+};
+
+// Lognormal with the usual (mu, sigma) parameterization of the underlying
+// normal. Mean = exp(mu + sigma^2 / 2).
+class LognormalDist {
+ public:
+  LognormalDist(double mu, double sigma);
+
+  double Sample(Rng& rng) const;
+  double Mean() const;
+
+  double mu() const { return mu_; }
+  double sigma() const { return sigma_; }
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+// Canonical paper parameters (Section 5).
+inline constexpr double kBandwidthParetoShape = 1.2;
+inline constexpr double kBandwidthParetoLo = 0.5;
+inline constexpr double kBandwidthParetoHi = 100.0;
+inline constexpr double kLifetimeLogMu = 5.5;
+inline constexpr double kLifetimeLogSigma = 2.0;
+// Mean lifetime exp(5.5 + 2.0^2/2) ~= 1808.04, quoted as 1809 s in the paper.
+inline constexpr double kMeanLifetimeSeconds = 1809.0;
+
+BoundedPareto PaperBandwidthDist();
+LognormalDist PaperLifetimeDist();
+
+}  // namespace omcast::rnd

@@ -1,0 +1,84 @@
+// Seeded random-number substrate. Every stochastic component takes an Rng&
+// (or a seed to build one) so that experiments are reproducible and
+// multi-seed confidence intervals (paper Fig. 14) are possible.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "util/check.h"
+
+namespace omcast::rnd {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    util::Check(lo <= hi, "Uniform: lo <= hi");
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int UniformInt(int lo, int hi) {
+    util::Check(lo <= hi, "UniformInt: lo <= hi");
+    return std::uniform_int_distribution<int>(lo, hi)(engine_);
+  }
+
+  std::size_t UniformIndex(std::size_t n) {
+    util::Check(n > 0, "UniformIndex: n > 0");
+    return std::uniform_int_distribution<std::size_t>(0, n - 1)(engine_);
+  }
+
+  bool Bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  // Exponential with the given mean (inter-arrival times of Poisson
+  // arrivals use mean = 1/lambda).
+  double ExponentialMean(double mean) {
+    util::Check(mean > 0.0, "ExponentialMean: mean > 0");
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  double Lognormal(double mu, double sigma) {
+    return std::lognormal_distribution<double>(mu, sigma)(engine_);
+  }
+
+  // Derives an independent child generator (used to give each experiment
+  // repetition its own stream).
+  Rng Fork() { return Rng(engine_()); }
+
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    std::shuffle(v.begin(), v.end(), engine_);
+  }
+
+  // Samples up to `k` distinct elements of `v` uniformly (partial
+  // Fisher-Yates); order of the returned sample is random.
+  template <typename T>
+  std::vector<T> SampleWithoutReplacement(std::vector<T> v, std::size_t k) {
+    if (k >= v.size()) {
+      Shuffle(v);
+      return v;
+    }
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::size_t j =
+          i + std::uniform_int_distribution<std::size_t>(0, v.size() - 1 - i)(
+                  engine_);
+      std::swap(v[i], v[j]);
+    }
+    v.resize(k);
+    return v;
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace omcast::rnd

@@ -1,0 +1,63 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace omcast::sim {
+
+EventId Simulator::ScheduleAt(Time t, Callback cb) {
+  util::Check(t >= now_, "cannot schedule an event in the past");
+  util::Check(static_cast<bool>(cb), "event callback must be callable");
+  const std::uint64_t id = next_id_++;
+  queue_.push(Event{t, next_seq_++, id, std::move(cb)});
+  pending_.insert(id);
+  return EventId{id};
+}
+
+EventId Simulator::ScheduleAfter(Time delay, Callback cb) {
+  util::Check(delay >= 0.0, "event delay must be non-negative");
+  return ScheduleAt(now_ + delay, std::move(cb));
+}
+
+bool Simulator::Cancel(EventId id) { return pending_.erase(id.value) > 0; }
+
+bool Simulator::IsPending(EventId id) const {
+  return pending_.contains(id.value);
+}
+
+bool Simulator::RunOne() {
+  while (!queue_.empty()) {
+    // priority_queue::top() is const; the callback is moved out via
+    // const_cast, which is safe because the element is popped immediately.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    if (pending_.erase(ev.id) == 0) continue;  // cancelled
+    now_ = ev.time;
+    ++executed_;
+    ev.cb();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::Run() {
+  stopped_ = false;
+  while (!stopped_ && RunOne()) {
+  }
+}
+
+void Simulator::RunUntil(Time t) {
+  util::Check(t >= now_, "cannot run backwards in time");
+  stopped_ = false;
+  while (!stopped_) {
+    // Drop cancelled heads so the next-time peek is accurate.
+    while (!queue_.empty() && !pending_.contains(queue_.top().id))
+      queue_.pop();
+    if (queue_.empty() || queue_.top().time > t) break;
+    RunOne();
+  }
+  if (!stopped_) now_ = t;
+}
+
+}  // namespace omcast::sim

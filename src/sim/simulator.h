@@ -1,0 +1,97 @@
+// Single-threaded discrete-event simulation engine.
+//
+// The engine owns a virtual clock (seconds, double) and a priority queue of
+// callbacks. Events scheduled for the same instant fire in scheduling order,
+// which together with seeded RNGs makes every run bit-reproducible.
+//
+// Cancellation is by EventId: timers such as ROST's per-node switching checks
+// or CER repair timeouts are cancelled when the owning node departs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace omcast::sim {
+
+// Simulation time in seconds.
+using Time = double;
+
+// Opaque handle for a scheduled event; value-semantic and cheap to copy.
+struct EventId {
+  std::uint64_t value = 0;
+  friend bool operator==(EventId a, EventId b) { return a.value == b.value; }
+};
+
+// Returned by EventId-producing calls that may be "nothing scheduled".
+inline constexpr EventId kInvalidEventId{0};
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  // Current virtual time. Starts at 0.
+  Time now() const { return now_; }
+
+  // Schedules `cb` at absolute time `t` (must be >= now()).
+  EventId ScheduleAt(Time t, Callback cb);
+
+  // Schedules `cb` at now() + delay (delay must be >= 0).
+  EventId ScheduleAfter(Time delay, Callback cb);
+
+  // Cancels a pending event. Returns true if the event was still pending.
+  // Safe to call with an already-fired or invalid id.
+  bool Cancel(EventId id);
+
+  // True if `id` is scheduled and not yet fired or cancelled.
+  bool IsPending(EventId id) const;
+
+  // Runs until the queue is empty or Stop() is called.
+  void Run();
+
+  // Runs events with time <= t, then advances the clock to exactly t
+  // (even if the queue still holds later events).
+  void RunUntil(Time t);
+
+  // Requests Run()/RunUntil() to return after the current callback.
+  void Stop() { stopped_ = true; }
+
+  // Number of callbacks executed so far (for tests and micro-benches).
+  std::uint64_t executed_count() const { return executed_; }
+
+  // Number of events currently pending.
+  std::size_t pending_count() const { return pending_.size(); }
+
+ private:
+  struct Event {
+    Time time;
+    std::uint64_t seq;  // FIFO tie-break at equal times
+    std::uint64_t id;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  // Pops and runs the next non-cancelled event; returns false if none left.
+  bool RunOne();
+
+  Time now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;  // 0 is kInvalidEventId
+  std::uint64_t executed_ = 0;
+  bool stopped_ = false;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<std::uint64_t> pending_;
+};
+
+}  // namespace omcast::sim

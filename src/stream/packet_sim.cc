@@ -1,0 +1,279 @@
+#include "stream/packet_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace omcast::stream {
+
+using overlay::kRootId;
+using overlay::Member;
+using overlay::NodeId;
+using overlay::Session;
+
+PacketLevelStream::PacketLevelStream(Session& session, PacketSimParams params,
+                                     std::uint64_t seed)
+    : session_(session), params_(params), rng_(seed) {
+  util::Check(params_.packet_rate > 0.0, "packet rate must be positive");
+  util::Check(session_.params().rejoin_delay_s >= params_.detect_s,
+              "rejoin_delay_s must cover the detection time");
+  session_.hooks().AddOnDeparture([this](NodeId failed) { OnDeparture(failed); });
+  session_.hooks().AddOnMemberDeparted([this](const Member& m) {
+    FinalizeMember(m, session_.simulator().now());
+  });
+}
+
+double PacketLevelStream::ResidualFraction(NodeId id) {
+  if (residual_fraction_.size() <= static_cast<std::size_t>(id))
+    residual_fraction_.resize(static_cast<std::size_t>(id) + 1, -1.0);
+  double& f = residual_fraction_[static_cast<std::size_t>(id)];
+  if (f < 0.0)
+    f = rng_.Uniform(params_.residual_lo_pkts, params_.residual_hi_pkts) /
+        params_.packet_rate;
+  return f;
+}
+
+void PacketLevelStream::Start(double duration_s) {
+  util::Check(!started_, "packet stream already started");
+  started_ = true;
+  const double now = session_.simulator().now();
+  stream_start_ = now;
+  stream_end_ = now + duration_s;
+  last_seq_ = static_cast<std::int64_t>(duration_s * params_.packet_rate) - 1;
+  session_.simulator().ScheduleAt(now, [this] { Emit(0); });
+}
+
+void PacketLevelStream::Emit(std::int64_t seq) {
+  ++emitted_;
+  // The source holds the packet; push it to the root's current children.
+  for (NodeId c : session_.tree().Get(kRootId).children) {
+    const double hop = session_.DelayMs(kRootId, c) / 1000.0;
+    session_.simulator().ScheduleAfter(
+        hop, [this, c, seq] { Deliver(c, seq, session_.simulator().now()); });
+  }
+  if (seq < last_seq_)
+    session_.simulator().ScheduleAfter(1.0 / params_.packet_rate,
+                                       [this, seq] { Emit(seq + 1); });
+}
+
+PacketLevelStream::Reception& PacketLevelStream::ReceptionFor(NodeId member,
+                                                              double now) {
+  auto it = rx_.find(member);
+  if (it == rx_.end()) {
+    Reception r;
+    const Member& m = session_.tree().Get(member);
+    const double start = std::max(stream_start_, m.join_time);
+    r.first_seq = static_cast<std::int64_t>(
+        std::ceil((start - stream_start_) * params_.packet_rate - 1e-9));
+    r.started_at = now;
+    it = rx_.emplace(member, std::move(r)).first;
+  }
+  return it->second;
+}
+
+void PacketLevelStream::Deliver(NodeId member, std::int64_t seq, double now) {
+  const Member& m = session_.tree().Get(member);
+  if (!m.alive) return;
+  Reception& rx = ReceptionFor(member, now);
+  if (seq >= rx.first_seq) {
+    const auto idx = static_cast<std::size_t>(seq - rx.first_seq);
+    if (rx.arrival.size() <= idx) rx.arrival.resize(idx + 1, -1.0);
+    if (rx.arrival[idx] >= 0.0) return;  // duplicate
+    rx.arrival[idx] = now;
+  }
+  ++deliveries_;
+  // ELN origination: a jump past the next expected sequence means the
+  // member itself detected losses; it notifies its children so they wait
+  // for upstream repair instead of rejoining (Section 4.2).
+  if (seq >= rx.first_seq) {
+    rx.tracker.OnData(seq - rx.first_seq);
+    if (rx.max_seen >= rx.first_seq - 1 && seq > rx.max_seen + 1) {
+      std::vector<std::int64_t> holes;
+      for (std::int64_t h = std::max(rx.max_seen + 1, rx.first_seq); h < seq; ++h) {
+        const auto idx = static_cast<std::size_t>(h - rx.first_seq);
+        if (idx >= rx.arrival.size() || rx.arrival[idx] < 0.0) holes.push_back(h);
+      }
+      NotifyChildren(member, holes);
+    }
+    rx.max_seen = std::max(rx.max_seen, seq);
+  }
+  // Forward to current children, one hop each.
+  for (NodeId c : m.children) {
+    const double hop = session_.DelayMs(member, c) / 1000.0;
+    session_.simulator().ScheduleAfter(
+        hop, [this, c, seq] { Deliver(c, seq, session_.simulator().now()); });
+  }
+}
+
+void PacketLevelStream::NotifyChildren(NodeId member,
+                                       const std::vector<std::int64_t>& seqs) {
+  if (seqs.empty()) return;
+  const Member& m = session_.tree().Get(member);
+  for (NodeId c : m.children) {
+    const double hop = session_.DelayMs(member, c) / 1000.0;
+    for (std::int64_t seq : seqs) {
+      ++eln_sent_;
+      session_.simulator().ScheduleAfter(
+          hop, [this, c, seq] { DeliverEln(c, seq); });
+    }
+  }
+}
+
+void PacketLevelStream::DeliverEln(NodeId member, std::int64_t seq) {
+  const Member& m = session_.tree().Get(member);
+  if (!m.alive) return;
+  Reception& rx = ReceptionFor(member, session_.simulator().now());
+  if (seq < rx.first_seq) return;
+  rx.tracker.OnEln(seq - rx.first_seq);
+  // Propagate only the notifications this member had not seen before.
+  std::vector<std::int64_t> fresh;
+  for (const std::int64_t rel : rx.tracker.TakeForwardNotifications())
+    fresh.push_back(rel + rx.first_seq);
+  NotifyChildren(member, fresh);
+}
+
+core::ElnTracker::Status PacketLevelStream::ElnStatusOf(NodeId member) const {
+  const auto it = rx_.find(member);
+  if (it == rx_.end()) return core::ElnTracker::Status::kHealthy;
+  return it->second.tracker.status();
+}
+
+void PacketLevelStream::OnDeparture(NodeId failed) {
+  if (!started_) return;
+  overlay::Tree& tree = session_.tree();
+  const double now = session_.simulator().now();
+  const double rejoin_at = now + session_.params().rejoin_delay_s;
+
+  for (const NodeId orphan : tree.Get(failed).children) {
+    // The hole this orphan must repair: packets emitted while it is
+    // detached.
+    const auto hole_begin = static_cast<std::int64_t>(std::ceil(
+        (now - stream_start_) * params_.packet_rate - 1e-9));
+    const auto hole_end =
+        std::min(last_seq_, static_cast<std::int64_t>(
+                                (rejoin_at - stream_start_) * params_.packet_rate));
+    if (hole_begin > hole_end) continue;
+
+    std::vector<NodeId> group = core::SelectRecoveryGroup(
+        session_, orphan, params_.recovery_group_size, params_.selection);
+
+    // Build the usable stripe chain exactly as the repair protocol does.
+    struct Stripe {
+      double rate = 0.0;       // fraction of full stream rate
+      double start = 0.0;      // when this node starts serving
+      double next_free = 0.0;  // its serving queue
+      double lo = 0.0, hi = 0.0;  // (n mod 100) in [lo, hi)
+    };
+    std::vector<Stripe> stripes;
+    double latency = 0.0;
+    double covered = 0.0;
+    NodeId prev = orphan;
+    for (NodeId g : group) {
+      latency += session_.DelayMs(prev, g) / 1000.0;
+      prev = g;
+      const Member& gm = tree.Get(g);
+      const bool usable = gm.alive && gm.in_tree &&
+                          !tree.IsInSubtreeOf(g, failed) && tree.IsRooted(g);
+      if (!usable) continue;
+      const double rate = ResidualFraction(g);
+      if (rate <= 0.0) continue;
+      Stripe s;
+      s.rate = rate;
+      s.start = now + params_.detect_s + latency;
+      s.next_free = s.start;
+      s.lo = 100.0 * std::min(covered, 1.0);
+      covered += rate;
+      s.hi = 100.0 * std::min(covered, 1.0);
+      stripes.push_back(s);
+      if (params_.mode == core::RecoveryMode::kSingleSource) break;
+      if (covered >= 1.0) break;
+    }
+    if (stripes.empty()) continue;
+    if (params_.mode == core::RecoveryMode::kSingleSource) {
+      stripes.front().lo = 0.0;
+      stripes.front().hi = 100.0;
+    } else if (covered < 1.0) {
+      // Chain exhausted below full rate: the last stripe takes the rest of
+      // the sequence space at its own (insufficient) rate.
+      stripes.back().hi = 100.0;
+    }
+
+    // Schedule the repaired packets. Each stripe serves its share of the
+    // hole in sequence order at its residual rate; packets that cannot make
+    // their playback deadline are not sent ("meaningless").
+    for (std::int64_t seq = hole_begin; seq <= hole_end; ++seq) {
+      const double mod = static_cast<double>(seq % 100);
+      Stripe* stripe = nullptr;
+      for (Stripe& s : stripes)
+        if (mod >= s.lo && mod < s.hi) {
+          stripe = &s;
+          break;
+        }
+      if (stripe == nullptr) continue;  // uncovered share of the rate
+      const double emit_time =
+          stream_start_ + static_cast<double>(seq) / params_.packet_rate;
+      const double deadline = emit_time + params_.buffer_s;
+      const double begin = std::max(stripe->next_free, std::max(emit_time, stripe->start));
+      const double done = begin + 1.0 / (stripe->rate * params_.packet_rate);
+      if (done > deadline) continue;  // expired; skip without serving
+      stripe->next_free = done;
+      ++repairs_;
+      session_.simulator().ScheduleAt(done, [this, orphan, seq] {
+        Deliver(orphan, seq, session_.simulator().now());
+      });
+    }
+  }
+}
+
+void PacketLevelStream::FinalizeMember(const Member& m, double end_time) {
+  const auto it = rx_.find(m.id);
+  if (m.join_time < 0.0 || finalized_.contains(m.id)) {
+    if (it != rx_.end()) rx_.erase(it);
+    return;  // pre-populated member, or already accounted
+  }
+  finalized_.insert(m.id);
+  // Expected packets: from the member's first sequence to the last emitted
+  // before it left (or the stream ended). Packets whose playback deadline
+  // has not passed yet are not judged (they may still arrive in time).
+  const double horizon = std::min(end_time, stream_end_);
+  const auto first = static_cast<std::int64_t>(std::ceil(
+      (std::max(m.join_time, stream_start_) - stream_start_) *
+          params_.packet_rate -
+      1e-9));
+  const auto deadline_cap = static_cast<std::int64_t>(
+      (end_time - params_.buffer_s - stream_start_) * params_.packet_rate);
+  const auto last = std::min(
+      {last_seq_,
+       static_cast<std::int64_t>((horizon - stream_start_) * params_.packet_rate) -
+           1,
+       deadline_cap});
+  if (last < first) {
+    if (it != rx_.end()) rx_.erase(it);
+    return;
+  }
+  std::int64_t missed = 0;
+  for (std::int64_t seq = first; seq <= last; ++seq) {
+    const double deadline = stream_start_ +
+                            static_cast<double>(seq) / params_.packet_rate +
+                            params_.buffer_s;
+    double arrival = -1.0;
+    if (it != rx_.end() && seq >= it->second.first_seq) {
+      const auto idx = static_cast<std::size_t>(seq - it->second.first_seq);
+      if (idx < it->second.arrival.size()) arrival = it->second.arrival[idx];
+    }
+    if (arrival < 0.0 || arrival > deadline) ++missed;
+  }
+  const double view_time =
+      static_cast<double>(last - first + 1) / params_.packet_rate;
+  ratio_stat_.Add(static_cast<double>(missed) / params_.packet_rate / view_time);
+  if (it != rx_.end()) rx_.erase(it);
+}
+
+void PacketLevelStream::FinalizeAliveMembers() {
+  const double now = session_.simulator().now();
+  for (NodeId id : session_.alive_members())
+    FinalizeMember(session_.tree().Get(id), now);
+}
+
+}  // namespace omcast::stream

@@ -1,0 +1,117 @@
+// Event-driven per-packet streaming simulator.
+//
+// The figure benches use StreamingLayer's per-outage accounting, which
+// applies the CER rules to sequence ranges analytically. This module is the
+// ground truth it is validated against: every packet is a simulator event
+// that travels edge by edge down the overlay.
+//
+//   * the source emits packet n at t = n / packet_rate;
+//   * a member receiving a packet forwards it to its *current* children,
+//     one event per edge, delayed by the underlying network path;
+//   * a failed member stops forwarding; its orphaned children re-attach
+//     only after the session's rejoin_delay_s (set it to the paper's 15 s),
+//     so the data-plane hole physically exists in the tree;
+//   * each orphan runs the CER repair: stripe the hole across its recovery
+//     group by (n mod 100), each stripe serving at its residual rate, and
+//     repaired packets are forwarded downstream like normal traffic (the
+//     ELN rule: descendants wait for upstream recovery);
+//   * playback: packet n must arrive by emit(n) + buffer_s; every miss
+//     costs 1/packet_rate seconds of stall.
+//
+// Cost is O(members x packets), so use it for validation-scale overlays
+// (hundreds of members, minutes of stream), not for the 14k-member sweeps.
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/cer/eln.h"
+#include "core/cer/group.h"
+#include "core/cer/recovery.h"
+#include "overlay/session.h"
+#include "rand/rng.h"
+#include "util/stats.h"
+
+namespace omcast::stream {
+
+struct PacketSimParams {
+  double packet_rate = 10.0;
+  double buffer_s = 5.0;
+  // Failure-detection time: recovery starts this long after the parent
+  // died. The total outage (detection + rejoin) is the session's
+  // rejoin_delay_s, which must be >= detect_s.
+  double detect_s = 5.0;
+  int recovery_group_size = 3;
+  core::GroupSelection selection = core::GroupSelection::kMlc;
+  core::RecoveryMode mode = core::RecoveryMode::kCooperative;
+  double residual_lo_pkts = 0.0;
+  double residual_hi_pkts = 9.0;
+};
+
+class PacketLevelStream {
+ public:
+  // Installs hooks; construct before the measured phase.
+  PacketLevelStream(overlay::Session& session, PacketSimParams params,
+                    std::uint64_t seed);
+
+  // Begins emitting packets now, for `duration_s` of stream.
+  void Start(double duration_s);
+
+  // Computes starving ratios for members still alive (call after the run;
+  // departures are finalized automatically).
+  void FinalizeAliveMembers();
+
+  // Starving-time ratio over finalized members that joined at/after t=0.
+  const util::RunningStat& ratio_stat() const { return ratio_stat_; }
+
+  long packets_emitted() const { return emitted_; }
+  long deliveries() const { return deliveries_; }
+  long repairs_scheduled() const { return repairs_; }
+  long eln_notifications_sent() const { return eln_sent_; }
+
+  // The member's current ELN classification (Section 4.2): healthy,
+  // upstream loss (wait for upstream repair) or parent failure (rejoin).
+  // Members that have not received anything yet read as healthy.
+  core::ElnTracker::Status ElnStatusOf(overlay::NodeId member) const;
+
+ private:
+  struct Reception {
+    std::int64_t first_seq = 0;        // first packet this member expects
+    std::vector<double> arrival;       // arrival[i]: seq first_seq+i; <0 none
+    double started_at = 0.0;
+    std::int64_t max_seen = -1;        // highest data sequence received
+    core::ElnTracker tracker;          // loss classification (Section 4.2)
+  };
+
+  void Emit(std::int64_t seq);
+  void Deliver(overlay::NodeId member, std::int64_t seq, double now);
+  // An ELN for `seq` reaches `member` from its parent; classified and
+  // propagated downstream.
+  void DeliverEln(overlay::NodeId member, std::int64_t seq);
+  // Sends freshly discovered hole notifications to the member's children.
+  void NotifyChildren(overlay::NodeId member,
+                      const std::vector<std::int64_t>& seqs);
+  void OnDeparture(overlay::NodeId failed);
+  void FinalizeMember(const overlay::Member& m, double end_time);
+  Reception& ReceptionFor(overlay::NodeId member, double now);
+  double ResidualFraction(overlay::NodeId id);
+
+  overlay::Session& session_;
+  PacketSimParams params_;
+  rnd::Rng rng_;
+  std::unordered_map<overlay::NodeId, Reception> rx_;
+  std::unordered_set<overlay::NodeId> finalized_;
+  std::vector<double> residual_fraction_;
+  util::RunningStat ratio_stat_;
+  double stream_start_ = 0.0;
+  double stream_end_ = 0.0;
+  std::int64_t last_seq_ = 0;
+  long emitted_ = 0;
+  long deliveries_ = 0;
+  long repairs_ = 0;
+  long eln_sent_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace omcast::stream

@@ -1,0 +1,22 @@
+// Lightweight runtime checks with source location, used across the library
+// for invariant enforcement (tree shape, protocol state machines, ...).
+//
+// These are *always on*: the simulator is the product, and a silently corrupt
+// multicast tree would invalidate every experiment built on top of it.
+#pragma once
+
+#include <source_location>
+#include <string_view>
+
+namespace omcast::util {
+
+// Aborts with a diagnostic if `cond` is false. `what` should state the
+// violated invariant, e.g. "child layer == parent layer + 1".
+void Check(bool cond, std::string_view what,
+           std::source_location loc = std::source_location::current());
+
+// Aborts unconditionally; for unreachable branches.
+[[noreturn]] void Fail(std::string_view what,
+                       std::source_location loc = std::source_location::current());
+
+}  // namespace omcast::util

@@ -1,0 +1,98 @@
+#include "util/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/check.h"
+
+namespace omcast::util {
+
+FlagSet& FlagSet::Define(const std::string& name,
+                         const std::string& default_value,
+                         const std::string& help) {
+  Check(!flags_.contains(name), "duplicate flag definition");
+  flags_[name] = Flag{default_value, default_value, help};
+  return *this;
+}
+
+bool FlagSet::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage(argv[0]);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected positional argument: %s\n", arg.c_str());
+      PrintUsage(argv[0]);
+      return false;
+    }
+    arg = arg.substr(2);
+    std::string name;
+    std::string value;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else {
+      name = arg;
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "flag --%s needs a value\n", name.c_str());
+        PrintUsage(argv[0]);
+        return false;
+      }
+      value = argv[++i];
+    }
+    const auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      std::fprintf(stderr, "unknown flag --%s\n", name.c_str());
+      PrintUsage(argv[0]);
+      return false;
+    }
+    it->second.value = value;
+  }
+  return true;
+}
+
+std::string FlagSet::GetString(const std::string& name) const {
+  const auto it = flags_.find(name);
+  Check(it != flags_.end(), "access to unregistered flag");
+  return it->second.value;
+}
+
+int FlagSet::GetInt(const std::string& name) const {
+  return static_cast<int>(std::strtol(GetString(name).c_str(), nullptr, 10));
+}
+
+double FlagSet::GetDouble(const std::string& name) const {
+  return std::strtod(GetString(name).c_str(), nullptr);
+}
+
+bool FlagSet::GetBool(const std::string& name) const {
+  const std::string v = GetString(name);
+  return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+std::vector<int> FlagSet::GetIntList(const std::string& name) const {
+  std::vector<int> out;
+  const std::string v = GetString(name);
+  std::size_t pos = 0;
+  while (pos < v.size()) {
+    std::size_t comma = v.find(',', pos);
+    if (comma == std::string::npos) comma = v.size();
+    const std::string tok = v.substr(pos, comma - pos);
+    if (!tok.empty())
+      out.push_back(static_cast<int>(std::strtol(tok.c_str(), nullptr, 10)));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+void FlagSet::PrintUsage(const std::string& program) const {
+  std::fprintf(stderr, "usage: %s [--flag=value ...]\n", program.c_str());
+  for (const auto& [name, flag] : flags_) {
+    std::fprintf(stderr, "  --%-24s %s (default: %s)\n", name.c_str(),
+                 flag.help.c_str(), flag.default_value.c_str());
+  }
+}
+
+}  // namespace omcast::util

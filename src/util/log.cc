@@ -1,0 +1,35 @@
+#include "util/log.h"
+
+#include <cstdio>
+
+namespace omcast::util {
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+LogLevel GetLogLevel() { return g_level; }
+
+void Log(LogLevel level, const std::string& msg) {
+  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  std::fprintf(stderr, "[%s] %s\n", LevelName(level), msg.c_str());
+}
+
+void LogDebug(const std::string& msg) { Log(LogLevel::kDebug, msg); }
+void LogInfo(const std::string& msg) { Log(LogLevel::kInfo, msg); }
+void LogWarn(const std::string& msg) { Log(LogLevel::kWarn, msg); }
+void LogError(const std::string& msg) { Log(LogLevel::kError, msg); }
+
+}  // namespace omcast::util

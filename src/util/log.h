@@ -1,0 +1,24 @@
+// Leveled logging to stderr. The simulator is quiet by default (kWarn);
+// examples raise the level to narrate protocol activity.
+#pragma once
+
+#include <string>
+
+namespace omcast::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// Sets the global minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Emits `msg` if `level` >= the global minimum. Thread-compatible (the
+// simulator is single-threaded by design).
+void Log(LogLevel level, const std::string& msg);
+
+void LogDebug(const std::string& msg);
+void LogInfo(const std::string& msg);
+void LogWarn(const std::string& msg);
+void LogError(const std::string& msg);
+
+}  // namespace omcast::util

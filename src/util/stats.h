@@ -1,0 +1,61 @@
+// Statistics helpers shared by the metrics collectors and the experiment
+// harness: streaming mean/variance, percentiles, CDFs and confidence
+// intervals.  All of these operate on plain doubles so that callers can feed
+// them counts, delays (ms), ratios, etc.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace omcast::util {
+
+// Welford streaming accumulator: numerically stable mean and variance
+// without storing samples.
+class RunningStat {
+ public:
+  void Add(double x);
+  void Merge(const RunningStat& other);
+
+  std::size_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  double mean() const { return n_ == 0 ? 0.0 : mean_; }
+  // Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  // Half-width of the 95% confidence interval of the mean (normal approx.,
+  // which is what the paper's error bars in Fig. 14 use in effect).
+  double ci95_half_width() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// One (x, y) point of an empirical CDF.
+struct CdfPoint {
+  double value = 0.0;    // sample value
+  double fraction = 0.0; // P(X <= value), in [0, 1]
+};
+
+// Builds the empirical CDF of `samples` evaluated at each distinct sample
+// value. `samples` is taken by value because it must be sorted.
+std::vector<CdfPoint> EmpiricalCdf(std::vector<double> samples);
+
+// Evaluates the empirical CDF at chosen abscissae (e.g. the 1,2,4,...,128
+// grid of the paper's Fig. 5): returns P(X <= at[i]) for each i.
+std::vector<double> CdfAt(std::vector<double> samples,
+                          const std::vector<double>& at);
+
+// p-th percentile (p in [0,100]) by linear interpolation; `samples` by value
+// because it must be sorted. Empty input yields 0.
+double Percentile(std::vector<double> samples, double p);
+
+// Arithmetic mean; 0 for empty input.
+double Mean(const std::vector<double>& samples);
+
+}  // namespace omcast::util

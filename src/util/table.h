@@ -1,0 +1,35 @@
+// Plain-text table printer used by the figure-reproduction benches to emit
+// the paper's series as aligned rows (one column per algorithm / parameter).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace omcast::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  // Adds one row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience: first cell verbatim, remaining values formatted with
+  // `precision` decimal digits.
+  void AddRow(std::string label, const std::vector<double>& values,
+              int precision = 3);
+
+  // Renders with space-padded columns; `title` (if non-empty) is printed
+  // above the table.
+  void Print(std::ostream& os, const std::string& title = "") const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double with fixed `precision` decimals.
+std::string FormatDouble(double v, int precision);
+
+}  // namespace omcast::util

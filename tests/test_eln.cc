@@ -1,0 +1,107 @@
+#include "core/cer/eln.h"
+
+#include <gtest/gtest.h>
+
+namespace omcast::core {
+namespace {
+
+TEST(Eln, HealthyOnContiguousStream) {
+  ElnTracker t;
+  for (int i = 0; i < 20; ++i) t.OnData(i);
+  EXPECT_EQ(t.status(), ElnTracker::Status::kHealthy);
+  EXPECT_EQ(t.frontier(), 19);
+}
+
+TEST(Eln, OutOfOrderWithinThresholdStaysHealthy) {
+  ElnTracker t(3);
+  t.OnData(0);
+  t.OnData(2);  // gap of 1 (seq 1 missing): 2 - 0 = 2 <= 3
+  EXPECT_EQ(t.status(), ElnTracker::Status::kHealthy);
+  t.OnData(1);
+  EXPECT_EQ(t.frontier(), 2);
+  EXPECT_EQ(t.status(), ElnTracker::Status::kHealthy);
+}
+
+TEST(Eln, UnaccountedGapBeyondThresholdIsParentFailure) {
+  ElnTracker t(3);
+  for (int i = 0; i <= 5; ++i) t.OnData(i);
+  t.OnData(10);  // 6..9 unaccounted, gap 10-5=5 > 3
+  EXPECT_EQ(t.status(), ElnTracker::Status::kParentFailure);
+}
+
+TEST(Eln, ElnCoveredGapIsUpstreamLossNotFailure) {
+  ElnTracker t(3);
+  for (int i = 0; i <= 5; ++i) t.OnData(i);
+  for (int i = 6; i <= 9; ++i) t.OnEln(i);  // parent announces it lacks 6-9
+  t.OnData(10);
+  EXPECT_EQ(t.frontier(), 10);
+  EXPECT_EQ(t.status(), ElnTracker::Status::kUpstreamLoss);
+  EXPECT_EQ(t.outstanding_eln_holes(), 4u);
+}
+
+TEST(Eln, RepairArrivalsClearUpstreamLoss) {
+  ElnTracker t(3);
+  t.OnData(0);
+  t.OnEln(1);
+  t.OnData(2);
+  EXPECT_EQ(t.status(), ElnTracker::Status::kUpstreamLoss);
+  t.OnData(1);  // upstream recovery repaired the hole
+  EXPECT_EQ(t.status(), ElnTracker::Status::kHealthy);
+  EXPECT_EQ(t.outstanding_eln_holes(), 0u);
+}
+
+TEST(Eln, ForwardNotificationsPropagateOnce) {
+  ElnTracker t(3);
+  t.OnData(0);
+  t.OnEln(1);
+  t.OnEln(2);
+  const auto fwd = t.TakeForwardNotifications();
+  EXPECT_EQ(fwd, (std::vector<std::int64_t>{1, 2}));
+  EXPECT_TRUE(t.TakeForwardNotifications().empty());  // drained
+  t.OnEln(1);  // duplicate ELN is not re-forwarded
+  EXPECT_TRUE(t.TakeForwardNotifications().empty());
+}
+
+TEST(Eln, DuplicateDataIsIdempotent) {
+  ElnTracker t;
+  t.OnData(0);
+  t.OnData(0);
+  t.OnData(1);
+  t.OnData(0);
+  EXPECT_EQ(t.frontier(), 1);
+  EXPECT_EQ(t.status(), ElnTracker::Status::kHealthy);
+}
+
+TEST(Eln, MixedDataAndElnAdvanceFrontierTogether) {
+  ElnTracker t(3);
+  t.OnData(0);
+  t.OnEln(1);
+  t.OnData(2);
+  t.OnEln(3);
+  EXPECT_EQ(t.frontier(), 3);
+  // Still upstream-loss until 1 and 3 are repaired.
+  t.OnData(1);
+  EXPECT_EQ(t.status(), ElnTracker::Status::kUpstreamLoss);
+  t.OnData(3);
+  EXPECT_EQ(t.status(), ElnTracker::Status::kHealthy);
+}
+
+TEST(Eln, ParentFailureDetectionMatchesPaperThreshold) {
+  // The paper: "sequence gap > 3" between data+ELN triggers the rejoin.
+  ElnTracker t(3);
+  t.OnData(0);
+  t.OnData(4);  // gap exactly 4-0 = 4 > 3? unaccounted 1,2,3; max-frontier=4
+  EXPECT_EQ(t.status(), ElnTracker::Status::kParentFailure);
+  ElnTracker u(3);
+  u.OnData(0);
+  u.OnData(3);  // max - frontier = 3, not > 3
+  EXPECT_NE(u.status(), ElnTracker::Status::kParentFailure);
+}
+
+TEST(ElnDeath, NegativeSequenceRejected) {
+  ElnTracker t;
+  EXPECT_DEATH(t.OnData(-1), "non-negative");
+}
+
+}  // namespace
+}  // namespace omcast::core

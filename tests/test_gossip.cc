@@ -1,0 +1,133 @@
+#include "overlay/gossip.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/topology.h"
+#include "proto/min_depth.h"
+#include "sim/simulator.h"
+
+namespace omcast::overlay {
+namespace {
+
+class GossipTest : public ::testing::Test {
+ protected:
+  GossipTest() {
+    rnd::Rng topo_rng(1);
+    topology_ = std::make_unique<net::Topology>(
+        net::Topology::Generate(net::TinyTopologyParams(), topo_rng));
+    session_ = std::make_unique<Session>(
+        sim_, *topology_, std::make_unique<proto::MinDepthProtocol>(),
+        SessionParams{}, 7);
+    gossip_ = std::make_unique<GossipService>(*session_, GossipParams{}, 7);
+    session_->SetMembershipOracle(gossip_.get());
+  }
+
+  sim::Simulator sim_;
+  std::unique_ptr<net::Topology> topology_;
+  std::unique_ptr<Session> session_;
+  std::unique_ptr<GossipService> gossip_;
+};
+
+TEST_F(GossipTest, BootstrapSeedsViewOnJoin) {
+  const NodeId a = session_->InjectMember(3.0, 1e9);
+  sim_.RunUntil(0.5);
+  const NodeId b = session_->InjectMember(1.0, 1e9);
+  sim_.RunUntil(1.0);
+  // b contacted members while joining: its view starts non-empty.
+  EXPECT_GE(gossip_->ViewSize(b), 1u);
+  // a joined an empty overlay; its first re-bootstrap tick fills the view.
+  sim_.RunUntil(1.0 + 2 * GossipParams{}.period_s);
+  EXPECT_GE(gossip_->ViewSize(a), 1u);
+}
+
+TEST_F(GossipTest, ViewsGrowThroughExchanges) {
+  session_->Prepopulate(60);
+  sim_.RunUntil(1.0);
+  double initial = 0.0;
+  for (NodeId id : session_->alive_members())
+    initial += static_cast<double>(gossip_->ViewSize(id));
+  sim_.RunUntil(300.0);  // ~10 gossip periods
+  double later = 0.0;
+  for (NodeId id : session_->alive_members())
+    later += static_cast<double>(gossip_->ViewSize(id));
+  EXPECT_GT(later, initial);
+  // Views converge toward the 100-entry cap (60-member overlay: everyone
+  // eventually knows almost everyone).
+  EXPECT_GT(later / session_->alive_count(), 50.0);
+  EXPECT_GT(gossip_->exchanges_performed(), 100);
+}
+
+TEST_F(GossipTest, ViewsStayBounded) {
+  GossipParams p;
+  p.view_size = 20;
+  auto gossip = std::make_unique<GossipService>(*session_, p, 9);
+  session_->SetMembershipOracle(gossip.get());
+  session_->Prepopulate(80);
+  sim_.RunUntil(400.0);
+  for (NodeId id : session_->alive_members())
+    EXPECT_LE(gossip->ViewSize(id), 20u);
+}
+
+TEST_F(GossipTest, DeadMembersWashOutOfViews) {
+  session_->Prepopulate(70);
+  sim_.RunUntil(400.0);
+  // Kill a third of the population abruptly.
+  std::vector<NodeId> victims;
+  const auto alive = session_->alive_members();
+  for (std::size_t i = 0; i < alive.size(); i += 3) victims.push_back(alive[i]);
+  for (NodeId v : victims) session_->DepartNow(v);
+  // After several TTL-lengths of exchanges, the victims must have washed
+  // out of (almost) all views.
+  sim_.RunUntil(400.0 + 3 * GossipParams{}.entry_ttl_s);
+  const std::set<NodeId> victim_set(victims.begin(), victims.end());
+  long victim_entries = 0;
+  long total_entries = 0;
+  for (NodeId id : session_->alive_members()) {
+    for (NodeId k : gossip_->KnownMembers(*session_, id, 1000)) {
+      ++total_entries;
+      if (victim_set.contains(k)) ++victim_entries;
+    }
+  }
+  ASSERT_GT(total_entries, 100);
+  EXPECT_LT(static_cast<double>(victim_entries),
+            0.02 * static_cast<double>(total_entries));
+}
+
+TEST_F(GossipTest, KnownMembersServesJoinsFromViews) {
+  session_->Prepopulate(60);
+  sim_.RunUntil(200.0);
+  // Churned joins keep working when discovery runs over gossip views.
+  session_->StartArrivals(60.0 / rnd::kMeanLifetimeSeconds);
+  sim_.RunUntil(1500.0);
+  int rooted = 0;
+  for (NodeId id : session_->alive_members())
+    if (session_->tree().IsRooted(id)) ++rooted;
+  EXPECT_GE(rooted, session_->alive_count() * 8 / 10);
+  session_->tree().CheckInvariants();
+}
+
+TEST_F(GossipTest, DepartedMemberStopsGossiping) {
+  for (int i = 0; i < 10; ++i) session_->InjectMember(1.0, 1e9);
+  const NodeId a = session_->InjectMember(2.0, 50.0);
+  sim_.RunUntil(1.0);
+  EXPECT_GE(gossip_->ViewSize(a), 1u);
+  sim_.RunUntil(100.0);  // a departed at t=50
+  EXPECT_EQ(gossip_->ViewSize(a), 0u);  // view torn down
+}
+
+TEST_F(GossipTest, ViewsExcludeSelfAndRoot) {
+  session_->Prepopulate(50);
+  sim_.RunUntil(300.0);
+  for (NodeId id : session_->alive_members()) {
+    const auto known = gossip_->KnownMembers(*session_, id, 100);
+    for (NodeId k : known) {
+      EXPECT_NE(k, id);
+      EXPECT_NE(k, kRootId);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace omcast::overlay

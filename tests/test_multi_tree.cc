@@ -1,0 +1,82 @@
+#include "stream/multi_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.h"
+#include "sim/simulator.h"
+
+namespace omcast::stream {
+namespace {
+
+const net::Topology& SmallTopology() {
+  static const net::Topology topology = [] {
+    rnd::Rng rng(1);
+    return net::Topology::Generate(net::SmallTopologyParams(), rng);
+  }();
+  return topology;
+}
+
+double RunScheme(int trees, bool cer, std::uint64_t seed, double* degraded,
+                 long* outages = nullptr) {
+  sim::Simulator sim;
+  MultiTreeParams p;
+  p.trees = trees;
+  p.cer_recovery = cer;
+  MultiTreeStream streams(sim, SmallTopology(), p, seed);
+  const double rate = 400.0 / rnd::kMeanLifetimeSeconds;
+  streams.StartArrivals(4.0 * rate);
+  sim.RunUntil(800.0);
+  streams.StopArrivals();
+  streams.StartArrivals(rate);
+  sim.RunUntil(3200.0);
+  streams.Finalize(1000.0, 3200.0);
+  if (degraded != nullptr) *degraded = streams.degraded_ratio().mean();
+  if (outages != nullptr) *outages = streams.outages_recorded();
+  return streams.stall_ratio().mean();
+}
+
+TEST(MultiTree, SingleTreeStallEqualsDegraded) {
+  double degraded = 0.0;
+  const double stall = RunScheme(1, false, 7, &degraded);
+  EXPECT_GT(stall, 0.0);
+  EXPECT_DOUBLE_EQ(stall, degraded);  // K=1: any outage is a stall
+}
+
+TEST(MultiTree, RedundancyCutsStallsButDegradesQuality) {
+  double deg1 = 0.0, deg2 = 0.0;
+  const double stall1 = RunScheme(1, false, 7, &deg1);
+  const double stall2 = RunScheme(2, false, 7, &deg2);
+  EXPECT_LT(stall2, stall1 / 2.0);  // simultaneous loss of both is rare
+  EXPECT_GT(deg2, deg1);            // but single-description loss is common
+}
+
+TEST(MultiTree, CerRecoveryCutsSingleTreeStalls) {
+  const double raw = RunScheme(1, false, 9, nullptr);
+  const double repaired = RunScheme(1, true, 9, nullptr);
+  EXPECT_GT(raw, 0.0);
+  EXPECT_LT(repaired, raw / 2.0);
+}
+
+TEST(MultiTree, MirroredWorkloadKeepsPopulationsInLockstep) {
+  sim::Simulator sim;
+  MultiTreeParams p;
+  p.trees = 3;
+  MultiTreeStream streams(sim, SmallTopology(), p, 11);
+  streams.StartArrivals(0.5);
+  sim.RunUntil(1500.0);
+  // Same arrivals, same lifetimes, same departure instants: the population
+  // is identical across trees at all times, so the average is integral.
+  const double avg = streams.average_population();
+  EXPECT_GT(avg, 10.0);
+  EXPECT_DOUBLE_EQ(avg, std::floor(avg + 0.5));
+  EXPECT_GT(streams.members_created(), 500);
+}
+
+TEST(MultiTree, OutagesAreRecordedPerTree) {
+  long outages = 0;
+  RunScheme(2, false, 13, nullptr, &outages);
+  EXPECT_GT(outages, 0);
+}
+
+}  // namespace
+}  // namespace omcast::stream

@@ -1,0 +1,226 @@
+#include "overlay/session.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/topology.h"
+#include "proto/min_depth.h"
+#include "sim/simulator.h"
+
+namespace omcast::overlay {
+namespace {
+
+class SessionTest : public ::testing::Test {
+ protected:
+  SessionTest() {
+    rnd::Rng topo_rng(1);
+    topology_ = std::make_unique<net::Topology>(
+        net::Topology::Generate(net::TinyTopologyParams(), topo_rng));
+  }
+
+  std::unique_ptr<Session> MakeSession(std::uint64_t seed = 7) {
+    return std::make_unique<Session>(sim_, *topology_,
+                                     std::make_unique<proto::MinDepthProtocol>(),
+                                     SessionParams{}, seed);
+  }
+
+  sim::Simulator sim_;
+  std::unique_ptr<net::Topology> topology_;
+};
+
+TEST_F(SessionTest, PrepopulateReachesTargetPopulation) {
+  auto session = MakeSession();
+  session->Prepopulate(50);
+  sim_.RunUntil(5.0);  // let any join retries settle
+  EXPECT_EQ(session->alive_count(), 50);
+  int rooted = 0;
+  for (NodeId id : session->alive_members())
+    if (session->tree().IsRooted(id)) ++rooted;
+  EXPECT_EQ(rooted, 50);
+  session->tree().CheckInvariants();
+}
+
+TEST_F(SessionTest, PrepopulatedAgesAreStationary) {
+  auto session = MakeSession();
+  session->Prepopulate(60);
+  int negative_join = 0;
+  for (NodeId id : session->alive_members())
+    if (session->tree().Get(id).join_time < 0.0) ++negative_join;
+  EXPECT_EQ(negative_join, 60);  // all carry pre-history
+}
+
+TEST_F(SessionTest, ArrivalsGrowThePopulation) {
+  auto session = MakeSession();
+  session->StartArrivals(1.0);  // 1 member/s, lifetimes are long-tailed
+  sim_.RunUntil(50.0);
+  EXPECT_GT(session->alive_count(), 5);
+  EXPECT_GT(session->total_members_created(), 20);
+  session->tree().CheckInvariants();
+}
+
+TEST_F(SessionTest, DepartureDisruptsDescendantsOnce) {
+  auto session = MakeSession();
+  // Hand-build: root <- a <- b <- c.
+  const NodeId a = session->InjectMember(5.0, 1e9);
+  const NodeId b = session->InjectMember(5.0, 1e9);
+  const NodeId c = session->InjectMember(0.5, 1e9);
+  sim_.RunUntil(1.0);
+  Tree& tree = session->tree();
+  // Rearrange deterministically.
+  if (tree.Get(b).parent != a) {
+    tree.Detach(b);
+    tree.Attach(a, b);
+  }
+  if (tree.Get(c).parent != b) {
+    tree.Detach(c);
+    tree.Attach(b, c);
+  }
+  session->DepartNow(a);
+  EXPECT_FALSE(tree.Get(a).alive);
+  EXPECT_EQ(tree.Get(b).disruptions, 1);
+  EXPECT_EQ(tree.Get(c).disruptions, 1);
+  // Orphans rejoined immediately (structural model).
+  EXPECT_TRUE(tree.IsRooted(b));
+  EXPECT_TRUE(tree.IsRooted(c));
+  // Failure rejoin is not protocol overhead.
+  EXPECT_EQ(tree.Get(b).reconnections, 0);
+  tree.CheckInvariants();
+}
+
+TEST_F(SessionTest, DepartureFiresHooksInOrder) {
+  auto session = MakeSession();
+  const NodeId a = session->InjectMember(5.0, 1e9);
+  const NodeId b = session->InjectMember(0.5, 1e9);
+  sim_.RunUntil(1.0);
+  Tree& tree = session->tree();
+  if (tree.Get(b).parent != a) {
+    tree.Detach(b);
+    tree.Attach(a, b);
+  }
+  std::vector<std::string> events;
+  session->hooks().AddOnDeparture([&](NodeId id) {
+    EXPECT_EQ(id, a);
+    // Tree must still be intact at this point.
+    EXPECT_EQ(session->tree().Get(b).parent, a);
+    events.push_back("departure");
+  });
+  session->hooks().AddOnDisruption([&](NodeId affected, NodeId failed) {
+    EXPECT_EQ(affected, b);
+    EXPECT_EQ(failed, a);
+    events.push_back("disruption");
+  });
+  session->hooks().AddOnMemberDeparted(
+      [&](const Member& m) { events.push_back("departed:" + std::to_string(m.id)); });
+  session->DepartNow(a);
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0], "departure");
+  EXPECT_EQ(events[1], "disruption");
+  EXPECT_EQ(events[2], "departed:" + std::to_string(a));
+}
+
+TEST_F(SessionTest, LifetimeExpiryDepartsAutomatically) {
+  auto session = MakeSession();
+  const NodeId a = session->InjectMember(1.0, 10.0);
+  sim_.RunUntil(9.0);
+  EXPECT_TRUE(session->tree().Get(a).alive);
+  sim_.RunUntil(11.0);
+  EXPECT_FALSE(session->tree().Get(a).alive);
+  EXPECT_EQ(session->alive_count(), 0);
+}
+
+TEST_F(SessionTest, HostsAreReleasedOnDeparture) {
+  auto session = MakeSession();
+  // Churn many short-lived members through a small host pool.
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 50; ++i) session->InjectMember(1.0, 5.0);
+    sim_.RunUntil(sim_.now() + 20.0);
+    EXPECT_EQ(session->alive_count(), 0);
+  }
+  EXPECT_EQ(session->total_members_created(), 250);
+}
+
+TEST_F(SessionTest, SampleCandidatesExcludesFragmentAndIncludesRoot) {
+  auto session = MakeSession();
+  const NodeId a = session->InjectMember(5.0, 1e9);
+  const NodeId b = session->InjectMember(0.5, 1e9);
+  sim_.RunUntil(1.0);
+  Tree& tree = session->tree();
+  if (tree.Get(b).parent != a) {
+    tree.Detach(b);
+    tree.Attach(a, b);
+  }
+  tree.Detach(a);  // fragment {a, b}
+  const auto cands = session->SampleCandidates(100, a);
+  EXPECT_FALSE(cands.empty());
+  for (NodeId c : cands) {
+    EXPECT_NE(c, a);
+    EXPECT_NE(c, b);
+  }
+  EXPECT_EQ(cands.front(), kRootId);  // bootstrap knows the source
+  tree.Attach(kRootId, a);            // restore for invariant check
+  tree.CheckInvariants();
+}
+
+TEST_F(SessionTest, SampleCandidatesSkipsUnrootedMembers) {
+  auto session = MakeSession();
+  const NodeId a = session->InjectMember(5.0, 1e9);
+  sim_.RunUntil(1.0);
+  session->tree().Detach(a);
+  const auto cands = session->SampleCandidates(100, kNoNode);
+  for (NodeId c : cands) EXPECT_NE(c, a);
+  session->tree().Attach(kRootId, a);
+}
+
+TEST_F(SessionTest, OverlayDelayIsSumOfHops) {
+  auto session = MakeSession();
+  const NodeId a = session->InjectMember(5.0, 1e9);
+  const NodeId b = session->InjectMember(0.5, 1e9);
+  sim_.RunUntil(1.0);
+  Tree& tree = session->tree();
+  if (tree.Get(b).parent != a) {
+    tree.Detach(b);
+    tree.Attach(a, b);
+  }
+  ASSERT_EQ(tree.Get(a).parent, kRootId);
+  const double expected =
+      session->DelayMs(kRootId, a) + session->DelayMs(a, b);
+  EXPECT_NEAR(session->OverlayDelayMs(b), expected, 1e-9);
+  EXPECT_GE(session->Stretch(b), 1.0 - 1e-9);
+}
+
+TEST_F(SessionTest, ForceRejoinChargesReconnection) {
+  auto session = MakeSession();
+  const NodeId a = session->InjectMember(1.0, 1e9);
+  sim_.RunUntil(1.0);
+  session->tree().Detach(a);
+  session->ForceRejoin(a);
+  EXPECT_EQ(session->tree().Get(a).reconnections, 1);
+  sim_.RunUntil(2.0);
+  EXPECT_TRUE(session->tree().IsRooted(a));
+}
+
+TEST_F(SessionTest, DeterministicGivenSeed) {
+  auto run = [this](std::uint64_t seed) {
+    sim::Simulator sim;
+    Session session(sim, *topology_, std::make_unique<proto::MinDepthProtocol>(),
+                    SessionParams{}, seed);
+    session.Prepopulate(40);
+    session.StartArrivals(40.0 / rnd::kMeanLifetimeSeconds);
+    sim.RunUntil(500.0);
+    long checksum = session.alive_count();
+    for (NodeId id : session.alive_members())
+      checksum = checksum * 31 + session.tree().Get(id).layer;
+    return checksum;
+  };
+  EXPECT_EQ(run(5), run(5));
+  EXPECT_NE(run(5), run(6));
+}
+
+TEST_F(SessionTest, RootNeverDeparts) {
+  auto session = MakeSession();
+  EXPECT_DEATH(session->DepartNow(kRootId), "source");
+}
+
+}  // namespace
+}  // namespace omcast::overlay

@@ -1,0 +1,164 @@
+#include "net/topology.h"
+
+#include <gtest/gtest.h>
+
+#include "rand/rng.h"
+
+namespace omcast::net {
+namespace {
+
+TEST(Topology, PaperInstanceHas15600Nodes) {
+  const TopologyParams p = PaperTopologyParams();
+  EXPECT_EQ(p.transit_domains * p.transit_nodes_per_domain, 240);
+  EXPECT_EQ(240 * p.stub_domains_per_transit_node * p.nodes_per_stub_domain,
+            15360);
+}
+
+TEST(Topology, GeneratesRequestedSizes) {
+  rnd::Rng rng(1);
+  const Topology t = Topology::Generate(TinyTopologyParams(), rng);
+  EXPECT_EQ(t.num_transit_nodes(), 6);
+  EXPECT_EQ(t.num_stub_domains(), 12);
+  EXPECT_EQ(t.num_stub_nodes(), 96);
+  EXPECT_EQ(t.FlatNodeCount(), 102);
+}
+
+TEST(Topology, DelayIsSymmetricAndZeroOnSelf) {
+  rnd::Rng rng(2);
+  const Topology t = Topology::Generate(TinyTopologyParams(), rng);
+  rnd::Rng pick(3);
+  for (int i = 0; i < 200; ++i) {
+    const HostId a = static_cast<HostId>(pick.UniformIndex(
+        static_cast<std::size_t>(t.num_stub_nodes())));
+    const HostId b = static_cast<HostId>(pick.UniformIndex(
+        static_cast<std::size_t>(t.num_stub_nodes())));
+    EXPECT_DOUBLE_EQ(t.Delay(a, b), t.Delay(b, a));
+    EXPECT_GT(t.Delay(a, b) + (a == b ? 1.0 : 0.0), 0.0);
+  }
+  EXPECT_DOUBLE_EQ(t.Delay(0, 0), 0.0);
+}
+
+TEST(Topology, IntraDomainDelaysUseStubRange) {
+  rnd::Rng rng(4);
+  const TopologyParams p = TinyTopologyParams();
+  const Topology t = Topology::Generate(p, rng);
+  // Hosts 0..7 share stub domain 0; their shortest path uses only stub-stub
+  // links of [2,4] ms each, over at most n-1 hops.
+  for (HostId a = 0; a < 8; ++a)
+    for (HostId b = a + 1; b < 8; ++b) {
+      const double d = t.Delay(a, b);
+      EXPECT_GE(d, p.ss_delay_lo);
+      EXPECT_LE(d, p.ss_delay_hi * (p.nodes_per_stub_domain - 1));
+      EXPECT_EQ(t.DomainOf(a), t.DomainOf(b));
+    }
+}
+
+TEST(Topology, CrossDomainDelayIncludesGatewayAndCore) {
+  rnd::Rng rng(5);
+  const TopologyParams p = TinyTopologyParams();
+  const Topology t = Topology::Generate(p, rng);
+  // Hosts in different stub domains traverse two gateway links at minimum.
+  const HostId a = 0;
+  const HostId b = t.num_stub_nodes() - 1;
+  ASSERT_NE(t.DomainOf(a), t.DomainOf(b));
+  EXPECT_GE(t.Delay(a, b), 2 * p.ts_delay_lo);
+}
+
+TEST(Topology, DomainAndTransitIndexing) {
+  rnd::Rng rng(6);
+  const TopologyParams p = TinyTopologyParams();
+  const Topology t = Topology::Generate(p, rng);
+  EXPECT_EQ(t.DomainOf(0), 0);
+  EXPECT_EQ(t.DomainOf(p.nodes_per_stub_domain), 1);
+  EXPECT_EQ(t.TransitOfDomain(0), 0);
+  EXPECT_EQ(t.TransitOfDomain(p.stub_domains_per_transit_node), 1);
+}
+
+TEST(Topology, DeterministicGivenSeed) {
+  rnd::Rng r1(42), r2(42);
+  const Topology a = Topology::Generate(TinyTopologyParams(), r1);
+  const Topology b = Topology::Generate(TinyTopologyParams(), r2);
+  for (HostId i = 0; i < a.num_stub_nodes(); i += 7)
+    for (HostId j = 0; j < a.num_stub_nodes(); j += 11)
+      EXPECT_DOUBLE_EQ(a.Delay(i, j), b.Delay(i, j));
+}
+
+TEST(Topology, FlatGraphIsConnected) {
+  rnd::Rng rng(7);
+  const Topology t = Topology::Generate(TinyTopologyParams(), rng);
+  const auto dist = Dijkstra(t.FlatNodeCount(), t.FlatEdges(), 0);
+  for (int i = 0; i < t.FlatNodeCount(); ++i)
+    EXPECT_TRUE(std::isfinite(dist[static_cast<std::size_t>(i)]))
+        << "node " << i << " unreachable";
+}
+
+// With single-host stub domains every stub is a pure leaf, so hierarchical
+// routing must match true shortest paths exactly.
+TEST(Topology, HierarchicalEqualsDijkstraWhenStubsAreLeaves) {
+  TopologyParams p;
+  p.transit_domains = 3;
+  p.transit_nodes_per_domain = 4;
+  p.stub_domains_per_transit_node = 2;
+  p.nodes_per_stub_domain = 1;
+  rnd::Rng rng(8);
+  const Topology t = Topology::Generate(p, rng);
+  for (HostId a = 0; a < t.num_stub_nodes(); ++a) {
+    const auto dist = Dijkstra(t.FlatNodeCount(), t.FlatEdges(), a);
+    for (HostId b = 0; b < t.num_stub_nodes(); ++b)
+      EXPECT_NEAR(t.Delay(a, b), dist[static_cast<std::size_t>(b)], 1e-9);
+  }
+}
+
+// With multi-host stub domains, hierarchical routing never reports less
+// than the true shortest path (it restricts the path shape).
+TEST(Topology, HierarchicalNeverBeatsDijkstra) {
+  rnd::Rng rng(9);
+  const Topology t = Topology::Generate(TinyTopologyParams(), rng);
+  for (HostId a = 0; a < t.num_stub_nodes(); a += 5) {
+    const auto dist = Dijkstra(t.FlatNodeCount(), t.FlatEdges(), a);
+    for (HostId b = 0; b < t.num_stub_nodes(); ++b)
+      EXPECT_GE(t.Delay(a, b) + 1e-9, dist[static_cast<std::size_t>(b)]);
+  }
+}
+
+TEST(Topology, PaperScaleGeneratesQuickly) {
+  rnd::Rng rng(10);
+  const Topology t = Topology::Generate(PaperTopologyParams(), rng);
+  EXPECT_EQ(t.num_stub_nodes(), 15360);
+  EXPECT_EQ(t.num_transit_nodes(), 240);
+  // Spot-check a few delays for sanity.
+  EXPECT_GT(t.Delay(0, 15359), 0.0);
+  EXPECT_LT(t.Delay(0, 15359), 1000.0);
+}
+
+struct SeedCase {
+  std::uint64_t seed;
+};
+
+class TopologyPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Property sweep: every seed yields a topology whose delay oracle is
+// finite, symmetric, and respects the minimum link delay.
+TEST_P(TopologyPropertyTest, DelayOracleWellFormed) {
+  rnd::Rng rng(GetParam());
+  const Topology t = Topology::Generate(TinyTopologyParams(), rng);
+  rnd::Rng pick(GetParam() + 1);
+  for (int i = 0; i < 100; ++i) {
+    const HostId a = static_cast<HostId>(pick.UniformIndex(
+        static_cast<std::size_t>(t.num_stub_nodes())));
+    const HostId b = static_cast<HostId>(pick.UniformIndex(
+        static_cast<std::size_t>(t.num_stub_nodes())));
+    const double d = t.Delay(a, b);
+    EXPECT_TRUE(std::isfinite(d));
+    EXPECT_DOUBLE_EQ(d, t.Delay(b, a));
+    if (a != b) {
+      EXPECT_GE(d, TinyTopologyParams().ss_delay_lo);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TopologyPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+}  // namespace
+}  // namespace omcast::net

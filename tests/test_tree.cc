@@ -1,0 +1,212 @@
+#include "overlay/tree.h"
+
+#include <gtest/gtest.h>
+
+namespace omcast::overlay {
+namespace {
+
+// A tiny fixture: root (id 0) with generous capacity at host 0.
+class TreeTest : public ::testing::Test {
+ protected:
+  TreeTest() : tree_(0, 100.0) {}
+
+  NodeId Add(double bandwidth, sim::Time join = 0.0, sim::Time life = 1e9) {
+    return tree_.CreateMember(static_cast<net::HostId>(next_host_++),
+                              bandwidth, join, life);
+  }
+
+  Tree tree_;
+  int next_host_ = 1;
+};
+
+TEST_F(TreeTest, RootIsAliveAndInTree) {
+  const Member& root = tree_.Get(kRootId);
+  EXPECT_TRUE(root.alive);
+  EXPECT_TRUE(root.in_tree);
+  EXPECT_EQ(root.layer, 0);
+  EXPECT_EQ(root.capacity, 100);
+  EXPECT_TRUE(root.IsRoot());
+}
+
+TEST_F(TreeTest, CreateMemberStartsDetached) {
+  const NodeId a = Add(2.0);
+  const Member& m = tree_.Get(a);
+  EXPECT_TRUE(m.alive);
+  EXPECT_FALSE(m.in_tree);
+  EXPECT_EQ(m.parent, kNoNode);
+  EXPECT_EQ(m.capacity, 2);
+}
+
+TEST_F(TreeTest, CapacityIsFloorOfBandwidth) {
+  EXPECT_EQ(tree_.Get(Add(0.5)).capacity, 0);   // free-rider
+  EXPECT_EQ(tree_.Get(Add(1.0)).capacity, 1);
+  EXPECT_EQ(tree_.Get(Add(2.9)).capacity, 2);
+  EXPECT_EQ(tree_.Get(Add(100.0)).capacity, 100);
+}
+
+TEST_F(TreeTest, AttachSetsLayersAndLinks) {
+  const NodeId a = Add(2.0);
+  const NodeId b = Add(1.0);
+  tree_.Attach(kRootId, a);
+  tree_.Attach(a, b);
+  EXPECT_EQ(tree_.Get(a).layer, 1);
+  EXPECT_EQ(tree_.Get(b).layer, 2);
+  EXPECT_EQ(tree_.Get(b).parent, a);
+  ASSERT_EQ(tree_.Get(a).children.size(), 1u);
+  tree_.CheckInvariants();
+}
+
+TEST_F(TreeTest, AttachFragmentRecomputesSubtreeLayers) {
+  const NodeId a = Add(3.0);
+  const NodeId b = Add(2.0);
+  const NodeId c = Add(1.0);
+  tree_.Attach(kRootId, a);
+  tree_.Attach(a, b);
+  tree_.Attach(b, c);
+  tree_.Detach(b);  // fragment {b, c} floats
+  const NodeId d = Add(5.0);
+  tree_.Attach(kRootId, d);
+  tree_.Attach(d, b);  // re-attach the fragment one level deeper
+  EXPECT_EQ(tree_.Get(b).layer, 2);
+  EXPECT_EQ(tree_.Get(c).layer, 3);
+  tree_.CheckInvariants();
+}
+
+TEST_F(TreeTest, DetachKeepsChildren) {
+  const NodeId a = Add(2.0);
+  const NodeId b = Add(0.5);
+  tree_.Attach(kRootId, a);
+  tree_.Attach(a, b);
+  tree_.Detach(a);
+  EXPECT_EQ(tree_.Get(a).parent, kNoNode);
+  EXPECT_FALSE(tree_.Get(a).in_tree);
+  EXPECT_EQ(tree_.Get(b).parent, a);  // subtree intact
+  EXPECT_FALSE(tree_.IsRooted(a));
+  EXPECT_FALSE(tree_.IsRooted(b));
+}
+
+TEST_F(TreeTest, RemoveFromTreeOrphansEachChild) {
+  const NodeId a = Add(3.0);
+  const NodeId b = Add(1.0);
+  const NodeId c = Add(1.0);
+  tree_.Attach(kRootId, a);
+  tree_.Attach(a, b);
+  tree_.Attach(a, c);
+  const auto orphans = tree_.RemoveFromTree(a);
+  EXPECT_EQ(orphans.size(), 2u);
+  EXPECT_EQ(tree_.Get(b).parent, kNoNode);
+  EXPECT_EQ(tree_.Get(c).parent, kNoNode);
+  EXPECT_TRUE(tree_.Get(a).children.empty());
+}
+
+TEST_F(TreeTest, IsInSubtreeOf) {
+  const NodeId a = Add(2.0);
+  const NodeId b = Add(2.0);
+  const NodeId c = Add(2.0);
+  tree_.Attach(kRootId, a);
+  tree_.Attach(a, b);
+  tree_.Attach(b, c);
+  EXPECT_TRUE(tree_.IsInSubtreeOf(c, a));
+  EXPECT_TRUE(tree_.IsInSubtreeOf(a, a));
+  EXPECT_FALSE(tree_.IsInSubtreeOf(a, c));
+  EXPECT_TRUE(tree_.IsInSubtreeOf(c, kRootId));
+}
+
+TEST_F(TreeTest, ForEachDescendantVisitsWholeSubtreeOnce) {
+  const NodeId a = Add(3.0);
+  const NodeId b = Add(2.0);
+  const NodeId c = Add(2.0);
+  const NodeId d = Add(1.0);
+  tree_.Attach(kRootId, a);
+  tree_.Attach(a, b);
+  tree_.Attach(a, c);
+  tree_.Attach(b, d);
+  std::vector<NodeId> seen;
+  tree_.ForEachDescendant(a, [&](NodeId id) { seen.push_back(id); });
+  EXPECT_EQ(seen.size(), 3u);
+  EXPECT_EQ(tree_.CountDescendants(a), 3u);
+  EXPECT_EQ(tree_.CountDescendants(d), 0u);
+}
+
+TEST_F(TreeTest, SharedPathEdgesMatchesLcaDepth) {
+  // root -> a; a -> {b, c}; b -> d.
+  const NodeId a = Add(3.0);
+  const NodeId b = Add(2.0);
+  const NodeId c = Add(1.0);
+  const NodeId d = Add(1.0);
+  tree_.Attach(kRootId, a);
+  tree_.Attach(a, b);
+  tree_.Attach(a, c);
+  tree_.Attach(b, d);
+  EXPECT_EQ(tree_.SharedPathEdges(b, c), 1);  // share root->a
+  EXPECT_EQ(tree_.SharedPathEdges(d, c), 1);
+  EXPECT_EQ(tree_.SharedPathEdges(d, b), 2);  // share root->a->b
+  EXPECT_EQ(tree_.SharedPathEdges(a, c), 1);  // a is on c's path
+  EXPECT_EQ(tree_.SharedPathEdges(b, b), 2);  // with itself: its whole path
+  EXPECT_EQ(tree_.SharedPathEdges(a, kRootId), 0);
+}
+
+TEST_F(TreeTest, DepthTracksDeepestRootedMember) {
+  EXPECT_EQ(tree_.Depth(), 0);
+  const NodeId a = Add(2.0);
+  const NodeId b = Add(2.0);
+  tree_.Attach(kRootId, a);
+  tree_.Attach(a, b);
+  EXPECT_EQ(tree_.Depth(), 2);
+  tree_.Detach(a);  // fragment no longer counted
+  EXPECT_EQ(tree_.Depth(), 0);
+}
+
+TEST_F(TreeTest, RootHasSentinelOldAge) {
+  // The source must dominate every member under time ordering and BTP.
+  EXPECT_LT(tree_.Get(kRootId).join_time, -1e9);
+  EXPECT_GT(tree_.Get(kRootId).Btp(0.0), 1e10);
+}
+
+TEST_F(TreeTest, BtpIsBandwidthTimesAge) {
+  const NodeId a = Add(2.5, /*join=*/100.0);
+  EXPECT_DOUBLE_EQ(tree_.Get(a).Btp(160.0), 2.5 * 60.0);
+  EXPECT_DOUBLE_EQ(tree_.Get(a).Age(160.0), 60.0);
+}
+
+TEST_F(TreeTest, ClaimedBtpUsesReportedValues) {
+  const NodeId a = Add(1.0, /*join=*/0.0);
+  Member& m = tree_.Get(a);
+  m.reported_bandwidth = 50.0;
+  m.reported_age_bonus = 1000.0;
+  EXPECT_DOUBLE_EQ(m.ClaimedBtp(10.0), 50.0 * 1010.0);
+  EXPECT_DOUBLE_EQ(m.Btp(10.0), 1.0 * 10.0);  // actual unaffected
+}
+
+TEST_F(TreeTest, AttachRejectsOverCapacity) {
+  const NodeId a = Add(1.0);
+  const NodeId b = Add(0.5);
+  const NodeId c = Add(0.5);
+  tree_.Attach(kRootId, a);
+  tree_.Attach(a, b);
+  EXPECT_DEATH(tree_.Attach(a, c), "out-degree");
+}
+
+TEST_F(TreeTest, AttachRejectsCycle) {
+  const NodeId a = Add(2.0);
+  const NodeId b = Add(2.0);
+  tree_.Attach(kRootId, a);
+  tree_.Attach(a, b);
+  tree_.Detach(a);
+  EXPECT_DEATH(tree_.Attach(b, a), "cycle");
+}
+
+TEST_F(TreeTest, AttachRejectsUnrootedParent) {
+  const NodeId a = Add(2.0);
+  const NodeId b = Add(2.0);
+  EXPECT_DEATH(tree_.Attach(a, b), "root");
+}
+
+TEST_F(TreeTest, AttachRejectsDoubleAttach) {
+  const NodeId a = Add(2.0);
+  tree_.Attach(kRootId, a);
+  EXPECT_DEATH(tree_.Attach(kRootId, a), "already attached");
+}
+
+}  // namespace
+}  // namespace omcast::overlay

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/flags.h"
+#include "util/table.h"
+
+namespace omcast::util {
+namespace {
+
+TEST(FlagSet, ParsesEqualsAndSpaceForms) {
+  FlagSet f;
+  f.Define("alpha", "1", "").Define("beta", "x", "");
+  const char* argv[] = {"prog", "--alpha=7", "--beta", "hello"};
+  ASSERT_TRUE(f.Parse(4, const_cast<char**>(argv)));
+  EXPECT_EQ(f.GetInt("alpha"), 7);
+  EXPECT_EQ(f.GetString("beta"), "hello");
+}
+
+TEST(FlagSet, DefaultsApplyWhenUnset) {
+  FlagSet f;
+  f.Define("x", "3.5", "");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(f.Parse(1, const_cast<char**>(argv)));
+  EXPECT_DOUBLE_EQ(f.GetDouble("x"), 3.5);
+}
+
+TEST(FlagSet, RejectsUnknownFlag) {
+  FlagSet f;
+  f.Define("x", "1", "");
+  const char* argv[] = {"prog", "--nope=2"};
+  EXPECT_FALSE(f.Parse(2, const_cast<char**>(argv)));
+}
+
+TEST(FlagSet, RejectsMissingValue) {
+  FlagSet f;
+  f.Define("x", "1", "");
+  const char* argv[] = {"prog", "--x"};
+  EXPECT_FALSE(f.Parse(2, const_cast<char**>(argv)));
+}
+
+TEST(FlagSet, HelpReturnsFalse) {
+  FlagSet f;
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(f.Parse(2, const_cast<char**>(argv)));
+}
+
+TEST(FlagSet, BoolForms) {
+  FlagSet f;
+  f.Define("a", "true", "").Define("b", "0", "").Define("c", "yes", "");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(f.Parse(1, const_cast<char**>(argv)));
+  EXPECT_TRUE(f.GetBool("a"));
+  EXPECT_FALSE(f.GetBool("b"));
+  EXPECT_TRUE(f.GetBool("c"));
+}
+
+TEST(FlagSet, IntList) {
+  FlagSet f;
+  f.Define("sizes", "2000,5000,8000", "");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(f.Parse(1, const_cast<char**>(argv)));
+  EXPECT_EQ(f.GetIntList("sizes"), (std::vector<int>{2000, 5000, 8000}));
+}
+
+TEST(FlagSet, IntListSingleAndEmptyTokens) {
+  FlagSet f;
+  f.Define("sizes", "42", "");
+  const char* argv[] = {"prog", "--sizes=7,,9"};
+  ASSERT_TRUE(f.Parse(2, const_cast<char**>(argv)));
+  EXPECT_EQ(f.GetIntList("sizes"), (std::vector<int>{7, 9}));
+}
+
+TEST(Table, AlignsColumns) {
+  Table t({"name", "v"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"longer", "2"});
+  std::ostringstream os;
+  t.Print(os, "title");
+  const std::string out = os.str();
+  EXPECT_NE(out.find("title\n"), std::string::npos);
+  EXPECT_NE(out.find("longer  2"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(Table, FormatsDoubleRows) {
+  Table t({"k", "x", "y"});
+  t.AddRow("row", {1.23456, 2.0}, 2);
+  std::ostringstream os;
+  t.Print(os);
+  EXPECT_NE(os.str().find("1.23"), std::string::npos);
+  EXPECT_NE(os.str().find("2.00"), std::string::npos);
+}
+
+TEST(Table, FormatDoubleHelper) {
+  EXPECT_EQ(FormatDouble(3.14159, 3), "3.142");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+}
+
+TEST(TableDeath, WrongArityAborts) {
+  Table t({"a", "b"});
+  EXPECT_DEATH(t.AddRow({"only-one"}), "arity");
+}
+
+}  // namespace
+}  // namespace omcast::util

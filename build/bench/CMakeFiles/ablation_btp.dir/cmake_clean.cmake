@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_btp.dir/ablation_btp.cc.o"
+  "CMakeFiles/ablation_btp.dir/ablation_btp.cc.o.d"
+  "ablation_btp"
+  "ablation_btp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_btp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_multi_tree.dir/ext_multi_tree.cc.o"
+  "CMakeFiles/ext_multi_tree.dir/ext_multi_tree.cc.o.d"
+  "ext_multi_tree"
+  "ext_multi_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_multi_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

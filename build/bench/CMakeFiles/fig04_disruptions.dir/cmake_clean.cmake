@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_disruptions.dir/fig04_disruptions.cc.o"
+  "CMakeFiles/fig04_disruptions.dir/fig04_disruptions.cc.o.d"
+  "fig04_disruptions"
+  "fig04_disruptions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_disruptions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_disruption_cdf.dir/fig05_disruption_cdf.cc.o"
+  "CMakeFiles/fig05_disruption_cdf.dir/fig05_disruption_cdf.cc.o.d"
+  "fig05_disruption_cdf"
+  "fig05_disruption_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_disruption_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

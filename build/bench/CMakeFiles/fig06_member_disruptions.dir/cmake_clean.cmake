@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_member_disruptions.dir/fig06_member_disruptions.cc.o"
+  "CMakeFiles/fig06_member_disruptions.dir/fig06_member_disruptions.cc.o.d"
+  "fig06_member_disruptions"
+  "fig06_member_disruptions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_member_disruptions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_service_delay.dir/fig07_service_delay.cc.o"
+  "CMakeFiles/fig07_service_delay.dir/fig07_service_delay.cc.o.d"
+  "fig07_service_delay"
+  "fig07_service_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_service_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

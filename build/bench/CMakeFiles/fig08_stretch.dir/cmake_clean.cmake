@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_stretch.dir/fig08_stretch.cc.o"
+  "CMakeFiles/fig08_stretch.dir/fig08_stretch.cc.o.d"
+  "fig08_stretch"
+  "fig08_stretch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_stretch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_member_delay.dir/fig09_member_delay.cc.o"
+  "CMakeFiles/fig09_member_delay.dir/fig09_member_delay.cc.o.d"
+  "fig09_member_delay"
+  "fig09_member_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_member_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_protocol_cost.dir/fig10_protocol_cost.cc.o"
+  "CMakeFiles/fig10_protocol_cost.dir/fig10_protocol_cost.cc.o.d"
+  "fig10_protocol_cost"
+  "fig10_protocol_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_protocol_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

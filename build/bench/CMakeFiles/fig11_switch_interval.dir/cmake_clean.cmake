@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_switch_interval.dir/fig11_switch_interval.cc.o"
+  "CMakeFiles/fig11_switch_interval.dir/fig11_switch_interval.cc.o.d"
+  "fig11_switch_interval"
+  "fig11_switch_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_switch_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_group_size.dir/fig12_group_size.cc.o"
+  "CMakeFiles/fig12_group_size.dir/fig12_group_size.cc.o.d"
+  "fig12_group_size"
+  "fig12_group_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_group_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_rost_cer.dir/fig14_rost_cer.cc.o"
+  "CMakeFiles/fig14_rost_cer.dir/fig14_rost_cer.cc.o.d"
+  "fig14_rost_cer"
+  "fig14_rost_cer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_rost_cer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

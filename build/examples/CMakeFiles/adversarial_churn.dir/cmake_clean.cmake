@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adversarial_churn.dir/adversarial_churn.cpp.o"
+  "CMakeFiles/adversarial_churn.dir/adversarial_churn.cpp.o.d"
+  "adversarial_churn"
+  "adversarial_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adversarial_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

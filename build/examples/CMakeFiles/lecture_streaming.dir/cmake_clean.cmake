@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lecture_streaming.dir/lecture_streaming.cpp.o"
+  "CMakeFiles/lecture_streaming.dir/lecture_streaming.cpp.o.d"
+  "lecture_streaming"
+  "lecture_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lecture_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

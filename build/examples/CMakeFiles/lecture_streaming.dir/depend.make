@@ -1,0 +1,2 @@
+# Empty dependencies file for lecture_streaming.
+# This may be replaced when dependencies are built.

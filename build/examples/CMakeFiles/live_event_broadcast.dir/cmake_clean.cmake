@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_event_broadcast.dir/live_event_broadcast.cpp.o"
+  "CMakeFiles/live_event_broadcast.dir/live_event_broadcast.cpp.o.d"
+  "live_event_broadcast"
+  "live_event_broadcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_event_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

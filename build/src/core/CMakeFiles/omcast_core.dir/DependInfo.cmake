@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cer/eln.cc" "src/core/CMakeFiles/omcast_core.dir/cer/eln.cc.o" "gcc" "src/core/CMakeFiles/omcast_core.dir/cer/eln.cc.o.d"
+  "/root/repo/src/core/cer/group.cc" "src/core/CMakeFiles/omcast_core.dir/cer/group.cc.o" "gcc" "src/core/CMakeFiles/omcast_core.dir/cer/group.cc.o.d"
+  "/root/repo/src/core/cer/mlc.cc" "src/core/CMakeFiles/omcast_core.dir/cer/mlc.cc.o" "gcc" "src/core/CMakeFiles/omcast_core.dir/cer/mlc.cc.o.d"
+  "/root/repo/src/core/cer/partial_tree.cc" "src/core/CMakeFiles/omcast_core.dir/cer/partial_tree.cc.o" "gcc" "src/core/CMakeFiles/omcast_core.dir/cer/partial_tree.cc.o.d"
+  "/root/repo/src/core/cer/recovery.cc" "src/core/CMakeFiles/omcast_core.dir/cer/recovery.cc.o" "gcc" "src/core/CMakeFiles/omcast_core.dir/cer/recovery.cc.o.d"
+  "/root/repo/src/core/rost/referee.cc" "src/core/CMakeFiles/omcast_core.dir/rost/referee.cc.o" "gcc" "src/core/CMakeFiles/omcast_core.dir/rost/referee.cc.o.d"
+  "/root/repo/src/core/rost/rost.cc" "src/core/CMakeFiles/omcast_core.dir/rost/rost.cc.o" "gcc" "src/core/CMakeFiles/omcast_core.dir/rost/rost.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/overlay/CMakeFiles/omcast_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/omcast_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/omcast_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/omcast_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/rand/CMakeFiles/omcast_rand.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/omcast_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

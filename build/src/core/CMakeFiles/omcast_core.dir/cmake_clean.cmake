@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omcast_core.dir/cer/eln.cc.o"
+  "CMakeFiles/omcast_core.dir/cer/eln.cc.o.d"
+  "CMakeFiles/omcast_core.dir/cer/group.cc.o"
+  "CMakeFiles/omcast_core.dir/cer/group.cc.o.d"
+  "CMakeFiles/omcast_core.dir/cer/mlc.cc.o"
+  "CMakeFiles/omcast_core.dir/cer/mlc.cc.o.d"
+  "CMakeFiles/omcast_core.dir/cer/partial_tree.cc.o"
+  "CMakeFiles/omcast_core.dir/cer/partial_tree.cc.o.d"
+  "CMakeFiles/omcast_core.dir/cer/recovery.cc.o"
+  "CMakeFiles/omcast_core.dir/cer/recovery.cc.o.d"
+  "CMakeFiles/omcast_core.dir/rost/referee.cc.o"
+  "CMakeFiles/omcast_core.dir/rost/referee.cc.o.d"
+  "CMakeFiles/omcast_core.dir/rost/rost.cc.o"
+  "CMakeFiles/omcast_core.dir/rost/rost.cc.o.d"
+  "libomcast_core.a"
+  "libomcast_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omcast_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

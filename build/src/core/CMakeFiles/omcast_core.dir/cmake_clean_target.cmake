@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libomcast_core.a"
+)

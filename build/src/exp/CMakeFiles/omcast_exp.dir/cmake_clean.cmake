@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omcast_exp.dir/scenario.cc.o"
+  "CMakeFiles/omcast_exp.dir/scenario.cc.o.d"
+  "libomcast_exp.a"
+  "libomcast_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omcast_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

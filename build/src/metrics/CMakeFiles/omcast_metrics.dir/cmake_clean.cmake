@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omcast_metrics.dir/collectors.cc.o"
+  "CMakeFiles/omcast_metrics.dir/collectors.cc.o.d"
+  "libomcast_metrics.a"
+  "libomcast_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omcast_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omcast_net.dir/topology.cc.o"
+  "CMakeFiles/omcast_net.dir/topology.cc.o.d"
+  "libomcast_net.a"
+  "libomcast_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omcast_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

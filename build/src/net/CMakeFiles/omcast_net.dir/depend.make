@@ -1,0 +1,2 @@
+# Empty dependencies file for omcast_net.
+# This may be replaced when dependencies are built.

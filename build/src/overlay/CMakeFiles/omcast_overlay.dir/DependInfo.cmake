@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/overlay/gossip.cc" "src/overlay/CMakeFiles/omcast_overlay.dir/gossip.cc.o" "gcc" "src/overlay/CMakeFiles/omcast_overlay.dir/gossip.cc.o.d"
+  "/root/repo/src/overlay/session.cc" "src/overlay/CMakeFiles/omcast_overlay.dir/session.cc.o" "gcc" "src/overlay/CMakeFiles/omcast_overlay.dir/session.cc.o.d"
+  "/root/repo/src/overlay/tree.cc" "src/overlay/CMakeFiles/omcast_overlay.dir/tree.cc.o" "gcc" "src/overlay/CMakeFiles/omcast_overlay.dir/tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/omcast_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/omcast_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rand/CMakeFiles/omcast_rand.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/omcast_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omcast_overlay.dir/gossip.cc.o"
+  "CMakeFiles/omcast_overlay.dir/gossip.cc.o.d"
+  "CMakeFiles/omcast_overlay.dir/session.cc.o"
+  "CMakeFiles/omcast_overlay.dir/session.cc.o.d"
+  "CMakeFiles/omcast_overlay.dir/tree.cc.o"
+  "CMakeFiles/omcast_overlay.dir/tree.cc.o.d"
+  "libomcast_overlay.a"
+  "libomcast_overlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omcast_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

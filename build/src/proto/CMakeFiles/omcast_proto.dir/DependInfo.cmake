@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proto/longest_first.cc" "src/proto/CMakeFiles/omcast_proto.dir/longest_first.cc.o" "gcc" "src/proto/CMakeFiles/omcast_proto.dir/longest_first.cc.o.d"
+  "/root/repo/src/proto/min_depth.cc" "src/proto/CMakeFiles/omcast_proto.dir/min_depth.cc.o" "gcc" "src/proto/CMakeFiles/omcast_proto.dir/min_depth.cc.o.d"
+  "/root/repo/src/proto/relaxed_ordered.cc" "src/proto/CMakeFiles/omcast_proto.dir/relaxed_ordered.cc.o" "gcc" "src/proto/CMakeFiles/omcast_proto.dir/relaxed_ordered.cc.o.d"
+  "/root/repo/src/proto/selection.cc" "src/proto/CMakeFiles/omcast_proto.dir/selection.cc.o" "gcc" "src/proto/CMakeFiles/omcast_proto.dir/selection.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/overlay/CMakeFiles/omcast_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/omcast_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/omcast_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/rand/CMakeFiles/omcast_rand.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/omcast_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

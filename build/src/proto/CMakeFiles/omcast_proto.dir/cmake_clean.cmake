@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omcast_proto.dir/longest_first.cc.o"
+  "CMakeFiles/omcast_proto.dir/longest_first.cc.o.d"
+  "CMakeFiles/omcast_proto.dir/min_depth.cc.o"
+  "CMakeFiles/omcast_proto.dir/min_depth.cc.o.d"
+  "CMakeFiles/omcast_proto.dir/relaxed_ordered.cc.o"
+  "CMakeFiles/omcast_proto.dir/relaxed_ordered.cc.o.d"
+  "CMakeFiles/omcast_proto.dir/selection.cc.o"
+  "CMakeFiles/omcast_proto.dir/selection.cc.o.d"
+  "libomcast_proto.a"
+  "libomcast_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omcast_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omcast_rand.dir/distributions.cc.o"
+  "CMakeFiles/omcast_rand.dir/distributions.cc.o.d"
+  "libomcast_rand.a"
+  "libomcast_rand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omcast_rand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

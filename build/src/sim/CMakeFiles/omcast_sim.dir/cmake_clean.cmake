@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omcast_sim.dir/simulator.cc.o"
+  "CMakeFiles/omcast_sim.dir/simulator.cc.o.d"
+  "libomcast_sim.a"
+  "libomcast_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omcast_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

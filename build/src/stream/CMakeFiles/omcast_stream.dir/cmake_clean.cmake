@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omcast_stream.dir/multi_tree.cc.o"
+  "CMakeFiles/omcast_stream.dir/multi_tree.cc.o.d"
+  "CMakeFiles/omcast_stream.dir/packet_sim.cc.o"
+  "CMakeFiles/omcast_stream.dir/packet_sim.cc.o.d"
+  "CMakeFiles/omcast_stream.dir/streaming.cc.o"
+  "CMakeFiles/omcast_stream.dir/streaming.cc.o.d"
+  "libomcast_stream.a"
+  "libomcast_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omcast_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omcast_util.dir/check.cc.o"
+  "CMakeFiles/omcast_util.dir/check.cc.o.d"
+  "CMakeFiles/omcast_util.dir/flags.cc.o"
+  "CMakeFiles/omcast_util.dir/flags.cc.o.d"
+  "CMakeFiles/omcast_util.dir/log.cc.o"
+  "CMakeFiles/omcast_util.dir/log.cc.o.d"
+  "CMakeFiles/omcast_util.dir/stats.cc.o"
+  "CMakeFiles/omcast_util.dir/stats.cc.o.d"
+  "CMakeFiles/omcast_util.dir/table.cc.o"
+  "CMakeFiles/omcast_util.dir/table.cc.o.d"
+  "libomcast_util.a"
+  "libomcast_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omcast_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cer.dir/test_cer.cc.o"
+  "CMakeFiles/test_cer.dir/test_cer.cc.o.d"
+  "test_cer"
+  "test_cer.pdb"
+  "test_cer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

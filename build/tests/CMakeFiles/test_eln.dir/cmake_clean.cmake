@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eln.dir/test_eln.cc.o"
+  "CMakeFiles/test_eln.dir/test_eln.cc.o.d"
+  "test_eln"
+  "test_eln.pdb"
+  "test_eln[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eln.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multi_tree.dir/test_multi_tree.cc.o"
+  "CMakeFiles/test_multi_tree.dir/test_multi_tree.cc.o.d"
+  "test_multi_tree"
+  "test_multi_tree.pdb"
+  "test_multi_tree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multi_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

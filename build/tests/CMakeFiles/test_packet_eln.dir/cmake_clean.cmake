@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_packet_eln.dir/test_packet_eln.cc.o"
+  "CMakeFiles/test_packet_eln.dir/test_packet_eln.cc.o.d"
+  "test_packet_eln"
+  "test_packet_eln.pdb"
+  "test_packet_eln[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_packet_eln.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

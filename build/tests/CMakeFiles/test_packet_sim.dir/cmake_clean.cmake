@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_packet_sim.dir/test_packet_sim.cc.o"
+  "CMakeFiles/test_packet_sim.dir/test_packet_sim.cc.o.d"
+  "test_packet_sim"
+  "test_packet_sim.pdb"
+  "test_packet_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_packet_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_referee.cc" "tests/CMakeFiles/test_referee.dir/test_referee.cc.o" "gcc" "tests/CMakeFiles/test_referee.dir/test_referee.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/omcast_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/omcast_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/omcast_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/omcast_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/omcast_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlay/CMakeFiles/omcast_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/omcast_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/rand/CMakeFiles/omcast_rand.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/omcast_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/omcast_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_referee.dir/test_referee.cc.o"
+  "CMakeFiles/test_referee.dir/test_referee.cc.o.d"
+  "test_referee"
+  "test_referee.pdb"
+  "test_referee[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_referee.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

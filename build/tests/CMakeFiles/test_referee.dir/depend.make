@@ -1,0 +1,2 @@
+# Empty dependencies file for test_referee.
+# This may be replaced when dependencies are built.

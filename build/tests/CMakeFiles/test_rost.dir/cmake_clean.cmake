@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rost.dir/test_rost.cc.o"
+  "CMakeFiles/test_rost.dir/test_rost.cc.o.d"
+  "test_rost"
+  "test_rost.pdb"
+  "test_rost[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

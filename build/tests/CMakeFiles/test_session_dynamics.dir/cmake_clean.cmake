@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_session_dynamics.dir/test_session_dynamics.cc.o"
+  "CMakeFiles/test_session_dynamics.dir/test_session_dynamics.cc.o.d"
+  "test_session_dynamics"
+  "test_session_dynamics.pdb"
+  "test_session_dynamics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_session_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tree_fuzz.dir/test_tree_fuzz.cc.o"
+  "CMakeFiles/test_tree_fuzz.dir/test_tree_fuzz.cc.o.d"
+  "test_tree_fuzz"
+  "test_tree_fuzz.pdb"
+  "test_tree_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tree_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

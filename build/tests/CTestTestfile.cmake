@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_distributions[1]_include.cmake")
+include("/root/repo/build/tests/test_topology[1]_include.cmake")
+include("/root/repo/build/tests/test_tree[1]_include.cmake")
+include("/root/repo/build/tests/test_session[1]_include.cmake")
+include("/root/repo/build/tests/test_protocols[1]_include.cmake")
+include("/root/repo/build/tests/test_rost[1]_include.cmake")
+include("/root/repo/build/tests/test_referee[1]_include.cmake")
+include("/root/repo/build/tests/test_cer[1]_include.cmake")
+include("/root/repo/build/tests/test_eln[1]_include.cmake")
+include("/root/repo/build/tests/test_recovery[1]_include.cmake")
+include("/root/repo/build/tests/test_streaming[1]_include.cmake")
+include("/root/repo/build/tests/test_scenario[1]_include.cmake")
+include("/root/repo/build/tests/test_session_dynamics[1]_include.cmake")
+include("/root/repo/build/tests/test_gossip[1]_include.cmake")
+include("/root/repo/build/tests/test_packet_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_selection[1]_include.cmake")
+include("/root/repo/build/tests/test_metrics[1]_include.cmake")
+include("/root/repo/build/tests/test_tree_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_packet_eln[1]_include.cmake")
+include("/root/repo/build/tests/test_multi_tree[1]_include.cmake")

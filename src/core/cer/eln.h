@@ -52,7 +52,7 @@ class ElnTracker {
  private:
   void Account(std::int64_t seq, bool via_eln);
 
-  int gap_threshold_;
+  int gap_threshold_ = 0;
   std::int64_t frontier_ = -1;   // all seqs <= frontier_ accounted
   std::int64_t max_seen_ = -1;   // highest seq accounted (any kind)
   std::set<std::int64_t> pending_;      // accounted, above the frontier

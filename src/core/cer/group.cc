@@ -4,11 +4,53 @@
 
 #include "core/cer/mlc.h"
 #include "core/cer/partial_tree.h"
+#include "util/check.h"
 
 namespace omcast::core {
 
 using overlay::NodeId;
 using overlay::Session;
+
+namespace {
+
+// Deep-tier consistency audit of a selected recovery group: the repair
+// protocol addresses stripes (n mod 100) to these members, so a duplicate,
+// the requester itself, the source, or an unusable (dead / detached) member
+// would corrupt the repair accounting downstream.
+void AuditRecoveryGroup(Session& session, NodeId requester, int k,
+                        const std::vector<NodeId>& group) {
+  if constexpr (!omcast::util::kDcheckEnabled) {
+    (void)session;
+    (void)requester;
+    (void)k;
+    (void)group;
+    return;
+  }
+  OMCAST_DCHECK(static_cast<int>(group.size()) <= k,
+                "recovery group must not exceed the requested size");
+  std::vector<NodeId> sorted = group;
+  std::sort(sorted.begin(), sorted.end());
+  OMCAST_DCHECK(std::adjacent_find(sorted.begin(), sorted.end()) ==
+                    sorted.end(),
+                "recovery group members must be distinct");
+  for (NodeId id : group) {
+    OMCAST_DCHECK(id != requester,
+                  "a member must not recover from itself");
+    OMCAST_DCHECK(id != overlay::kRootId,
+                  "the source is never a repair peer");
+    OMCAST_DCHECK(session.tree().Get(id).alive,
+                  "recovery group members must be alive");
+    OMCAST_DCHECK(session.tree().IsRooted(id),
+                  "recovery group members must be attached to the tree");
+  }
+  // The request walk visits members in distance order (nearest first).
+  for (std::size_t i = 1; i < group.size(); ++i)
+    OMCAST_DCHECK(session.DelayMs(requester, group[i - 1]) <=
+                      session.DelayMs(requester, group[i]),
+                  "recovery group must be sorted by network distance");
+}
+
+}  // namespace
 
 std::vector<NodeId> SelectRecoveryGroup(Session& session, NodeId requester,
                                         int k, GroupSelection selection) {
@@ -31,6 +73,7 @@ std::vector<NodeId> SelectRecoveryGroup(Session& session, NodeId requester,
   std::sort(group.begin(), group.end(), [&](NodeId a, NodeId b) {
     return session.DelayMs(requester, a) < session.DelayMs(requester, b);
   });
+  AuditRecoveryGroup(session, requester, k, group);
   return group;
 }
 

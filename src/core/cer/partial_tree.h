@@ -47,6 +47,9 @@ class PartialTree {
   int InternNode(overlay::NodeId id, int layer);
 
   std::vector<Node> nodes_;
+  // Point lookups only (IndexOf/InternNode); traversals (Levels,
+  // Descendants) walk nodes_ in deterministic insertion order instead.
+  // omcast-lint: allow(unordered-iter)
   std::unordered_map<overlay::NodeId, int> index_;
   int root_ = -1;
 };

@@ -74,6 +74,13 @@ OutageResult SimulateOutage(const OutageSpec& spec) {
   }
   result.starving_s =
       static_cast<double>(result.packets_lost) / spec.packet_rate;
+  OMCAST_DCHECK(result.packets_recovered + result.packets_lost ==
+                    result.packets_total,
+                "outage accounting: recovered + lost == total");
+  OMCAST_DCHECK(result.aggregate_rate >= 0.0 && result.aggregate_rate <= 1.0,
+                "aggregate repair rate is a fraction of the stream rate");
+  OMCAST_DCHECK(result.service_start_s >= spec.detect_s,
+                "repair cannot begin before the failure is detected");
   return result;
 }
 

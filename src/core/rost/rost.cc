@@ -94,7 +94,25 @@ bool RostProtocol::TryLock(Session& session, const std::vector<NodeId>& set) {
     if (st.locked_until > now || st.recovering) return false;
   }
   for (NodeId id : set) StateFor(id).locked_until = now + params_.lock_hold_s;
+  AuditLockSet(session, set);
   return true;
+}
+
+void RostProtocol::AuditLockSet(Session& session,
+                                const std::vector<NodeId>& set) {
+  if constexpr (!util::kDcheckEnabled) {
+    (void)session;
+    (void)set;
+    return;
+  }
+  const sim::Time now = session.simulator().now();
+  for (NodeId id : set) {
+    const NodeState& st = StateFor(id);
+    OMCAST_DCHECK(st.locked_until > now,
+                  "acquired lock set member must hold its lock");
+    OMCAST_DCHECK(!st.recovering,
+                  "lock must never be granted over a recovering member");
+  }
 }
 
 void RostProtocol::CheckSwitchNow(Session& session, NodeId id) {
@@ -207,6 +225,9 @@ void RostProtocol::PerformSwitch(Session& session, NodeId child,
   for (NodeId s : tree.Get(parent).children)
     if (s != child) siblings.push_back(s);
   std::vector<NodeId> former = tree.Get(child).children;
+  // Members whose edges the swap rearranges; AuditSwitch checks none are
+  // lost or duplicated once the neighbourhood is reassembled.
+  const std::size_t neighbourhood_size = 2 + siblings.size() + former.size();
 
   // Disassemble the neighbourhood.
   for (NodeId s : siblings) tree.Detach(s);
@@ -242,6 +263,54 @@ void RostProtocol::PerformSwitch(Session& session, NodeId child,
   ++tree.Get(child).reconnections;
   ++tree.Get(parent).reconnections;
   ++switches_;
+  AuditSwitch(session, child, parent, grand, neighbourhood_size);
+}
+
+void RostProtocol::AuditSwitch(Session& session, NodeId child, NodeId parent,
+                               NodeId grand,
+                               std::size_t neighbourhood_size) const {
+  if constexpr (!util::kDcheckEnabled) {
+    (void)session;
+    (void)child;
+    (void)parent;
+    (void)grand;
+    (void)neighbourhood_size;
+    return;
+  }
+  const overlay::Tree& tree = session.tree();
+  const Member& promoted = tree.Get(child);
+  const Member& demoted = tree.Get(parent);
+
+  // Positions after the swap (Fig. 2): child under the grandparent, parent
+  // under the child, layers shifted accordingly.
+  OMCAST_DCHECK(promoted.parent == grand,
+                "switch: promoted child must sit under the grandparent");
+  OMCAST_DCHECK(demoted.parent == child,
+                "switch: demoted parent must sit under the promoted child");
+  OMCAST_DCHECK(promoted.layer + 1 == demoted.layer,
+                "switch: demoted parent must be one layer below");
+
+  // Conservation: the reassembled neighbourhood (promoted node, its new
+  // children, the demoted parent's adopted children) is exactly the set of
+  // members the swap disassembled -- nobody dropped, nobody double-attached.
+  OMCAST_DCHECK(1 + promoted.children.size() + demoted.children.size() ==
+                    neighbourhood_size,
+                "switch: neighbourhood member count must be conserved");
+  OMCAST_DCHECK(static_cast<int>(demoted.children.size()) <= demoted.capacity,
+                "switch: demoted parent must respect its capacity");
+
+  // Every rearranged member is rooted again: the swap must never strand a
+  // fragment (orphans would silently stop receiving the stream).
+  OMCAST_DCHECK(tree.IsRooted(child),
+                "switch: promoted child must be rooted");
+  for (NodeId c : promoted.children)
+    OMCAST_DCHECK(tree.IsRooted(c), "switch: promoted node's children rooted");
+  for (NodeId c : demoted.children)
+    OMCAST_DCHECK(tree.IsRooted(c), "switch: demoted node's children rooted");
+
+  // Full structural audit (O(n)): capacity, layer, parent/child symmetry and
+  // acyclicity over the whole tree.
+  tree.CheckInvariants();
 }
 
 }  // namespace omcast::core

@@ -104,6 +104,16 @@ class RostProtocol final : public overlay::Protocol {
   bool TryLock(overlay::Session& session, const std::vector<overlay::NodeId>& set);
   void PerformSwitch(overlay::Session& session, overlay::NodeId child,
                      overlay::NodeId parent);
+  // Deep-tier (OMCAST_DCHECK) full-tree audit of a completed child-parent
+  // swap: promoted/demoted positions, conservation of the neighbourhood,
+  // and Tree::CheckInvariants() over the whole tree. No-op in Release.
+  void AuditSwitch(overlay::Session& session, overlay::NodeId child,
+                   overlay::NodeId parent, overlay::NodeId grand,
+                   std::size_t neighbourhood_size) const;
+  // Deep-tier audit that every member of an acquired lock set is actually
+  // held (locked_until in the future) and lockable (not recovering).
+  void AuditLockSet(overlay::Session& session,
+                    const std::vector<overlay::NodeId>& set);
 
   RostParams params_;
   std::vector<NodeState> state_;

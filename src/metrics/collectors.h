@@ -70,7 +70,7 @@ class TreeSnapshots {
   void Snap(double end_s);
 
   overlay::Session& session_;
-  double interval_s_;
+  double interval_s_ = 0.0;
   util::RunningStat delay_ms_;
   util::RunningStat stretch_;
   util::RunningStat depth_;
@@ -100,7 +100,7 @@ class MemberTrace {
   void SampleDelay();
 
   overlay::Session& session_;
-  double sample_interval_s_;
+  double sample_interval_s_ = 0.0;
   overlay::NodeId tracked_ = overlay::kNoNode;
   int count_ = 0;
   std::vector<Point> disruptions_;

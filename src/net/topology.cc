@@ -28,9 +28,9 @@ void FloydWarshall(int n, std::vector<double>& dist) {
 // guarantees connectivity, then each non-ring pair gets a chord with
 // probability `chord_prob`. Returns local (a, b, delay) edges.
 struct LocalEdge {
-  int a;
-  int b;
-  double delay;
+  int a = 0;
+  int b = 0;
+  double delay = 0.0;
 };
 
 std::vector<LocalEdge> ConnectedRandomGraph(int n, double chord_prob,

@@ -19,12 +19,12 @@ GossipService::GossipService(Session& session, GossipParams params,
         // ... until it obtains a certain number of known members"); those
         // contacts seed its view, as do the parent and the parent's view.
         const double now = session_.simulator().now();
-        std::vector<Entry> seed = {{parent, now}};
+        std::vector<Entry> bootstrap = {{parent, now}};
         for (NodeId m : rng_.SampleWithoutReplacement(
                  session_.alive_members(),
                  static_cast<std::size_t>(params_.exchange_size)))
-          seed.push_back({m, now});
-        Merge(id, seed);
+          bootstrap.push_back({m, now});
+        Merge(id, bootstrap);
         if (parent != kRootId) Merge(id, SampleSlice(parent));
         Merge(parent, {{id, now}});
       });

@@ -82,6 +82,9 @@ class GossipService final : public MembershipOracle {
   rnd::Rng rng_;
   // Keyed map (not a vector): Tick/Merge hold references across calls that
   // may create other members' views, so reference stability is required.
+  // Never iterated -- all access is point lookup by member id, so the
+  // nondeterministic bucket order cannot leak into gossip decisions.
+  // omcast-lint: allow(unordered-iter)
   std::unordered_map<NodeId, View> views_;
   long exchanges_ = 0;
   long dead_contacts_ = 0;

@@ -25,10 +25,10 @@ class BoundedPareto {
   double hi() const { return hi_; }
 
  private:
-  double shape_;
-  double lo_;
-  double hi_;
-  double tail_at_hi_;  // (lo/hi)^shape, the truncated tail mass
+  double shape_ = 0.0;
+  double lo_ = 0.0;
+  double hi_ = 0.0;
+  double tail_at_hi_ = 0.0;  // (lo/hi)^shape, the truncated tail mass
 };
 
 // Lognormal with the usual (mu, sigma) parameterization of the underlying
@@ -44,8 +44,8 @@ class LognormalDist {
   double sigma() const { return sigma_; }
 
  private:
-  double mu_;
-  double sigma_;
+  double mu_ = 0.0;
+  double sigma_ = 0.0;
 };
 
 // Canonical paper parameters (Section 5).

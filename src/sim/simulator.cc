@@ -9,6 +9,7 @@ namespace omcast::sim {
 EventId Simulator::ScheduleAt(Time t, Callback cb) {
   util::Check(t >= now_, "cannot schedule an event in the past");
   util::Check(static_cast<bool>(cb), "event callback must be callable");
+  OMCAST_DCHECK(t == t, "event time must not be NaN");
   const std::uint64_t id = next_id_++;
   queue_.push(Event{t, next_seq_++, id, std::move(cb)});
   pending_.insert(id);
@@ -20,9 +21,16 @@ EventId Simulator::ScheduleAfter(Time delay, Callback cb) {
   return ScheduleAt(now_ + delay, std::move(cb));
 }
 
-bool Simulator::Cancel(EventId id) { return pending_.erase(id.value) > 0; }
+bool Simulator::Cancel(EventId id) {
+  // Cancelling a handle the simulator never issued is a bookkeeping bug in
+  // the caller (a stale copy from another simulator, or uninitialized state);
+  // kInvalidEventId is the documented "nothing scheduled" value and is fine.
+  OMCAST_DCHECK(id.value < next_id_, "Cancel: event id was never issued");
+  return pending_.erase(id.value) > 0;
+}
 
 bool Simulator::IsPending(EventId id) const {
+  OMCAST_DCHECK(id.value < next_id_, "IsPending: event id was never issued");
   return pending_.contains(id.value);
 }
 
@@ -33,8 +41,17 @@ bool Simulator::RunOne() {
     Event ev = std::move(const_cast<Event&>(queue_.top()));
     queue_.pop();
     if (pending_.erase(ev.id) == 0) continue;  // cancelled
+    // The queue must hand events over in non-decreasing time, FIFO at equal
+    // times: the bit-reproducibility of every run rests on this ordering.
+    OMCAST_DCHECK(ev.time >= now_, "event queue must be time-monotonic");
+    OMCAST_DCHECK(
+        ev.time > now_ || last_seq_at_now_ == std::numeric_limits<std::uint64_t>::max() ||
+            ev.seq > last_seq_at_now_,
+        "events at equal times must fire in scheduling order");
+    last_seq_at_now_ = ev.seq;
     now_ = ev.time;
     ++executed_;
+    if (trace_) trace_(ev.time, ev.id);
     ev.cb();
     return true;
   }

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <queue>
 #include <unordered_set>
 #include <vector>
@@ -31,6 +32,10 @@ inline constexpr EventId kInvalidEventId{0};
 class Simulator {
  public:
   using Callback = std::function<void()>;
+  // Observes every executed event (fired after the clock advanced, before
+  // the callback runs). Used by the seed-replay determinism test to build a
+  // rolling hash of the event trace; must not mutate the simulation.
+  using TraceObserver = std::function<void(Time t, std::uint64_t event_id)>;
 
   Simulator() = default;
   Simulator(const Simulator&) = delete;
@@ -68,11 +73,16 @@ class Simulator {
   // Number of events currently pending.
   std::size_t pending_count() const { return pending_.size(); }
 
+  // Installs (or clears, with nullptr) the per-event trace observer.
+  void SetTraceObserver(TraceObserver observer) {
+    trace_ = std::move(observer);
+  }
+
  private:
   struct Event {
-    Time time;
-    std::uint64_t seq;  // FIFO tie-break at equal times
-    std::uint64_t id;
+    Time time = 0.0;
+    std::uint64_t seq = 0;  // FIFO tie-break at equal times
+    std::uint64_t id = 0;
     Callback cb;
   };
   struct Later {
@@ -89,9 +99,16 @@ class Simulator {
   std::uint64_t next_seq_ = 0;
   std::uint64_t next_id_ = 1;  // 0 is kInvalidEventId
   std::uint64_t executed_ = 0;
+  // Sequence number of the most recently executed event at the current
+  // instant; used by the DCHECK tier to assert FIFO order at equal times.
+  std::uint64_t last_seq_at_now_ = std::numeric_limits<std::uint64_t>::max();
   bool stopped_ = false;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  // Never iterated: membership-only cancellation ledger, so the hash order
+  // cannot leak into protocol decisions.
+  // omcast-lint: allow(unordered-iter)
   std::unordered_set<std::uint64_t> pending_;
+  TraceObserver trace_;
 };
 
 }  // namespace omcast::sim

@@ -151,8 +151,8 @@ void MultiTreeStream::Finalize(double begin_s, double end_s) {
     // Per tree: merged, clipped outage intervals. Then a sweep counting how
     // many descriptions are simultaneously out.
     struct Edge {
-      double t;
-      int delta;
+      double t = 0.0;
+      int delta = 0;
     };
     std::vector<Edge> edges;
     for (int k = 0; k < params_.trees; ++k) {

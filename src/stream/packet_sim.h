@@ -100,7 +100,11 @@ class PacketLevelStream {
   overlay::Session& session_;
   PacketSimParams params_;
   rnd::Rng rng_;
+  // Point lookups keyed by member id; per-member finalization iterates the
+  // session's alive list (a deterministic vector), never these tables.
+  // omcast-lint: allow(unordered-iter)
   std::unordered_map<overlay::NodeId, Reception> rx_;
+  // omcast-lint: allow(unordered-iter)
   std::unordered_set<overlay::NodeId> finalized_;
   std::vector<double> residual_fraction_;
   util::RunningStat ratio_stat_;

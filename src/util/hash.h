@@ -1,0 +1,47 @@
+// Order-sensitive rolling hash (FNV-1a over 64-bit words) for fingerprinting
+// event traces and tree shapes. Two simulation runs are bit-reproducible iff
+// their trace digests match, which is what the seed-replay determinism test
+// asserts (tests/test_determinism_replay.cc).
+//
+// Not a cryptographic hash; collisions are astronomically unlikely for the
+// trace lengths involved but the digest must never feed protocol decisions.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string_view>
+
+namespace omcast::util {
+
+class RollingHash {
+ public:
+  void MixU64(std::uint64_t v) {
+    // FNV-1a, one byte at a time so word boundaries don't cancel out.
+    for (int i = 0; i < 8; ++i) {
+      h_ ^= (v >> (8 * i)) & 0xffu;
+      h_ *= kPrime;
+    }
+  }
+
+  void MixI64(std::int64_t v) { MixU64(static_cast<std::uint64_t>(v)); }
+
+  // Hashes the exact bit pattern: -0.0 and 0.0 digest differently, which is
+  // intentional -- a replay that flips the sign of a zero is not bit-equal.
+  void MixDouble(double v) { MixU64(std::bit_cast<std::uint64_t>(v)); }
+
+  void MixBytes(std::string_view bytes) {
+    for (unsigned char c : bytes) {
+      h_ ^= c;
+      h_ *= kPrime;
+    }
+  }
+
+  std::uint64_t digest() const { return h_; }
+
+ private:
+  static constexpr std::uint64_t kOffsetBasis = 14695981039346656037ULL;
+  static constexpr std::uint64_t kPrime = 1099511628211ULL;
+  std::uint64_t h_ = kOffsetBasis;
+};
+
+}  // namespace omcast::util

@@ -1,0 +1,25 @@
+// Fixture: ordering by raw pointer value must be flagged (ASLR breaks
+// run-to-run reproducibility of any pointer-keyed order).
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+
+struct Node {
+  int id = 0;
+};
+
+std::set<Node*> g_by_address;                        // expect(pointer-sort)
+std::map<Node*, int> g_rank;                         // expect(pointer-sort)
+std::set<Node*, std::less<Node*>> g_explicit_less;   // expect(pointer-sort)
+
+std::uintptr_t AsInt(Node* n) {
+  return reinterpret_cast<std::uintptr_t>(n);  // expect(pointer-sort)
+}
+
+// Annotated: interning table whose order never escapes.
+// omcast-lint: allow(pointer-sort)
+std::map<Node*, int> g_intern;
+
+// Keying by a stable id is the fix:
+std::map<int, Node*> g_by_id;

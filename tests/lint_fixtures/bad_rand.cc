@@ -1,0 +1,24 @@
+// Fixture: unseeded randomness outside src/rand must be flagged.
+#include <cstdlib>
+#include <random>
+
+int UnseededDraw() {
+  std::random_device rd;  // expect(rand)
+  return static_cast<int>(rd());
+}
+
+int LibcRand() {
+  srand(42);         // expect(rand)
+  return rand() % 6; // expect(rand)
+}
+
+// The escape hatch silences an audited site.
+// omcast-lint: allow(rand)
+int AllowedEntropySource() { return static_cast<int>(std::random_device{}()); }
+
+int AllowedSameLine() {
+  return rand();  // omcast-lint: allow(rand)
+}
+
+// Mentions inside comments or strings never count: rand(), random_device.
+const char* kDoc = "call rand() for chaos";

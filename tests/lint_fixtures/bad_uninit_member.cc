@@ -1,0 +1,33 @@
+// Fixture: scalar members without initializers must be flagged; locals in
+// member functions and initialized members must not.
+#include <cstdint>
+#include <vector>
+
+struct Packet {
+  double send_time;     // expect(uninit-member)
+  std::int64_t seq;     // expect(uninit-member)
+  int hops = 0;
+  bool delivered = false;
+  std::vector<int> path;  // non-scalar: default-constructs safely
+};
+
+class Collector {
+ public:
+  explicit Collector(double interval) : interval_s_(interval) { (void)interval_s_; }
+
+  void Tick() {
+    int local_count;  // locals are out of scope for this rule
+    local_count = 0;
+    (void)local_count;
+  }
+
+ private:
+  double interval_s_;  // expect(uninit-member)
+  long samples_ = 0;
+};
+
+struct Annotated {
+  // Set by Reset() before any read; audited 2026-08.
+  // omcast-lint: allow(uninit-member)
+  double scratch;
+};

@@ -1,0 +1,27 @@
+// Fixture: unordered containers and iteration over them must be flagged.
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+struct Registry {
+  std::unordered_map<int, double> weights;  // expect(unordered-iter)
+};
+
+double SumHashOrder() {
+  std::unordered_set<int> ids = {1, 2, 3};  // expect(unordered-iter)
+  double sum = 0.0;
+  for (int id : ids) sum += id;  // expect(unordered-iter)
+  return sum;
+}
+
+// Annotated declaration: point lookups only, never iterated.
+// omcast-lint: allow(unordered-iter)
+std::unordered_map<int, int> g_lookup;
+
+// Deterministic containers are fine.
+std::vector<int> g_order = {1, 2, 3};
+double SumVector() {
+  double sum = 0.0;
+  for (int v : g_order) sum += v;
+  return sum;
+}

@@ -1,0 +1,30 @@
+// Fixture: host-clock reads in simulation code must be flagged.
+#include <chrono>
+#include <ctime>
+
+double HostNow() {
+  auto t = std::chrono::system_clock::now();  // expect(wallclock)
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+double HostSteady() {
+  auto t = std::chrono::steady_clock::now();  // expect(wallclock)
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+long Epoch() {
+  return time(nullptr);  // expect(wallclock)
+}
+
+double BenchClock() {
+  // Annotated: benchmark harness timing, not simulation time.
+  // omcast-lint: allow(wallclock)
+  auto t = std::chrono::high_resolution_clock::now();
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+// A member access named time(...) is not a clock read:
+struct Sim {
+  double time() const { return 0.0; }
+};
+double VirtualTime(const Sim& s) { return s.time(); }

@@ -1,0 +1,85 @@
+// Death tests for the always-on check layer (util::Check / util::Fail) and
+// semantics tests for the deep OMCAST_DCHECK tier: enabled builds abort on
+// violation, disabled builds must not even evaluate the condition.
+#include "util/check.h"
+
+#include <gtest/gtest.h>
+
+#include "util/hash.h"
+
+namespace omcast::util {
+namespace {
+
+TEST(CheckDeathTest, FailingCheckAbortsWithDiagnostic) {
+  EXPECT_DEATH(Check(false, "tree must stay acyclic"),
+               "CHECK failed.*tree must stay acyclic");
+}
+
+TEST(CheckDeathTest, DiagnosticNamesTheCallSite) {
+  EXPECT_DEATH(Check(false, "located"), "test_check_death.cc");
+}
+
+TEST(CheckDeathTest, FailAlwaysAborts) {
+  EXPECT_DEATH(Fail("unreachable branch"), "CHECK failed.*unreachable branch");
+}
+
+TEST(CheckDeathTest, PassingCheckIsSilent) {
+  Check(true, "holds");  // must not abort
+}
+
+TEST(DcheckTest, EnabledTierMatchesBuildConfiguration) {
+#if defined(OMCAST_ENABLE_DCHECK)
+  EXPECT_TRUE(kDcheckEnabled);
+#else
+  EXPECT_FALSE(kDcheckEnabled);
+#endif
+}
+
+TEST(DcheckDeathTest, ViolationAbortsOnlyWhenEnabled) {
+  if (kDcheckEnabled) {
+    EXPECT_DEATH(OMCAST_DCHECK(false, "deep invariant"),
+                 "CHECK failed.*deep invariant");
+  } else {
+    OMCAST_DCHECK(false, "deep invariant");  // compiled out: must not abort
+  }
+}
+
+TEST(DcheckTest, DisabledTierDoesNotEvaluateTheCondition) {
+  int evaluations = 0;
+  auto costly = [&evaluations] {
+    ++evaluations;
+    return true;
+  };
+  OMCAST_DCHECK(costly(), "expensive audit");
+  EXPECT_EQ(evaluations, kDcheckEnabled ? 1 : 0);
+}
+
+TEST(DcheckTest, PassingDcheckIsSilentInEveryTier) {
+  OMCAST_DCHECK(2 + 2 == 4, "arithmetic holds");
+}
+
+TEST(RollingHashTest, OrderSensitiveAndDeterministic) {
+  RollingHash a, b, c;
+  a.MixU64(1);
+  a.MixU64(2);
+  b.MixU64(1);
+  b.MixU64(2);
+  c.MixU64(2);
+  c.MixU64(1);
+  EXPECT_EQ(a.digest(), b.digest());
+  EXPECT_NE(a.digest(), c.digest());
+}
+
+TEST(RollingHashTest, DoubleMixesExactBitPattern) {
+  RollingHash pos, neg;
+  pos.MixDouble(0.0);
+  neg.MixDouble(-0.0);
+  EXPECT_NE(pos.digest(), neg.digest());  // bit-exact, not value-equal
+}
+
+TEST(RollingHashTest, EmptyHashIsTheFnvOffsetBasis) {
+  EXPECT_EQ(RollingHash{}.digest(), 14695981039346656037ULL);
+}
+
+}  // namespace
+}  // namespace omcast::util

@@ -1,0 +1,110 @@
+// Seed-replay determinism test: runs a mid-size churn + gossip + per-packet
+// streaming scenario twice with identical seeds and asserts the rolling hash
+// of the *entire event trace* (every executed simulator event, plus the
+// final tree shape and stream accounting) is bit-identical. Any
+// nondeterminism hazard -- unordered-container iteration order feeding a
+// decision, an unseeded RNG, pointer-valued tie-breaks -- shows up here as a
+// digest mismatch long before it silently skews a figure.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/rost/rost.h"
+#include "net/topology.h"
+#include "overlay/gossip.h"
+#include "overlay/session.h"
+#include "sim/simulator.h"
+#include "stream/packet_sim.h"
+#include "util/hash.h"
+
+namespace omcast {
+namespace {
+
+using overlay::NodeId;
+
+// One full scenario run; everything observable is folded into the digest.
+std::uint64_t RunScenarioDigest(std::uint64_t seed) {
+  sim::Simulator sim;
+  rnd::Rng topo_rng(1);  // fixed topology across seeds; churn varies
+  const net::Topology topology =
+      net::Topology::Generate(net::TinyTopologyParams(), topo_rng);
+
+  overlay::SessionParams sp;
+  sp.rejoin_delay_s = 15.0;  // paper's detection + rejoin outage
+  core::RostParams rp;
+  rp.switching_interval_s = 60.0;
+  overlay::Session session(sim, topology,
+                           std::make_unique<core::RostProtocol>(rp), sp, seed);
+  overlay::GossipService gossip(session, overlay::GossipParams{}, seed + 1);
+  session.SetMembershipOracle(&gossip);
+
+  util::RollingHash hash;
+  sim.SetTraceObserver([&hash](sim::Time t, std::uint64_t id) {
+    hash.MixDouble(t);
+    hash.MixU64(id);
+  });
+
+  session.Prepopulate(80);  // tiny topology holds 96 stub hosts
+  session.StartArrivals(80.0 / 1809.0);
+
+  stream::PacketSimParams pp;
+  pp.packet_rate = 5.0;
+  stream::PacketLevelStream stream(session, pp, seed + 2);
+  stream.Start(120.0);
+
+  sim.RunUntil(300.0);
+  session.StopArrivals();
+  stream.FinalizeAliveMembers();
+
+  // Fold in the end state: tree shape, stream accounting, RNG-driven
+  // population counts. A trace collision would still have to match all of
+  // these to slip through.
+  hash.MixU64(sim.executed_count());
+  hash.MixU64(static_cast<std::uint64_t>(session.alive_count()));
+  hash.MixU64(static_cast<std::uint64_t>(session.total_members_created()));
+  const overlay::Tree& tree = session.tree();
+  for (NodeId id = 0; id < static_cast<NodeId>(tree.size()); ++id) {
+    const overlay::Member& m = tree.Get(id);
+    hash.MixI64(static_cast<std::int64_t>(m.parent));
+    hash.MixI64(m.layer);
+    hash.MixU64(m.alive ? 1 : 0);
+  }
+  hash.MixI64(stream.packets_emitted());
+  hash.MixI64(stream.deliveries());
+  hash.MixI64(stream.repairs_scheduled());
+  hash.MixDouble(stream.ratio_stat().mean());
+  return hash.digest();
+}
+
+TEST(SeedReplayDeterminism, IdenticalSeedsProduceIdenticalTraces) {
+  const std::uint64_t first = RunScenarioDigest(42);
+  const std::uint64_t second = RunScenarioDigest(42);
+  EXPECT_EQ(first, second)
+      << "two runs with the same seed diverged: a nondeterminism hazard "
+         "(hash-order iteration, unseeded RNG, pointer tie-break) is live";
+}
+
+TEST(SeedReplayDeterminism, DifferentSeedsProduceDifferentTraces) {
+  // Sanity check that the digest actually sees the trace: distinct seeds
+  // must yield distinct histories (collision odds are ~2^-64).
+  EXPECT_NE(RunScenarioDigest(42), RunScenarioDigest(43));
+}
+
+TEST(SeedReplayDeterminism, TraceObserverSeesMonotonicTime) {
+  sim::Simulator sim;
+  sim::Time last = 0.0;
+  long observed = 0;
+  sim.SetTraceObserver([&](sim::Time t, std::uint64_t) {
+    EXPECT_GE(t, last);
+    last = t;
+    ++observed;
+  });
+  for (int i = 0; i < 50; ++i)
+    sim.ScheduleAt(static_cast<double>((i * 7) % 10), [] {});
+  sim.Run();
+  EXPECT_EQ(observed, 50);
+  EXPECT_EQ(sim.executed_count(), 50u);
+}
+
+}  // namespace
+}  // namespace omcast

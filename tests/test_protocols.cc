@@ -271,11 +271,11 @@ INSTANTIATE_TEST_SUITE_P(
                                          exp::Algorithm::kRelaxedTo,
                                          exp::Algorithm::kRost),
                        ::testing::Values(1, 2, 3)),
-    [](const auto& info) {
-      std::string name = exp::AlgorithmLabel(std::get<0>(info.param));
+    [](const auto& param_info) {
+      std::string name = exp::AlgorithmLabel(std::get<0>(param_info.param));
       for (char& c : name)
         if (c == '-') c = '_';
-      return name + "_s" + std::to_string(std::get<1>(info.param));
+      return name + "_s" + std::to_string(std::get<1>(param_info.param));
     });
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <memory>
 
 #include "net/topology.h"
@@ -208,9 +209,12 @@ TEST_F(SessionTest, DeterministicGivenSeed) {
     session.Prepopulate(40);
     session.StartArrivals(40.0 / rnd::kMeanLifetimeSeconds);
     sim.RunUntil(500.0);
-    long checksum = session.alive_count();
+    // Unsigned: the polynomial accumulator wraps by design (signed overflow
+    // would be UB, and UBSan rightly trips on it).
+    std::uint64_t checksum = static_cast<std::uint64_t>(session.alive_count());
     for (NodeId id : session.alive_members())
-      checksum = checksum * 31 + session.tree().Get(id).layer;
+      checksum = checksum * 31 +
+                 static_cast<std::uint64_t>(session.tree().Get(id).layer);
     return checksum;
   };
   EXPECT_EQ(run(5), run(5));

@@ -17,6 +17,15 @@ RostProtocol::RostProtocol(RostParams params)
     : params_(params), referees_(params.referee) {
   util::Check(params_.switching_interval_s > 0.0,
               "switching interval must be positive");
+  util::Check(params_.lock_retry_delay_s > 0.0,
+              "lock retry delay must be positive");
+  util::Check(params_.lock_hold_s > 0.0, "lock hold time must be positive");
+  util::Check(params_.lock_request_timeout_s > 0.0,
+              "lock request timeout must be positive");
+  util::Check(params_.lock_lease_s > params_.lock_request_timeout_s,
+              "a lease must outlive the grant-collection window");
+  util::Check(params_.lock_retry_max_backoff >= 1,
+              "lock retry backoff cap must be at least 1");
 }
 
 RostProtocol::NodeState& RostProtocol::StateFor(NodeId id) {
@@ -32,8 +41,48 @@ bool RostProtocol::TryAttach(Session& session, NodeId id) {
   const std::vector<NodeId> candidates =
       session.CollectJoinPool(session.params().candidate_sample_size, id);
   const NodeId parent = proto::PickMinDepthParent(session, candidates, id);
-  if (parent == kNoNode) return false;
-  session.tree().Attach(parent, id);
+  if (parent != kNoNode) {
+    session.tree().Attach(parent, id);
+    return true;
+  }
+  return TryPreemptJoin(session, candidates, id);
+}
+
+bool RostProtocol::TryPreemptJoin(Session& session,
+                                  const std::vector<NodeId>& candidates,
+                                  NodeId id) {
+  overlay::Tree& tree = session.tree();
+  const Member& joiner = tree.Get(id);
+  // The joiner must be able to host the displaced leaf on top of any
+  // fragment children it brings along; otherwise the splice would detach
+  // someone, and a free-rider displacing a free-rider would just ping-pong.
+  if (joiner.capacity - static_cast<int>(joiner.children.size()) < 1)
+    return false;
+  NodeId weakest = kNoNode;
+  for (NodeId c : candidates) {
+    if (c == kRootId) continue;
+    const Member& m = tree.Get(c);
+    if (!m.children.empty()) continue;  // only leaves: nobody else moves
+    if (m.reported_bandwidth >= joiner.reported_bandwidth) continue;
+    if (weakest == kNoNode ||
+        m.reported_bandwidth < tree.Get(weakest).reported_bandwidth ||
+        (m.reported_bandwidth == tree.Get(weakest).reported_bandwidth &&
+         c < weakest))
+      weakest = c;
+  }
+  if (weakest == kNoNode) return false;
+  // Splice: the joiner takes the leaf's slot, the leaf becomes its child.
+  // Rooted fan-out grows by the joiner's spare capacity minus the slot the
+  // leaf re-occupies, so repeated preemptions drain the orphan backlog a
+  // correlated kill leaves behind instead of deadlocking on a full tree.
+  const NodeId slot_parent = tree.Get(weakest).parent;
+  tree.Detach(weakest);
+  tree.Attach(slot_parent, id);
+  tree.Attach(id, weakest);
+  ++tree.Get(weakest).reconnections;
+  ++preempt_joins_;
+  OMCAST_DCHECK(tree.IsRooted(id) && tree.IsRooted(weakest),
+                "preempt join must leave both members rooted");
   return true;
 }
 
@@ -47,9 +96,18 @@ void RostProtocol::OnAttached(Session& session, NodeId id) {
 
 void RostProtocol::OnDeparture(Session& session, NodeId id) {
   NodeState& st = StateFor(id);
-  if (st.timer == sim::kInvalidEventId) return;
-  session.simulator().Cancel(st.timer);
-  st.timer = sim::kInvalidEventId;
+  if (st.timer != sim::kInvalidEventId) {
+    session.simulator().Cancel(st.timer);
+    st.timer = sim::kInvalidEventId;
+  }
+  if (st.handshake != nullptr) {
+    // A dead initiator sends no releases: its own lease and every granted
+    // participant lease are left to their expiry events, so the accounting
+    // identity granted == released + expired still closes.
+    if (st.handshake->timeout != sim::kInvalidEventId)
+      session.simulator().Cancel(st.handshake->timeout);
+    st.handshake.reset();
+  }
 }
 
 void RostProtocol::OnOrphaned(Session&, NodeId id) {
@@ -119,11 +177,230 @@ void RostProtocol::CheckSwitchNow(Session& session, NodeId id) {
   CheckSwitch(session, id);
 }
 
+// --- lease-path handshake ---------------------------------------------------
+
+void RostProtocol::StartHandshake(Session& session, NodeId id, NodeId parent,
+                                  std::vector<NodeId> lock_set) {
+  NodeState& st = StateFor(id);
+  auto hs = std::make_unique<Handshake>();
+  hs->serial = ++st.handshake_serial;
+  hs->parent = parent;
+  for (NodeId n : lock_set)
+    if (n != id) hs->participants.push_back(n);
+  hs->granted.assign(hs->participants.size(), 0);
+  hs->lease_serial.assign(hs->participants.size(), 0);
+  // The initiator leases itself locally; messages cover everyone else.
+  hs->self_lease_serial = GrantLease(session, id, id);
+  const std::uint64_t serial = hs->serial;
+  hs->timeout = session.simulator().ScheduleAfter(
+      params_.lock_request_timeout_s,
+      [this, &session, id, serial] { OnLockTimeout(session, id, serial); });
+  StateFor(id).handshake = std::move(hs);
+  for (NodeId p : StateFor(id).handshake->participants) {
+    const double hop = session.DelayMs(id, p) / 1000.0;
+    fault_plane_->Deliver(id, p, hop, [this, &session, p, id, serial] {
+      OnLockRequest(session, p, id, serial);
+    });
+  }
+}
+
+void RostProtocol::OnLockRequest(Session& session, NodeId participant,
+                                 NodeId holder, std::uint64_t hs_serial) {
+  // A dead participant is simply silent; the initiator's timeout covers it.
+  if (!session.tree().Get(participant).alive) return;
+  const sim::Time now = session.simulator().now();
+  const double hop = session.DelayMs(participant, holder) / 1000.0;
+  NodeState& ps = StateFor(participant);
+  if (ps.lease_held && ps.lease_holder == holder) {
+    // Duplicated request: re-send the grant idempotently (same serial, so
+    // the initiator's dedup and the eventual release still line up).
+    const std::uint64_t lease = ps.lease_serial;
+    fault_plane_->Deliver(
+        participant, holder, hop,
+        [this, &session, holder, participant, hs_serial, lease] {
+          OnLockGrant(session, holder, participant, hs_serial, lease);
+        });
+    return;
+  }
+  if (ps.locked_until > now || ps.recovering) {
+    fault_plane_->Deliver(participant, holder, hop,
+                          [this, &session, holder, hs_serial] {
+                            OnLockDeny(session, holder, hs_serial);
+                          });
+    return;
+  }
+  const std::uint64_t lease = GrantLease(session, participant, holder);
+  fault_plane_->Deliver(
+      participant, holder, hop,
+      [this, &session, holder, participant, hs_serial, lease] {
+        OnLockGrant(session, holder, participant, hs_serial, lease);
+      });
+}
+
+void RostProtocol::OnLockGrant(Session& session, NodeId holder,
+                               NodeId participant, std::uint64_t hs_serial,
+                               std::uint64_t lease_serial) {
+  NodeState& st = StateFor(holder);
+  Handshake* hs = st.handshake.get();
+  if (hs == nullptr || hs->serial != hs_serial) {
+    // Late grant for an abandoned attempt: free the participant early
+    // rather than letting its lease run out (a dead holder stays silent,
+    // leaving the lease to expire).
+    if (session.tree().Get(holder).alive)
+      SendRelease(session, holder, participant, lease_serial);
+    return;
+  }
+  for (std::size_t i = 0; i < hs->participants.size(); ++i) {
+    if (hs->participants[i] != participant) continue;
+    if (hs->granted[i]) return;  // duplicated grant message
+    hs->granted[i] = 1;
+    hs->lease_serial[i] = lease_serial;
+    ++hs->grants;
+    break;
+  }
+  if (hs->grants == static_cast<int>(hs->participants.size()))
+    CompleteHandshake(session, holder);
+}
+
+void RostProtocol::OnLockDeny(Session& session, NodeId holder,
+                              std::uint64_t hs_serial) {
+  NodeState& st = StateFor(holder);
+  if (st.handshake == nullptr || st.handshake->serial != hs_serial) return;
+  ++lock_conflicts_;
+  FailHandshake(session, holder);
+}
+
+void RostProtocol::OnLockTimeout(Session& session, NodeId holder,
+                                 std::uint64_t hs_serial) {
+  NodeState& st = StateFor(holder);
+  if (st.handshake == nullptr || st.handshake->serial != hs_serial) return;
+  st.handshake->timeout = sim::kInvalidEventId;  // this event just fired
+  ++lock_timeouts_;
+  FailHandshake(session, holder);
+}
+
+void RostProtocol::CompleteHandshake(Session& session, NodeId holder) {
+  const Handshake& hs = *StateFor(holder).handshake;
+  // Re-validate before swapping: the tree may have drifted while grants
+  // were in flight (a neighbour died, a newcomer attached under the parent,
+  // the member was re-parented). The leases only cover the neighbourhood
+  // captured at initiation; any drift means the swap would rearrange edges
+  // nobody locked, so abort and release.
+  const Member& m = session.tree().Get(holder);
+  bool valid =
+      m.alive && m.parent == hs.parent && session.tree().IsRooted(holder);
+  if (valid) {
+    std::vector<NodeId> current = BuildLockSet(session, holder, hs.parent);
+    std::vector<NodeId> locked = hs.participants;
+    locked.push_back(holder);
+    std::sort(current.begin(), current.end());
+    std::sort(locked.begin(), locked.end());
+    valid = current == locked;
+  }
+  if (!valid) {
+    ++handshake_aborts_;
+    TearDownHandshake(session, holder);
+    ScheduleCheck(session, holder, params_.switching_interval_s);
+    return;
+  }
+  if (!SwitchConditionHolds(session, holder, hs.parent)) {
+    // The BTPs moved on while the handshake ran; nothing to do after all.
+    TearDownHandshake(session, holder);
+    StateFor(holder).failed_attempts = 0;
+    ScheduleCheck(session, holder, params_.switching_interval_s);
+    return;
+  }
+  if (!SwitchFeasible(session, holder, hs.parent)) {
+    ++infeasible_;
+    TearDownHandshake(session, holder);
+    ScheduleCheck(session, holder, params_.switching_interval_s);
+    return;
+  }
+  const NodeId parent = hs.parent;
+  PerformSwitch(session, holder, parent);
+  TearDownHandshake(session, holder);
+  StateFor(holder).failed_attempts = 0;
+  ScheduleCheck(session, holder, params_.switching_interval_s);
+}
+
+void RostProtocol::FailHandshake(Session& session, NodeId holder) {
+  TearDownHandshake(session, holder);
+  RetryAfterFailure(session, holder);
+}
+
+void RostProtocol::TearDownHandshake(Session& session, NodeId holder) {
+  NodeState& st = StateFor(holder);
+  util::Check(st.handshake != nullptr, "no handshake to tear down");
+  const Handshake hs = std::move(*st.handshake);
+  st.handshake.reset();
+  if (hs.timeout != sim::kInvalidEventId)
+    session.simulator().Cancel(hs.timeout);
+  ReleaseLease(session, holder, holder, hs.self_lease_serial);
+  for (std::size_t i = 0; i < hs.participants.size(); ++i)
+    if (hs.granted[i])
+      SendRelease(session, holder, hs.participants[i], hs.lease_serial[i]);
+}
+
+std::uint64_t RostProtocol::GrantLease(Session& session, NodeId node,
+                                       NodeId holder) {
+  NodeState& st = StateFor(node);
+  const sim::Time now = session.simulator().now();
+  st.locked_until = now + params_.lock_lease_s;
+  st.lease_held = true;
+  st.lease_holder = holder;
+  const std::uint64_t serial = ++st.lease_serial;
+  ++leases_granted_;
+  // Expiry is unconditional bookkeeping, deliberately independent of the
+  // node's liveness: a participant that dies holding a lease is reaped
+  // here, which is what makes a wedged lock impossible.
+  session.simulator().ScheduleAt(st.locked_until, [this, node, serial] {
+    NodeState& s = StateFor(node);
+    if (s.lease_held && s.lease_serial == serial) {
+      s.lease_held = false;
+      s.lease_holder = kNoNode;
+      ++leases_expired_;
+    }
+  });
+  return serial;
+}
+
+void RostProtocol::ReleaseLease(Session& session, NodeId node, NodeId holder,
+                                std::uint64_t lease_serial) {
+  NodeState& st = StateFor(node);
+  // The serial disambiguates: a delayed release from an old attempt must
+  // not free a lease the same holder re-acquired since.
+  if (!st.lease_held || st.lease_holder != holder ||
+      st.lease_serial != lease_serial)
+    return;
+  st.lease_held = false;
+  st.lease_holder = kNoNode;
+  st.locked_until = session.simulator().now();
+  ++leases_released_;
+}
+
+void RostProtocol::SendRelease(Session& session, NodeId holder,
+                               NodeId participant, std::uint64_t lease_serial) {
+  const double hop = session.DelayMs(holder, participant) / 1000.0;
+  fault_plane_->Deliver(holder, participant, hop,
+                        [this, &session, participant, holder, lease_serial] {
+                          ReleaseLease(session, participant, holder,
+                                       lease_serial);
+                        });
+}
+
+long RostProtocol::WedgedLeases(sim::Time now) const {
+  long wedged = 0;
+  for (const NodeState& st : state_)
+    if (st.lease_held && st.locked_until < now) ++wedged;
+  return wedged;
+}
+
 void RostProtocol::CheckSwitch(Session& session, NodeId id) {
   overlay::Tree& tree = session.tree();
   Member& m = tree.Get(id);
   if (!m.alive) return;
   StateFor(id).timer = sim::kInvalidEventId;
+  if (StateFor(id).handshake != nullptr) return;  // attempt already in flight
 
   // While detached (rejoining) or inside an orphaned fragment, just keep
   // the periodic check alive.
@@ -139,15 +416,27 @@ void RostProtocol::CheckSwitch(Session& session, NodeId id) {
   }
 
   if (!SwitchConditionHolds(session, id, parent)) {
+    StateFor(id).failed_attempts = 0;
     ScheduleCheck(session, id, params_.switching_interval_s);
     return;
   }
 
-  // Lock set: self, parent, grandparent, own children, siblings.
-  std::vector<NodeId> lock_set = {id, parent, tree.Get(parent).parent};
-  for (NodeId c : m.children) lock_set.push_back(c);
-  for (NodeId s : tree.Get(parent).children)
-    if (s != id) lock_set.push_back(s);
+  std::vector<NodeId> lock_set = BuildLockSet(session, id, parent);
+
+  if (fault_plane_ != nullptr) {
+    // Lease path: the lock set is assembled by messages that can be lost;
+    // only the self-lock is local.
+    const sim::Time now = session.simulator().now();
+    NodeState& st = StateFor(id);
+    if (st.locked_until > now || st.recovering) {
+      ++lock_conflicts_;
+      RetryAfterFailure(session, id);
+      return;
+    }
+    StartHandshake(session, id, parent, std::move(lock_set));
+    return;
+  }
+
   if (!TryLock(session, lock_set)) {
     ++lock_conflicts_;
     ScheduleCheck(session, id, params_.lock_retry_delay_s);
@@ -162,6 +451,27 @@ void RostProtocol::CheckSwitch(Session& session, NodeId id) {
 
   PerformSwitch(session, id, parent);
   ScheduleCheck(session, id, params_.switching_interval_s);
+}
+
+std::vector<NodeId> RostProtocol::BuildLockSet(Session& session, NodeId id,
+                                               NodeId parent) const {
+  // Lock set: self, parent, grandparent, own children, siblings.
+  const overlay::Tree& tree = session.tree();
+  std::vector<NodeId> lock_set = {id, parent, tree.Get(parent).parent};
+  for (NodeId c : tree.Get(id).children) lock_set.push_back(c);
+  for (NodeId s : tree.Get(parent).children)
+    if (s != id) lock_set.push_back(s);
+  return lock_set;
+}
+
+void RostProtocol::RetryAfterFailure(Session& session, NodeId id) {
+  NodeState& st = StateFor(id);
+  ++st.failed_attempts;
+  ++lock_retries_;
+  const int shift = std::min(st.failed_attempts - 1, 20);
+  const double mult = std::min(static_cast<double>(1L << shift),
+                               static_cast<double>(params_.lock_retry_max_backoff));
+  ScheduleCheck(session, id, params_.lock_retry_delay_s * mult);
 }
 
 bool RostProtocol::SwitchConditionHolds(Session& session, NodeId id,

@@ -1,0 +1,166 @@
+#include "exp/chaos.h"
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "util/check.h"
+
+namespace omcast::exp {
+
+using overlay::kNoNode;
+using overlay::NodeId;
+
+namespace {
+
+double ArrivalRate(int population) {
+  return static_cast<double>(population) / rnd::kMeanLifetimeSeconds;
+}
+
+// Kills every alive member hosted in `domain`. The victim list is collected
+// before the first kill: DepartNow mutates the alive list.
+int KillDomain(overlay::Session& session, const net::Topology& topology,
+               int domain) {
+  std::vector<NodeId> victims;
+  for (NodeId id : session.alive_members())
+    if (topology.DomainOf(session.tree().Get(id).host) == domain)
+      victims.push_back(id);
+  for (NodeId id : victims)
+    if (session.tree().Get(id).alive) session.DepartNow(id);
+  return static_cast<int>(victims.size());
+}
+
+int KillFlash(overlay::Session& session, rnd::Rng& rng, int count) {
+  const std::vector<NodeId> victims = rng.SampleWithoutReplacement(
+      session.alive_members(), static_cast<std::size_t>(count));
+  for (NodeId id : victims)
+    if (session.tree().Get(id).alive) session.DepartNow(id);
+  return static_cast<int>(victims.size());
+}
+
+// Starts a repair by killing the alive member with the most children (ties
+// to the lowest id), i.e. the death that orphans the widest fragment. The
+// root is off limits: it is the source, not a failure candidate.
+void KillBusiestParent(overlay::Session& session) {
+  NodeId victim = kNoNode;
+  std::size_t most = 0;
+  for (NodeId id : session.alive_members()) {
+    if (id == overlay::kRootId) continue;
+    const std::size_t n = session.tree().Get(id).children.size();
+    if (n == 0) continue;
+    if (n > most || (n == most && id < victim)) {
+      victim = id;
+      most = n;
+    }
+  }
+  if (victim != kNoNode) session.DepartNow(victim);
+}
+
+}  // namespace
+
+ChaosResult RunChaosScenario(const net::Topology& topology,
+                             const ChaosConfig& config) {
+  sim::Simulator simulator;
+  std::unique_ptr<overlay::Protocol> protocol =
+      MakeProtocol(config.algorithm, config.rost);
+  auto* rost = config.algorithm == Algorithm::kRost
+                   ? static_cast<core::RostProtocol*>(protocol.get())
+                   : nullptr;
+
+  overlay::SessionParams sp = config.session;
+  sp.external_failure_detection = config.use_heartbeats;
+  // The packet simulator requires the rejoin delay to cover its detection
+  // time; the harness keeps mismatched configs runnable.
+  sp.rejoin_delay_s = std::max(sp.rejoin_delay_s, config.packet.detect_s);
+
+  overlay::Session session(simulator, topology, std::move(protocol), sp,
+                           config.seed);
+  sim::FaultPlane fault_plane(simulator, config.fault,
+                              config.seed ^ 0x9e3779b97f4a7c15ULL);
+  if (rost != nullptr) rost->SetFaultPlane(&fault_plane);
+
+  std::optional<overlay::HeartbeatService> heartbeat;
+  if (config.use_heartbeats)
+    heartbeat.emplace(session, config.heartbeat, config.seed ^ 0xbea7ULL,
+                      &fault_plane);
+
+  std::optional<overlay::GossipService> gossip;
+  if (config.use_gossip) {
+    gossip.emplace(session, config.gossip, config.seed ^ 0x60551bULL);
+    gossip->SetFaultPlane(&fault_plane);
+    session.SetMembershipOracle(&*gossip);
+  }
+
+  stream::PacketLevelStream stream(session, config.packet,
+                                   config.seed ^ 0x5151ULL);
+  stream.SetFaultPlane(&fault_plane);
+
+  rnd::Rng chaos_rng(config.seed ^ 0xc4a05ULL);
+  ChaosResult r;
+
+  session.Prepopulate(config.population);
+  session.StartArrivals(ArrivalRate(config.population));
+  simulator.RunUntil(config.warmup_s);
+
+  const double t0 = simulator.now();
+  stream.Start(config.stream_s);
+
+  if (config.domain_kill_at_s >= 0.0) {
+    simulator.ScheduleAt(t0 + config.domain_kill_at_s, [&] {
+      r.domain_members_killed =
+          KillDomain(session, topology, config.domain_kill_index);
+    });
+  }
+  if (config.flash_at_s >= 0.0 && config.flash_departures > 0) {
+    simulator.ScheduleAt(t0 + config.flash_at_s, [&] {
+      r.flash_members_killed =
+          KillFlash(session, chaos_rng, config.flash_departures);
+    });
+  }
+  if (config.mid_repair_kill_at_s >= 0.0) {
+    simulator.ScheduleAt(t0 + config.mid_repair_kill_at_s, [&] {
+      KillBusiestParent(session);
+      // Once the repair stripes are serving, kill the first active server.
+      simulator.ScheduleAfter(config.packet.detect_s + 1.0, [&] {
+        for (NodeId server : stream.ActiveRepairServers()) {
+          if (server == overlay::kRootId) continue;
+          if (!session.tree().Get(server).alive) continue;
+          session.DepartNow(server);
+          r.mid_repair_kill_fired = true;
+          break;
+        }
+      });
+    });
+  }
+
+  simulator.RunUntil(t0 + config.stream_s);
+  session.StopArrivals();
+  simulator.RunUntil(t0 + config.stream_s + config.drain_s);
+  stream.FinalizeAliveMembers();
+
+  // Churn continues through the drain, so members whose parent died in the
+  // last few seconds are legitimately still detached. Sample them, give
+  // them one settle window (failure detection + rejoin retries), and count
+  // only the ones that still failed to reattach.
+  std::vector<NodeId> adrift;
+  for (NodeId id : session.alive_members())
+    if (!session.tree().IsRooted(id)) adrift.push_back(id);
+  simulator.RunUntil(simulator.now() + config.settle_s);
+  for (NodeId id : adrift)
+    if (session.tree().Get(id).alive && !session.tree().IsRooted(id))
+      ++r.unrooted_members;
+
+  const sim::Time now = simulator.now();
+  r.counters = metrics::CollectChaosCounters(
+      &fault_plane, heartbeat ? &*heartbeat : nullptr, rost,
+      gossip ? &*gossip : nullptr, &stream, now);
+  r.avg_starving_ratio = stream.ratio_stat().mean();
+  r.ci95 = stream.ratio_stat().ci95_half_width();
+  r.members = static_cast<int>(stream.ratio_stat().count());
+  r.zero_wedged_locks = rost == nullptr || rost->WedgedLeases(now) == 0;
+  r.final_population = session.alive_count();
+  return r;
+}
+
+}  // namespace omcast::exp

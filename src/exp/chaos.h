@@ -1,0 +1,100 @@
+// Chaos harness: runs a streaming session with every control path routed
+// through a lossy FaultPlane while injecting correlated failures, then
+// checks the hardening held up.
+//
+// The fault model attacks exactly the assumptions the oracle experiments
+// make for free:
+//
+//   * heartbeat detection replaces the fixed detect/rejoin oracle, so
+//     orphans discover parent deaths through (lossy) silence;
+//   * ROST's lock handshake runs over messages with leases and timeouts,
+//     so lost releases or dead holders cannot wedge the tree;
+//   * gossip slices and ELN notifications can be lost or delayed;
+//   * injectable failure patterns: one correlated stub-domain kill (every
+//     member hosted in the domain dies at once), a flash crowd of
+//     simultaneous random departures, and a recovery-group member killed
+//     mid-repair while it is serving CER stripes.
+//
+// Everything is seeded: the same config produces bit-identical runs (the
+// chaos regression tests replay schedules and compare rolling-hash traces).
+#pragma once
+
+#include "exp/scenario.h"
+#include "metrics/chaos_counters.h"
+#include "overlay/gossip.h"
+#include "overlay/heartbeat.h"
+#include "sim/fault_plane.h"
+#include "stream/packet_sim.h"
+
+namespace omcast::exp {
+
+struct ChaosConfig {
+  int population = 200;       // steady-state size
+  double warmup_s = 600.0;    // equilibration before the stream starts
+  double stream_s = 120.0;    // packet-level stream length
+  // Settling time after the stream: in-flight leases expire or release,
+  // orphans finish rejoining. Should exceed rost.lock_lease_s and the
+  // heartbeat suspicion timeout.
+  double drain_s = 120.0;
+  // Churn never stops, so a member whose parent died seconds before the
+  // drain ends is legitimately (still) unrooted. Members found unrooted at
+  // drain end get this long -- detection plus rejoin retries -- to recover;
+  // only the ones still adrift afterwards count as failures.
+  double settle_s = 30.0;
+  std::uint64_t seed = 1;
+  Algorithm algorithm = Algorithm::kRost;
+
+  sim::FaultPlaneParams fault;  // loss/dup/jitter for every control message
+
+  bool use_heartbeats = true;  // heartbeat detection instead of the oracle
+  overlay::HeartbeatParams heartbeat;
+  bool use_gossip = false;  // real gossip membership over the fault plane
+  overlay::GossipParams gossip;
+
+  // --- failure injection (times relative to stream start; <0 disables) ----
+  // Correlated kill: every member hosted in stub domain `domain_kill_index`
+  // departs simultaneously at domain_kill_at_s.
+  double domain_kill_at_s = -1.0;
+  int domain_kill_index = 0;
+  // Flash departure: `flash_departures` random members die at flash_at_s.
+  double flash_at_s = -1.0;
+  int flash_departures = 0;
+  // Mid-repair kill: at mid_repair_kill_at_s a parent with children is
+  // killed to start a CER repair; once its stripes are serving, the first
+  // active recovery-group server is killed too, forcing a stripe failover.
+  double mid_repair_kill_at_s = -1.0;
+
+  core::RostParams rost;            // algorithm == kRost
+  overlay::SessionParams session;   // external_failure_detection is set
+                                    // from use_heartbeats by the runner
+  stream::PacketSimParams packet;
+};
+
+struct ChaosResult {
+  metrics::ChaosCounters counters;
+
+  // Starving-time ratio over finalized members (as RunStreamScenario, but
+  // from the packet-level ground truth).
+  double avg_starving_ratio = 0.0;
+  double ci95 = 0.0;
+  int members = 0;
+
+  // What the injections actually hit.
+  int domain_members_killed = 0;
+  int flash_members_killed = 0;
+  bool mid_repair_kill_fired = false;
+
+  // --- post-drain health ---------------------------------------------------
+  // No lease is held past its expiry (a wedged lock would deadlock
+  // switching forever). Must always be true.
+  bool zero_wedged_locks = false;
+  // Members unrooted at drain end that were still alive and unrooted after
+  // the settle window: orphans the hardened protocol failed to reattach.
+  int unrooted_members = 0;
+  long final_population = 0;
+};
+
+ChaosResult RunChaosScenario(const net::Topology& topology,
+                             const ChaosConfig& config);
+
+}  // namespace omcast::exp

@@ -1,0 +1,71 @@
+#include "metrics/chaos_counters.h"
+
+#include <sstream>
+
+namespace omcast::metrics {
+
+ChaosCounters CollectChaosCounters(const sim::FaultPlane* fault_plane,
+                                   const overlay::HeartbeatService* heartbeat,
+                                   const core::RostProtocol* rost,
+                                   const overlay::GossipService* gossip,
+                                   const stream::PacketLevelStream* stream,
+                                   sim::Time now) {
+  ChaosCounters c;
+  if (fault_plane != nullptr) {
+    c.messages_sent = fault_plane->messages_sent();
+    c.messages_dropped = fault_plane->messages_dropped();
+    c.messages_duplicated = fault_plane->messages_duplicated();
+    c.messages_delivered = fault_plane->messages_delivered();
+  }
+  if (heartbeat != nullptr) {
+    c.heartbeats_sent = heartbeat->heartbeats_sent();
+    c.detections = heartbeat->detections();
+    c.false_suspicions = heartbeat->false_suspicions();
+    c.mean_detection_latency_s = heartbeat->detection_latency().count() > 0
+                                     ? heartbeat->detection_latency().mean()
+                                     : 0.0;
+  }
+  if (rost != nullptr) {
+    c.leases_granted = rost->leases_granted();
+    c.leases_released = rost->leases_released();
+    c.leases_expired = rost->leases_expired();
+    c.leases_outstanding = rost->leases_outstanding();
+    c.wedged_leases = rost->WedgedLeases(now);
+    c.lock_timeouts = rost->lock_timeouts();
+    c.lock_retries = rost->lock_retries();
+    c.handshake_aborts = rost->handshake_aborts();
+    c.preempt_joins = rost->preempt_joins();
+  }
+  if (gossip != nullptr) c.stale_view_rejections = gossip->stale_rejections();
+  if (stream != nullptr) {
+    c.repairs_scheduled = stream->repairs_scheduled();
+    c.eln_sent = stream->eln_notifications_sent();
+    c.stripe_failovers = stream->stripe_failovers();
+    c.short_group_fallbacks = stream->short_group_fallbacks();
+  }
+  return c;
+}
+
+std::string FormatChaosCounters(const ChaosCounters& c) {
+  std::ostringstream os;
+  os << "control plane: sent " << c.messages_sent << ", dropped "
+     << c.messages_dropped << ", duplicated " << c.messages_duplicated
+     << ", delivered " << c.messages_delivered << "\n"
+     << "heartbeats:    sent " << c.heartbeats_sent << ", detections "
+     << c.detections << ", false suspicions " << c.false_suspicions
+     << ", mean latency " << c.mean_detection_latency_s << " s\n"
+     << "lock leases:   granted " << c.leases_granted << ", released "
+     << c.leases_released << ", expired " << c.leases_expired
+     << ", outstanding " << c.leases_outstanding << ", wedged "
+     << c.wedged_leases << "\n"
+     << "lock control:  timeouts " << c.lock_timeouts << ", retries "
+     << c.lock_retries << ", aborts " << c.handshake_aborts << "\n"
+     << "join:          preempt joins " << c.preempt_joins << "\n"
+     << "gossip:        stale rejections " << c.stale_view_rejections << "\n"
+     << "repair:        scheduled " << c.repairs_scheduled << ", ELN sent "
+     << c.eln_sent << ", stripe failovers " << c.stripe_failovers
+     << ", short groups " << c.short_group_fallbacks << "\n";
+  return os.str();
+}
+
+}  // namespace omcast::metrics

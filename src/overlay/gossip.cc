@@ -80,7 +80,10 @@ void GossipService::Merge(NodeId member, const std::vector<Entry>& incoming) {
     // Refuse entries that are already past the TTL: without this filter
     // stale records circulate between views as an epidemic, re-entering
     // each view faster than its periodic prune can remove them.
-    if (now - in.heard_at > params_.entry_ttl_s) continue;
+    if (now - in.heard_at > params_.entry_ttl_s) {
+      ++stale_rejections_;
+      continue;
+    }
     if (in.id == member || in.id == kRootId) {
       if (in.id == member) continue;
       // The source is implicitly known (bootstrap); keep it out of views so
@@ -137,9 +140,28 @@ void GossipService::Tick(NodeId member) {
     }
     // Push-pull: exchange random slices.
     const auto mine = SampleSlice(member);
-    const auto theirs = SampleSlice(partner);
-    Merge(partner, mine);
-    Merge(member, theirs);
+    if (fault_plane_ == nullptr) {
+      const auto theirs = SampleSlice(partner);
+      Merge(partner, mine);
+      Merge(member, theirs);
+    } else {
+      // The request carries our slice; the partner merges it on arrival and
+      // replies with its own. Either leg can be lost, duplicated (Merge is
+      // idempotent) or delayed past the TTL (Merge rejects, counted).
+      const double hop = session_.DelayMs(member, partner) / 1000.0;
+      fault_plane_->Deliver(
+          member, partner, hop, [this, member, partner, hop, mine] {
+            if (!session_.tree().Get(partner).alive) return;
+            Merge(partner, mine);
+            const auto theirs = SampleSlice(partner);
+            fault_plane_->Deliver(partner, member, hop,
+                                  [this, member, theirs] {
+                                    if (!session_.tree().Get(member).alive)
+                                      return;
+                                    Merge(member, theirs);
+                                  });
+          });
+    }
     view.entries[pick].heard_at = now;  // the contact itself is fresh news
     ++exchanges_;
     break;

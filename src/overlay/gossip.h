@@ -25,6 +25,7 @@
 
 #include "overlay/session.h"
 #include "rand/rng.h"
+#include "sim/fault_plane.h"
 
 namespace omcast::overlay {
 
@@ -44,12 +45,25 @@ class GossipService final : public MembershipOracle {
   std::vector<NodeId> KnownMembers(Session& session, NodeId requester,
                                    int k) override;
 
+  // Routes exchange slices over real (lossy, delayed) messages: a lost
+  // request drops the whole push-pull, a lost reply drops the pull half,
+  // and delayed slices can arrive stale (rejected by Merge's TTL filter,
+  // counted in stale_rejections). The plane must outlive the run; nullptr
+  // restores the synchronous exchange.
+  void SetFaultPlane(sim::FaultPlane* fault_plane) {
+    fault_plane_ = fault_plane;
+  }
+
   // --- introspection (tests / ablation) -----------------------------------
   std::size_t ViewSize(NodeId member) const;
   // Fraction of the member's view entries that are currently alive.
   double LiveFraction(NodeId member) const;
   long exchanges_performed() const { return exchanges_; }
   long dead_contacts() const { return dead_contacts_; }
+  // Incoming records already past the TTL when they arrived (only possible
+  // when a FaultPlane delays slices in flight); rejecting them keeps stale
+  // views from circulating as an epidemic.
+  long stale_rejections() const { return stale_rejections_; }
   // Ages (now - heard_at) of the member's view entries, for tests.
   std::vector<double> EntryAges(NodeId member, double now) const;
   // Number of gossip ticks the member has executed (tests/debug).
@@ -86,8 +100,10 @@ class GossipService final : public MembershipOracle {
   // nondeterministic bucket order cannot leak into gossip decisions.
   // omcast-lint: allow(unordered-iter)
   std::unordered_map<NodeId, View> views_;
+  sim::FaultPlane* fault_plane_ = nullptr;  // nullptr: synchronous exchange
   long exchanges_ = 0;
   long dead_contacts_ = 0;
+  long stale_rejections_ = 0;
 };
 
 }  // namespace omcast::overlay

@@ -1,0 +1,128 @@
+#include "overlay/heartbeat.h"
+
+#include "util/check.h"
+
+namespace omcast::overlay {
+
+HeartbeatService::HeartbeatService(Session& session, HeartbeatParams params,
+                                   std::uint64_t seed,
+                                   sim::FaultPlane* fault_plane)
+    : session_(session),
+      params_(params),
+      rng_(seed),
+      fault_plane_(fault_plane) {
+  util::Check(params_.period_s > 0.0, "heartbeat period must be positive");
+  util::Check(params_.miss_threshold >= 1,
+              "suspicion needs at least one missed heartbeat");
+  session_.hooks().AddOnAttached([this](NodeId id, NodeId) {
+    StartSender(id);
+    StateFor(id).parent_died_at = -1.0;
+    ArmMonitor(id);
+  });
+  session_.hooks().AddOnDeparture([this](NodeId departed) {
+    // Stamp the actual death time on each soon-to-be orphan for the
+    // detection-latency metric (fires before the tree is modified).
+    const sim::Time now = session_.simulator().now();
+    for (NodeId c : session_.tree().Get(departed).children)
+      StateFor(c).parent_died_at = now;
+  });
+  session_.hooks().AddOnMemberDeparted(
+      [this](const Member& m) { StopAll(m.id); });
+  // The source never joins, so no OnAttached fires for it; it heartbeats
+  // its children from the start.
+  StartSender(kRootId);
+}
+
+HeartbeatService::State& HeartbeatService::StateFor(NodeId id) {
+  if (state_.size() <= static_cast<std::size_t>(id))
+    state_.resize(static_cast<std::size_t>(id) + 1);
+  return state_[static_cast<std::size_t>(id)];
+}
+
+void HeartbeatService::StartSender(NodeId id) {
+  State& st = StateFor(id);
+  if (st.sender != sim::kInvalidEventId) return;  // already beating
+  // Random phase: deployments do not fire their timers in lockstep.
+  st.sender = session_.simulator().ScheduleAfter(
+      rng_.Uniform(0.0, params_.period_s), [this, id] { SendBeats(id); });
+}
+
+void HeartbeatService::SendBeats(NodeId id) {
+  State& st = StateFor(id);
+  st.sender = sim::kInvalidEventId;
+  const Member& m = session_.tree().Get(id);
+  if (!m.alive) return;
+  for (NodeId c : m.children) {
+    ++sent_;
+    const double hop = session_.DelayMs(id, c) / 1000.0;
+    if (fault_plane_ != nullptr) {
+      fault_plane_->Deliver(id, c, hop,
+                            [this, c, id] { OnHeartbeat(c, id); });
+    } else {
+      session_.simulator().ScheduleAfter(
+          hop, [this, c, id] { OnHeartbeat(c, id); });
+    }
+  }
+  st.sender = session_.simulator().ScheduleAfter(params_.period_s,
+                                                 [this, id] { SendBeats(id); });
+}
+
+void HeartbeatService::OnHeartbeat(NodeId child, NodeId from) {
+  const Member& m = session_.tree().Get(child);
+  if (!m.alive) return;
+  // A beat from anyone but the *current* parent is stale news (the sender
+  // was demoted, or the child was re-parented while the beat was in
+  // flight); it must not keep a dead parent's ghost alive.
+  if (m.parent != from) return;
+  StateFor(child).parent_died_at = -1.0;
+  ArmMonitor(child);
+}
+
+void HeartbeatService::ArmMonitor(NodeId child) {
+  if (child == kRootId) return;  // the source has no parent to monitor
+  State& st = StateFor(child);
+  if (st.monitor != sim::kInvalidEventId)
+    session_.simulator().Cancel(st.monitor);
+  st.monitor = session_.simulator().ScheduleAfter(
+      SuspicionTimeout(), [this, child] { Suspect(child); });
+}
+
+void HeartbeatService::Suspect(NodeId child) {
+  State& st = StateFor(child);
+  st.monitor = sim::kInvalidEventId;
+  Member& m = session_.tree().Get(child);
+  if (!m.alive) return;
+
+  if (m.parent == kNoNode) {
+    // The parent really did die (the session orphaned this member when it
+    // happened); the silence is how the member finds out.
+    ++detections_;
+    if (st.parent_died_at >= 0.0)
+      latency_.Add(session_.simulator().now() - st.parent_died_at);
+    st.parent_died_at = -1.0;
+    session_.RejoinOrphan(child);
+    return;
+  }
+
+  // The parent is attached and alive -- every heartbeat of the window was
+  // lost. The child cannot tell this apart from a real death: it detaches
+  // and rejoins (a disruption-free reconnection, charged as overhead).
+  ++false_suspicions_;
+  session_.tree().Detach(child);
+  session_.ForceRejoin(child);
+}
+
+void HeartbeatService::StopAll(NodeId id) {
+  State& st = StateFor(id);
+  if (st.sender != sim::kInvalidEventId) {
+    session_.simulator().Cancel(st.sender);
+    st.sender = sim::kInvalidEventId;
+  }
+  if (st.monitor != sim::kInvalidEventId) {
+    session_.simulator().Cancel(st.monitor);
+    st.monitor = sim::kInvalidEventId;
+  }
+  st.parent_died_at = -1.0;
+}
+
+}  // namespace omcast::overlay

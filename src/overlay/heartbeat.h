@@ -1,0 +1,89 @@
+// Heartbeat-based failure detection.
+//
+// The structural experiments use an oracle: an orphan learns of its
+// parent's death exactly rejoin_delay_s after it happens. This service
+// replaces the oracle with the mechanism a deployment would run: every
+// member sends a heartbeat to each of its current children every period;
+// a child that goes miss_threshold + 1 periods without hearing from its
+// current parent declares the parent dead and re-enters the join path.
+//
+// Heartbeats travel through a sim::FaultPlane when one is installed, so
+// message loss produces the two real failure modes the oracle hides:
+//
+//   * detection latency is a random variable (lost heartbeats stretch it
+//     beyond the no-loss bound of (miss_threshold + 1) * period_s);
+//   * false suspicion: enough consecutive losses convince a child its
+//     *live* parent died; it detaches and rejoins (counted, and charged as
+//     a reconnection, i.e. protocol overhead -- the stream did not stop).
+//
+// Use with SessionParams::external_failure_detection = true, which makes
+// the session defer orphan rejoins to this detector (Session::RejoinOrphan).
+#pragma once
+
+#include <vector>
+
+#include "overlay/session.h"
+#include "rand/rng.h"
+#include "sim/fault_plane.h"
+#include "util/stats.h"
+
+namespace omcast::overlay {
+
+struct HeartbeatParams {
+  double period_s = 1.0;  // heartbeat send period, per parent
+  // A child suspects its parent after this many *consecutive* heartbeats
+  // fail to arrive (deadline: (miss_threshold + 1) * period_s of silence).
+  int miss_threshold = 3;
+};
+
+class HeartbeatService {
+ public:
+  // Installs hooks on `session`; construct before driving the session.
+  // `fault_plane` may be nullptr (reliable delivery); it must outlive the
+  // run when provided.
+  HeartbeatService(Session& session, HeartbeatParams params,
+                   std::uint64_t seed, sim::FaultPlane* fault_plane = nullptr);
+  HeartbeatService(const HeartbeatService&) = delete;
+  HeartbeatService& operator=(const HeartbeatService&) = delete;
+
+  // Silence length that triggers suspicion.
+  double SuspicionTimeout() const {
+    return params_.period_s * (params_.miss_threshold + 1);
+  }
+
+  // --- introspection (tests / chaos metrics) -------------------------------
+  long heartbeats_sent() const { return sent_; }
+  long detections() const { return detections_; }
+  long false_suspicions() const { return false_suspicions_; }
+  // Seconds from a parent's actual death to the child declaring it.
+  const util::RunningStat& detection_latency() const { return latency_; }
+
+ private:
+  struct State {
+    sim::EventId sender = sim::kInvalidEventId;
+    sim::EventId monitor = sim::kInvalidEventId;
+    // When the member's parent actually departed (for the latency metric);
+    // negative while the parent is alive.
+    sim::Time parent_died_at = -1.0;
+  };
+
+  State& StateFor(NodeId id);
+  void StartSender(NodeId id);
+  void SendBeats(NodeId id);
+  void OnHeartbeat(NodeId child, NodeId from);
+  void ArmMonitor(NodeId child);
+  void Suspect(NodeId child);
+  void StopAll(NodeId id);
+
+  Session& session_;
+  HeartbeatParams params_;
+  rnd::Rng rng_;
+  sim::FaultPlane* fault_plane_;  // nullptr: reliable delivery
+  std::vector<State> state_;
+  long sent_ = 0;
+  long detections_ = 0;
+  long false_suspicions_ = 0;
+  util::RunningStat latency_;
+};
+
+}  // namespace omcast::overlay

@@ -49,6 +49,25 @@ net::HostId DrawRootHost(const net::Topology& topology, std::uint64_t seed) {
 
 }  // namespace
 
+void ValidateSessionParams(const SessionParams& params) {
+  util::Check(params.stream_rate > 0.0, "stream rate must be positive");
+  util::Check(params.root_bandwidth >= params.stream_rate,
+              "the source must be able to feed at least one child");
+  util::Check(params.candidate_sample_size >= 1,
+              "joining needs at least one discovery candidate");
+  util::Check(params.join_retry_delay_s > 0.0,
+              "join retry delay must be positive (zero would busy-loop "
+              "failed joins at one instant)");
+  util::Check(params.join_retry_max_backoff >= 1,
+              "join retry backoff cap must be at least 1x the base delay");
+  util::Check(params.rejoin_delay_s >= 0.0,
+              "rejoin delay must be non-negative");
+  util::Check(params.fragment_dissolve_after_attempts >= 1,
+              "fragment dissolution needs at least one failed attempt");
+  util::Check(params.prepopulate_age_horizon_s >= 0.0,
+              "pre-population age horizon must be non-negative");
+}
+
 Session::Session(sim::Simulator& simulator, const net::Topology& topology,
                  std::unique_ptr<Protocol> protocol, SessionParams params,
                  std::uint64_t seed)
@@ -59,6 +78,7 @@ Session::Session(sim::Simulator& simulator, const net::Topology& topology,
       params_(params),
       rng_(seed) {
   util::Check(protocol_ != nullptr, "session requires a protocol");
+  ValidateSessionParams(params_);
   // All hosts except the root's start free, in random order.
   const net::HostId root_host = tree_.Get(kRootId).host;
   free_hosts_.reserve(static_cast<std::size_t>(topology_.num_stub_nodes()) - 1);
@@ -257,8 +277,11 @@ void Session::TryJoin(NodeId id) {
 
   const int backoff =
       std::min(1 << std::min(attempts - 1, 10), params_.join_retry_max_backoff);
-  sim_.ScheduleAfter(params_.join_retry_delay_s * backoff,
-                     [this, id] { TryJoin(id); });
+  // Guarded: with an external failure detector a second join path
+  // (RejoinOrphan) can attach the member while this retry is in flight.
+  sim_.ScheduleAfter(params_.join_retry_delay_s * backoff, [this, id] {
+    if (tree_.Get(id).alive && tree_.Get(id).parent == kNoNode) TryJoin(id);
+  });
 }
 
 void Session::ForceRejoin(NodeId id) {
@@ -329,9 +352,12 @@ void Session::HandleDeparture(NodeId id) {
   hooks_.FireMemberDeparted(m);
 
   // Children (with their subtrees intact) rejoin through the protocol.
-  // Rejoins after a failure are not protocol overhead.
+  // Rejoins after a failure are not protocol overhead. Under external
+  // failure detection the orphan does not yet *know* its parent died: the
+  // detector (heartbeat misses) calls RejoinOrphan() once it notices.
   for (NodeId c : orphans) {
     protocol_->OnOrphaned(*this, c);
+    if (params_.external_failure_detection) continue;
     if (params_.rejoin_delay_s > 0.0) {
       sim_.ScheduleAfter(params_.rejoin_delay_s, [this, c] {
         if (tree_.Get(c).alive && tree_.Get(c).parent == kNoNode) TryJoin(c);
@@ -340,6 +366,12 @@ void Session::HandleDeparture(NodeId id) {
       TryJoin(c);
     }
   }
+}
+
+void Session::RejoinOrphan(NodeId id) {
+  util::Check(params_.external_failure_detection,
+              "RejoinOrphan is the external failure detector's entry point");
+  if (tree_.Get(id).alive && tree_.Get(id).parent == kNoNode) TryJoin(id);
 }
 
 std::vector<NodeId> Session::SampleCandidates(int k, NodeId exclude) {

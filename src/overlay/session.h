@@ -104,9 +104,19 @@ struct SessionParams {
   // horizon of the paper's own experiments (Figs. 6/9 span 300+ minutes of
   // steady state). Set to 0 for the unbounded stationary state.
   double prepopulate_age_horizon_s = 21600.0;
+  // When true, the session does not schedule orphan rejoins itself: an
+  // external failure detector (overlay/heartbeat.h) observes the silence,
+  // declares the parent dead, and calls RejoinOrphan(). Replaces the fixed
+  // rejoin_delay_s oracle with real detection latency under message loss.
+  bool external_failure_detection = false;
   rnd::BoundedPareto bandwidth_dist = rnd::PaperBandwidthDist();
   rnd::LognormalDist lifetime_dist = rnd::PaperLifetimeDist();
 };
+
+// Aborts unless the parameter combination is self-consistent (positive
+// rates, a root that can feed at least one child, sane retry/backoff
+// bounds). Called by the Session constructor; exposed for tests.
+void ValidateSessionParams(const SessionParams& params);
 
 // Observation points for metrics collectors and the streaming layer.
 // Multiple observers may register for each event; they fire in
@@ -223,6 +233,12 @@ class Session {
 
   // Forces `id` to depart now (tests / adversarial scenarios).
   void DepartNow(NodeId id);
+
+  // Re-enters the join path for an orphaned fragment root whose parent
+  // failure an external detector has just observed (requires
+  // params().external_failure_detection; no-op if the member died or
+  // already reattached in the meantime).
+  void RejoinOrphan(NodeId id);
 
  private:
   void ScheduleNextArrival();

@@ -1,0 +1,59 @@
+#include "sim/fault_plane.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace omcast::sim {
+
+FaultPlane::FaultPlane(Simulator& simulator, FaultPlaneParams params,
+                       std::uint64_t seed)
+    : sim_(simulator), params_(params), rng_(seed) {
+  util::Check(params_.loss_rate >= 0.0 && params_.loss_rate <= 1.0,
+              "loss rate must be a probability");
+  util::Check(params_.dup_prob >= 0.0 && params_.dup_prob <= 1.0,
+              "duplication probability must be a probability");
+  util::Check(params_.jitter_s >= 0.0, "jitter must be non-negative");
+}
+
+double FaultPlane::LossRateFor(int from, int to) const {
+  const auto it = link_loss_.find(LinkKey(from, to));
+  return it == link_loss_.end() ? params_.loss_rate : it->second;
+}
+
+void FaultPlane::SetLinkLossRate(int from, int to, double rate) {
+  util::Check(rate >= 0.0 && rate <= 1.0,
+              "per-link loss rate must be a probability");
+  link_loss_[LinkKey(from, to)] = rate;
+}
+
+void FaultPlane::ScheduleCopy(double base_delay_s,
+                              const Simulator::Callback& cb) {
+  const double extra = rng_.Uniform(0.0, params_.jitter_s);
+  ++delivered_;
+  sim_.ScheduleAfter(base_delay_s + extra, Simulator::Callback(cb));
+}
+
+bool FaultPlane::Deliver(int from, int to, double base_delay_s,
+                         Simulator::Callback cb) {
+  util::Check(base_delay_s >= 0.0, "base delay must be non-negative");
+  ++sent_;
+  const double loss = LossRateFor(from, to);
+  // One Bernoulli per fault class per message, drawn unconditionally so a
+  // message's fate depends only on its position in the seeded stream, never
+  // on the fate of earlier messages.
+  const bool lost = rng_.Bernoulli(loss);
+  const bool duped = rng_.Bernoulli(params_.dup_prob);
+  if (lost) {
+    ++dropped_;
+    return false;
+  }
+  ScheduleCopy(base_delay_s, cb);
+  if (duped) {
+    ++duplicated_;
+    ScheduleCopy(base_delay_s, cb);
+  }
+  return true;
+}
+
+}  // namespace omcast::sim

@@ -1,0 +1,97 @@
+// Lossy control-plane model for chaos experiments.
+//
+// The protocol layers (gossip, ROST locking, ELN, heartbeats) exchange
+// control messages that the plain simulator delivers instantly and
+// reliably. A FaultPlane sits between a sender and the simulator and
+// subjects every control message to seeded, per-link faults:
+//
+//   * loss        -- the message is silently dropped (probability
+//                    loss_rate, overridable per directed link);
+//   * duplication -- a second copy is delivered with fresh jitter
+//                    (probability dup_prob);
+//   * reordering  -- every delivery is delayed by an extra U[0, jitter_s)
+//                    on top of the base network delay, so two messages on
+//                    the same link can overtake each other.
+//
+// All randomness comes from one seeded RNG, so a fault schedule is
+// bit-reproducible: the same seed produces the same drops, duplicates and
+// delays in the same order (the chaos regression tests replay schedules and
+// assert identical traces). A default-constructed FaultPlane with zero
+// rates still draws from the RNG per message, so enabling faults never
+// changes *which* RNG draws protocols themselves make.
+//
+// Endpoints are identified by the caller's node ids; the plane itself is
+// protocol-agnostic. Injectable *failure* patterns (correlated stub-domain
+// kills, flash departures, mid-repair deaths) live in exp/chaos.h -- they
+// need session and topology context the message plane deliberately lacks.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "rand/rng.h"
+#include "sim/simulator.h"
+
+namespace omcast::sim {
+
+struct FaultPlaneParams {
+  // Probability a control message is dropped (applies per delivery attempt;
+  // a duplicate rolls its own loss).
+  double loss_rate = 0.0;
+  // Probability a surviving message is delivered twice.
+  double dup_prob = 0.0;
+  // Extra delivery delay drawn uniformly from [0, jitter_s); with a
+  // positive value, messages on one link can arrive out of order.
+  double jitter_s = 0.0;
+};
+
+class FaultPlane {
+ public:
+  FaultPlane(Simulator& simulator, FaultPlaneParams params,
+             std::uint64_t seed);
+  FaultPlane(const FaultPlane&) = delete;
+  FaultPlane& operator=(const FaultPlane&) = delete;
+
+  // Submits one control message from node `from` to node `to` whose
+  // fault-free delivery would take `base_delay_s`. Returns true when at
+  // least one copy was scheduled, false when the message was lost. The
+  // callback runs once per delivered copy; receivers must tolerate
+  // duplicates and reordering.
+  bool Deliver(int from, int to, double base_delay_s, Simulator::Callback cb);
+
+  // Overrides the loss rate of the directed link from->to (e.g. to sever
+  // one link entirely while the rest of the plane stays healthy).
+  void SetLinkLossRate(int from, int to, double rate);
+  void ClearLinkOverrides() { link_loss_.clear(); }
+
+  const FaultPlaneParams& params() const { return params_; }
+
+  // --- fault accounting ----------------------------------------------------
+  long messages_sent() const { return sent_; }
+  long messages_dropped() const { return dropped_; }
+  long messages_duplicated() const { return duplicated_; }
+  long messages_delivered() const { return delivered_; }
+
+ private:
+  static std::uint64_t LinkKey(int from, int to) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from))
+            << 32) |
+           static_cast<std::uint32_t>(to);
+  }
+  double LossRateFor(int from, int to) const;
+  void ScheduleCopy(double base_delay_s, const Simulator::Callback& cb);
+
+  Simulator& sim_;
+  FaultPlaneParams params_;
+  rnd::Rng rng_;
+  // Point lookups only (never iterated), so the bucket order cannot leak
+  // into fault decisions.
+  // omcast-lint: allow(unordered-iter)
+  std::unordered_map<std::uint64_t, double> link_loss_;
+  long sent_ = 0;
+  long dropped_ = 0;
+  long duplicated_ = 0;
+  long delivered_ = 0;
+};
+
+}  // namespace omcast::sim

@@ -12,10 +12,22 @@ using overlay::Member;
 using overlay::NodeId;
 using overlay::Session;
 
+void ValidatePacketSimParams(const PacketSimParams& params) {
+  util::Check(params.packet_rate > 0.0, "packet rate must be positive");
+  util::Check(params.buffer_s > 0.0, "playback buffer must be positive");
+  util::Check(params.detect_s >= 0.0, "detection time cannot be negative");
+  util::Check(params.recovery_group_size >= 1,
+              "recovery group needs at least one member");
+  util::Check(params.residual_lo_pkts >= 0.0,
+              "residual bandwidth cannot be negative");
+  util::Check(params.residual_hi_pkts >= params.residual_lo_pkts,
+              "residual bandwidth range must be ordered");
+}
+
 PacketLevelStream::PacketLevelStream(Session& session, PacketSimParams params,
                                      std::uint64_t seed)
     : session_(session), params_(params), rng_(seed) {
-  util::Check(params_.packet_rate > 0.0, "packet rate must be positive");
+  ValidatePacketSimParams(params_);
   util::Check(session_.params().rejoin_delay_s >= params_.detect_s,
               "rejoin_delay_s must cover the detection time");
   session_.hooks().AddOnDeparture([this](NodeId failed) { OnDeparture(failed); });
@@ -114,8 +126,17 @@ void PacketLevelStream::NotifyChildren(NodeId member,
     const double hop = session_.DelayMs(member, c) / 1000.0;
     for (std::int64_t seq : seqs) {
       ++eln_sent_;
-      session_.simulator().ScheduleAfter(
-          hop, [this, c, seq] { DeliverEln(c, seq); });
+      // ELNs are control messages: under chaos they can be lost, in which
+      // case the child misclassifies the outage (and may rejoin for an
+      // upstream loss it should have waited out) -- exactly the failure
+      // mode the paper's Section 4.2 mechanism is sensitive to.
+      if (fault_plane_ != nullptr) {
+        fault_plane_->Deliver(member, c, hop,
+                              [this, c, seq] { DeliverEln(c, seq); });
+      } else {
+        session_.simulator().ScheduleAfter(
+            hop, [this, c, seq] { DeliverEln(c, seq); });
+      }
     }
   }
 }
@@ -133,6 +154,16 @@ void PacketLevelStream::DeliverEln(NodeId member, std::int64_t seq) {
   NotifyChildren(member, fresh);
 }
 
+std::vector<NodeId> PacketLevelStream::ActiveRepairServers() const {
+  std::vector<NodeId> servers;
+  for (const RepairStripe& s : repair_stripes_) {
+    if (s.dead || (s.in_flight < 0 && s.cursor > s.hole_end)) continue;
+    if (std::find(servers.begin(), servers.end(), s.server) == servers.end())
+      servers.push_back(s.server);
+  }
+  return servers;
+}
+
 core::ElnTracker::Status PacketLevelStream::ElnStatusOf(NodeId member) const {
   const auto it = rx_.find(member);
   if (it == rx_.end()) return core::ElnTracker::Status::kHealthy;
@@ -144,6 +175,21 @@ void PacketLevelStream::OnDeparture(NodeId failed) {
   overlay::Tree& tree = session_.tree();
   const double now = session_.simulator().now();
   const double rejoin_at = now + session_.params().rejoin_delay_s;
+
+  // Mid-repair failover: stripes the failed member was serving hand their
+  // remaining ranges to a surviving group member; stripes repairing the
+  // failed member's own hole simply end.
+  for (std::size_t i = 0; i < repair_stripes_.size(); ++i) {
+    RepairStripe& s = repair_stripes_[i];
+    if (s.dead) continue;
+    if (s.orphan == failed) {
+      s.dead = true;
+      continue;
+    }
+    if (s.server != failed) continue;
+    s.dead = true;
+    if (s.in_flight >= 0 || s.cursor <= s.hole_end) FailoverStripe(i);
+  }
 
   for (const NodeId orphan : tree.Get(failed).children) {
     // The hole this orphan must repair: packets emitted while it is
@@ -158,17 +204,12 @@ void PacketLevelStream::OnDeparture(NodeId failed) {
     std::vector<NodeId> group = core::SelectRecoveryGroup(
         session_, orphan, params_.recovery_group_size, params_.selection);
 
-    // Build the usable stripe chain exactly as the repair protocol does.
-    struct Stripe {
-      double rate = 0.0;       // fraction of full stream rate
-      double start = 0.0;      // when this node starts serving
-      double next_free = 0.0;  // its serving queue
-      double lo = 0.0, hi = 0.0;  // (n mod 100) in [lo, hi)
-    };
-    std::vector<Stripe> stripes;
+    // Build the usable stripe set exactly as the repair protocol does.
+    std::vector<RepairStripe> built;
     double latency = 0.0;
     double covered = 0.0;
     NodeId prev = orphan;
+    const long gid = ++next_group_id_;
     for (NodeId g : group) {
       latency += session_.DelayMs(prev, g) / 1000.0;
       prev = g;
@@ -178,52 +219,115 @@ void PacketLevelStream::OnDeparture(NodeId failed) {
       if (!usable) continue;
       const double rate = ResidualFraction(g);
       if (rate <= 0.0) continue;
-      Stripe s;
+      RepairStripe s;
+      s.server = g;
+      s.orphan = orphan;
+      s.group_id = gid;
       s.rate = rate;
       s.start = now + params_.detect_s + latency;
       s.next_free = s.start;
-      s.lo = 100.0 * std::min(covered, 1.0);
+      s.mod_lo = 100.0 * std::min(covered, 1.0);
       covered += rate;
-      s.hi = 100.0 * std::min(covered, 1.0);
-      stripes.push_back(s);
+      s.mod_hi = 100.0 * std::min(covered, 1.0);
+      s.cursor = hole_begin;
+      s.hole_end = hole_end;
+      built.push_back(s);
       if (params_.mode == core::RecoveryMode::kSingleSource) break;
       if (covered >= 1.0) break;
     }
-    if (stripes.empty()) continue;
+    if (built.empty()) continue;
     if (params_.mode == core::RecoveryMode::kSingleSource) {
-      stripes.front().lo = 0.0;
-      stripes.front().hi = 100.0;
+      built.front().mod_lo = 0.0;
+      built.front().mod_hi = 100.0;
     } else if (covered < 1.0) {
       // Chain exhausted below full rate: the last stripe takes the rest of
       // the sequence space at its own (insufficient) rate.
-      stripes.back().hi = 100.0;
+      built.back().mod_hi = 100.0;
     }
+    if (params_.mode == core::RecoveryMode::kCooperative &&
+        static_cast<int>(built.size()) < params_.recovery_group_size)
+      ++short_group_fallbacks_;
 
-    // Schedule the repaired packets. Each stripe serves its share of the
-    // hole in sequence order at its residual rate; packets that cannot make
-    // their playback deadline are not sent ("meaningless").
-    for (std::int64_t seq = hole_begin; seq <= hole_end; ++seq) {
-      const double mod = static_cast<double>(seq % 100);
-      Stripe* stripe = nullptr;
-      for (Stripe& s : stripes)
-        if (mod >= s.lo && mod < s.hi) {
-          stripe = &s;
-          break;
-        }
-      if (stripe == nullptr) continue;  // uncovered share of the rate
-      const double emit_time =
-          stream_start_ + static_cast<double>(seq) / params_.packet_rate;
-      const double deadline = emit_time + params_.buffer_s;
-      const double begin = std::max(stripe->next_free, std::max(emit_time, stripe->start));
-      const double done = begin + 1.0 / (stripe->rate * params_.packet_rate);
-      if (done > deadline) continue;  // expired; skip without serving
-      stripe->next_free = done;
-      ++repairs_;
-      session_.simulator().ScheduleAt(done, [this, orphan, seq] {
-        Deliver(orphan, seq, session_.simulator().now());
-      });
+    // Start each stripe's serving chain. A stripe serves its share of the
+    // hole in sequence order at its residual rate, one packet at a time;
+    // packets that cannot make their playback deadline are not sent
+    // ("meaningless"). The chain, not a pre-scheduled batch, is what lets a
+    // server death mid-repair hand the remaining range to a survivor.
+    for (const RepairStripe& s : built) {
+      repair_stripes_.push_back(s);
+      ServeNext(repair_stripes_.size() - 1);
     }
   }
+}
+
+void PacketLevelStream::ServeNext(std::size_t index) {
+  RepairStripe& s = repair_stripes_[index];
+  if (s.dead) return;
+  s.in_flight = -1;
+  while (s.cursor <= s.hole_end) {
+    const std::int64_t seq = s.cursor++;
+    const double mod = static_cast<double>(seq % 100);
+    if (mod < s.mod_lo || mod >= s.mod_hi) continue;  // another stripe's share
+    const double emit_time =
+        stream_start_ + static_cast<double>(seq) / params_.packet_rate;
+    const double deadline = emit_time + params_.buffer_s;
+    const double begin =
+        std::max(s.next_free, std::max(emit_time, s.start));
+    const double done = begin + 1.0 / (s.rate * params_.packet_rate);
+    if (done > deadline) continue;  // expired; skip without serving
+    s.next_free = done;
+    s.in_flight = seq;
+    ++repairs_;
+    session_.simulator().ScheduleAt(
+        done, [this, index, seq] { OnRepairServed(index, seq); });
+    return;
+  }
+}
+
+void PacketLevelStream::OnRepairServed(std::size_t index, std::int64_t seq) {
+  {
+    RepairStripe& s = repair_stripes_[index];
+    if (s.dead) return;  // the server died before finishing this packet
+    s.in_flight = -1;
+    Deliver(s.orphan, seq, session_.simulator().now());
+  }  // Deliver may grow repair_stripes_; the reference must not outlive it.
+  ServeNext(index);
+}
+
+void PacketLevelStream::FailoverStripe(std::size_t index) {
+  // Pick the survivor: the live stripe of the same repair with the highest
+  // residual rate, ties to the lowest index. Copy the dead stripe first --
+  // the push_back below may reallocate the vector.
+  const RepairStripe dead = repair_stripes_[index];
+  std::size_t best = repair_stripes_.size();
+  for (std::size_t i = 0; i < repair_stripes_.size(); ++i) {
+    if (i == index) continue;
+    const RepairStripe& c = repair_stripes_[i];
+    if (c.group_id != dead.group_id || c.dead) continue;
+    if (!session_.tree().Get(c.server).alive) continue;
+    if (best == repair_stripes_.size() || c.rate > repair_stripes_[best].rate)
+      best = i;
+  }
+  if (best == repair_stripes_.size()) return;  // no survivor: range is lost
+
+  RepairStripe takeover;
+  takeover.server = repair_stripes_[best].server;
+  takeover.orphan = dead.orphan;
+  takeover.group_id = dead.group_id;
+  takeover.rate = repair_stripes_[best].rate;
+  // The survivor learns of the server's death the way the orphan learned of
+  // its parent's: detect_s later. Its takeover queue is independent of its
+  // own stripe's queue (the residual-rate model is per offered stripe).
+  takeover.start = session_.simulator().now() + params_.detect_s;
+  takeover.next_free = takeover.start;
+  takeover.mod_lo = dead.mod_lo;
+  takeover.mod_hi = dead.mod_hi;
+  // Resume from the packet the dead server was mid-serving, if any.
+  takeover.cursor = dead.in_flight >= 0 ? dead.in_flight : dead.cursor;
+  takeover.hole_end = dead.hole_end;
+  ++stripe_failovers_;
+  repair_stripes_.push_back(takeover);
+  ServeNext(repair_stripes_.size() - 1);
 }
 
 void PacketLevelStream::FinalizeMember(const Member& m, double end_time) {

@@ -31,6 +31,7 @@
 #include "core/cer/recovery.h"
 #include "overlay/session.h"
 #include "rand/rng.h"
+#include "sim/fault_plane.h"
 #include "util/stats.h"
 
 namespace omcast::stream {
@@ -49,11 +50,23 @@ struct PacketSimParams {
   double residual_hi_pkts = 9.0;
 };
 
+// Aborts (util::Check) on nonsensical parameters: non-positive rates or
+// buffer, negative detection time, empty recovery group, inverted residual
+// range. Called by PacketLevelStream's constructor.
+void ValidatePacketSimParams(const PacketSimParams& params);
+
 class PacketLevelStream {
  public:
   // Installs hooks; construct before the measured phase.
   PacketLevelStream(overlay::Session& session, PacketSimParams params,
                     std::uint64_t seed);
+
+  // Routes ELN control messages through a lossy plane (data packets keep
+  // their reliable per-edge model; the chaos harness attacks the control
+  // plane). The plane must outlive the run; nullptr restores reliability.
+  void SetFaultPlane(sim::FaultPlane* fault_plane) {
+    fault_plane_ = fault_plane;
+  }
 
   // Begins emitting packets now, for `duration_s` of stream.
   void Start(double duration_s);
@@ -69,6 +82,18 @@ class PacketLevelStream {
   long deliveries() const { return deliveries_; }
   long repairs_scheduled() const { return repairs_; }
   long eln_notifications_sent() const { return eln_sent_; }
+  // Times a recovery-group member died mid-repair and its remaining stripe
+  // range was reassigned to a surviving member.
+  long stripe_failovers() const { return stripe_failovers_; }
+  // Repairs that started with fewer usable stripes than the configured
+  // recovery_group_size (the group shrank; the stripes renormalize over the
+  // survivors, possibly below full rate).
+  long short_group_fallbacks() const { return short_group_fallbacks_; }
+
+  // Distinct servers of repair stripes that still have work remaining, in
+  // stripe-creation order (tests and the chaos harness use this to aim a
+  // mid-repair kill).
+  std::vector<overlay::NodeId> ActiveRepairServers() const;
 
   // The member's current ELN classification (Section 4.2): healthy,
   // upstream loss (wait for upstream repair) or parent failure (rejoin).
@@ -84,6 +109,25 @@ class PacketLevelStream {
     core::ElnTracker tracker;          // loss classification (Section 4.2)
   };
 
+  // One stripe of one repair: a recovery-group member serving the share of
+  // the orphan's hole whose (seq mod 100) falls in [mod_lo, mod_hi). Each
+  // stripe is a self-perpetuating event chain (ServeNext), serving one
+  // packet at a time through its queue; killing the server mid-chain marks
+  // the stripe dead and fails its remaining range over to a survivor.
+  struct RepairStripe {
+    overlay::NodeId server = overlay::kNoNode;
+    overlay::NodeId orphan = overlay::kNoNode;
+    long group_id = 0;          // repairs spawned together share an id
+    double rate = 0.0;          // fraction of full stream rate
+    double start = 0.0;         // when the server starts serving
+    double next_free = 0.0;     // its serving queue
+    double mod_lo = 0.0, mod_hi = 0.0;  // (seq mod 100) in [mod_lo, mod_hi)
+    std::int64_t cursor = 0;    // next sequence to consider
+    std::int64_t hole_end = 0;  // last sequence of the hole (inclusive)
+    std::int64_t in_flight = -1;  // sequence being served; -1 when idle
+    bool dead = false;          // server failed; range handed to a survivor
+  };
+
   void Emit(std::int64_t seq);
   void Deliver(overlay::NodeId member, std::int64_t seq, double now);
   // An ELN for `seq` reaches `member` from its parent; classified and
@@ -93,6 +137,14 @@ class PacketLevelStream {
   void NotifyChildren(overlay::NodeId member,
                       const std::vector<std::int64_t>& seqs);
   void OnDeparture(overlay::NodeId failed);
+  // Advances stripe `index`'s chain: schedules the service of its next
+  // in-deadline packet, or lets the chain end.
+  void ServeNext(std::size_t index);
+  void OnRepairServed(std::size_t index, std::int64_t seq);
+  // The server of stripe `index` died with work remaining: reassign the
+  // rest of its range to the surviving group stripe with the highest
+  // residual rate (ties to the lowest index).
+  void FailoverStripe(std::size_t index);
   void FinalizeMember(const overlay::Member& m, double end_time);
   Reception& ReceptionFor(overlay::NodeId member, double now);
   double ResidualFraction(overlay::NodeId id);
@@ -107,7 +159,11 @@ class PacketLevelStream {
   // omcast-lint: allow(unordered-iter)
   std::unordered_set<overlay::NodeId> finalized_;
   std::vector<double> residual_fraction_;
+  // Grows only (indices are captured by in-flight events); stripes whose
+  // chains ended stay as inert records.
+  std::vector<RepairStripe> repair_stripes_;
   util::RunningStat ratio_stat_;
+  sim::FaultPlane* fault_plane_ = nullptr;  // nullptr: reliable ELN delivery
   double stream_start_ = 0.0;
   double stream_end_ = 0.0;
   std::int64_t last_seq_ = 0;
@@ -115,6 +171,9 @@ class PacketLevelStream {
   long deliveries_ = 0;
   long repairs_ = 0;
   long eln_sent_ = 0;
+  long stripe_failovers_ = 0;
+  long short_group_fallbacks_ = 0;
+  long next_group_id_ = 0;
   bool started_ = false;
 };
 

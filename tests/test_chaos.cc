@@ -1,0 +1,395 @@
+// Chaos-harness tests: the ROST lease handshake under a lossy control
+// plane, CER stripe failover when a recovery server dies mid-repair,
+// recovery-group shrink fallback, and full RunChaosScenario runs (seeded
+// reproducibility, plus the 500-member acceptance run: 5% loss + a
+// correlated stub-domain kill must leave zero wedged locks and every
+// surviving member rooted).
+#include "exp/chaos.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/rost/rost.h"
+#include "net/topology.h"
+#include "proto/min_depth.h"
+#include "sim/fault_plane.h"
+#include "sim/simulator.h"
+
+namespace omcast::exp {
+namespace {
+
+using core::RostParams;
+using core::RostProtocol;
+using overlay::kNoNode;
+using overlay::kRootId;
+using overlay::NodeId;
+using overlay::Session;
+using overlay::SessionParams;
+using overlay::Tree;
+
+// ---------------------------------------------------------------------------
+// Lease-path locking unit tests: a hand-built root <- parent <- child chain
+// where the child's BTP overtakes the parent's, driven over a FaultPlane.
+// ---------------------------------------------------------------------------
+
+class LeasePathTest : public ::testing::Test {
+ protected:
+  LeasePathTest() {
+    rnd::Rng topo_rng(1);
+    topology_ = std::make_unique<net::Topology>(
+        net::Topology::Generate(net::TinyTopologyParams(), topo_rng));
+  }
+
+  // Session with a retained RostProtocol routed through plane_.
+  std::unique_ptr<Session> Make(RostParams params = {},
+                                std::uint64_t seed = 3) {
+    auto protocol = std::make_unique<RostProtocol>(params);
+    rost_ = protocol.get();
+    auto s = std::make_unique<Session>(sim_, *topology_, std::move(protocol),
+                                       SessionParams{}, seed);
+    plane_ = std::make_unique<sim::FaultPlane>(sim_, sim::FaultPlaneParams{},
+                                               seed + 100);
+    rost_->SetFaultPlane(plane_.get());
+    return s;
+  }
+
+  // root(capacity 1) <- parent(bw 1) <- child(bw 4): the child's BTP grows
+  // 4x faster, so the first periodic check wants the swap.
+  void BuildChain(Session& s) {
+    s.tree().Get(kRootId).capacity = 1;
+    parent_ = s.InjectMember(1.0, 1e9);
+    sim_.RunUntil(1.0);
+    child_ = s.InjectMember(4.0, 1e9);
+    sim_.RunUntil(2.0);
+    ASSERT_EQ(s.tree().Get(child_).parent, parent_);
+  }
+
+  sim::Simulator sim_;
+  std::unique_ptr<net::Topology> topology_;
+  std::unique_ptr<sim::FaultPlane> plane_;
+  RostProtocol* rost_ = nullptr;
+  NodeId parent_ = kNoNode;
+  NodeId child_ = kNoNode;
+};
+
+TEST_F(LeasePathTest, HandshakeOverCleanPlaneCompletesTheSwitch) {
+  RostParams p;
+  p.switching_interval_s = 100.0;
+  auto s = Make(p);
+  BuildChain(*s);
+  sim_.RunUntil(150.0);
+  // Same outcome as the oracle path's ChildWithHigherBtpAndBandwidth test,
+  // but reached through request -> grant -> swap -> release messages.
+  EXPECT_EQ(s->tree().Get(child_).parent, kRootId);
+  EXPECT_EQ(s->tree().Get(parent_).parent, child_);
+  EXPECT_EQ(rost_->switches_performed(), 1);
+  // Lock set {child, parent, grandparent=root}: one self lease + two
+  // participant leases, all released on teardown.
+  EXPECT_GE(rost_->leases_granted(), 3);
+  EXPECT_EQ(rost_->lock_timeouts(), 0);
+  EXPECT_EQ(rost_->leases_outstanding(), 0);
+  EXPECT_EQ(rost_->WedgedLeases(sim_.now()), 0);
+  s->tree().CheckInvariants();
+}
+
+TEST_F(LeasePathTest, LostRequestsTimeOutBackOffAndEventuallySucceed) {
+  RostParams p;
+  p.switching_interval_s = 100.0;
+  p.lock_request_timeout_s = 2.0;
+  p.lock_retry_delay_s = 15.0;
+  auto s = Make(p);
+  BuildChain(*s);
+  // Sever child -> parent: the lock request to the parent never arrives,
+  // so no attempt can assemble its grant set.
+  plane_->SetLinkLossRate(child_, parent_, 1.0);
+  sim_.RunUntil(160.0);
+  EXPECT_EQ(s->tree().Get(child_).parent, parent_);  // still stuck below
+  EXPECT_EQ(rost_->switches_performed(), 0);
+  EXPECT_GE(rost_->lock_timeouts(), 1);
+  EXPECT_GE(rost_->lock_retries(), 1);
+  // Timed-out attempts must not leak leases: everything granted so far
+  // (self + the grandparent's grants) was released or has expired.
+  EXPECT_EQ(rost_->WedgedLeases(sim_.now()), 0);
+
+  // Heal the link: the next backoff retry completes the switch.
+  plane_->ClearLinkOverrides();
+  sim_.RunUntil(400.0);
+  EXPECT_EQ(s->tree().Get(child_).parent, kRootId);
+  EXPECT_EQ(rost_->switches_performed(), 1);
+  EXPECT_EQ(rost_->leases_outstanding(), 0);
+  EXPECT_EQ(rost_->WedgedLeases(sim_.now()), 0);
+  s->tree().CheckInvariants();
+}
+
+TEST_F(LeasePathTest, DeadInitiatorsLeasesExpireInsteadOfWedging) {
+  RostParams p;
+  p.switching_interval_s = 1e8;  // manual triggering only
+  p.lock_lease_s = 10.0;
+  auto s = Make(p);
+  BuildChain(*s);
+  sim_.RunUntil(50.0);
+  // Start the handshake, then kill the initiator before any grant returns:
+  // the participants' leases are granted to a corpse that will never send
+  // releases. Without expiry this wedges parent and root forever.
+  rost_->CheckSwitchNow(*s, child_);
+  s->DepartNow(child_);
+  EXPECT_GE(rost_->leases_granted(), 1);  // at least the self lease
+  sim_.RunUntil(sim_.now() + p.lock_lease_s + 1.0);
+  EXPECT_EQ(rost_->switches_performed(), 0);
+  EXPECT_EQ(rost_->leases_outstanding(), 0);  // all reaped by expiry
+  EXPECT_GE(rost_->leases_expired(), 1);
+  EXPECT_EQ(rost_->WedgedLeases(sim_.now()), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Saturated-tree preempt joins: when no rooted member has a spare slot, a
+// contributor displaces the weakest rooted leaf and adopts it. This is the
+// fallback that keeps a correlated kill of a high-fanout node -- which
+// strands the overlay's spare capacity inside detached fragments -- from
+// deadlocking every rejoin against a full tree.
+// ---------------------------------------------------------------------------
+
+TEST_F(LeasePathTest, SaturatedTreePreemptJoinDisplacesWeakestLeaf) {
+  auto s = Make();
+  s->tree().Get(kRootId).capacity = 1;
+  const NodeId freerider = s->InjectMember(0.0, 1e9);
+  sim_.RunUntil(1.0);
+  ASSERT_EQ(s->tree().Get(freerider).parent, kRootId);  // tree now full
+  const NodeId contributor = s->InjectMember(3.0, 1e9);
+  sim_.RunUntil(2.0);
+  // The contributor took the free-rider's slot and rehoused it: nobody is
+  // detached and rooted fan-out grew by the contributor's spare capacity.
+  EXPECT_EQ(s->tree().Get(contributor).parent, kRootId);
+  EXPECT_EQ(s->tree().Get(freerider).parent, contributor);
+  EXPECT_TRUE(s->tree().IsRooted(freerider));
+  EXPECT_EQ(rost_->preempt_joins(), 1);
+  s->tree().CheckInvariants();
+}
+
+TEST_F(LeasePathTest, JoinerWithoutSpareCapacityCannotPreempt) {
+  auto s = Make();
+  s->tree().Get(kRootId).capacity = 1;
+  const NodeId first = s->InjectMember(0.0, 1e9);
+  sim_.RunUntil(1.0);
+  ASSERT_EQ(s->tree().Get(first).parent, kRootId);
+  // A free-rider cannot host the leaf it would displace (and displacing an
+  // equal would just ping-pong), so it stays in the retry loop instead.
+  const NodeId second = s->InjectMember(0.0, 1e9);
+  sim_.RunUntil(2.0);
+  EXPECT_EQ(s->tree().Get(second).parent, kNoNode);
+  EXPECT_EQ(rost_->preempt_joins(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// CER stripe failover and group-shrink fallback (packet-level stream).
+// ---------------------------------------------------------------------------
+
+class RepairChaosTest : public ::testing::Test {
+ protected:
+  RepairChaosTest() {
+    rnd::Rng topo_rng(1);
+    topology_ = std::make_unique<net::Topology>(
+        net::Topology::Generate(net::TinyTopologyParams(), topo_rng));
+  }
+
+  void MakeSession(std::uint64_t seed = 5) {
+    SessionParams sp;
+    sp.rejoin_delay_s = 15.0;
+    session_ = std::make_unique<Session>(
+        sim_, *topology_, std::make_unique<proto::MinDepthProtocol>(), sp,
+        seed);
+  }
+
+  sim::Simulator sim_;
+  std::unique_ptr<net::Topology> topology_;
+  std::unique_ptr<Session> session_;
+};
+
+TEST_F(RepairChaosTest, ServerDeathMidRepairFailsOverToSurvivingStripe) {
+  MakeSession();
+  stream::PacketSimParams p;
+  p.recovery_group_size = 4;
+  p.residual_lo_pkts = 2.0;  // every stripe serves at a real rate
+  stream::PacketLevelStream packets(*session_, p, 11);
+  for (int i = 0; i < 25; ++i) session_->InjectMember(1.0, 1e9);
+  const NodeId hub = session_->InjectMember(5.0, 1e9);
+  const NodeId victim = session_->InjectMember(0.5, 1e9);
+  sim_.RunUntil(1.0);
+  Tree& tree = session_->tree();
+  if (tree.Get(victim).parent != hub) {
+    tree.Detach(victim);
+    tree.Attach(hub, victim);
+  }
+  packets.Start(150.0);
+  sim_.RunUntil(20.0);
+  session_->DepartNow(hub);  // victim's 15 s hole; stripes start at +5 s
+  sim_.RunUntil(26.0);       // stripes have been serving for ~1 s
+  const std::vector<NodeId> servers = packets.ActiveRepairServers();
+  ASSERT_FALSE(servers.empty());
+  NodeId dead_server = kNoNode;
+  for (NodeId server : servers) {
+    if (server == kRootId || !tree.Get(server).alive) continue;
+    dead_server = server;
+    break;
+  }
+  ASSERT_NE(dead_server, kNoNode);
+  session_->DepartNow(dead_server);
+  sim_.RunUntil(300.0);
+  packets.FinalizeAliveMembers();
+  // The dead server's remaining range moved to a surviving group member and
+  // kept serving; the victim's hole still shrinks well below no-recovery.
+  EXPECT_GE(packets.stripe_failovers(), 1);
+  EXPECT_GT(packets.repairs_scheduled(), 0);
+  EXPECT_LT(packets.ratio_stat().max(), 0.15);
+}
+
+TEST_F(RepairChaosTest, ShrunkenRecoveryGroupFallsBackToFewerStripes) {
+  MakeSession();
+  stream::PacketSimParams p;
+  p.recovery_group_size = 6;  // more stripes than live candidates
+  p.residual_lo_pkts = 2.0;
+  stream::PacketLevelStream packets(*session_, p, 7);
+  const NodeId hub = session_->InjectMember(5.0, 1e9);
+  const NodeId victim = session_->InjectMember(0.5, 1e9);
+  session_->InjectMember(1.0, 1e9);
+  session_->InjectMember(1.0, 1e9);
+  sim_.RunUntil(1.0);
+  Tree& tree = session_->tree();
+  if (tree.Get(victim).parent != hub) {
+    tree.Detach(victim);
+    tree.Attach(hub, victim);
+  }
+  packets.Start(100.0);
+  sim_.RunUntil(20.0);
+  session_->DepartNow(hub);  // only ~3 possible servers for 6 stripes
+  sim_.RunUntil(200.0);
+  packets.FinalizeAliveMembers();
+  EXPECT_GE(packets.short_group_fallbacks(), 1);
+  EXPECT_GT(packets.repairs_scheduled(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Full chaos scenarios.
+// ---------------------------------------------------------------------------
+
+// Cheap tiny-topology config exercising every injection at once.
+ChaosConfig TinyChaosConfig(std::uint64_t seed) {
+  ChaosConfig c;
+  c.population = 60;
+  c.warmup_s = 300.0;
+  c.stream_s = 60.0;
+  c.drain_s = 60.0;
+  c.seed = seed;
+  c.fault.loss_rate = 0.02;
+  c.fault.dup_prob = 0.01;
+  c.fault.jitter_s = 0.02;
+  // A 60-member session under the default 100-child root would be a star
+  // (no orphans, no switches); cap the root so the tree has real depth.
+  c.session.root_bandwidth = 5.0;
+  c.rost.switching_interval_s = 60.0;
+  c.flash_at_s = 10.0;
+  c.flash_departures = 5;
+  c.mid_repair_kill_at_s = 20.0;
+  return c;
+}
+
+bool SameResult(const ChaosResult& a, const ChaosResult& b) {
+  const metrics::ChaosCounters& x = a.counters;
+  const metrics::ChaosCounters& y = b.counters;
+  return x.messages_sent == y.messages_sent &&
+         x.messages_dropped == y.messages_dropped &&
+         x.messages_duplicated == y.messages_duplicated &&
+         x.messages_delivered == y.messages_delivered &&
+         x.heartbeats_sent == y.heartbeats_sent &&
+         x.detections == y.detections &&
+         x.false_suspicions == y.false_suspicions &&
+         x.mean_detection_latency_s == y.mean_detection_latency_s &&
+         x.leases_granted == y.leases_granted &&
+         x.leases_released == y.leases_released &&
+         x.leases_expired == y.leases_expired &&
+         x.lock_timeouts == y.lock_timeouts &&
+         x.lock_retries == y.lock_retries &&
+         x.handshake_aborts == y.handshake_aborts &&
+         x.repairs_scheduled == y.repairs_scheduled &&
+         x.eln_sent == y.eln_sent &&
+         x.stripe_failovers == y.stripe_failovers &&
+         x.short_group_fallbacks == y.short_group_fallbacks &&
+         a.avg_starving_ratio == b.avg_starving_ratio &&
+         a.members == b.members &&
+         a.flash_members_killed == b.flash_members_killed &&
+         a.domain_members_killed == b.domain_members_killed &&
+         a.mid_repair_kill_fired == b.mid_repair_kill_fired &&
+         a.unrooted_members == b.unrooted_members &&
+         a.final_population == b.final_population;
+}
+
+TEST(ChaosScenario, TinyRunSurvivesFlashAndMidRepairKills) {
+  rnd::Rng topo_rng(1);
+  const net::Topology topology =
+      net::Topology::Generate(net::TinyTopologyParams(), topo_rng);
+  const ChaosResult r = RunChaosScenario(topology, TinyChaosConfig(21));
+  EXPECT_TRUE(r.zero_wedged_locks);
+  EXPECT_EQ(r.counters.wedged_leases, 0);
+  EXPECT_EQ(r.flash_members_killed, 5);
+  EXPECT_GT(r.counters.heartbeats_sent, 0);
+  EXPECT_GT(r.counters.messages_dropped, 0);
+  EXPECT_GT(r.counters.repairs_scheduled, 0);
+  EXPECT_GT(r.final_population, 0);
+  // Lease accounting identity: every grant is released, expired or still
+  // legitimately held.
+  EXPECT_EQ(r.counters.leases_granted,
+            r.counters.leases_released + r.counters.leases_expired +
+                r.counters.leases_outstanding);
+}
+
+TEST(ChaosScenario, SameSeedReplaysBitIdentically) {
+  rnd::Rng topo_rng(1);
+  const net::Topology topology =
+      net::Topology::Generate(net::TinyTopologyParams(), topo_rng);
+  const ChaosResult a = RunChaosScenario(topology, TinyChaosConfig(33));
+  const ChaosResult b = RunChaosScenario(topology, TinyChaosConfig(33));
+  EXPECT_TRUE(SameResult(a, b))
+      << "two chaos runs with the same seed diverged: the fault schedule "
+         "or an injection is not deterministic";
+  const ChaosResult c = RunChaosScenario(topology, TinyChaosConfig(34));
+  EXPECT_FALSE(SameResult(a, c)) << "the comparison is vacuous";
+}
+
+// The PR's acceptance scenario: 500 members on the paper-scale topology,
+// 5% control-plane loss with duplication and jitter, plus a correlated
+// stub-domain kill early in the stream. The hardened protocol must finish
+// with no wedged locks and every surviving member attached to the root.
+TEST(ChaosScenario, FiveHundredMembersSurviveLossAndDomainKill) {
+  rnd::Rng topo_rng(1);
+  const net::Topology topology =
+      net::Topology::Generate(net::SmallTopologyParams(), topo_rng);
+  ChaosConfig c;
+  c.population = 500;
+  c.warmup_s = 400.0;
+  c.stream_s = 60.0;
+  c.drain_s = 120.0;
+  c.seed = 9;
+  c.fault.loss_rate = 0.05;
+  c.fault.dup_prob = 0.01;
+  c.fault.jitter_s = 0.05;
+  c.session.root_bandwidth = 20.0;  // force a deep tree at this scale
+  c.rost.switching_interval_s = 120.0;
+  c.domain_kill_at_s = 5.0;
+  c.domain_kill_index = 1;
+  const ChaosResult r = RunChaosScenario(topology, c);
+  EXPECT_TRUE(r.zero_wedged_locks);
+  EXPECT_EQ(r.counters.wedged_leases, 0);
+  EXPECT_EQ(r.unrooted_members, 0) << "orphans failed to reattach";
+  EXPECT_GT(r.domain_members_killed, 0);
+  EXPECT_GT(r.counters.messages_dropped, 0);
+  EXPECT_GT(r.counters.detections, 0);
+  EXPECT_GT(r.counters.leases_granted, 0);
+  EXPECT_EQ(r.counters.leases_granted,
+            r.counters.leases_released + r.counters.leases_expired +
+                r.counters.leases_outstanding);
+  EXPECT_GT(r.final_population, 0);
+}
+
+}  // namespace
+}  // namespace omcast::exp

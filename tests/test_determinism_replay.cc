@@ -8,11 +8,14 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <vector>
 
 #include "core/rost/rost.h"
 #include "net/topology.h"
 #include "overlay/gossip.h"
+#include "overlay/heartbeat.h"
 #include "overlay/session.h"
+#include "sim/fault_plane.h"
 #include "sim/simulator.h"
 #include "stream/packet_sim.h"
 #include "util/hash.h"
@@ -76,6 +79,87 @@ std::uint64_t RunScenarioDigest(std::uint64_t seed) {
   return hash.digest();
 }
 
+// Chaos-flavored variant: the same churn scenario with every control path
+// routed through a lossy FaultPlane, heartbeat failure detection replacing
+// the oracle, and a correlated stub-domain kill mid-stream. The entire
+// fault schedule -- which messages drop, duplicate, jitter -- must replay
+// bit-identically under the same seed.
+std::uint64_t RunChaosDigest(std::uint64_t seed) {
+  sim::Simulator sim;
+  rnd::Rng topo_rng(1);
+  const net::Topology topology =
+      net::Topology::Generate(net::TinyTopologyParams(), topo_rng);
+
+  overlay::SessionParams sp;
+  sp.rejoin_delay_s = 15.0;
+  sp.external_failure_detection = true;
+  sp.root_bandwidth = 5.0;  // force depth so failures orphan someone
+  core::RostParams rp;
+  rp.switching_interval_s = 60.0;
+  auto protocol = std::make_unique<core::RostProtocol>(rp);
+  core::RostProtocol* rost = protocol.get();
+  overlay::Session session(sim, topology, std::move(protocol), sp, seed);
+
+  sim::FaultPlaneParams fp;
+  fp.loss_rate = 0.05;
+  fp.dup_prob = 0.02;
+  fp.jitter_s = 0.05;
+  sim::FaultPlane plane(sim, fp, seed + 10);
+  rost->SetFaultPlane(&plane);
+  overlay::HeartbeatService heartbeat(session, overlay::HeartbeatParams{},
+                                      seed + 11, &plane);
+
+  util::RollingHash hash;
+  sim.SetTraceObserver([&hash](sim::Time t, std::uint64_t id) {
+    hash.MixDouble(t);
+    hash.MixU64(id);
+  });
+
+  session.Prepopulate(60);
+  session.StartArrivals(60.0 / 1809.0);
+
+  stream::PacketSimParams pp;
+  pp.packet_rate = 5.0;
+  stream::PacketLevelStream stream(session, pp, seed + 2);
+  stream.SetFaultPlane(&plane);
+  stream.Start(120.0);
+
+  // Correlated kill at t=30: every member hosted in stub domain 1 dies.
+  sim.ScheduleAt(30.0, [&] {
+    std::vector<NodeId> victims;
+    for (NodeId id : session.alive_members())
+      if (topology.DomainOf(session.tree().Get(id).host) == 1)
+        victims.push_back(id);
+    for (NodeId id : victims)
+      if (session.tree().Get(id).alive) session.DepartNow(id);
+  });
+
+  sim.RunUntil(300.0);
+  session.StopArrivals();
+  stream.FinalizeAliveMembers();
+
+  hash.MixU64(sim.executed_count());
+  hash.MixU64(static_cast<std::uint64_t>(session.alive_count()));
+  hash.MixI64(plane.messages_sent());
+  hash.MixI64(plane.messages_dropped());
+  hash.MixI64(plane.messages_duplicated());
+  hash.MixI64(heartbeat.detections());
+  hash.MixI64(heartbeat.false_suspicions());
+  hash.MixI64(rost->leases_granted());
+  hash.MixI64(rost->leases_expired());
+  hash.MixI64(rost->lock_timeouts());
+  const overlay::Tree& tree = session.tree();
+  for (NodeId id = 0; id < static_cast<NodeId>(tree.size()); ++id) {
+    const overlay::Member& m = tree.Get(id);
+    hash.MixI64(static_cast<std::int64_t>(m.parent));
+    hash.MixU64(m.alive ? 1 : 0);
+  }
+  hash.MixI64(stream.deliveries());
+  hash.MixI64(stream.repairs_scheduled());
+  hash.MixDouble(stream.ratio_stat().mean());
+  return hash.digest();
+}
+
 TEST(SeedReplayDeterminism, IdenticalSeedsProduceIdenticalTraces) {
   const std::uint64_t first = RunScenarioDigest(42);
   const std::uint64_t second = RunScenarioDigest(42);
@@ -88,6 +172,18 @@ TEST(SeedReplayDeterminism, DifferentSeedsProduceDifferentTraces) {
   // Sanity check that the digest actually sees the trace: distinct seeds
   // must yield distinct histories (collision odds are ~2^-64).
   EXPECT_NE(RunScenarioDigest(42), RunScenarioDigest(43));
+}
+
+TEST(SeedReplayDeterminism, ChaosFaultScheduleReplaysBitIdentically) {
+  const std::uint64_t first = RunChaosDigest(17);
+  const std::uint64_t second = RunChaosDigest(17);
+  EXPECT_EQ(first, second)
+      << "the fault schedule (drops/duplicates/jitter) or the heartbeat "
+         "path diverged between identically-seeded runs";
+}
+
+TEST(SeedReplayDeterminism, ChaosDigestSeesTheSeed) {
+  EXPECT_NE(RunChaosDigest(17), RunChaosDigest(18));
 }
 
 TEST(SeedReplayDeterminism, TraceObserverSeesMonotonicTime) {

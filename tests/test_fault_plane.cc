@@ -1,0 +1,129 @@
+// FaultPlane unit tests: loss/duplication/jitter statistics, per-link
+// overrides, counter accounting, and bit-reproducibility of the fault
+// schedule under a fixed seed.
+#include "sim/fault_plane.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace omcast::sim {
+namespace {
+
+TEST(FaultPlane, ZeroRatesDeliverEverythingExactlyOnce) {
+  Simulator sim;
+  FaultPlane plane(sim, {}, 1);
+  int delivered = 0;
+  for (int i = 0; i < 100; ++i)
+    EXPECT_TRUE(plane.Deliver(1, 2, 0.01, [&] { ++delivered; }));
+  sim.Run();
+  EXPECT_EQ(delivered, 100);
+  EXPECT_EQ(plane.messages_sent(), 100);
+  EXPECT_EQ(plane.messages_dropped(), 0);
+  EXPECT_EQ(plane.messages_duplicated(), 0);
+  EXPECT_EQ(plane.messages_delivered(), 100);
+}
+
+TEST(FaultPlane, LossRateDropsTheExpectedFraction) {
+  Simulator sim;
+  FaultPlaneParams params;
+  params.loss_rate = 0.3;
+  FaultPlane plane(sim, params, 2);
+  int delivered = 0;
+  for (int i = 0; i < 2000; ++i) plane.Deliver(1, 2, 0.01, [&] { ++delivered; });
+  sim.Run();
+  EXPECT_EQ(plane.messages_dropped() + plane.messages_delivered(), 2000);
+  // 600 expected drops; 5 sigma ~ 100.
+  EXPECT_NEAR(static_cast<double>(plane.messages_dropped()), 600.0, 110.0);
+  EXPECT_EQ(delivered, plane.messages_delivered());
+}
+
+TEST(FaultPlane, CertainDuplicationDeliversEveryMessageTwice) {
+  Simulator sim;
+  FaultPlaneParams params;
+  params.dup_prob = 1.0;
+  FaultPlane plane(sim, params, 3);
+  int delivered = 0;
+  for (int i = 0; i < 50; ++i) plane.Deliver(1, 2, 0.01, [&] { ++delivered; });
+  sim.Run();
+  EXPECT_EQ(delivered, 100);
+  EXPECT_EQ(plane.messages_duplicated(), 50);
+  EXPECT_EQ(plane.messages_delivered(), 100);
+}
+
+TEST(FaultPlane, JitterReordersMessagesOnOneLink) {
+  Simulator sim;
+  FaultPlaneParams params;
+  params.jitter_s = 1.0;  // huge against the 10 ms send spacing
+  FaultPlane plane(sim, params, 4);
+  std::vector<int> arrival_order;
+  for (int i = 0; i < 20; ++i) {
+    sim.ScheduleAt(0.01 * i, [&plane, &arrival_order, i] {
+      plane.Deliver(1, 2, 0.001, [&arrival_order, i] {
+        arrival_order.push_back(i);
+      });
+    });
+  }
+  sim.Run();
+  ASSERT_EQ(arrival_order.size(), 20u);
+  EXPECT_FALSE(std::is_sorted(arrival_order.begin(), arrival_order.end()))
+      << "with 1 s of jitter over 10 ms spacing, some overtake must happen";
+}
+
+TEST(FaultPlane, PerLinkOverrideSeversOnlyThatLink) {
+  Simulator sim;
+  FaultPlane plane(sim, {}, 5);
+  plane.SetLinkLossRate(1, 2, 1.0);
+  int on_dead_link = 0;
+  int on_live_link = 0;
+  for (int i = 0; i < 20; ++i) {
+    plane.Deliver(1, 2, 0.01, [&] { ++on_dead_link; });
+    plane.Deliver(2, 1, 0.01, [&] { ++on_live_link; });  // reverse direction
+    plane.Deliver(1, 3, 0.01, [&] { ++on_live_link; });
+  }
+  sim.Run();
+  EXPECT_EQ(on_dead_link, 0);
+  EXPECT_EQ(on_live_link, 40);
+  plane.ClearLinkOverrides();
+  plane.Deliver(1, 2, 0.01, [&] { ++on_dead_link; });
+  sim.Run();
+  EXPECT_EQ(on_dead_link, 1);
+}
+
+TEST(FaultPlane, FaultScheduleIsSeedReproducible) {
+  auto run = [](std::uint64_t seed) {
+    Simulator sim;
+    FaultPlaneParams params;
+    params.loss_rate = 0.25;
+    params.dup_prob = 0.1;
+    params.jitter_s = 0.05;
+    FaultPlane plane(sim, params, seed);
+    std::vector<std::pair<double, int>> trace;
+    for (int i = 0; i < 300; ++i) {
+      sim.ScheduleAt(0.01 * i, [&plane, &trace, i, &sim] {
+        plane.Deliver(i % 7, i % 5, 0.002, [&trace, i, &sim] {
+          trace.push_back({sim.now(), i});
+        });
+      });
+    }
+    sim.Run();
+    return trace;
+  };
+  EXPECT_EQ(run(99), run(99));
+  EXPECT_NE(run(99), run(100));
+}
+
+TEST(FaultPlaneDeathTest, RejectsInvalidProbabilities) {
+  Simulator sim;
+  FaultPlaneParams bad;
+  bad.loss_rate = 1.5;
+  EXPECT_DEATH(FaultPlane(sim, bad, 1), "CHECK failed");
+  FaultPlaneParams neg;
+  neg.jitter_s = -0.1;
+  EXPECT_DEATH(FaultPlane(sim, neg, 1), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace omcast::sim

@@ -11,6 +11,21 @@
 
 #include "bench_common.h"
 
+namespace {
+
+struct Criterion {
+  const char* label;
+  omcast::core::SwitchCriterion criterion;
+};
+
+constexpr Criterion kCriteria[] = {
+    {"btp (paper)", omcast::core::SwitchCriterion::kBtp},
+    {"bandwidth-only", omcast::core::SwitchCriterion::kBandwidthOnly},
+    {"age-only", omcast::core::SwitchCriterion::kAgeOnly},
+};
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace omcast;
   util::FlagSet flags;
@@ -19,32 +34,31 @@ int main(int argc, char** argv) {
   const bench::BenchEnv env = bench::MakeEnv(flags);
   bench::PrintHeader("Ablation -- ROST switching criterion", env);
 
-  struct Row {
-    const char* label;
-    core::SwitchCriterion criterion;
-  };
-  const Row rows[] = {
-      {"btp (paper)", core::SwitchCriterion::kBtp},
-      {"bandwidth-only", core::SwitchCriterion::kBandwidthOnly},
-      {"age-only", core::SwitchCriterion::kAgeOnly},
-  };
-
-  util::Table table({"criterion", "disruptions/node", "delay(ms)", "stretch",
-                     "reconnects/node"});
-  for (const Row& row : rows) {
+  runner::GridSpec spec;
+  spec.figure = "ablation_btp";
+  spec.title = "ROST switching-criterion ablation";
+  spec.row_header = "criterion";
+  for (const Criterion& c : kCriteria) spec.rows.push_back(c.label);
+  spec.cols = {"ROST"};
+  spec.reps = env.reps;
+  spec.headline_metric = "disruptions";
+  spec.run = [&env](const runner::CellContext& cell) {
     exp::ScenarioConfig config = env.BaseConfig();
     config.population = env.focus_size;
-    config.rost.criterion = row.criterion;
-    const auto reps = bench::RunTreeReps(env, exp::Algorithm::kRost, config);
-    table.AddRow(
-        row.label,
-        {bench::MeanOf(reps, [](const auto& r) { return r.avg_disruptions; }),
-         bench::MeanOf(reps, [](const auto& r) { return r.avg_delay_ms; }),
-         bench::MeanOf(reps, [](const auto& r) { return r.avg_stretch; }),
-         bench::MeanOf(reps,
-                       [](const auto& r) { return r.avg_reconnections; })});
-  }
-  table.Print(std::cout, "switching-criterion ablation (" +
-                             std::to_string(env.focus_size) + " members)");
+    config.seed = cell.seed;
+    config.rost.criterion = kCriteria[cell.row].criterion;
+    return bench::TreeCellResult(
+        exp::RunTreeScenario(env.Topo(), exp::Algorithm::kRost, config));
+  };
+  const runner::ResultsSink sink = bench::RunGridBench(env, spec);
+
+  bench::PrintMetricColumnsTable(
+      spec, sink, /*col=*/0,
+      {{"disruptions/node", "disruptions", 3},
+       {"delay(ms)", "delay_ms", 3},
+       {"stretch", "stretch", 3},
+       {"reconnects/node", "reconnections", 3}},
+      "switching-criterion ablation (" + std::to_string(env.focus_size) +
+          " members)");
   return 0;
 }

@@ -16,14 +16,9 @@ namespace {
 
 using namespace omcast;
 
-struct Outcome {
-  double disruptions = 0.0;
-  double delay_ms = 0.0;
-  double reconnects = 0.0;
-};
-
-Outcome RunOne(const net::Topology& topology, exp::Algorithm algorithm,
-               bool use_gossip, const exp::ScenarioConfig& config) {
+runner::CellResult RunOne(const net::Topology& topology,
+                          exp::Algorithm algorithm, bool use_gossip,
+                          const exp::ScenarioConfig& config) {
   sim::Simulator sim;
   overlay::Session session(sim, topology,
                            exp::MakeProtocol(algorithm, config.rost),
@@ -43,8 +38,11 @@ Outcome RunOne(const net::Topology& topology, exp::Algorithm algorithm,
   session.StartArrivals(config.population / rnd::kMeanLifetimeSeconds);
   sim.RunUntil(t_end);
   outcomes.HarvestAliveMembers();
-  return {outcomes.disruptions().mean(), snapshots.delay_ms().mean(),
-          outcomes.reconnections().mean()};
+  runner::CellResult out;
+  out.metrics["disruptions"] = outcomes.disruptions().mean();
+  out.metrics["delay_ms"] = snapshots.delay_ms().mean();
+  out.metrics["reconnections"] = outcomes.reconnections().mean();
+  return out;
 }
 
 }  // namespace
@@ -56,26 +54,36 @@ int main(int argc, char** argv) {
   const bench::BenchEnv env = bench::MakeEnv(flags);
   bench::PrintHeader("Ablation -- uniform sampling vs real gossip views", env);
 
+  const exp::Algorithm algorithms[] = {exp::Algorithm::kMinDepth,
+                                       exp::Algorithm::kRost};
+  runner::GridSpec spec;
+  spec.figure = "ablation_gossip";
+  spec.title = "membership-discovery ablation";
+  spec.row_header = "algorithm";
+  for (const exp::Algorithm a : algorithms)
+    spec.rows.push_back(exp::AlgorithmLabel(a));
+  spec.cols = {"uniform", "gossip views"};
+  spec.reps = env.reps;
+  spec.headline_metric = "disruptions";
+  spec.run = [&env, &algorithms](const runner::CellContext& cell) {
+    exp::ScenarioConfig config = env.BaseConfig();
+    config.population = env.focus_size;
+    config.seed = cell.seed;
+    return RunOne(env.Topo(), algorithms[cell.row],
+                  /*use_gossip=*/cell.col == 1, config);
+  };
+  const runner::ResultsSink sink = bench::RunGridBench(env, spec);
+
   util::Table table({"algorithm", "discovery", "disruptions/node", "delay(ms)",
                      "reconnects/node"});
-  for (const exp::Algorithm a :
-       {exp::Algorithm::kMinDepth, exp::Algorithm::kRost}) {
-    for (const bool use_gossip : {false, true}) {
-      Outcome sum;
-      for (int rep = 0; rep < env.reps; ++rep) {
-        exp::ScenarioConfig config = env.BaseConfig();
-        config.population = env.focus_size;
-        config.seed = env.seed + static_cast<std::uint64_t>(rep);
-        const Outcome o = RunOne(env.topology, a, use_gossip, config);
-        sum.disruptions += o.disruptions;
-        sum.delay_ms += o.delay_ms;
-        sum.reconnects += o.reconnects;
-      }
+  for (std::size_t row = 0; row < spec.rows.size(); ++row) {
+    for (std::size_t col = 0; col < spec.cols.size(); ++col) {
       table.AddRow(
-          {exp::AlgorithmLabel(a), use_gossip ? "gossip views" : "uniform",
-           util::FormatDouble(sum.disruptions / env.reps, 3),
-           util::FormatDouble(sum.delay_ms / env.reps, 1),
-           util::FormatDouble(sum.reconnects / env.reps, 3)});
+          {spec.rows[row], spec.cols[col],
+           util::FormatDouble(sink.Stat(row, col, "disruptions").mean(), 3),
+           util::FormatDouble(sink.Stat(row, col, "delay_ms").mean(), 1),
+           util::FormatDouble(sink.Stat(row, col, "reconnections").mean(),
+                              3)});
     }
   }
   table.Print(std::cout,

@@ -17,32 +17,39 @@ int main(int argc, char** argv) {
                      env);
 
   const int group = flags.GetInt("group");
+  runner::GridSpec spec;
+  spec.figure = "ablation_mlc";
+  spec.title = "CER ingredient ablation (selection x aggregation)";
+  spec.row_header = "selection";
+  spec.rows = {"MLC", "random"};
+  spec.cols = {"cooperative", "single"};
+  spec.reps = env.reps;
+  spec.headline_metric = "starving_ratio";
+  spec.run = [&env, group](const runner::CellContext& cell) {
+    stream::StreamParams sp;
+    sp.recovery_group_size = group;
+    sp.selection = cell.row == 0 ? core::GroupSelection::kMlc
+                                 : core::GroupSelection::kRandom;
+    sp.mode = cell.col == 0 ? core::RecoveryMode::kCooperative
+                            : core::RecoveryMode::kSingleSource;
+    exp::ScenarioConfig config = env.BaseConfig();
+    config.population = env.focus_size;
+    config.seed = cell.seed;
+    return bench::StreamCellResult(exp::RunStreamScenario(
+        env.Topo(), exp::Algorithm::kMinDepth, config, sp));
+  };
+  const runner::ResultsSink sink = bench::RunGridBench(env, spec);
+
   util::Table table(
       {"selection", "aggregation", "starving(%)", "avg repair rate"});
-  for (const auto selection :
-       {core::GroupSelection::kMlc, core::GroupSelection::kRandom}) {
-    for (const auto mode : {core::RecoveryMode::kCooperative,
-                            core::RecoveryMode::kSingleSource}) {
-      double ratio = 0.0;
-      double rate = 0.0;
-      for (int rep = 0; rep < env.reps; ++rep) {
-        stream::StreamParams sp;
-        sp.recovery_group_size = group;
-        sp.selection = selection;
-        sp.mode = mode;
-        exp::ScenarioConfig config = env.BaseConfig();
-        config.population = env.focus_size;
-        config.seed = env.seed + static_cast<std::uint64_t>(rep);
-        const auto r = RunStreamScenario(env.topology,
-                                         exp::Algorithm::kMinDepth, config, sp);
-        ratio += 100.0 * r.avg_starving_ratio;
-        rate += r.avg_recovery_rate;
-      }
+  for (std::size_t row = 0; row < spec.rows.size(); ++row) {
+    for (std::size_t col = 0; col < spec.cols.size(); ++col) {
       table.AddRow(
-          {selection == core::GroupSelection::kMlc ? "MLC" : "random",
-           mode == core::RecoveryMode::kCooperative ? "cooperative" : "single",
-           util::FormatDouble(ratio / env.reps, 3),
-           util::FormatDouble(rate / env.reps, 3)});
+          {spec.rows[row], spec.cols[col],
+           util::FormatDouble(
+               100.0 * sink.Stat(row, col, "starving_ratio").mean(), 3),
+           util::FormatDouble(sink.Stat(row, col, "recovery_rate").mean(),
+                              3)});
     }
   }
   table.Print(std::cout, "CER ablation, group size " + std::to_string(group) +

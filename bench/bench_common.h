@@ -1,49 +1,75 @@
-// Shared scaffolding for the figure-reproduction benches.
+// Shared scaffolding for the figure-reproduction benches, built on the
+// src/runner experiment-orchestration engine.
 //
-// Every bench accepts:
+// Every bench declares its figure as a runner::GridSpec -- rows (x-axis
+// points) x columns (curves) x repetitions -- and hands it to
+// RunGridBench(), which executes the independent cells on a work-stealing
+// thread pool, shares one immutable topology across all of them, derives
+// each cell's seed from the cell identity (never `seed + rep`), aggregates
+// mean/stddev/95%-CI, and emits both the aligned text tables below and a
+// versioned JSON results file (see src/runner/results.h for the schema).
+//
+// Common flags:
 //   --scale=small|paper   both use the paper's 15,600-host GT-ITM topology;
 //                         small (default) sweeps steady-state sizes
 //                         {2000, 3500, 5000} so the whole suite runs in
 //                         minutes, paper sweeps the exact Section 5 sizes
-//                         {2000, 5000, 8000, 11000, 14000} (tens of
-//                         minutes, dominated by the centralized relaxed
-//                         BO/TO baselines' global scans).
-//   --seed=N              base RNG seed.
+//                         {2000, 5000, 8000, 11000, 14000}.
+//   --seed=N              base RNG seed (per-cell seeds are hashed from it).
+//   --reps=N              independent repetitions per data point.
+//   --threads=N           worker threads (0 = all hardware threads).
+//   --sizes=a,b,c         override the steady-state size sweep.
+//   --out=DIR             write DIR/<figure>.json (empty: no JSON output).
+//   --resume=true         reuse matching cells from DIR/<figure>.json.
+//   --progress=true|false per-cell progress + ETA lines on stderr.
 //   --warmup=S --measure=S  override the phase lengths (seconds).
-//
-// Output is the figure's series as an aligned text table, one row per
-// x-axis point, one column per curve -- the same rows the paper plots.
 #pragma once
 
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "exp/scenario.h"
 #include "net/topology.h"
-#include "rand/rng.h"
+#include "runner/results.h"
+#include "runner/runner.h"
+#include "runner/topology_cache.h"
 #include "util/flags.h"
 #include "util/table.h"
 
 namespace omcast::bench {
 
 struct BenchEnv {
-  bool paper_scale;
-  std::uint64_t seed;
-  int reps;  // independent repetitions averaged per data point
-  double warmup_s;
-  double measure_s;
+  bool paper_scale = false;
+  std::uint64_t seed = 1;
+  int reps = 1;
+  int threads = 0;
+  bool progress = true;
+  bool resume = false;
+  std::string out_dir;
+  double warmup_s = 0.0;
+  double measure_s = 0.0;
   // The five steady-state sizes of Figs. 4, 7, 8, 10, 12 (scaled at small).
   std::vector<int> sizes;
   // The single-size experiments (Figs. 5, 11, 13: the paper's "8000").
-  int focus_size;
-  net::Topology topology;
+  int focus_size = 0;
+  // Shared immutable topology, owned by the process-wide cache; cells on
+  // every runner thread read it concurrently without locking.
+  const net::Topology* topology = nullptr;
+
+  const net::Topology& Topo() const { return *topology; }
+  const char* ScaleLabel() const { return paper_scale ? "paper" : "small"; }
 
   exp::ScenarioConfig BaseConfig() const {
     exp::ScenarioConfig c;
     c.warmup_s = warmup_s;
     c.measure_s = measure_s;
-    c.seed = seed;
+    c.seed = seed;  // overwritten per cell with the derived cell seed
     // At small scale the source capacity and the gossip-view size shrink
     // with the population, keeping their ratios to the network size near
     // the paper's values -- otherwise a 100-slot root swallows half of a
@@ -60,25 +86,34 @@ inline void DefineCommonFlags(util::FlagSet& flags) {
   flags.Define("scale", "small", "small | paper (Section 5 sizes)")
       .Define("seed", "1", "base RNG seed")
       .Define("reps", "3", "independent repetitions averaged per point")
+      .Define("threads", "0", "worker threads (0 = hardware concurrency)")
+      .Define("sizes", "", "override size sweep, e.g. 500,1000 (empty: scale default)")
+      .Define("out", "", "directory for <figure>.json results (empty: none)")
+      .Define("resume", "false", "reuse matching cells from --out JSON")
+      .Define("progress", "true", "per-cell progress/ETA lines on stderr")
       .Define("warmup", "-1", "warm-up seconds (-1: scale default)")
       .Define("measure", "-1", "measurement seconds (-1: scale default)");
 }
 
-// Builds the environment (including the topology) from parsed flags.
+// Builds the environment from parsed flags; the topology comes from the
+// process-wide cache so repeated grids in one process share one instance.
 inline BenchEnv MakeEnv(const util::FlagSet& flags) {
-  const bool paper = flags.GetString("scale") == "paper";
-  const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed"));
-  rnd::Rng topo_rng(seed ^ 0x70706fULL);
-  BenchEnv env{
-      paper,
-      seed,
-      flags.GetInt("reps"),
-      /*warmup_s=*/paper ? 7200.0 : 5400.0,
-      /*measure_s=*/3600.0,
-      paper ? std::vector<int>{2000, 5000, 8000, 11000, 14000}
-            : std::vector<int>{2000, 3500, 5000},
-      paper ? 8000 : 2000,
-      net::Topology::Generate(net::PaperTopologyParams(), topo_rng)};
+  BenchEnv env;
+  env.paper_scale = flags.GetString("scale") == "paper";
+  env.seed = static_cast<std::uint64_t>(flags.GetInt("seed"));
+  env.reps = flags.GetInt("reps");
+  env.threads = flags.GetInt("threads");
+  env.progress = flags.GetBool("progress");
+  env.resume = flags.GetBool("resume");
+  env.out_dir = flags.GetString("out");
+  env.warmup_s = env.paper_scale ? 7200.0 : 5400.0;
+  env.measure_s = 3600.0;
+  env.sizes = env.paper_scale ? std::vector<int>{2000, 5000, 8000, 11000, 14000}
+                              : std::vector<int>{2000, 3500, 5000};
+  if (!flags.GetString("sizes").empty()) env.sizes = flags.GetIntList("sizes");
+  env.focus_size = env.paper_scale ? 8000 : 2000;
+  env.topology =
+      &runner::SharedTopology(net::PaperTopologyParams(), env.seed ^ 0x70706fULL);
   if (flags.GetDouble("warmup") >= 0.0) env.warmup_s = flags.GetDouble("warmup");
   if (flags.GetDouble("measure") >= 0.0)
     env.measure_s = flags.GetDouble("measure");
@@ -87,31 +122,188 @@ inline BenchEnv MakeEnv(const util::FlagSet& flags) {
 
 inline void PrintHeader(const std::string& figure, const BenchEnv& env) {
   std::cout << "=== " << figure << " ===\n"
-            << "scale: " << (env.paper_scale ? "paper" : "small")
-            << "  topology: " << env.topology.num_stub_nodes()
+            << "scale: " << env.ScaleLabel()
+            << "  topology: " << env.Topo().num_stub_nodes()
             << " hosts  warmup: " << env.warmup_s
             << "s  measure: " << env.measure_s << "s  seed: " << env.seed
             << "  reps: " << env.reps << "\n\n";
 }
 
-// Runs a tree scenario `env.reps` times (seeds env.seed, env.seed+1, ...)
-// and returns per-rep results for averaging.
-inline std::vector<exp::TreeScenarioResult> RunTreeReps(
-    const BenchEnv& env, exp::Algorithm algorithm, exp::ScenarioConfig config) {
-  std::vector<exp::TreeScenarioResult> out;
-  for (int rep = 0; rep < env.reps; ++rep) {
-    config.seed = env.seed + static_cast<std::uint64_t>(rep);
-    out.push_back(RunTreeScenario(env.topology, algorithm, config));
+// Git SHA for the run manifest; the sweep scripts export OMCAST_GIT_SHA.
+inline std::string GitSha() {
+  const char* sha = std::getenv("OMCAST_GIT_SHA");
+  return sha != nullptr && sha[0] != '\0' ? sha : "unknown";
+}
+
+// Executes the grid on the runner and wraps the outcomes in a ResultsSink.
+// When --out is set, writes DIR/<figure>.json (and, with --resume, reuses
+// matching cells from a previous file at that path first).
+inline runner::ResultsSink RunGridBench(const BenchEnv& env,
+                                        const runner::GridSpec& spec) {
+  runner::RunnerOptions options;
+  options.threads = env.threads;
+  options.base_seed = env.seed;
+  options.progress = env.progress;
+
+  const std::filesystem::path out_path =
+      env.out_dir.empty()
+          ? std::filesystem::path{}
+          : std::filesystem::path(env.out_dir) / (spec.figure + ".json");
+  runner::Json resume_doc;
+  if (env.resume && !env.out_dir.empty()) {
+    std::ifstream in(out_path);
+    if (in) {
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      std::string error;
+      resume_doc = runner::Json::Parse(buf.str(), &error);
+      if (resume_doc.is_object()) {
+        options.resume = &resume_doc;
+      } else {
+        std::cerr << "[" << spec.figure << "] ignoring unreadable resume file "
+                  << out_path << ": " << error << "\n";
+      }
+    }
   }
+
+  runner::GridRunSummary summary = runner::RunGrid(spec, options);
+  runner::RunInfo info;
+  info.scale = env.ScaleLabel();
+  info.git_sha = GitSha();
+  info.base_seed = env.seed;
+  info.warmup_s = env.warmup_s;
+  info.measure_s = env.measure_s;
+  runner::ResultsSink sink(spec, info, std::move(summary));
+
+  if (!env.out_dir.empty()) {
+    std::filesystem::create_directories(env.out_dir);
+    if (!sink.WriteJson(out_path.string()))
+      std::cerr << "[" << spec.figure << "] FAILED to write " << out_path
+                << "\n";
+    else
+      std::cerr << "[" << spec.figure << "] wrote " << out_path << " ("
+                << sink.summary().executed << " cells run, "
+                << sink.summary().resumed << " resumed, "
+                << sink.summary().threads << " threads, "
+                << util::FormatDouble(sink.summary().wall_ms / 1000.0, 1)
+                << "s)\n";
+  }
+  return sink;
+}
+
+// ---------------------------------------------------------------------------
+// Cell-result adapters for the three scenario runners.
+// ---------------------------------------------------------------------------
+
+inline runner::CellResult TreeCellResult(const exp::TreeScenarioResult& r,
+                                         bool want_samples = false) {
+  runner::CellResult out;
+  out.metrics["disruptions"] = r.avg_disruptions;
+  out.metrics["reconnections"] = r.avg_reconnections;
+  out.metrics["delay_ms"] = r.avg_delay_ms;
+  out.metrics["stretch"] = r.avg_stretch;
+  out.metrics["depth"] = r.avg_depth;
+  out.metrics["population"] = r.avg_population;
+  out.metrics["qualifying_members"] = r.qualifying_members;
+  if (r.rost_switches >= 0) {
+    out.metrics["rost_switches"] = static_cast<double>(r.rost_switches);
+    out.metrics["rost_lock_conflicts"] =
+        static_cast<double>(r.rost_lock_conflicts);
+  }
+  if (want_samples) out.samples["disruptions"] = r.disruption_samples;
   return out;
 }
 
-// Mean of a field over repetition results.
-template <typename T, typename F>
-double MeanOf(const std::vector<T>& reps, F field) {
-  double sum = 0.0;
-  for (const T& r : reps) sum += field(r);
-  return reps.empty() ? 0.0 : sum / static_cast<double>(reps.size());
+inline runner::CellResult StreamCellResult(const exp::StreamScenarioResult& r) {
+  runner::CellResult out;
+  out.metrics["starving_ratio"] = r.avg_starving_ratio;
+  out.metrics["members"] = r.members;
+  out.metrics["outages"] = static_cast<double>(r.outages);
+  out.metrics["recovery_rate"] = r.avg_recovery_rate;
+  return out;
+}
+
+// The size-sweep tree grid shared by Figs. 4, 7, 8 and 10: rows are the
+// steady-state sizes, columns the five algorithms, and every cell records
+// the full tree-metric set (so one JSON file serves all four figures'
+// metrics). `env` must outlive the spec.
+inline runner::GridSpec TreeSizeSweepSpec(const BenchEnv& env,
+                                          std::string figure,
+                                          std::string title,
+                                          std::string headline_metric) {
+  runner::GridSpec spec;
+  spec.figure = std::move(figure);
+  spec.title = std::move(title);
+  spec.row_header = "size";
+  for (const int size : env.sizes) spec.rows.push_back(std::to_string(size));
+  for (const exp::Algorithm a : exp::AllAlgorithms())
+    spec.cols.push_back(exp::AlgorithmLabel(a));
+  spec.reps = env.reps;
+  spec.headline_metric = std::move(headline_metric);
+  spec.run = [&env](const runner::CellContext& cell) {
+    exp::ScenarioConfig config = env.BaseConfig();
+    config.population = env.sizes[cell.row];
+    config.seed = cell.seed;
+    const exp::Algorithm a = exp::AllAlgorithms()[cell.col];
+    return TreeCellResult(exp::RunTreeScenario(env.Topo(), a, config));
+  };
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// Table renderers over the aggregated results.
+// ---------------------------------------------------------------------------
+
+// rows x cols of one metric's mean (scaled, e.g. 100.0 turns a ratio into
+// a percentage). `with_ci` appends the 95% half-width as "m +-c".
+inline void PrintMetricTable(const runner::GridSpec& spec,
+                             const runner::ResultsSink& sink,
+                             const std::string& metric, int precision,
+                             const std::string& title, double scale = 1.0,
+                             bool with_ci = false) {
+  std::vector<std::string> header = {spec.row_header};
+  header.insert(header.end(), spec.cols.begin(), spec.cols.end());
+  util::Table table(std::move(header));
+  for (std::size_t row = 0; row < spec.rows.size(); ++row) {
+    std::vector<std::string> cells = {spec.rows[row]};
+    for (std::size_t col = 0; col < spec.cols.size(); ++col) {
+      const util::RunningStat stat = sink.Stat(row, col, metric);
+      std::string cell = util::FormatDouble(scale * stat.mean(), precision);
+      if (with_ci)
+        cell += " +-" +
+                util::FormatDouble(scale * stat.ci95_half_width(), precision);
+      cells.push_back(std::move(cell));
+    }
+    table.AddRow(std::move(cells));
+  }
+  table.Print(std::cout, title);
+}
+
+struct MetricColumn {
+  std::string header;
+  std::string metric;
+  int precision = 3;
+  double scale = 1.0;
+};
+
+// For single-curve grids (Fig. 11, the ablations): rows x chosen metrics
+// of column `col`.
+inline void PrintMetricColumnsTable(const runner::GridSpec& spec,
+                                    const runner::ResultsSink& sink,
+                                    std::size_t col,
+                                    const std::vector<MetricColumn>& columns,
+                                    const std::string& title) {
+  std::vector<std::string> header = {spec.row_header};
+  for (const MetricColumn& c : columns) header.push_back(c.header);
+  util::Table table(std::move(header));
+  for (std::size_t row = 0; row < spec.rows.size(); ++row) {
+    std::vector<std::string> cells = {spec.rows[row]};
+    for (const MetricColumn& c : columns)
+      cells.push_back(util::FormatDouble(
+          c.scale * sink.Stat(row, col, c.metric).mean(), c.precision));
+    table.AddRow(std::move(cells));
+  }
+  table.Print(std::cout, title);
 }
 
 }  // namespace omcast::bench

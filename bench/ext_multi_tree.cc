@@ -11,7 +11,25 @@
 #include <iostream>
 
 #include "bench_common.h"
+#include "sim/simulator.h"
 #include "stream/multi_tree.h"
+
+namespace {
+
+struct Scheme {
+  const char* label;
+  int trees;
+  bool cer;
+};
+
+constexpr Scheme kSchemes[] = {
+    {"1 tree, no recovery", 1, false},
+    {"1 tree + CER (paper)", 1, true},
+    {"2 MDC trees", 2, false},
+    {"3 MDC trees", 3, false},
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace omcast;
@@ -22,50 +40,46 @@ int main(int argc, char** argv) {
   const bench::BenchEnv env = bench::MakeEnv(flags);
   bench::PrintHeader("Extension -- multiple description trees vs CER", env);
 
-  struct Scheme {
-    const char* label;
-    int trees;
-    bool cer;
+  const double grow_s = flags.GetDouble("grow");
+  runner::GridSpec spec;
+  spec.figure = "ext_multi_tree";
+  spec.title = "multiple description trees vs CER";
+  spec.row_header = "scheme";
+  for (const Scheme& scheme : kSchemes) spec.rows.push_back(scheme.label);
+  spec.cols = {"stream"};
+  spec.reps = env.reps;
+  spec.headline_metric = "stall_ratio";
+  spec.run = [&env, grow_s](const runner::CellContext& cell) {
+    const Scheme& scheme = kSchemes[cell.row];
+    sim::Simulator sim;
+    stream::MultiTreeParams p;
+    p.trees = scheme.trees;
+    p.cer_recovery = scheme.cer;
+    stream::MultiTreeStream streams(sim, env.Topo(), p, cell.seed);
+    // Build the audience quickly, then settle into normal churn.
+    const double rate = env.focus_size / rnd::kMeanLifetimeSeconds;
+    streams.StartArrivals(4.0 * rate);
+    sim.RunUntil(grow_s);
+    streams.StopArrivals();
+    streams.StartArrivals(rate);
+    const double measure_begin = grow_s + 600.0;
+    const double measure_end = measure_begin + env.measure_s;
+    sim.RunUntil(measure_end);
+    streams.Finalize(measure_begin, measure_end);
+    runner::CellResult out;
+    out.metrics["stall_ratio"] = streams.stall_ratio().mean();
+    out.metrics["degraded_ratio"] = streams.degraded_ratio().mean();
+    out.metrics["population"] = streams.average_population();
+    return out;
   };
-  const Scheme schemes[] = {
-      {"1 tree, no recovery", 1, false},
-      {"1 tree + CER (paper)", 1, true},
-      {"2 MDC trees", 2, false},
-      {"3 MDC trees", 3, false},
-  };
+  const runner::ResultsSink sink = bench::RunGridBench(env, spec);
 
-  util::Table table({"scheme", "stall(%)", "degraded(%)", "members"});
-  for (const Scheme& scheme : schemes) {
-    util::RunningStat stall, degraded;
-    double members = 0.0;
-    for (int rep = 0; rep < env.reps; ++rep) {
-      sim::Simulator sim;
-      stream::MultiTreeParams p;
-      p.trees = scheme.trees;
-      p.cer_recovery = scheme.cer;
-      stream::MultiTreeStream streams(sim, env.topology, p,
-                                      env.seed + static_cast<std::uint64_t>(rep));
-      // Build the audience quickly, then settle into normal churn.
-      const double rate = env.focus_size / rnd::kMeanLifetimeSeconds;
-      const double grow_s = flags.GetDouble("grow");
-      streams.StartArrivals(4.0 * rate);
-      sim.RunUntil(grow_s);
-      streams.StopArrivals();
-      streams.StartArrivals(rate);
-      const double measure_begin = grow_s + 600.0;
-      const double measure_end = measure_begin + env.measure_s;
-      sim.RunUntil(measure_end);
-      streams.Finalize(measure_begin, measure_end);
-      stall.Merge(streams.stall_ratio());
-      degraded.Merge(streams.degraded_ratio());
-      members += streams.average_population();
-    }
-    table.AddRow({scheme.label,
-                  util::FormatDouble(100.0 * stall.mean(), 3),
-                  util::FormatDouble(100.0 * degraded.mean(), 3),
-                  util::FormatDouble(members / env.reps, 0)});
-  }
-  table.Print(std::cout, "stall = all descriptions out; degraded = any out");
+  bench::PrintMetricColumnsTable(
+      spec, sink, /*col=*/0,
+      {{"stall(%)", "stall_ratio", 3, 100.0},
+       {"degraded(%)", "degraded_ratio", 3, 100.0},
+       {"members", "population", 0}},
+      "stall = all descriptions out; degraded = any out");
   std::cout << "\nMDC trades stalls for (frequent) quality degradation and "
                "splits every uplink\nacross descriptions; CER keeps full "
                "quality and needs no extra coding.\n";

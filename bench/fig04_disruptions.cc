@@ -15,22 +15,11 @@ int main(int argc, char** argv) {
   const bench::BenchEnv env = bench::MakeEnv(flags);
   bench::PrintHeader("Fig. 4 -- avg streaming disruptions per node", env);
 
-  std::vector<std::string> header = {"size"};
-  for (const exp::Algorithm a : exp::AllAlgorithms())
-    header.push_back(exp::AlgorithmLabel(a));
-  util::Table table(std::move(header));
-
-  for (const int size : env.sizes) {
-    std::vector<double> row;
-    for (const exp::Algorithm a : exp::AllAlgorithms()) {
-      exp::ScenarioConfig config = env.BaseConfig();
-      config.population = size;
-      const auto reps = bench::RunTreeReps(env, a, config);
-      row.push_back(bench::MeanOf(
-          reps, [](const auto& r) { return r.avg_disruptions; }));
-    }
-    table.AddRow(std::to_string(size), row);
-  }
-  table.Print(std::cout, "avg disruptions per node (rows: steady-state size)");
+  const runner::GridSpec spec = bench::TreeSizeSweepSpec(
+      env, "fig04_disruptions", "avg streaming disruptions per node",
+      "disruptions");
+  const runner::ResultsSink sink = bench::RunGridBench(env, spec);
+  bench::PrintMetricTable(spec, sink, "disruptions", 3,
+                          "avg disruptions per node (rows: steady-state size)");
   return 0;
 }

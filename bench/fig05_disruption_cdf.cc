@@ -1,6 +1,7 @@
 // Fig. 5: CDF of the per-member disruption count in a network of the focus
 // size (the paper's 8000-node instance), for the five algorithms, evaluated
-// at the paper's 1,2,4,...,128 grid.
+// at the paper's 1,2,4,...,128 grid. Per-member samples are recorded per
+// cell and pooled across repetitions.
 #include <iostream>
 
 #include "bench_common.h"
@@ -14,22 +15,34 @@ int main(int argc, char** argv) {
   const bench::BenchEnv env = bench::MakeEnv(flags);
   bench::PrintHeader("Fig. 5 -- CDF of per-member disruption count", env);
 
+  runner::GridSpec spec;
+  spec.figure = "fig05_disruption_cdf";
+  spec.title = "CDF of per-member disruption count";
+  spec.row_header = "size";
+  spec.rows = {std::to_string(env.focus_size)};
+  for (const exp::Algorithm a : exp::AllAlgorithms())
+    spec.cols.push_back(exp::AlgorithmLabel(a));
+  spec.reps = env.reps;
+  spec.headline_metric = "disruptions";
+  spec.run = [&env](const runner::CellContext& cell) {
+    exp::ScenarioConfig config = env.BaseConfig();
+    config.population = env.focus_size;
+    config.seed = cell.seed;
+    const exp::Algorithm a = exp::AllAlgorithms()[cell.col];
+    return bench::TreeCellResult(exp::RunTreeScenario(env.Topo(), a, config),
+                                 /*want_samples=*/true);
+  };
+  const runner::ResultsSink sink = bench::RunGridBench(env, spec);
+
   const std::vector<double> grid = {1, 2, 4, 8, 16, 32, 64, 128};
   std::vector<std::string> header = {"disruptions<="};
-  for (const exp::Algorithm a : exp::AllAlgorithms())
-    header.push_back(exp::AlgorithmLabel(a));
+  header.insert(header.end(), spec.cols.begin(), spec.cols.end());
   util::Table table(std::move(header));
 
   std::vector<std::vector<double>> cdfs;
-  for (const exp::Algorithm a : exp::AllAlgorithms()) {
-    exp::ScenarioConfig config = env.BaseConfig();
-    config.population = env.focus_size;
-    std::vector<double> samples;
-    for (const auto& rep : bench::RunTreeReps(env, a, config))
-      samples.insert(samples.end(), rep.disruption_samples.begin(),
-                     rep.disruption_samples.end());
-    cdfs.push_back(util::CdfAt(std::move(samples), grid));
-  }
+  for (std::size_t col = 0; col < spec.cols.size(); ++col)
+    cdfs.push_back(
+        util::CdfAt(sink.PooledSamples(0, col, "disruptions"), grid));
   for (std::size_t i = 0; i < grid.size(); ++i) {
     std::vector<double> row;
     for (const auto& cdf : cdfs) row.push_back(100.0 * cdf[i]);

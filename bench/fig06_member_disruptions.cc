@@ -19,37 +19,56 @@ int main(int argc, char** argv) {
 
   const double trace_s = flags.GetDouble("trace-minutes") * 60.0;
   const double member_bw = flags.GetDouble("member-bw");
-  std::vector<std::string> header = {"minute"};
+
+  // One tagged member per cell (as in the paper); reps take the edge off
+  // the single-member anecdote. The trace is recorded as a (t_min, count)
+  // series in the cell result.
+  runner::GridSpec spec;
+  spec.figure = "fig06_member_disruptions";
+  spec.title = "cumulative disruptions of a typical member";
+  spec.row_header = "size";
+  spec.rows = {std::to_string(env.focus_size)};
   for (const exp::Algorithm a : exp::AllAlgorithms())
-    header.push_back(exp::AlgorithmLabel(a));
+    spec.cols.push_back(exp::AlgorithmLabel(a));
+  spec.reps = env.reps;
+  spec.headline_metric = "final_disruptions";
+  spec.run = [&env, trace_s, member_bw](const runner::CellContext& cell) {
+    exp::ScenarioConfig config = env.BaseConfig();
+    config.population = env.focus_size;
+    config.seed = cell.seed;
+    const exp::Algorithm a = exp::AllAlgorithms()[cell.col];
+    const exp::TraceResult trace = exp::RunMemberTraceScenario(
+        env.Topo(), a, config, member_bw, trace_s + 600.0, trace_s);
+    runner::CellResult out;
+    auto& series = out.series["cum_disruptions"];
+    for (const exp::TracePoint& p : trace.cumulative_disruptions)
+      series.emplace_back(p.t_min, p.v);
+    out.metrics["final_disruptions"] =
+        series.empty() ? 0.0 : series.back().second;
+    return out;
+  };
+  const runner::ResultsSink sink = bench::RunGridBench(env, spec);
+
+  std::vector<std::string> header = {"minute"};
+  header.insert(header.end(), spec.cols.begin(), spec.cols.end());
   util::Table table(std::move(header));
 
-  // One tagged member per run (as in the paper); averaged across reps to
-  // take the edge off the single-member anecdote.
-  std::vector<std::vector<exp::TraceResult>> traces;
-  for (const exp::Algorithm a : exp::AllAlgorithms()) {
-    std::vector<exp::TraceResult> reps;
-    for (int rep = 0; rep < env.reps; ++rep) {
-      exp::ScenarioConfig config = env.BaseConfig();
-      config.population = env.focus_size;
-      config.seed = env.seed + static_cast<std::uint64_t>(rep);
-      reps.push_back(RunMemberTraceScenario(env.topology, a, config, member_bw,
-                                            trace_s + 600.0, trace_s));
-    }
-    traces.push_back(std::move(reps));
-  }
-  // Sample each cumulative-count series on a 30-minute grid.
+  // Sample each cumulative-count series on a 30-minute grid, averaged
+  // across reps.
   for (double minute = 0.0; minute <= trace_s / 60.0 + 1e-9; minute += 30.0) {
     std::vector<double> row;
-    for (const auto& reps : traces) {
+    for (std::size_t col = 0; col < spec.cols.size(); ++col) {
       double sum = 0.0;
-      for (const auto& trace : reps) {
+      for (int rep = 0; rep < spec.reps; ++rep) {
+        const auto& result = sink.Cell(0, col, rep).result;
+        const auto it = result.series.find("cum_disruptions");
         double count = 0.0;
-        for (const auto& p : trace.cumulative_disruptions)
-          if (p.t_min <= minute) count = p.v;
+        if (it != result.series.end())
+          for (const auto& [t_min, v] : it->second)
+            if (t_min <= minute) count = v;
         sum += count;
       }
-      row.push_back(sum / static_cast<double>(reps.size()));
+      row.push_back(sum / static_cast<double>(spec.reps));
     }
     table.AddRow(util::FormatDouble(minute, 0), row, 1);
   }

@@ -13,22 +13,11 @@ int main(int argc, char** argv) {
   const bench::BenchEnv env = bench::MakeEnv(flags);
   bench::PrintHeader("Fig. 7 -- avg end-to-end service delay (ms)", env);
 
-  std::vector<std::string> header = {"size"};
-  for (const exp::Algorithm a : exp::AllAlgorithms())
-    header.push_back(exp::AlgorithmLabel(a));
-  util::Table table(std::move(header));
-
-  for (const int size : env.sizes) {
-    std::vector<double> row;
-    for (const exp::Algorithm a : exp::AllAlgorithms()) {
-      exp::ScenarioConfig config = env.BaseConfig();
-      config.population = size;
-      const auto reps = bench::RunTreeReps(env, a, config);
-      row.push_back(
-          bench::MeanOf(reps, [](const auto& r) { return r.avg_delay_ms; }));
-    }
-    table.AddRow(std::to_string(size), row, 1);
-  }
-  table.Print(std::cout, "avg service delay in ms (rows: steady-state size)");
+  const runner::GridSpec spec = bench::TreeSizeSweepSpec(
+      env, "fig07_service_delay", "avg end-to-end service delay (ms)",
+      "delay_ms");
+  const runner::ResultsSink sink = bench::RunGridBench(env, spec);
+  bench::PrintMetricTable(spec, sink, "delay_ms", 1,
+                          "avg service delay in ms (rows: steady-state size)");
   return 0;
 }

@@ -12,22 +12,10 @@ int main(int argc, char** argv) {
   const bench::BenchEnv env = bench::MakeEnv(flags);
   bench::PrintHeader("Fig. 8 -- avg network stretch", env);
 
-  std::vector<std::string> header = {"size"};
-  for (const exp::Algorithm a : exp::AllAlgorithms())
-    header.push_back(exp::AlgorithmLabel(a));
-  util::Table table(std::move(header));
-
-  for (const int size : env.sizes) {
-    std::vector<double> row;
-    for (const exp::Algorithm a : exp::AllAlgorithms()) {
-      exp::ScenarioConfig config = env.BaseConfig();
-      config.population = size;
-      const auto reps = bench::RunTreeReps(env, a, config);
-      row.push_back(
-          bench::MeanOf(reps, [](const auto& r) { return r.avg_stretch; }));
-    }
-    table.AddRow(std::to_string(size), row, 2);
-  }
-  table.Print(std::cout, "avg stretch (rows: steady-state size)");
+  const runner::GridSpec spec = bench::TreeSizeSweepSpec(
+      env, "fig08_stretch", "avg network stretch", "stretch");
+  const runner::ResultsSink sink = bench::RunGridBench(env, spec);
+  bench::PrintMetricTable(spec, sink, "stretch", 2,
+                          "avg stretch (rows: steady-state size)");
   return 0;
 }

@@ -17,36 +17,51 @@ int main(int argc, char** argv) {
 
   const double trace_s = flags.GetDouble("trace-minutes") * 60.0;
   const double member_bw = flags.GetDouble("member-bw");
-  std::vector<std::string> header = {"minute"};
+
+  runner::GridSpec spec;
+  spec.figure = "fig09_member_delay";
+  spec.title = "service delay of a typical member (ms)";
+  spec.row_header = "size";
+  spec.rows = {std::to_string(env.focus_size)};
   for (const exp::Algorithm a : exp::AllAlgorithms())
-    header.push_back(exp::AlgorithmLabel(a));
+    spec.cols.push_back(exp::AlgorithmLabel(a));
+  spec.reps = env.reps;
+  spec.headline_metric = "final_delay_ms";
+  spec.run = [&env, trace_s, member_bw](const runner::CellContext& cell) {
+    exp::ScenarioConfig config = env.BaseConfig();
+    config.population = env.focus_size;
+    config.seed = cell.seed;
+    config.snapshot_interval_s = 300.0;  // delay sample cadence
+    const exp::Algorithm a = exp::AllAlgorithms()[cell.col];
+    const exp::TraceResult trace = exp::RunMemberTraceScenario(
+        env.Topo(), a, config, member_bw, trace_s + 600.0, trace_s);
+    runner::CellResult out;
+    auto& series = out.series["delay_ms"];
+    for (const exp::TracePoint& p : trace.delay_ms)
+      series.emplace_back(p.t_min, p.v);
+    out.metrics["final_delay_ms"] =
+        series.empty() ? 0.0 : series.back().second;
+    return out;
+  };
+  const runner::ResultsSink sink = bench::RunGridBench(env, spec);
+
+  std::vector<std::string> header = {"minute"};
+  header.insert(header.end(), spec.cols.begin(), spec.cols.end());
   util::Table table(std::move(header));
 
-  // One tagged member per run (as in the paper); averaged across reps to
-  // take the edge off the single-member anecdote.
-  std::vector<std::vector<exp::TraceResult>> traces;
-  for (const exp::Algorithm a : exp::AllAlgorithms()) {
-    std::vector<exp::TraceResult> reps;
-    for (int rep = 0; rep < env.reps; ++rep) {
-      exp::ScenarioConfig config = env.BaseConfig();
-      config.population = env.focus_size;
-      config.seed = env.seed + static_cast<std::uint64_t>(rep);
-      config.snapshot_interval_s = 300.0;  // delay sample cadence
-      reps.push_back(RunMemberTraceScenario(env.topology, a, config, member_bw,
-                                            trace_s + 600.0, trace_s));
-    }
-    traces.push_back(std::move(reps));
-  }
   for (double minute = 0.0; minute <= trace_s / 60.0 + 1e-9; minute += 30.0) {
     std::vector<double> row;
-    for (const auto& reps : traces) {
+    for (std::size_t col = 0; col < spec.cols.size(); ++col) {
       double sum = 0.0;
       int counted = 0;
-      for (const auto& trace : reps) {
+      for (int rep = 0; rep < spec.reps; ++rep) {
+        const auto& result = sink.Cell(0, col, rep).result;
+        const auto it = result.series.find("delay_ms");
         // Latest delay sample at or before this minute.
         double delay = 0.0;
-        for (const auto& p : trace.delay_ms)
-          if (p.t_min <= minute + 1e-9) delay = p.v;
+        if (it != result.series.end())
+          for (const auto& [t_min, v] : it->second)
+            if (t_min <= minute + 1e-9) delay = v;
         if (delay > 0.0) {
           sum += delay;
           ++counted;

@@ -16,23 +16,12 @@ int main(int argc, char** argv) {
   bench::PrintHeader("Fig. 10 -- protocol overhead (reconnections per node)",
                      env);
 
-  std::vector<std::string> header = {"size"};
-  for (const exp::Algorithm a : exp::AllAlgorithms())
-    header.push_back(exp::AlgorithmLabel(a));
-  util::Table table(std::move(header));
-
-  for (const int size : env.sizes) {
-    std::vector<double> row;
-    for (const exp::Algorithm a : exp::AllAlgorithms()) {
-      exp::ScenarioConfig config = env.BaseConfig();
-      config.population = size;
-      const auto reps = bench::RunTreeReps(env, a, config);
-      row.push_back(bench::MeanOf(
-          reps, [](const auto& r) { return r.avg_reconnections; }));
-    }
-    table.AddRow(std::to_string(size), row);
-  }
-  table.Print(std::cout,
-              "avg optimization-induced reconnections per member lifetime");
+  const runner::GridSpec spec = bench::TreeSizeSweepSpec(
+      env, "fig10_protocol_cost",
+      "protocol overhead (reconnections per node)", "reconnections");
+  const runner::ResultsSink sink = bench::RunGridBench(env, spec);
+  bench::PrintMetricTable(
+      spec, sink, "reconnections", 3,
+      "avg optimization-induced reconnections per member lifetime");
   return 0;
 }

@@ -16,22 +16,33 @@ int main(int argc, char** argv) {
   const bench::BenchEnv env = bench::MakeEnv(flags);
   bench::PrintHeader("Fig. 11 -- effect of the ROST switching interval", env);
 
-  util::Table table({"interval(s)", "disruptions/node", "delay(ms)", "stretch",
-                     "reconnects/node"});
-  for (const int interval : flags.GetIntList("intervals")) {
+  const std::vector<int> intervals = flags.GetIntList("intervals");
+  runner::GridSpec spec;
+  spec.figure = "fig11_switch_interval";
+  spec.title = "effect of the ROST switching interval";
+  spec.row_header = "interval(s)";
+  for (const int interval : intervals)
+    spec.rows.push_back(std::to_string(interval));
+  spec.cols = {"ROST"};
+  spec.reps = env.reps;
+  spec.headline_metric = "disruptions";
+  spec.run = [&env, intervals](const runner::CellContext& cell) {
     exp::ScenarioConfig config = env.BaseConfig();
     config.population = env.focus_size;
-    config.rost.switching_interval_s = static_cast<double>(interval);
-    const auto reps = bench::RunTreeReps(env, exp::Algorithm::kRost, config);
-    table.AddRow(
-        std::to_string(interval),
-        {bench::MeanOf(reps, [](const auto& r) { return r.avg_disruptions; }),
-         bench::MeanOf(reps, [](const auto& r) { return r.avg_delay_ms; }),
-         bench::MeanOf(reps, [](const auto& r) { return r.avg_stretch; }),
-         bench::MeanOf(reps,
-                       [](const auto& r) { return r.avg_reconnections; })});
-  }
-  table.Print(std::cout, "ROST metrics vs switching interval (" +
-                             std::to_string(env.focus_size) + " members)");
+    config.seed = cell.seed;
+    config.rost.switching_interval_s = static_cast<double>(intervals[cell.row]);
+    return bench::TreeCellResult(
+        exp::RunTreeScenario(env.Topo(), exp::Algorithm::kRost, config));
+  };
+  const runner::ResultsSink sink = bench::RunGridBench(env, spec);
+
+  bench::PrintMetricColumnsTable(
+      spec, sink, /*col=*/0,
+      {{"disruptions/node", "disruptions", 3},
+       {"delay(ms)", "delay_ms", 3},
+       {"stretch", "stretch", 3},
+       {"reconnects/node", "reconnections", 3}},
+      "ROST metrics vs switching interval (" +
+          std::to_string(env.focus_size) + " members)");
   return 0;
 }

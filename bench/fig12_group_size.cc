@@ -15,25 +15,27 @@ int main(int argc, char** argv) {
   const bench::BenchEnv env = bench::MakeEnv(flags);
   bench::PrintHeader("Fig. 12 -- avg starving time ratio vs group size", env);
 
-  util::Table table({"size", "group=1", "group=2", "group=3", "group=4"});
-  for (const int size : env.sizes) {
-    std::vector<double> row;
-    for (int group = 1; group <= 4; ++group) {
-      stream::StreamParams sp;
-      sp.recovery_group_size = group;
-      double sum = 0.0;
-      for (int rep = 0; rep < env.reps; ++rep) {
-        exp::ScenarioConfig config = env.BaseConfig();
-        config.population = size;
-        config.seed = env.seed + static_cast<std::uint64_t>(rep);
-        sum += RunStreamScenario(env.topology, exp::Algorithm::kMinDepth,
-                                 config, sp)
-                   .avg_starving_ratio;
-      }
-      row.push_back(100.0 * sum / env.reps);
-    }
-    table.AddRow(std::to_string(size), row);
-  }
-  table.Print(std::cout, "avg starving time ratio (%), min-depth tree + CER");
+  runner::GridSpec spec;
+  spec.figure = "fig12_group_size";
+  spec.title = "avg starving time ratio vs recovery group size";
+  spec.row_header = "size";
+  for (const int size : env.sizes) spec.rows.push_back(std::to_string(size));
+  spec.cols = {"group=1", "group=2", "group=3", "group=4"};
+  spec.reps = env.reps;
+  spec.headline_metric = "starving_ratio";
+  spec.run = [&env](const runner::CellContext& cell) {
+    stream::StreamParams sp;
+    sp.recovery_group_size = static_cast<int>(cell.col) + 1;
+    exp::ScenarioConfig config = env.BaseConfig();
+    config.population = env.sizes[cell.row];
+    config.seed = cell.seed;
+    return bench::StreamCellResult(exp::RunStreamScenario(
+        env.Topo(), exp::Algorithm::kMinDepth, config, sp));
+  };
+  const runner::ResultsSink sink = bench::RunGridBench(env, spec);
+
+  bench::PrintMetricTable(spec, sink, "starving_ratio", 3,
+                          "avg starving time ratio (%), min-depth tree + CER",
+                          /*scale=*/100.0);
   return 0;
 }

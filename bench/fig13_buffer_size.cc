@@ -14,28 +14,32 @@ int main(int argc, char** argv) {
   const bench::BenchEnv env = bench::MakeEnv(flags);
   bench::PrintHeader("Fig. 13 -- avg starving time ratio vs buffer size", env);
 
-  util::Table table({"buffer(s)", "group=1", "group=2", "group=3"});
-  for (const double buffer : {5.0, 10.0, 15.0, 20.0, 25.0, 30.0}) {
-    std::vector<double> row;
-    for (int group = 1; group <= 3; ++group) {
-      stream::StreamParams sp;
-      sp.recovery_group_size = group;
-      sp.buffer_s = buffer;
-      double sum = 0.0;
-      for (int rep = 0; rep < env.reps; ++rep) {
-        exp::ScenarioConfig config = env.BaseConfig();
-        config.population = env.focus_size;
-        config.seed = env.seed + static_cast<std::uint64_t>(rep);
-        sum += RunStreamScenario(env.topology, exp::Algorithm::kMinDepth,
-                                 config, sp)
-                   .avg_starving_ratio;
-      }
-      row.push_back(100.0 * sum / env.reps);
-    }
-    table.AddRow(util::FormatDouble(buffer, 0), row);
-  }
-  table.Print(std::cout, "avg starving time ratio (%), " +
-                             std::to_string(env.focus_size) +
-                             " members, min-depth tree + CER");
+  const std::vector<double> buffers = {5.0, 10.0, 15.0, 20.0, 25.0, 30.0};
+  runner::GridSpec spec;
+  spec.figure = "fig13_buffer_size";
+  spec.title = "avg starving time ratio vs playback buffer size";
+  spec.row_header = "buffer(s)";
+  for (const double buffer : buffers)
+    spec.rows.push_back(util::FormatDouble(buffer, 0));
+  spec.cols = {"group=1", "group=2", "group=3"};
+  spec.reps = env.reps;
+  spec.headline_metric = "starving_ratio";
+  spec.run = [&env, buffers](const runner::CellContext& cell) {
+    stream::StreamParams sp;
+    sp.recovery_group_size = static_cast<int>(cell.col) + 1;
+    sp.buffer_s = buffers[cell.row];
+    exp::ScenarioConfig config = env.BaseConfig();
+    config.population = env.focus_size;
+    config.seed = cell.seed;
+    return bench::StreamCellResult(exp::RunStreamScenario(
+        env.Topo(), exp::Algorithm::kMinDepth, config, sp));
+  };
+  const runner::ResultsSink sink = bench::RunGridBench(env, spec);
+
+  bench::PrintMetricTable(spec, sink, "starving_ratio", 3,
+                          "avg starving time ratio (%), " +
+                              std::to_string(env.focus_size) +
+                              " members, min-depth tree + CER",
+                          /*scale=*/100.0);
   return 0;
 }

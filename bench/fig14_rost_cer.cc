@@ -7,7 +7,26 @@
 #include <iostream>
 
 #include "bench_common.h"
-#include "util/stats.h"
+
+namespace {
+
+struct Scheme {
+  const char* label;
+  omcast::exp::Algorithm algorithm;
+  omcast::core::GroupSelection selection;
+  omcast::core::RecoveryMode mode;
+};
+
+constexpr Scheme kSchemes[] = {
+    {"min-depth + single-source", omcast::exp::Algorithm::kMinDepth,
+     omcast::core::GroupSelection::kRandom,
+     omcast::core::RecoveryMode::kSingleSource},
+    {"ROST + CER", omcast::exp::Algorithm::kRost,
+     omcast::core::GroupSelection::kMlc,
+     omcast::core::RecoveryMode::kCooperative},
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace omcast;
@@ -17,42 +36,31 @@ int main(int argc, char** argv) {
   const bench::BenchEnv env = bench::MakeEnv(flags);
   bench::PrintHeader("Fig. 14 -- ROST+CER vs MinDepth+SingleSource", env);
 
-  struct Scheme {
-    const char* label;
-    exp::Algorithm algorithm;
-    core::GroupSelection selection;
-    core::RecoveryMode mode;
+  runner::GridSpec spec;
+  spec.figure = "fig14_rost_cer";
+  spec.title = "ROST+CER vs MinDepth+SingleSource";
+  spec.row_header = "scheme";
+  for (const Scheme& scheme : kSchemes) spec.rows.push_back(scheme.label);
+  spec.cols = {"group=1", "group=2", "group=3"};
+  spec.reps = env.reps;
+  spec.headline_metric = "starving_ratio";
+  spec.run = [&env](const runner::CellContext& cell) {
+    const Scheme& scheme = kSchemes[cell.row];
+    stream::StreamParams sp;
+    sp.recovery_group_size = static_cast<int>(cell.col) + 1;
+    sp.selection = scheme.selection;
+    sp.mode = scheme.mode;
+    exp::ScenarioConfig config = env.BaseConfig();
+    config.population = env.focus_size;
+    config.seed = cell.seed;
+    return bench::StreamCellResult(
+        exp::RunStreamScenario(env.Topo(), scheme.algorithm, config, sp));
   };
-  const Scheme schemes[] = {
-      {"min-depth + single-source", exp::Algorithm::kMinDepth,
-       core::GroupSelection::kRandom, core::RecoveryMode::kSingleSource},
-      {"ROST + CER", exp::Algorithm::kRost, core::GroupSelection::kMlc,
-       core::RecoveryMode::kCooperative},
-  };
+  const runner::ResultsSink sink = bench::RunGridBench(env, spec);
 
-  util::Table table({"scheme", "group=1", "group=2", "group=3"});
-  for (const Scheme& scheme : schemes) {
-    std::vector<std::string> cells = {scheme.label};
-    for (int group = 1; group <= 3; ++group) {
-      util::RunningStat stat;
-      for (int rep = 0; rep < env.reps; ++rep) {
-        stream::StreamParams sp;
-        sp.recovery_group_size = group;
-        sp.selection = scheme.selection;
-        sp.mode = scheme.mode;
-        exp::ScenarioConfig config = env.BaseConfig();
-        config.population = env.focus_size;
-        config.seed = env.seed + static_cast<std::uint64_t>(rep);
-        stat.Add(100.0 *
-                 RunStreamScenario(env.topology, scheme.algorithm, config, sp)
-                     .avg_starving_ratio);
-      }
-      cells.push_back(util::FormatDouble(stat.mean(), 3) + " +-" +
-                      util::FormatDouble(stat.ci95_half_width(), 3));
-    }
-    table.AddRow(std::move(cells));
-  }
-  table.Print(std::cout, "avg starving time ratio (%) with 95% CI (" +
-                             std::to_string(env.focus_size) + " members)");
+  bench::PrintMetricTable(spec, sink, "starving_ratio", 3,
+                          "avg starving time ratio (%) with 95% CI (" +
+                              std::to_string(env.focus_size) + " members)",
+                          /*scale=*/100.0, /*with_ci=*/true);
   return 0;
 }

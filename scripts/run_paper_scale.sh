@@ -1,28 +1,64 @@
 #!/bin/bash
-# Regenerates every paper figure at the full Section 5 scale into
-# results/paper/. Expect a few hours on one core; the sweep figures
-# (4, 7, 8, 10) dominate because the centralized relaxed-BO/TO baselines
-# do a global scan per join.
+# Regenerates every paper figure at the full Section 5 scale through the
+# parallel experiment runner into results/paper/ (.txt tables + .json
+# per-cell results). Expect hours on one core; the sweep figures (4, 7, 8,
+# 10) dominate because the centralized relaxed-BO/TO baselines do a global
+# scan per join. The runner spreads grid cells across THREADS workers and
+# the sweep is resumable: rerun with RESUME=1 after an interruption and
+# already-computed cells are reused from the .json files (seed-checked, so
+# stale caches re-run instead of poisoning the figures).
+#
+# Environment knobs:
+#   THREADS=N   worker threads per bench (default: all cores)
+#   RESUME=1    reuse per-cell results from a previous partial sweep
 set -u
 cd "$(dirname "$0")/.."
-mkdir -p results/paper
+
+BUILD=${BUILD:-build}
+OUT=results/paper
+THREADS=${THREADS:-0}
+RESUME=${RESUME:-0}
+mkdir -p "$OUT"
+
+OMCAST_GIT_SHA=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+export OMCAST_GIT_SHA
+
+common=(--scale=paper --threads="$THREADS" --out="$OUT")
+if [ "$RESUME" = "1" ]; then common+=(--resume=true); fi
+
+status=0
 run() {
-  echo "=== START $1 (reps=$2) $(date +%H:%M:%S) ==="
-  ./build/bench/"$1" --scale=paper --reps="$2" > "results/paper/$1.txt" 2>&1
-  echo "=== DONE  $1 $(date +%H:%M:%S) ==="
+  local name=$1 reps=$2
+  echo "=== START $name (reps=$reps) $(date +%H:%M:%S) ==="
+  if ! ./"$BUILD"/bench/"$name" "${common[@]}" --reps="$reps" \
+      > "$OUT/$name.txt"; then
+    echo "FAILED: $name" >&2
+    status=1
+  fi
+  echo "=== DONE  $name $(date +%H:%M:%S) ==="
 }
-run fig04_disruptions 1
-run fig07_service_delay 1
-run fig08_stretch 1
-run fig10_protocol_cost 1
-run fig05_disruption_cdf 1
-run fig11_switch_interval 2
-run fig12_group_size 2
-run fig13_buffer_size 2
-run fig14_rost_cer 3
-run fig06_member_disruptions 1
-run fig09_member_delay 1
-run ablation_btp 2
-run ablation_mlc 2
-run ablation_gossip 2
-echo ALL-PAPER-BENCHES-DONE
+
+# Multi-rep everywhere: the runner parallelizes across (size x algorithm x
+# rep) cells, so the sweep figures now afford reps=3 (mean +/- CI in the
+# JSON aggregates) where the serial harness capped them at reps=1.
+run fig04_disruptions 3
+run fig07_service_delay 3
+run fig08_stretch 3
+run fig10_protocol_cost 3
+run fig05_disruption_cdf 3
+run fig11_switch_interval 3
+run fig12_group_size 3
+run fig13_buffer_size 3
+run fig14_rost_cer 5
+run fig06_member_disruptions 1   # single tagged-member trace by design
+run fig09_member_delay 1         # single tagged-member trace by design
+run ablation_btp 3
+run ablation_mlc 3
+run ablation_gossip 3
+run ext_multi_tree 3
+
+python3 scripts/make_bench_summary.py "$OUT" -o "$OUT/bench_summary.json" \
+  || status=1
+
+if [ "$status" -eq 0 ]; then echo ALL-PAPER-BENCHES-DONE; fi
+exit "$status"

@@ -1,11 +1,45 @@
 #!/bin/bash
-# Regenerates every figure at the fast default scale into results/small/.
+# Regenerates every figure at the fast default scale through the parallel
+# experiment runner. Each bench writes:
+#   results/small/<name>.txt    -- the aligned text tables (stdout)
+#   results/small/<name>.json   -- versioned per-cell results + run manifest
+# and the sweep finishes by distilling results/small/bench_summary.json
+# (per-figure wall-clock + headline metric) for regression eyeballing.
+#
+# Environment knobs:
+#   THREADS=N   worker threads per bench (default: all cores)
+#   RESUME=1    reuse per-cell results from a previous partial sweep
 set -u
 cd "$(dirname "$0")/.."
-mkdir -p results/small
-for b in build/bench/fig* build/bench/ablation*; do
+
+BUILD=${BUILD:-build}
+OUT=results/small
+THREADS=${THREADS:-0}
+RESUME=${RESUME:-0}
+mkdir -p "$OUT"
+
+# Stamped into every results manifest so a JSON file is traceable to a tree.
+OMCAST_GIT_SHA=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+export OMCAST_GIT_SHA
+
+common=(--threads="$THREADS" --out="$OUT")
+if [ "$RESUME" = "1" ]; then common+=(--resume=true); fi
+
+status=0
+for b in "$BUILD"/bench/fig* "$BUILD"/bench/ablation* "$BUILD"/bench/ext_multi_tree; do
+  [ -x "$b" ] || continue
   name=$(basename "$b")
+  case "$name" in micro_core) continue ;; esac
   echo "=== $name ==="
-  "$b" > "results/small/$name.txt" 2>&1
+  # Tables go to the .txt; progress/ETA lines stay on stderr (the console).
+  if ! "$b" "${common[@]}" > "$OUT/$name.txt"; then
+    echo "FAILED: $name" >&2
+    status=1
+  fi
 done
-echo ALL-SMALL-BENCHES-DONE
+
+python3 scripts/make_bench_summary.py "$OUT" -o "$OUT/bench_summary.json" \
+  || status=1
+
+if [ "$status" -eq 0 ]; then echo ALL-SMALL-BENCHES-DONE; fi
+exit "$status"

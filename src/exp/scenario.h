@@ -36,6 +36,11 @@ const char* AlgorithmLabel(Algorithm a);
 std::unique_ptr<overlay::Protocol> MakeProtocol(Algorithm a,
                                                 const core::RostParams& rost);
 
+// Plain value type: runner cells copy one per cell and patch population /
+// seed, so scenario code must never stash pointers to a shared config.
+// The scenario runners below are thread-safe for concurrent calls *on
+// distinct configs and distinct seeds* -- each call builds its own
+// Simulator, Session, and RNG and only reads the (immutable) Topology.
 struct ScenarioConfig {
   int population = 1000;          // steady-state size M
   double warmup_s = 1800.0;       // structure equilibration before measuring

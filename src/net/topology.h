@@ -70,6 +70,12 @@ struct FlatEdge {
   double delay_ms = 0.0;
 };
 
+// Thread-safety: a Topology is immutable after Generate() returns -- every
+// member function is const and there are no mutable caches -- so a single
+// instance may be shared read-only across the experiment runner's worker
+// threads (see runner::SharedTopology). Keep it that way: any lazily
+// computed state added here must either be built eagerly in Generate() or
+// carry its own synchronization.
 class Topology {
  public:
   // Generates a topology; all randomness comes from `rng`.

@@ -1,0 +1,234 @@
+#include "runner/results.h"
+
+#include <fstream>
+
+#include "util/check.h"
+
+namespace omcast::runner {
+
+Json CellToJson(const CellOutcome& cell) {
+  Json j = Json::MakeObject();
+  j.Set("row", cell.ctx.row_label);
+  j.Set("col", cell.ctx.col_label);
+  j.Set("rep", cell.ctx.rep);
+  j.Set("seed", cell.ctx.seed);
+  j.Set("wall_ms", cell.wall_ms);
+  j.Set("resumed", cell.resumed);
+  Json metrics = Json::MakeObject();
+  for (const auto& [name, value] : cell.result.metrics)
+    metrics.Set(name, value);
+  j.Set("metrics", std::move(metrics));
+  if (!cell.result.samples.empty()) {
+    Json samples = Json::MakeObject();
+    for (const auto& [name, values] : cell.result.samples) {
+      Json arr = Json::MakeArray();
+      for (const double v : values) arr.Append(v);
+      samples.Set(name, std::move(arr));
+    }
+    j.Set("samples", std::move(samples));
+  }
+  if (!cell.result.series.empty()) {
+    Json series = Json::MakeObject();
+    for (const auto& [name, points] : cell.result.series) {
+      Json arr = Json::MakeArray();
+      for (const auto& [t, v] : points) {
+        Json point = Json::MakeArray();
+        point.Append(t);
+        point.Append(v);
+        arr.Append(std::move(point));
+      }
+      series.Set(name, std::move(arr));
+    }
+    j.Set("series", std::move(series));
+  }
+  return j;
+}
+
+bool CellFromJson(const Json& cell, CellOutcome* out) {
+  const Json* metrics = cell.Find("metrics");
+  if (metrics == nullptr || !metrics->is_object()) return false;
+  CellResult result;
+  for (const auto& [name, value] : metrics->AsObject()) {
+    if (!value.is_number()) return false;
+    result.metrics[name] = value.AsDouble();
+  }
+  if (const Json* samples = cell.Find("samples"); samples != nullptr) {
+    if (!samples->is_object()) return false;
+    for (const auto& [name, arr] : samples->AsObject()) {
+      if (!arr.is_array()) return false;
+      std::vector<double>& values = result.samples[name];
+      values.reserve(arr.size());
+      for (const Json& v : arr.AsArray()) {
+        if (!v.is_number()) return false;
+        values.push_back(v.AsDouble());
+      }
+    }
+  }
+  if (const Json* series = cell.Find("series"); series != nullptr) {
+    if (!series->is_object()) return false;
+    for (const auto& [name, arr] : series->AsObject()) {
+      if (!arr.is_array()) return false;
+      auto& points = result.series[name];
+      points.reserve(arr.size());
+      for (const Json& p : arr.AsArray()) {
+        if (!p.is_array() || p.size() != 2) return false;
+        const Json::Array& pair = p.AsArray();
+        if (!pair[0].is_number() || !pair[1].is_number()) return false;
+        points.emplace_back(pair[0].AsDouble(), pair[1].AsDouble());
+      }
+    }
+  }
+  out->result = std::move(result);
+  if (const Json* wall = cell.Find("wall_ms");
+      wall != nullptr && wall->is_number())
+    out->wall_ms = wall->AsDouble();
+  return true;
+}
+
+bool FindResumedCell(const Json& doc, const CellContext& ctx,
+                     CellOutcome* out) {
+  const Json* kind = doc.Find("kind");
+  if (kind == nullptr || !kind->is_string() ||
+      kind->AsString() != kResultsKind)
+    return false;
+  const Json* figure = doc.Find("figure");
+  if (figure == nullptr || !figure->is_string() ||
+      figure->AsString() != ctx.figure)
+    return false;
+  const Json* cells = doc.Find("cells");
+  if (cells == nullptr || !cells->is_array()) return false;
+  for (const Json& cell : cells->AsArray()) {
+    if (!cell.is_object()) continue;
+    const Json* row = cell.Find("row");
+    const Json* col = cell.Find("col");
+    const Json* rep = cell.Find("rep");
+    const Json* seed = cell.Find("seed");
+    if (row == nullptr || !row->is_string() ||
+        row->AsString() != ctx.row_label)
+      continue;
+    if (col == nullptr || !col->is_string() ||
+        col->AsString() != ctx.col_label)
+      continue;
+    if (rep == nullptr || !rep->is_number() || rep->AsInt() != ctx.rep)
+      continue;
+    // The seed gate: a stale cache (different base seed, renamed labels
+    // hashing differently) must be re-run, not reused.
+    if (seed == nullptr || !seed->is_number() || seed->AsUint() != ctx.seed)
+      continue;
+    return CellFromJson(cell, out);
+  }
+  return false;
+}
+
+ResultsSink::ResultsSink(const GridSpec& spec, const RunInfo& info,
+                         GridRunSummary summary)
+    : spec_(spec), info_(info), summary_(std::move(summary)) {
+  // The sink only needs the grid axes; dropping the closure releases
+  // whatever the bench captured in it.
+  spec_.run = nullptr;
+  util::Check(summary_.cells.size() == spec_.cell_count(),
+              "ResultsSink: outcome count does not match the grid");
+}
+
+const CellOutcome& ResultsSink::Cell(std::size_t row, std::size_t col,
+                                     int rep) const {
+  util::Check(row < spec_.rows.size() && col < spec_.cols.size() &&
+                  rep >= 0 && rep < spec_.reps,
+              "ResultsSink::Cell: index out of range");
+  const std::size_t index =
+      (row * spec_.cols.size() + col) * static_cast<std::size_t>(spec_.reps) +
+      static_cast<std::size_t>(rep);
+  return summary_.cells[index];
+}
+
+util::RunningStat ResultsSink::Stat(std::size_t row, std::size_t col,
+                                    const std::string& metric) const {
+  util::RunningStat stat;
+  for (int rep = 0; rep < spec_.reps; ++rep) {
+    const CellResult& r = Cell(row, col, rep).result;
+    const auto it = r.metrics.find(metric);
+    if (it != r.metrics.end()) stat.Add(it->second);
+  }
+  return stat;
+}
+
+std::vector<double> ResultsSink::PooledSamples(std::size_t row,
+                                               std::size_t col,
+                                               const std::string& name) const {
+  std::vector<double> out;
+  for (int rep = 0; rep < spec_.reps; ++rep) {
+    const CellResult& r = Cell(row, col, rep).result;
+    const auto it = r.samples.find(name);
+    if (it != r.samples.end())
+      out.insert(out.end(), it->second.begin(), it->second.end());
+  }
+  return out;
+}
+
+Json ResultsSink::ToJson() const {
+  Json doc = Json::MakeObject();
+  doc.Set("schema_version", kResultsSchemaVersion);
+  doc.Set("kind", kResultsKind);
+  doc.Set("figure", spec_.figure);
+  doc.Set("title", spec_.title);
+  doc.Set("scale", info_.scale);
+  doc.Set("git_sha", info_.git_sha);
+  doc.Set("base_seed", info_.base_seed);
+  doc.Set("reps", spec_.reps);
+  doc.Set("threads", summary_.threads);
+  doc.Set("warmup_s", info_.warmup_s);
+  doc.Set("measure_s", info_.measure_s);
+  doc.Set("row_header", spec_.row_header);
+  Json rows = Json::MakeArray();
+  for (const std::string& r : spec_.rows) rows.Append(r);
+  doc.Set("rows", std::move(rows));
+  Json cols = Json::MakeArray();
+  for (const std::string& c : spec_.cols) cols.Append(c);
+  doc.Set("cols", std::move(cols));
+  if (!spec_.headline_metric.empty())
+    doc.Set("headline_metric", spec_.headline_metric);
+  doc.Set("wall_ms_total", summary_.wall_ms);
+  doc.Set("executed", summary_.executed);
+  doc.Set("resumed", summary_.resumed);
+
+  Json cells = Json::MakeArray();
+  for (const CellOutcome& cell : summary_.cells)
+    cells.Append(CellToJson(cell));
+  doc.Set("cells", std::move(cells));
+
+  // Aggregates: every metric that appears in any rep of a (row, col),
+  // union-ed in deterministic (std::map) name order.
+  Json aggregates = Json::MakeArray();
+  for (std::size_t row = 0; row < spec_.rows.size(); ++row) {
+    for (std::size_t col = 0; col < spec_.cols.size(); ++col) {
+      std::map<std::string, util::RunningStat> stats;
+      for (int rep = 0; rep < spec_.reps; ++rep)
+        for (const auto& [name, value] : Cell(row, col, rep).result.metrics)
+          stats[name].Add(value);
+      for (const auto& [name, stat] : stats) {
+        Json agg = Json::MakeObject();
+        agg.Set("row", spec_.rows[row]);
+        agg.Set("col", spec_.cols[col]);
+        agg.Set("metric", name);
+        agg.Set("n", static_cast<std::uint64_t>(stat.count()));
+        agg.Set("mean", stat.mean());
+        agg.Set("stddev", stat.stddev());
+        agg.Set("ci95", stat.ci95_half_width());
+        agg.Set("min", stat.min());
+        agg.Set("max", stat.max());
+        aggregates.Append(std::move(agg));
+      }
+    }
+  }
+  doc.Set("aggregates", std::move(aggregates));
+  return doc;
+}
+
+bool ResultsSink::WriteJson(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << ToJson().Dump(/*indent=*/1) << "\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace omcast::runner

@@ -1,0 +1,44 @@
+// The orchestration engine: executes every cell of a GridSpec on a
+// work-stealing thread pool, sharing one immutable topology across cells,
+// and returns the outcomes in grid order (row-major, then rep) regardless
+// of the scheduling interleaving.
+//
+// Resumability: pass the parsed JSON document of a previous run of the same
+// figure and every cell whose identity (row, col, rep) and derived seed
+// match an entry in it is satisfied from the file instead of re-executed.
+// A cell whose seed does not match (different base seed or relabeled grid)
+// is re-run, never silently reused.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runner/grid.h"
+#include "runner/json.h"
+
+namespace omcast::runner {
+
+struct RunnerOptions {
+  int threads = 0;             // <= 0: hardware concurrency
+  std::uint64_t base_seed = 1;
+  bool progress = false;       // per-cell progress + ETA lines on stderr
+  const Json* resume = nullptr;  // previous results document, or nullptr
+};
+
+struct GridRunSummary {
+  std::vector<CellOutcome> cells;  // grid order: (row, col, rep) row-major
+  int executed = 0;                // cells actually run this invocation
+  int resumed = 0;                 // cells satisfied from `resume`
+  int threads = 0;                 // pool width used
+  double wall_ms = 0.0;            // whole-grid wall clock
+};
+
+GridRunSummary RunGrid(const GridSpec& spec, const RunnerOptions& options);
+
+// Digest of every cell's identity, seed and results (metrics, samples,
+// series) in grid order. Wall-clock and resume provenance are excluded, so
+// serial, parallel and resumed runs of the same grid must produce the same
+// digest -- the property the determinism test asserts.
+std::uint64_t DigestOutcomes(const std::vector<CellOutcome>& cells);
+
+}  // namespace omcast::runner

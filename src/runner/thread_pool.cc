@@ -1,0 +1,107 @@
+#include "runner/thread_pool.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace omcast::runner {
+
+ThreadPool::ThreadPool(int num_threads) {
+  std::size_t n = num_threads > 0
+                      ? static_cast<std::size_t>(num_threads)
+                      : static_cast<std::size_t>(
+                            std::max(1u, std::thread::hardware_concurrency()));
+  queues_.resize(n);
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  util::Check(task != nullptr, "ThreadPool::Submit: null task");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    util::Check(!stop_, "ThreadPool::Submit after shutdown");
+    queues_[next_queue_].push_back(Task{next_index_++, std::move(task)});
+    next_queue_ = (next_queue_ + 1) % queues_.size();
+    ++in_flight_;
+  }
+  work_cv_.notify_one();
+}
+
+bool ThreadPool::NextTask(std::size_t self, Task& out) {
+  if (!queues_[self].empty()) {
+    out = std::move(queues_[self].back());
+    queues_[self].pop_back();
+    return true;
+  }
+  // Steal from the deepest other deque: drains backlogs first and keeps the
+  // steal count low when queues are short.
+  std::size_t victim = queues_.size();
+  std::size_t best_depth = 0;
+  for (std::size_t i = 0; i < queues_.size(); ++i) {
+    if (i == self) continue;
+    if (queues_[i].size() > best_depth) {
+      best_depth = queues_[i].size();
+      victim = i;
+    }
+  }
+  if (victim == queues_.size()) return false;
+  out = std::move(queues_[victim].front());
+  queues_[victim].pop_front();
+  ++steals_;
+  return true;
+}
+
+void ThreadPool::WorkerLoop(std::size_t self) {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    Task task;
+    if (NextTask(self, task)) {
+      lock.unlock();
+      std::exception_ptr error;
+      try {
+        task.fn();
+      } catch (...) {
+        error = std::current_exception();
+      }
+      lock.lock();
+      if (error) errors_.emplace_back(task.index, error);
+      if (--in_flight_ == 0) done_cv_.notify_all();
+      continue;
+    }
+    // The destructor drains every queued task before workers exit: tasks
+    // are only abandoned if the process dies, never by shutdown ordering.
+    if (stop_) return;
+    work_cv_.wait(lock);
+  }
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  if (errors_.empty()) return;
+  auto first = std::min_element(
+      errors_.begin(), errors_.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::exception_ptr error = first->second;
+  errors_.clear();
+  lock.unlock();
+  std::rethrow_exception(error);
+}
+
+long ThreadPool::steals() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return steals_;
+}
+
+}  // namespace omcast::runner

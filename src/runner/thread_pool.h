@@ -1,0 +1,77 @@
+// Work-stealing thread pool for the experiment runner.
+//
+// Tasks are submitted round-robin onto per-worker deques; each worker pops
+// its own deque LIFO (cache-warm) and steals FIFO from the other workers
+// when its deque runs dry, so a few long cells (paper-scale relaxed-BO runs)
+// cannot strand idle cores behind a single queue position. Determinism of
+// *results* is never the pool's job: grid cells derive their seeds from the
+// cell coordinates and write to pre-assigned output slots, so any
+// interleaving the pool produces yields bit-identical output.
+//
+// Exceptions thrown by tasks are captured per task; Wait() rethrows the one
+// from the lowest submission index (a deterministic choice even though the
+// execution order is not) after every task has finished or been captured.
+// The destructor drains all remaining tasks and joins the workers, so a
+// pool can always be destroyed safely mid-flight.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace omcast::runner {
+
+class ThreadPool {
+ public:
+  // `num_threads` <= 0 selects std::thread::hardware_concurrency().
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task. Tasks may be submitted from the owning thread only.
+  void Submit(std::function<void()> task);
+
+  // Blocks until every submitted task has completed, then rethrows the
+  // captured exception with the lowest submission index, if any (remaining
+  // captured exceptions are discarded; each Wait() reports at most one).
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  // Number of tasks executed by a worker other than the one whose deque
+  // they were submitted to. Observability for tests; not deterministic.
+  long steals() const;
+
+ private:
+  struct Task {
+    std::size_t index = 0;
+    std::function<void()> fn;
+  };
+
+  void WorkerLoop(std::size_t self);
+  // Must hold mu_. Pops the next task for worker `self` (own deque back,
+  // else steal from the front of the busiest other deque).
+  bool NextTask(std::size_t self, Task& out);
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // workers: "a task may be available"
+  std::condition_variable done_cv_;   // Wait(): "in_flight_ may be zero"
+  std::vector<std::deque<Task>> queues_;
+  std::size_t next_index_ = 0;   // submission counter
+  std::size_t next_queue_ = 0;   // round-robin submission target
+  std::size_t in_flight_ = 0;    // submitted and not yet finished
+  bool stop_ = false;
+  long steals_ = 0;
+  std::vector<std::pair<std::size_t, std::exception_ptr>> errors_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace omcast::runner

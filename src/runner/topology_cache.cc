@@ -1,0 +1,83 @@
+#include "runner/topology_cache.h"
+
+#include <list>
+#include <mutex>
+#include <utility>
+
+#include "rand/rng.h"
+#include "util/hash.h"
+
+namespace omcast::runner {
+
+namespace {
+
+// Structural fingerprint of the generation inputs. Two parameter sets that
+// hash equal are compared field-by-field before reuse, so a collision can
+// only cost an extra comparison, never a wrong topology.
+std::uint64_t ParamsKey(const net::TopologyParams& p, std::uint64_t seed) {
+  util::RollingHash h;
+  h.MixU64(seed);
+  h.MixI64(p.transit_domains);
+  h.MixI64(p.transit_nodes_per_domain);
+  h.MixI64(p.stub_domains_per_transit_node);
+  h.MixI64(p.nodes_per_stub_domain);
+  h.MixDouble(p.tt_delay_lo);
+  h.MixDouble(p.tt_delay_hi);
+  h.MixDouble(p.ts_delay_lo);
+  h.MixDouble(p.ts_delay_hi);
+  h.MixDouble(p.ss_delay_lo);
+  h.MixDouble(p.ss_delay_hi);
+  h.MixDouble(p.intra_transit_edge_prob);
+  h.MixDouble(p.inter_transit_edge_prob);
+  h.MixDouble(p.intra_stub_edge_prob);
+  return h.digest();
+}
+
+bool SameParams(const net::TopologyParams& a, const net::TopologyParams& b) {
+  return a.transit_domains == b.transit_domains &&
+         a.transit_nodes_per_domain == b.transit_nodes_per_domain &&
+         a.stub_domains_per_transit_node == b.stub_domains_per_transit_node &&
+         a.nodes_per_stub_domain == b.nodes_per_stub_domain &&
+         a.tt_delay_lo == b.tt_delay_lo && a.tt_delay_hi == b.tt_delay_hi &&
+         a.ts_delay_lo == b.ts_delay_lo && a.ts_delay_hi == b.ts_delay_hi &&
+         a.ss_delay_lo == b.ss_delay_lo && a.ss_delay_hi == b.ss_delay_hi &&
+         a.intra_transit_edge_prob == b.intra_transit_edge_prob &&
+         a.inter_transit_edge_prob == b.inter_transit_edge_prob &&
+         a.intra_stub_edge_prob == b.intra_stub_edge_prob;
+}
+
+struct Entry {
+  std::uint64_t key = 0;
+  std::uint64_t seed = 0;
+  net::TopologyParams params;
+  net::Topology topology;
+};
+
+// std::list so references stay valid as entries are added.
+std::mutex g_mu;
+std::list<Entry>& Entries() {
+  static std::list<Entry> entries;
+  return entries;
+}
+
+}  // namespace
+
+const net::Topology& SharedTopology(const net::TopologyParams& params,
+                                    std::uint64_t seed) {
+  const std::uint64_t key = ParamsKey(params, seed);
+  std::lock_guard<std::mutex> lock(g_mu);
+  for (const Entry& e : Entries())
+    if (e.key == key && e.seed == seed && SameParams(e.params, params))
+      return e.topology;
+  rnd::Rng rng(seed);
+  Entries().push_back(
+      Entry{key, seed, params, net::Topology::Generate(params, rng)});
+  return Entries().back().topology;
+}
+
+int SharedTopologyCount() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  return static_cast<int>(Entries().size());
+}
+
+}  // namespace omcast::runner

@@ -1,11 +1,14 @@
 #include "util/log.h"
 
+#include <atomic>
 #include <cstdio>
 
 namespace omcast::util {
 namespace {
 
-LogLevel g_level = LogLevel::kWarn;
+// Atomic because worker threads of the experiment runner log concurrently;
+// relaxed ordering is fine for a filter threshold.
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -19,11 +22,17 @@ const char* LevelName(LogLevel level) {
 
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level = level; }
-LogLevel GetLogLevel() { return g_level; }
+void SetLogLevel(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
 
 void Log(LogLevel level, const std::string& msg) {
-  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  if (static_cast<int>(level) <
+      static_cast<int>(g_level.load(std::memory_order_relaxed)))
+    return;
+  // A single fprintf call: POSIX stdio locks the stream, so concurrent
+  // messages interleave by line, never mid-line.
   std::fprintf(stderr, "[%s] %s\n", LevelName(level), msg.c_str());
 }
 

@@ -12,8 +12,9 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
-// Emits `msg` if `level` >= the global minimum. Thread-compatible (the
-// simulator is single-threaded by design).
+// Emits `msg` if `level` >= the global minimum. Thread-safe: the level is
+// atomic and each message is one fprintf call, so the experiment runner's
+// worker threads may log concurrently (lines never interleave mid-line).
 void Log(LogLevel level, const std::string& msg);
 
 void LogDebug(const std::string& msg);

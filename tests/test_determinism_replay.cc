@@ -8,13 +8,17 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <set>
 #include <vector>
 
 #include "core/rost/rost.h"
+#include "exp/scenario.h"
 #include "net/topology.h"
 #include "overlay/gossip.h"
 #include "overlay/heartbeat.h"
 #include "overlay/session.h"
+#include "runner/runner.h"
+#include "runner/topology_cache.h"
 #include "sim/fault_plane.h"
 #include "sim/simulator.h"
 #include "stream/packet_sim.h"
@@ -184,6 +188,77 @@ TEST(SeedReplayDeterminism, ChaosFaultScheduleReplaysBitIdentically) {
 
 TEST(SeedReplayDeterminism, ChaosDigestSeesTheSeed) {
   EXPECT_NE(RunChaosDigest(17), RunChaosDigest(18));
+}
+
+// ---------------------------------------------------------------------------
+// Grid-level determinism: the experiment runner must produce bit-identical
+// per-cell results whether the grid executes serially or across a stolen-work
+// thread pool. Each cell runs a real (small) tree scenario against the shared
+// read-only topology; the digest covers every metric and sample of every
+// cell, so a data race on the topology, a scheduling-dependent seed, or an
+// output-slot mixup all fail this test.
+// ---------------------------------------------------------------------------
+
+runner::GridRunSummary RunScenarioGrid(int threads) {
+  runner::GridSpec spec;
+  spec.figure = "determinism_probe";
+  spec.title = "grid determinism probe";
+  spec.row_header = "members";
+  spec.rows = {"40", "60"};
+  spec.cols = {"min-depth", "ROST"};
+  spec.reps = 2;
+  spec.headline_metric = "disruptions";
+  const net::Topology& topology =
+      runner::SharedTopology(net::TinyTopologyParams(), 1);
+  spec.run = [&topology](const runner::CellContext& cell) {
+    exp::ScenarioConfig config;
+    config.population = cell.row == 0 ? 40 : 60;
+    config.warmup_s = 120.0;
+    config.measure_s = 300.0;
+    config.seed = cell.seed;
+    const exp::Algorithm algorithm =
+        cell.col == 0 ? exp::Algorithm::kMinDepth : exp::Algorithm::kRost;
+    const exp::TreeScenarioResult r =
+        exp::RunTreeScenario(topology, algorithm, config);
+    runner::CellResult out;
+    out.metrics["disruptions"] = r.avg_disruptions;
+    out.metrics["delay_ms"] = r.avg_delay_ms;
+    out.metrics["stretch"] = r.avg_stretch;
+    out.metrics["population"] = r.avg_population;
+    out.samples["disruptions"] = r.disruption_samples;
+    return out;
+  };
+  runner::RunnerOptions options;
+  options.threads = threads;
+  options.base_seed = 1;
+  return runner::RunGrid(spec, options);
+}
+
+TEST(SeedReplayDeterminism, SerialAndParallelGridsAreBitIdentical) {
+  const runner::GridRunSummary serial = RunScenarioGrid(/*threads=*/1);
+  const runner::GridRunSummary parallel = RunScenarioGrid(/*threads=*/4);
+  ASSERT_EQ(serial.cells.size(), parallel.cells.size());
+  EXPECT_EQ(runner::DigestOutcomes(serial.cells),
+            runner::DigestOutcomes(parallel.cells))
+      << "per-cell results depend on thread count: a cell is sharing "
+         "mutable state (RNG, topology, collector) across the grid";
+  // Localize a failure if the digests ever diverge.
+  for (std::size_t i = 0; i < serial.cells.size(); ++i) {
+    EXPECT_EQ(serial.cells[i].result.metrics,
+              parallel.cells[i].result.metrics)
+        << "cell " << i << " (" << serial.cells[i].ctx.row_label << "/"
+        << serial.cells[i].ctx.col_label << " rep "
+        << serial.cells[i].ctx.rep << ") diverged";
+  }
+}
+
+TEST(SeedReplayDeterminism, GridCellsUseDistinctDerivedSeeds) {
+  const runner::GridRunSummary summary = RunScenarioGrid(/*threads=*/2);
+  std::set<std::uint64_t> seeds;
+  for (const runner::CellOutcome& cell : summary.cells)
+    seeds.insert(cell.ctx.seed);
+  EXPECT_EQ(seeds.size(), summary.cells.size())
+      << "two grid cells derived the same seed";
 }
 
 TEST(SeedReplayDeterminism, TraceObserverSeesMonotonicTime) {

@@ -1,0 +1,400 @@
+// Unit tests for the experiment-orchestration engine (src/runner): the
+// work-stealing thread pool's completion/shutdown/exception semantics, the
+// hash-based per-cell seed derivation, serial-vs-parallel grid determinism
+// on synthetic cells, resumable-manifest skip logic, CI aggregation math
+// against util::RunningStat, and the shared-topology cache.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <stdexcept>
+#include <thread>
+
+#include "net/topology.h"
+#include "rand/rng.h"
+#include "runner/results.h"
+#include "runner/runner.h"
+#include "runner/thread_pool.h"
+#include "runner/topology_cache.h"
+#include "util/stats.h"
+
+namespace omcast {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPool, RunsEveryTask) {
+  runner::ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 200; ++i)
+    pool.Submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPool, ZeroThreadsSelectsHardwareConcurrency) {
+  runner::ThreadPool pool(0);
+  EXPECT_GE(pool.num_threads(), 1);
+  std::atomic<int> count{0};
+  pool.Submit([&count] { ++count; });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, IdleWorkersStealFromABlockedWorkersQueue) {
+  runner::ThreadPool pool(2);
+  std::atomic<int> count{0};
+  std::promise<void> go_promise;
+  std::shared_future<void> go = go_promise.get_future().share();
+  std::promise<void> release_promise;
+  std::shared_future<void> release = release_promise.get_future().share();
+
+  // 50 gated quick tasks round-robin across both deques, then a blocker
+  // lands at the BACK of queue 0. Tasks hold until `go`, so workers consume
+  // at most one task each during submission; once `go` fires, worker 0's
+  // LIFO pop reaches the blocker (newest in its deque) after at most one
+  // quick task and parks on `release`. Queue 0's remaining quick tasks can
+  // then only finish by being stolen, so count==50 certifies a steal.
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&count, go] {
+      go.wait();
+      count.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  pool.Submit([go, release] {
+    go.wait();
+    release.wait();
+  });
+  go_promise.set_value();
+  while (count.load(std::memory_order_relaxed) < 50)
+    std::this_thread::yield();
+  EXPECT_GE(pool.steals(), 1) << "no task was ever stolen across deques";
+  release_promise.set_value();
+  pool.Wait();
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, WaitRethrowsTheLowestIndexException) {
+  runner::ThreadPool pool(4);
+  for (int i = 0; i < 20; ++i) {
+    pool.Submit([i] {
+      if (i == 7 || i == 13) throw std::runtime_error("boom" + std::to_string(i));
+    });
+  }
+  try {
+    pool.Wait();
+    FAIL() << "Wait() swallowed the task exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom7");
+  }
+  // The error set is cleared: a subsequent Wait() succeeds.
+  pool.Wait();
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks) {
+  std::atomic<int> count{0};
+  {
+    runner::ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i)
+      pool.Submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    // No Wait(): shutdown must still run everything before joining.
+  }
+  EXPECT_EQ(count.load(), 100);
+}
+
+// ---------------------------------------------------------------------------
+// CellSeed
+// ---------------------------------------------------------------------------
+
+TEST(CellSeed, DependsOnEveryCoordinate) {
+  const std::uint64_t base = runner::CellSeed(1, "fig", "2000", "ROST", 0);
+  EXPECT_EQ(base, runner::CellSeed(1, "fig", "2000", "ROST", 0));
+  EXPECT_NE(base, runner::CellSeed(2, "fig", "2000", "ROST", 0));
+  EXPECT_NE(base, runner::CellSeed(1, "gif", "2000", "ROST", 0));
+  EXPECT_NE(base, runner::CellSeed(1, "fig", "5000", "ROST", 0));
+  EXPECT_NE(base, runner::CellSeed(1, "fig", "2000", "min-depth", 0));
+  EXPECT_NE(base, runner::CellSeed(1, "fig", "2000", "ROST", 1));
+}
+
+TEST(CellSeed, LengthPrefixingPreventsLabelGluingCollisions) {
+  EXPECT_NE(runner::CellSeed(1, "f", "ab", "c", 0),
+            runner::CellSeed(1, "f", "a", "bc", 0));
+  EXPECT_NE(runner::CellSeed(1, "fa", "b", "c", 0),
+            runner::CellSeed(1, "f", "ab", "c", 0));
+}
+
+TEST(CellSeed, ConsecutiveRepsAreNotConsecutiveSeeds) {
+  // The whole point over `seed + rep`: neighbouring cells must not sit on
+  // trivially related random streams.
+  const std::uint64_t s0 = runner::CellSeed(1, "fig", "2000", "ROST", 0);
+  const std::uint64_t s1 = runner::CellSeed(1, "fig", "2000", "ROST", 1);
+  EXPECT_NE(s1, s0 + 1);
+}
+
+// ---------------------------------------------------------------------------
+// RunGrid
+// ---------------------------------------------------------------------------
+
+// A synthetic cell: burns a seeded RNG so results depend only on the seed.
+runner::CellResult SyntheticCell(const runner::CellContext& ctx) {
+  rnd::Rng rng(ctx.seed);
+  runner::CellResult out;
+  out.metrics["value"] = rng.Uniform(0.0, 1.0);
+  out.metrics["count"] = static_cast<double>(rng.UniformInt(0, 1000));
+  out.samples["draws"] = {rng.Uniform(0.0, 1.0), rng.Uniform(0.0, 1.0)};
+  out.series["walk"] = {{0.0, rng.Uniform(0.0, 1.0)},
+                        {1.0, rng.Uniform(0.0, 1.0)}};
+  return out;
+}
+
+runner::GridSpec SyntheticSpec(int reps = 3) {
+  runner::GridSpec spec;
+  spec.figure = "test_grid";
+  spec.title = "synthetic";
+  spec.row_header = "x";
+  spec.rows = {"10", "20", "30"};
+  spec.cols = {"alpha", "beta"};
+  spec.reps = reps;
+  spec.headline_metric = "value";
+  spec.run = SyntheticCell;
+  return spec;
+}
+
+TEST(RunGrid, OutcomesAreInGridOrderWithDerivedSeeds) {
+  runner::RunnerOptions options;
+  options.threads = 2;
+  options.base_seed = 7;
+  const runner::GridRunSummary summary =
+      runner::RunGrid(SyntheticSpec(2), options);
+  ASSERT_EQ(summary.cells.size(), 3u * 2u * 2u);
+  EXPECT_EQ(summary.executed, 12);
+  EXPECT_EQ(summary.resumed, 0);
+  std::size_t index = 0;
+  for (const char* row : {"10", "20", "30"}) {
+    for (const char* col : {"alpha", "beta"}) {
+      for (int rep = 0; rep < 2; ++rep, ++index) {
+        const runner::CellContext& ctx = summary.cells[index].ctx;
+        EXPECT_EQ(ctx.row_label, row);
+        EXPECT_EQ(ctx.col_label, col);
+        EXPECT_EQ(ctx.rep, rep);
+        EXPECT_EQ(ctx.seed,
+                  runner::CellSeed(7, "test_grid", row, col, rep));
+      }
+    }
+  }
+}
+
+TEST(RunGrid, SerialAndParallelRunsAreBitIdentical) {
+  runner::RunnerOptions serial;
+  serial.threads = 1;
+  runner::RunnerOptions parallel;
+  parallel.threads = 4;
+  const auto a = runner::RunGrid(SyntheticSpec(), serial);
+  const auto b = runner::RunGrid(SyntheticSpec(), parallel);
+  EXPECT_EQ(runner::DigestOutcomes(a.cells), runner::DigestOutcomes(b.cells));
+}
+
+TEST(RunGrid, CellExceptionPropagatesToTheCaller) {
+  runner::GridSpec spec = SyntheticSpec(1);
+  spec.run = [](const runner::CellContext& ctx) -> runner::CellResult {
+    if (ctx.row_label == "20") throw std::runtime_error("cell failed");
+    return runner::CellResult{};
+  };
+  runner::RunnerOptions options;
+  options.threads = 2;
+  EXPECT_THROW(runner::RunGrid(spec, options), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Resume
+// ---------------------------------------------------------------------------
+
+runner::RunInfo TestRunInfo() {
+  runner::RunInfo info;
+  info.scale = "test";
+  info.git_sha = "deadbeef";
+  info.base_seed = 1;
+  return info;
+}
+
+TEST(Resume, MatchingCellsAreSkippedAndResultsBitIdentical) {
+  const runner::GridSpec spec = SyntheticSpec();
+  runner::RunnerOptions options;
+  options.threads = 2;
+  const auto first = runner::RunGrid(spec, options);
+  const runner::ResultsSink sink(spec, TestRunInfo(), first);
+  const runner::Json doc = sink.ToJson();
+
+  runner::RunnerOptions resumed = options;
+  resumed.resume = &doc;
+  const auto second = runner::RunGrid(spec, resumed);
+  EXPECT_EQ(second.executed, 0);
+  EXPECT_EQ(second.resumed, static_cast<int>(spec.cell_count()));
+  EXPECT_EQ(runner::DigestOutcomes(first.cells),
+            runner::DigestOutcomes(second.cells));
+}
+
+TEST(Resume, SurvivesAJsonRoundTrip) {
+  const runner::GridSpec spec = SyntheticSpec();
+  runner::RunnerOptions options;
+  options.threads = 2;
+  const auto first = runner::RunGrid(spec, options);
+  const runner::ResultsSink sink(spec, TestRunInfo(), first);
+  std::string error;
+  const runner::Json doc =
+      runner::Json::Parse(sink.ToJson().Dump(/*indent=*/1), &error);
+  ASSERT_TRUE(doc.is_object()) << error;
+
+  runner::RunnerOptions resumed = options;
+  resumed.resume = &doc;
+  const auto second = runner::RunGrid(spec, resumed);
+  EXPECT_EQ(second.executed, 0);
+  EXPECT_EQ(runner::DigestOutcomes(first.cells),
+            runner::DigestOutcomes(second.cells));
+}
+
+TEST(Resume, SeedMismatchForcesRerun) {
+  const runner::GridSpec spec = SyntheticSpec();
+  runner::RunnerOptions options;
+  options.threads = 2;
+  options.base_seed = 1;
+  const auto first = runner::RunGrid(spec, options);
+  const runner::ResultsSink sink(spec, TestRunInfo(), first);
+  const runner::Json doc = sink.ToJson();
+
+  // A different base seed derives different cell seeds: the stale cache
+  // must not satisfy any cell.
+  runner::RunnerOptions other = options;
+  other.base_seed = 2;
+  other.resume = &doc;
+  const auto second = runner::RunGrid(spec, other);
+  EXPECT_EQ(second.resumed, 0);
+  EXPECT_EQ(second.executed, static_cast<int>(spec.cell_count()));
+}
+
+TEST(Resume, WrongFigureIsIgnored) {
+  const runner::GridSpec spec = SyntheticSpec();
+  runner::RunnerOptions options;
+  options.threads = 1;
+  const auto first = runner::RunGrid(spec, options);
+  const runner::ResultsSink sink(spec, TestRunInfo(), first);
+  const runner::Json doc = sink.ToJson();
+
+  runner::GridSpec renamed = spec;
+  renamed.figure = "other_figure";
+  runner::RunnerOptions resumed = options;
+  resumed.resume = &doc;
+  const auto second = runner::RunGrid(renamed, resumed);
+  EXPECT_EQ(second.resumed, 0);
+}
+
+// ---------------------------------------------------------------------------
+// ResultsSink aggregation
+// ---------------------------------------------------------------------------
+
+TEST(ResultsSink, AggregationMatchesRunningStatOnKnownInputs) {
+  runner::GridSpec spec = SyntheticSpec(4);
+  // Deterministic, hand-checkable values: metric = f(row, col, rep).
+  spec.run = [](const runner::CellContext& ctx) {
+    runner::CellResult out;
+    out.metrics["value"] = static_cast<double>(ctx.row) * 10.0 +
+                           static_cast<double>(ctx.col) +
+                           static_cast<double>(ctx.rep) * 0.25;
+    return out;
+  };
+  runner::RunnerOptions options;
+  options.threads = 3;
+  const runner::ResultsSink sink(spec, TestRunInfo(),
+                                 runner::RunGrid(spec, options));
+  for (std::size_t row = 0; row < spec.rows.size(); ++row) {
+    for (std::size_t col = 0; col < spec.cols.size(); ++col) {
+      util::RunningStat expected;
+      for (int rep = 0; rep < 4; ++rep)
+        expected.Add(static_cast<double>(row) * 10.0 +
+                     static_cast<double>(col) +
+                     static_cast<double>(rep) * 0.25);
+      const util::RunningStat got = sink.Stat(row, col, "value");
+      EXPECT_EQ(got.count(), expected.count());
+      EXPECT_DOUBLE_EQ(got.mean(), expected.mean());
+      EXPECT_DOUBLE_EQ(got.stddev(), expected.stddev());
+      EXPECT_DOUBLE_EQ(got.ci95_half_width(), expected.ci95_half_width());
+    }
+  }
+  // The JSON aggregates carry the same numbers.
+  const runner::Json doc = sink.ToJson();
+  const runner::Json* aggregates = doc.Find("aggregates");
+  ASSERT_NE(aggregates, nullptr);
+  bool found = false;
+  for (const runner::Json& agg : aggregates->AsArray()) {
+    if (agg.Find("row")->AsString() == "20" &&
+        agg.Find("col")->AsString() == "beta" &&
+        agg.Find("metric")->AsString() == "value") {
+      found = true;
+      EXPECT_EQ(agg.Find("n")->AsUint(), 4u);
+      EXPECT_DOUBLE_EQ(agg.Find("mean")->AsDouble(),
+                       sink.Stat(1, 1, "value").mean());
+      EXPECT_DOUBLE_EQ(agg.Find("ci95")->AsDouble(),
+                       sink.Stat(1, 1, "value").ci95_half_width());
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ResultsSink, PooledSamplesConcatenateInRepOrder) {
+  runner::GridSpec spec = SyntheticSpec(3);
+  spec.run = [](const runner::CellContext& ctx) {
+    runner::CellResult out;
+    out.samples["s"] = {static_cast<double>(ctx.rep),
+                        static_cast<double>(ctx.rep) + 0.5};
+    return out;
+  };
+  runner::RunnerOptions options;
+  options.threads = 2;
+  const runner::ResultsSink sink(spec, TestRunInfo(),
+                                 runner::RunGrid(spec, options));
+  const std::vector<double> pooled = sink.PooledSamples(0, 0, "s");
+  EXPECT_EQ(pooled, (std::vector<double>{0.0, 0.5, 1.0, 1.5, 2.0, 2.5}));
+}
+
+TEST(ResultsSink, MissingMetricShrinksN) {
+  runner::GridSpec spec = SyntheticSpec(3);
+  spec.run = [](const runner::CellContext& ctx) {
+    runner::CellResult out;
+    if (ctx.rep != 1) out.metrics["sometimes"] = 1.0;
+    return out;
+  };
+  runner::RunnerOptions options;
+  options.threads = 1;
+  const runner::ResultsSink sink(spec, TestRunInfo(),
+                                 runner::RunGrid(spec, options));
+  EXPECT_EQ(sink.Stat(0, 0, "sometimes").count(), 2u);
+  EXPECT_EQ(sink.Stat(0, 0, "absent").count(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Shared topology cache
+// ---------------------------------------------------------------------------
+
+TEST(TopologyCache, SameKeyReturnsTheSameInstance) {
+  const net::TopologyParams params = net::TinyTopologyParams();
+  const net::Topology& a = runner::SharedTopology(params, 42);
+  const net::Topology& b = runner::SharedTopology(params, 42);
+  EXPECT_EQ(&a, &b) << "cache rebuilt an identical topology";
+}
+
+TEST(TopologyCache, DifferentSeedOrParamsBuildDistinctInstances) {
+  const net::TopologyParams params = net::TinyTopologyParams();
+  const net::Topology& a = runner::SharedTopology(params, 42);
+  const net::Topology& b = runner::SharedTopology(params, 43);
+  EXPECT_NE(&a, &b);
+  net::TopologyParams bigger = params;
+  bigger.nodes_per_stub_domain += 1;
+  const net::Topology& c = runner::SharedTopology(bigger, 42);
+  EXPECT_NE(&a, &c);
+  EXPECT_GT(c.num_stub_nodes(), a.num_stub_nodes());
+}
+
+}  // namespace
+}  // namespace omcast

@@ -23,6 +23,9 @@
 //   --resume=true         reuse matching cells from DIR/<figure>.json.
 //   --progress=true|false per-cell progress + ETA lines on stderr.
 //   --warmup=S --measure=S  override the phase lengths (seconds).
+//   --log-level=LEVEL     debug|info|warn|error (default warn).
+//   --profile=true        per-cell obs::SimProfiler, merged process-wide;
+//                         print with MaybePrintProfile(env) after the grids.
 #pragma once
 
 #include <cstdlib>
@@ -36,10 +39,13 @@
 
 #include "exp/scenario.h"
 #include "net/topology.h"
+#include "obs/profile.h"
+#include "obs/registry.h"
 #include "runner/results.h"
 #include "runner/runner.h"
 #include "runner/topology_cache.h"
 #include "util/flags.h"
+#include "util/log.h"
 #include "util/table.h"
 
 namespace omcast::bench {
@@ -51,6 +57,7 @@ struct BenchEnv {
   int threads = 0;
   bool progress = true;
   bool resume = false;
+  bool profile = false;  // per-cell SimProfiler -> GlobalProfileAggregator()
   std::string out_dir;
   double warmup_s = 0.0;
   double measure_s = 0.0;
@@ -92,7 +99,22 @@ inline void DefineCommonFlags(util::FlagSet& flags) {
       .Define("resume", "false", "reuse matching cells from --out JSON")
       .Define("progress", "true", "per-cell progress/ETA lines on stderr")
       .Define("warmup", "-1", "warm-up seconds (-1: scale default)")
-      .Define("measure", "-1", "measurement seconds (-1: scale default)");
+      .Define("measure", "-1", "measurement seconds (-1: scale default)")
+      .Define("log-level", "warn", "debug | info | warn | error")
+      .Define("profile", "false",
+              "profile simulator dispatch (per-tag counts/wall-time)");
+}
+
+// Maps a --log-level value onto util::SetLogLevel; unknown names keep the
+// current level and warn.
+inline void ApplyLogLevelFlag(const std::string& name) {
+  if (name == "debug") util::SetLogLevel(util::LogLevel::kDebug);
+  else if (name == "info") util::SetLogLevel(util::LogLevel::kInfo);
+  else if (name == "warn") util::SetLogLevel(util::LogLevel::kWarn);
+  else if (name == "error") util::SetLogLevel(util::LogLevel::kError);
+  else
+    std::cerr << "unknown --log-level '" << name
+              << "' (want debug|info|warn|error); keeping current level\n";
 }
 
 // Builds the environment from parsed flags; the topology comes from the
@@ -105,7 +127,9 @@ inline BenchEnv MakeEnv(const util::FlagSet& flags) {
   env.threads = flags.GetInt("threads");
   env.progress = flags.GetBool("progress");
   env.resume = flags.GetBool("resume");
+  env.profile = flags.GetBool("profile");
   env.out_dir = flags.GetString("out");
+  ApplyLogLevelFlag(flags.GetString("log-level"));
   env.warmup_s = env.paper_scale ? 7200.0 : 5400.0;
   env.measure_s = 3600.0;
   env.sizes = env.paper_scale ? std::vector<int>{2000, 5000, 8000, 11000, 14000}
@@ -244,10 +268,33 @@ inline runner::GridSpec TreeSizeSweepSpec(const BenchEnv& env,
     exp::ScenarioConfig config = env.BaseConfig();
     config.population = env.sizes[cell.row];
     config.seed = cell.seed;
+    // Per-cell observability: the registry snapshot rides along in the
+    // results JSON ("registry" object, schema v2); the profiler -- wall
+    // clock, so never part of results or digests -- merges process-wide.
+    obs::Registry reg;
+    config.registry = &reg;
+    obs::SimProfiler prof;
+    if (env.profile) config.profiler = &prof;
     const exp::Algorithm a = exp::AllAlgorithms()[cell.col];
-    return TreeCellResult(exp::RunTreeScenario(env.Topo(), a, config));
+    runner::CellResult out =
+        TreeCellResult(exp::RunTreeScenario(env.Topo(), a, config));
+    out.registry = reg.Flatten();
+    if (env.profile) obs::GlobalProfileAggregator().Merge(prof);
+    return out;
   };
   return spec;
+}
+
+// Prints the merged dispatch profile once, after the grids, when --profile
+// was given.
+inline void MaybePrintProfile(const BenchEnv& env) {
+  if (!env.profile) return;
+  const obs::ProfileAggregator& agg = obs::GlobalProfileAggregator();
+  if (agg.events() == 0) {
+    std::cout << "\n(profile: no simulator events recorded)\n";
+    return;
+  }
+  std::cout << "\n" << agg.FormatTable();
 }
 
 // ---------------------------------------------------------------------------

@@ -21,5 +21,6 @@ int main(int argc, char** argv) {
   const runner::ResultsSink sink = bench::RunGridBench(env, spec);
   bench::PrintMetricTable(spec, sink, "disruptions", 3,
                           "avg disruptions per node (rows: steady-state size)");
+  bench::MaybePrintProfile(env);
   return 0;
 }

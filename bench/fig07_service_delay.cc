@@ -19,5 +19,6 @@ int main(int argc, char** argv) {
   const runner::ResultsSink sink = bench::RunGridBench(env, spec);
   bench::PrintMetricTable(spec, sink, "delay_ms", 1,
                           "avg service delay in ms (rows: steady-state size)");
+  bench::MaybePrintProfile(env);
   return 0;
 }

@@ -17,5 +17,6 @@ int main(int argc, char** argv) {
   const runner::ResultsSink sink = bench::RunGridBench(env, spec);
   bench::PrintMetricTable(spec, sink, "stretch", 2,
                           "avg stretch (rows: steady-state size)");
+  bench::MaybePrintProfile(env);
   return 0;
 }

@@ -23,5 +23,6 @@ int main(int argc, char** argv) {
   bench::PrintMetricTable(
       spec, sink, "reconnections", 3,
       "avg optimization-induced reconnections per member lifetime");
+  bench::MaybePrintProfile(env);
   return 0;
 }

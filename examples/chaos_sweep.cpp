@@ -10,15 +10,21 @@
 // that must NOT degrade (wedged locks, permanently unrooted members).
 //
 //   ./examples/chaos_sweep [--members=300] [--seed=7] [--quick=true]
+//                          [--trace-out=FILE]
 //
 // --quick shrinks the run for CI smoke tests (sanitizer builds run it).
+// --trace-out=FILE records the first (loss = 0) run's protocol event
+// stream and writes it as JSONL to FILE plus a Chrome/Perfetto trace to
+// FILE.chrome.json (load the latter at https://ui.perfetto.dev).
 // Exit code is nonzero if any run wedges a lock or strands an orphan, so
 // the binary doubles as an end-to-end chaos check.
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 
 #include "exp/chaos.h"
 #include "net/topology.h"
+#include "obs/trace.h"
 #include "util/flags.h"
 #include "util/table.h"
 
@@ -52,8 +58,12 @@ int main(int argc, char** argv) {
   util::FlagSet flags;
   flags.Define("members", "300", "steady-state session size")
       .Define("seed", "7", "base RNG seed")
-      .Define("quick", "false", "shrink runs for CI smoke testing");
+      .Define("quick", "false", "shrink runs for CI smoke testing")
+      .Define("trace-out", "",
+              "write the loss=0 run's protocol trace as JSONL to FILE "
+              "(+ FILE.chrome.json for Perfetto)");
   if (!flags.Parse(argc, argv)) return 2;
+  const std::string trace_out = flags.GetString("trace-out");
   const bool quick = flags.GetBool("quick");
   const int members = quick ? 80 : flags.GetInt("members");
   const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed"));
@@ -69,7 +79,23 @@ int main(int argc, char** argv) {
   for (const double loss : {0.0, 0.01, 0.05}) {
     exp::ChaosConfig c = BaseConfig(members, seed, quick);
     c.fault.loss_rate = loss;
+    // Trace the clean run: 2^20 events comfortably covers a quick run, and
+    // the ring drops oldest-first if a long run overflows it.
+    obs::Tracer tracer(1u << 20);
+    if (!trace_out.empty() && loss == 0.0) c.tracer = &tracer;
     const exp::ChaosResult r = exp::RunChaosScenario(topology, c);
+    if (c.tracer != nullptr) {
+      std::ofstream jsonl(trace_out);
+      jsonl << tracer.ToJsonl();
+      std::ofstream chrome(trace_out + ".chrome.json");
+      chrome << tracer.ToChromeTrace();
+      if (!jsonl || !chrome) {
+        std::cerr << "FAIL: could not write trace to " << trace_out << "\n";
+        return 2;
+      }
+      std::cerr << "wrote " << tracer.size() << " trace events ("
+                << tracer.dropped() << " dropped) to " << trace_out << "\n";
+    }
     table.AddRow({util::FormatDouble(loss, 2),
                   util::FormatDouble(r.avg_starving_ratio, 4),
                   util::FormatDouble(r.counters.mean_detection_latency_s, 2),

@@ -24,6 +24,11 @@ This linter scans C++ sources for the hazard patterns we care about:
   uninit-member   scalar data member without an initializer in a struct or
                   class body: reads of indeterminate values are UB and a
                   classic source of "works on my machine" nondeterminism
+  trace-wallclock wall-clock value fed into a trace emission (`->Emit(...)`
+                  with a chrono/time token in its arguments): trace payloads
+                  must be replay-deterministic -- sim time and stable ids
+                  only -- or equal-seed runs stop exporting byte-identical
+                  JSONL (host timing belongs in obs::SimProfiler)
 
 False positives are silenced in place with an annotation on the same line
 or the line above:
@@ -197,6 +202,13 @@ UNINIT_MEMBER_RE = re.compile(
 )
 STRUCT_OPEN_RE = re.compile(r"\b(struct|class)\s+\w+[^;{]*\{")
 
+TRACE_EMIT_RE = re.compile(r"(?:->|\.)\s*Emit\s*\(")
+TRACE_WALLCLOCK_TOKEN_RE = re.compile(
+    r"std::chrono|steady_clock|system_clock|high_resolution_clock|"
+    r"\bWallMs\s*\(|\bwall_ms\b|\bgettimeofday\b|\bclock_gettime\b|"
+    r"(?<![\w.>])(?:std::)?time\s*\(\s*(?:nullptr|NULL|0)\s*\)"
+)
+
 
 def find_rand(code_lines, path: Path):
     if "src/rand" in path.as_posix():
@@ -291,12 +303,30 @@ def find_uninit_member(code_lines, path: Path):
     return hits
 
 
+def find_trace_wallclock(code_lines, path: Path):
+    del path
+    hits = []
+    for i, line in enumerate(code_lines):
+        if not TRACE_EMIT_RE.search(line):
+            continue
+        # An Emit call's argument list often wraps; scan the call line plus
+        # the next two continuation lines for a wall-clock token.
+        window = " ".join(code_lines[i:i + 3])
+        if TRACE_WALLCLOCK_TOKEN_RE.search(window):
+            hits.append((i, "wall-clock value in a trace emission: trace "
+                            "payloads must be replay-deterministic (sim time "
+                            "and stable ids only); host timing belongs in "
+                            "obs::SimProfiler"))
+    return hits
+
+
 RULES = {
     "rand": find_rand,
     "wallclock": find_wallclock,
     "unordered-iter": find_unordered_iter,
     "pointer-sort": find_pointer_sort,
     "uninit-member": find_uninit_member,
+    "trace-wallclock": find_trace_wallclock,
 }
 
 

@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Validate an omcast protocol trace (JSONL export of obs::Tracer).
+
+Checks every line against scripts/trace_schema.json (hand-rolled draft-07
+subset -- stdlib only, no jsonschema dependency) plus the stream-level
+invariants the schema cannot express:
+
+  * ids strictly increase by exactly 1 (the ring never reorders and an
+    export never skips an event it retained);
+  * timestamps are non-decreasing (sim time cannot go backwards);
+  * timestamps are finite (NaN/Inf would mean a corrupted payload).
+
+Usage:
+    validate_trace.py TRACE.jsonl [TRACE2.jsonl ...]
+    some_tool | validate_trace.py -
+
+Exit status: 0 valid, 1 invalid, 2 usage/IO error.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import sys
+from pathlib import Path
+
+SCHEMA_PATH = Path(__file__).resolve().parent / "trace_schema.json"
+MAX_REPORTED_ERRORS = 20
+
+
+def load_schema() -> dict:
+    with open(SCHEMA_PATH, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def check_record(record: object, schema: dict) -> list[str]:
+    """Validates one parsed JSONL record against the schema subset we use."""
+    errors: list[str] = []
+    if not isinstance(record, dict):
+        return ["line is not a JSON object"]
+    props: dict = schema["properties"]
+    for key in schema["required"]:
+        if key not in record:
+            errors.append(f"missing required field '{key}'")
+    if not schema.get("additionalProperties", True):
+        for key in record:
+            if key not in props:
+                errors.append(f"unknown field '{key}'")
+    for key, value in record.items():
+        spec = props.get(key)
+        if spec is None:
+            continue
+        expected = spec["type"]
+        if expected == "integer":
+            ok = isinstance(value, int) and not isinstance(value, bool)
+        elif expected == "number":
+            ok = isinstance(value, (int, float)) and not isinstance(value, bool)
+        elif expected == "string":
+            ok = isinstance(value, str)
+        else:
+            ok = True
+        if not ok:
+            errors.append(f"field '{key}': expected {expected}, "
+                          f"got {type(value).__name__}")
+            continue
+        if "minimum" in spec and isinstance(value, (int, float)) \
+                and value < spec["minimum"]:
+            errors.append(f"field '{key}': {value} < minimum {spec['minimum']}")
+        if "enum" in spec and value not in spec["enum"]:
+            errors.append(f"field '{key}': '{value}' not in the schema enum")
+    return errors
+
+
+def validate_stream(lines, name: str, schema: dict) -> tuple[int, int]:
+    """Returns (records, errors) for one JSONL stream."""
+    records = 0
+    errors = 0
+    prev_id: int | None = None
+    prev_t: float | None = None
+
+    def report(lineno: int, message: str) -> None:
+        nonlocal errors
+        errors += 1
+        if errors <= MAX_REPORTED_ERRORS:
+            print(f"{name}:{lineno}: {message}")
+        elif errors == MAX_REPORTED_ERRORS + 1:
+            print(f"{name}: ... further errors suppressed")
+
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        records += 1
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as e:
+            report(lineno, f"not valid JSON: {e}")
+            continue
+        for message in check_record(record, schema):
+            report(lineno, message)
+        if not isinstance(record, dict):
+            continue
+        rid = record.get("id")
+        t = record.get("t")
+        if isinstance(rid, int) and not isinstance(rid, bool):
+            if prev_id is not None and rid != prev_id + 1:
+                report(lineno, f"id {rid} does not follow {prev_id} "
+                               f"(ids must increase by exactly 1)")
+            prev_id = rid
+        if isinstance(t, (int, float)) and not isinstance(t, bool):
+            if not math.isfinite(t):
+                report(lineno, f"non-finite timestamp {t}")
+            elif prev_t is not None and t < prev_t:
+                report(lineno, f"time went backwards: {t} < {prev_t}")
+            else:
+                prev_t = float(t)
+    return records, errors
+
+
+def main(argv: list[str]) -> int:
+    if not argv or "-h" in argv or "--help" in argv:
+        print(__doc__)
+        return 0 if argv else 2
+    try:
+        schema = load_schema()
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot load {SCHEMA_PATH}: {e}", file=sys.stderr)
+        return 2
+    total_errors = 0
+    for arg in argv:
+        if arg == "-":
+            records, errors = validate_stream(sys.stdin, "<stdin>", schema)
+        else:
+            try:
+                with open(arg, encoding="utf-8") as f:
+                    records, errors = validate_stream(f, arg, schema)
+            except OSError as e:
+                print(f"error: {e}", file=sys.stderr)
+                return 2
+        total_errors += errors
+        if records == 0:
+            # An empty trace usually means the tracer was never attached;
+            # validating nothing must not read as success.
+            print(f"{arg}: no trace records found", file=sys.stderr)
+            total_errors += 1
+        elif errors == 0:
+            print(f"{arg}: OK ({records} events)")
+    return 1 if total_errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "proto/selection.h"
 #include "util/check.h"
 
@@ -120,7 +121,8 @@ void RostProtocol::ScheduleCheck(Session& session, NodeId id, double delay_s) {
   NodeState& st = StateFor(id);
   if (st.timer != sim::kInvalidEventId) session.simulator().Cancel(st.timer);
   st.timer = session.simulator().ScheduleAfter(
-      delay_s, [this, &session, id] { CheckSwitch(session, id); });
+      delay_s, [this, &session, id] { CheckSwitch(session, id); },
+      "rost.check");
 }
 
 double RostProtocol::EffectiveBtp(Session& session, NodeId id) {
@@ -194,7 +196,8 @@ void RostProtocol::StartHandshake(Session& session, NodeId id, NodeId parent,
   const std::uint64_t serial = hs->serial;
   hs->timeout = session.simulator().ScheduleAfter(
       params_.lock_request_timeout_s,
-      [this, &session, id, serial] { OnLockTimeout(session, id, serial); });
+      [this, &session, id, serial] { OnLockTimeout(session, id, serial); },
+      "rost.lock_timeout");
   StateFor(id).handshake = std::move(hs);
   for (NodeId p : StateFor(id).handshake->participants) {
     const double hop = session.DelayMs(id, p) / 1000.0;
@@ -209,6 +212,9 @@ void RostProtocol::OnLockRequest(Session& session, NodeId participant,
   // A dead participant is simply silent; the initiator's timeout covers it.
   if (!session.tree().Get(participant).alive) return;
   const sim::Time now = session.simulator().now();
+  if (obs::Tracer* tr = session.tracer(); tr != nullptr)
+    tr->Emit(now, obs::EventKind::kLockRequest, participant, holder,
+             static_cast<std::int64_t>(hs_serial));
   const double hop = session.DelayMs(participant, holder) / 1000.0;
   NodeState& ps = StateFor(participant);
   if (ps.lease_held && ps.lease_holder == holder) {
@@ -267,6 +273,9 @@ void RostProtocol::OnLockDeny(Session& session, NodeId holder,
   NodeState& st = StateFor(holder);
   if (st.handshake == nullptr || st.handshake->serial != hs_serial) return;
   ++lock_conflicts_;
+  if (obs::Tracer* tr = session.tracer(); tr != nullptr)
+    tr->Emit(session.simulator().now(), obs::EventKind::kLockDeny, holder,
+             kNoNode, static_cast<std::int64_t>(hs_serial));
   FailHandshake(session, holder);
 }
 
@@ -276,11 +285,22 @@ void RostProtocol::OnLockTimeout(Session& session, NodeId holder,
   if (st.handshake == nullptr || st.handshake->serial != hs_serial) return;
   st.handshake->timeout = sim::kInvalidEventId;  // this event just fired
   ++lock_timeouts_;
+  if (obs::Tracer* tr = session.tracer(); tr != nullptr)
+    tr->Emit(session.simulator().now(), obs::EventKind::kLockTimeout, holder,
+             kNoNode, static_cast<std::int64_t>(hs_serial));
   FailHandshake(session, holder);
 }
 
 void RostProtocol::CompleteHandshake(Session& session, NodeId holder) {
   const Handshake& hs = *StateFor(holder).handshake;
+  obs::Tracer* const tracer = session.tracer();
+  // kSwitchAbort reasons: 1 = neighbourhood drifted while grants were in
+  // flight, 2 = the switch condition no longer holds, 3 = infeasible.
+  const auto trace_abort = [&](std::int64_t reason) {
+    if (tracer != nullptr)
+      tracer->Emit(session.simulator().now(), obs::EventKind::kSwitchAbort,
+                   holder, hs.parent, reason);
+  };
   // Re-validate before swapping: the tree may have drifted while grants
   // were in flight (a neighbour died, a newcomer attached under the parent,
   // the member was re-parented). The leases only cover the neighbourhood
@@ -299,12 +319,14 @@ void RostProtocol::CompleteHandshake(Session& session, NodeId holder) {
   }
   if (!valid) {
     ++handshake_aborts_;
+    trace_abort(1);
     TearDownHandshake(session, holder);
     ScheduleCheck(session, holder, params_.switching_interval_s);
     return;
   }
   if (!SwitchConditionHolds(session, holder, hs.parent)) {
     // The BTPs moved on while the handshake ran; nothing to do after all.
+    trace_abort(2);
     TearDownHandshake(session, holder);
     StateFor(holder).failed_attempts = 0;
     ScheduleCheck(session, holder, params_.switching_interval_s);
@@ -312,12 +334,19 @@ void RostProtocol::CompleteHandshake(Session& session, NodeId holder) {
   }
   if (!SwitchFeasible(session, holder, hs.parent)) {
     ++infeasible_;
+    trace_abort(3);
     TearDownHandshake(session, holder);
     ScheduleCheck(session, holder, params_.switching_interval_s);
     return;
   }
   const NodeId parent = hs.parent;
   PerformSwitch(session, holder, parent);
+  // Emitted before the teardown releases the leases, so the commit always
+  // falls inside the holder's own lease window (the causality test's
+  // invariant).
+  if (tracer != nullptr)
+    tracer->Emit(session.simulator().now(), obs::EventKind::kSwitchCommit,
+                 holder, parent);
   TearDownHandshake(session, holder);
   StateFor(holder).failed_attempts = 0;
   ScheduleCheck(session, holder, params_.switching_interval_s);
@@ -350,17 +379,27 @@ std::uint64_t RostProtocol::GrantLease(Session& session, NodeId node,
   st.lease_holder = holder;
   const std::uint64_t serial = ++st.lease_serial;
   ++leases_granted_;
+  if (obs::Tracer* tr = session.tracer(); tr != nullptr)
+    tr->Emit(now, obs::EventKind::kLockGrant, node, holder,
+             static_cast<std::int64_t>(serial));
   // Expiry is unconditional bookkeeping, deliberately independent of the
   // node's liveness: a participant that dies holding a lease is reaped
   // here, which is what makes a wedged lock impossible.
-  session.simulator().ScheduleAt(st.locked_until, [this, node, serial] {
-    NodeState& s = StateFor(node);
-    if (s.lease_held && s.lease_serial == serial) {
-      s.lease_held = false;
-      s.lease_holder = kNoNode;
-      ++leases_expired_;
-    }
-  });
+  session.simulator().ScheduleAt(
+      st.locked_until,
+      [this, &session, node, serial] {
+        NodeState& s = StateFor(node);
+        if (s.lease_held && s.lease_serial == serial) {
+          s.lease_held = false;
+          const NodeId was_holder = s.lease_holder;
+          s.lease_holder = kNoNode;
+          ++leases_expired_;
+          if (obs::Tracer* tr = session.tracer(); tr != nullptr)
+            tr->Emit(session.simulator().now(), obs::EventKind::kLockExpire,
+                     node, was_holder, static_cast<std::int64_t>(serial));
+        }
+      },
+      "rost.lease_expiry");
   return serial;
 }
 
@@ -376,6 +415,9 @@ void RostProtocol::ReleaseLease(Session& session, NodeId node, NodeId holder,
   st.lease_holder = kNoNode;
   st.locked_until = session.simulator().now();
   ++leases_released_;
+  if (obs::Tracer* tr = session.tracer(); tr != nullptr)
+    tr->Emit(session.simulator().now(), obs::EventKind::kLockRelease, node,
+             holder, static_cast<std::int64_t>(lease_serial));
 }
 
 void RostProtocol::SendRelease(Session& session, NodeId holder,
@@ -421,6 +463,11 @@ void RostProtocol::CheckSwitch(Session& session, NodeId id) {
     return;
   }
 
+  obs::Tracer* const tracer = session.tracer();
+  if (tracer != nullptr)
+    tracer->Emit(session.simulator().now(), obs::EventKind::kSwitchAttempt, id,
+                 parent);
+
   std::vector<NodeId> lock_set = BuildLockSet(session, id, parent);
 
   if (fault_plane_ != nullptr) {
@@ -439,17 +486,33 @@ void RostProtocol::CheckSwitch(Session& session, NodeId id) {
 
   if (!TryLock(session, lock_set)) {
     ++lock_conflicts_;
+    if (tracer != nullptr)
+      tracer->Emit(session.simulator().now(), obs::EventKind::kLockDeny, id,
+                   parent);
     ScheduleCheck(session, id, params_.lock_retry_delay_s);
     return;
+  }
+  if (tracer != nullptr) {
+    // Oracle locks carry no lease serial; detail 0 marks them apart from
+    // lease-path grants (whose serials start at 1).
+    const sim::Time now = session.simulator().now();
+    for (NodeId n : lock_set)
+      tracer->Emit(now, obs::EventKind::kLockGrant, n, id);
   }
 
   if (!SwitchFeasible(session, id, parent)) {
     ++infeasible_;
+    if (tracer != nullptr)
+      tracer->Emit(session.simulator().now(), obs::EventKind::kSwitchAbort, id,
+                   parent, 3);
     ScheduleCheck(session, id, params_.switching_interval_s);
     return;
   }
 
   PerformSwitch(session, id, parent);
+  if (tracer != nullptr)
+    tracer->Emit(session.simulator().now(), obs::EventKind::kSwitchCommit, id,
+                 parent);
   ScheduleCheck(session, id, params_.switching_interval_s);
 }
 

@@ -4,6 +4,7 @@
 #include <optional>
 #include <vector>
 
+#include "obs/registry.h"
 #include "sim/simulator.h"
 #include "util/check.h"
 
@@ -76,6 +77,8 @@ ChaosResult RunChaosScenario(const net::Topology& topology,
 
   overlay::Session session(simulator, topology, std::move(protocol), sp,
                            config.seed);
+  session.SetTracer(config.tracer);
+  simulator.SetProfiler(config.profiler);
   sim::FaultPlane fault_plane(simulator, config.fault,
                               config.seed ^ 0x9e3779b97f4a7c15ULL);
   if (rost != nullptr) rost->SetFaultPlane(&fault_plane);
@@ -152,9 +155,12 @@ ChaosResult RunChaosScenario(const net::Topology& topology,
       ++r.unrooted_members;
 
   const sim::Time now = simulator.now();
-  r.counters = metrics::CollectChaosCounters(
+  obs::Registry reg = metrics::CollectChaosRegistry(
       &fault_plane, heartbeat ? &*heartbeat : nullptr, rost,
       gossip ? &*gossip : nullptr, &stream, now);
+  r.counters = metrics::CountersFromRegistry(reg);
+  r.registry = reg.Flatten();
+  if (config.registry != nullptr) config.registry->MergeFrom(reg);
   r.avg_starving_ratio = stream.ratio_stat().mean();
   r.ci95 = stream.ratio_stat().ci95_half_width();
   r.members = static_cast<int>(stream.ratio_stat().count());

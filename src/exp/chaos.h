@@ -19,6 +19,9 @@
 // chaos regression tests replay schedules and compare rolling-hash traces).
 #pragma once
 
+#include <map>
+#include <string>
+
 #include "exp/scenario.h"
 #include "metrics/chaos_counters.h"
 #include "overlay/gossip.h"
@@ -68,10 +71,21 @@ struct ChaosConfig {
   overlay::SessionParams session;   // external_failure_detection is set
                                     // from use_heartbeats by the runner
   stream::PacketSimParams packet;
+
+  // --- observability (obs/) -- all non-owning, null = off, each must
+  // outlive the run. See ScenarioConfig for semantics; the chaos runner
+  // additionally merges its end-of-run chaos counter snapshot into
+  // `registry`.
+  obs::Tracer* tracer = nullptr;
+  obs::Registry* registry = nullptr;
+  obs::SimProfiler* profiler = nullptr;
 };
 
 struct ChaosResult {
   metrics::ChaosCounters counters;
+  // The same snapshot as a flattened registry (obs::Registry::Flatten()):
+  // the export path the runner writes into its per-cell JSON.
+  std::map<std::string, double> registry;
 
   // Starving-time ratio over finalized members (as RunStreamScenario, but
   // from the packet-level ground truth).

@@ -1,6 +1,7 @@
 #include "exp/scenario.h"
 
 #include "metrics/collectors.h"
+#include "obs/registry.h"
 #include "proto/longest_first.h"
 #include "proto/min_depth.h"
 #include "proto/relaxed_ordered.h"
@@ -49,6 +50,37 @@ double ArrivalRate(int population) {
   return static_cast<double>(population) / rnd::kMeanLifetimeSeconds;
 }
 
+void AttachObservability(sim::Simulator& simulator, overlay::Session& session,
+                         const ScenarioConfig& config) {
+  session.SetTracer(config.tracer);
+  simulator.SetProfiler(config.profiler);
+}
+
+// End-of-run session-level counters shared by every scenario runner.
+void ExportSessionCounters(obs::Registry& reg, overlay::Session& session) {
+  reg.Count("session.total_members",
+            static_cast<double>(session.total_members_created()));
+  reg.Count("session.failed_join_attempts",
+            static_cast<double>(session.failed_join_attempts()));
+  reg.Count("session.dropped_arrivals",
+            static_cast<double>(session.dropped_arrivals()));
+  reg.SetGauge("session.final_population",
+               static_cast<double>(session.alive_count()));
+}
+
+// ROST protocol-overhead tallies (the message costs behind Fig. 10).
+void ExportRostCounters(obs::Registry& reg, const core::RostProtocol& rost) {
+  reg.Count("rost.switches", static_cast<double>(rost.switches_performed()));
+  reg.Count("rost.lock_conflicts", static_cast<double>(rost.lock_conflicts()));
+  reg.Count("rost.lock_retries", static_cast<double>(rost.lock_retries()));
+  reg.Count("rost.lock_timeouts", static_cast<double>(rost.lock_timeouts()));
+  reg.Count("rost.handshake_aborts",
+            static_cast<double>(rost.handshake_aborts()));
+  reg.Count("rost.infeasible_switches",
+            static_cast<double>(rost.infeasible_switches()));
+  reg.Count("rost.preempt_joins", static_cast<double>(rost.preempt_joins()));
+}
+
 }  // namespace
 
 TreeScenarioResult RunTreeScenario(const net::Topology& topology, Algorithm a,
@@ -60,6 +92,7 @@ TreeScenarioResult RunTreeScenario(const net::Topology& topology, Algorithm a,
                    : nullptr;
   overlay::Session session(simulator, topology, std::move(protocol),
                            config.session, config.seed);
+  AttachObservability(simulator, session, config);
   metrics::MemberOutcomes outcomes(session);
   metrics::TreeSnapshots snapshots(session, config.snapshot_interval_s);
 
@@ -87,6 +120,10 @@ TreeScenarioResult RunTreeScenario(const net::Topology& topology, Algorithm a,
     r.rost_switches = rost->switches_performed();
     r.rost_lock_conflicts = rost->lock_conflicts();
   }
+  if (config.registry != nullptr) {
+    ExportSessionCounters(*config.registry, session);
+    if (rost != nullptr) ExportRostCounters(*config.registry, *rost);
+  }
   return r;
 }
 
@@ -97,6 +134,7 @@ StreamScenarioResult RunStreamScenario(const net::Topology& topology,
   sim::Simulator simulator;
   overlay::Session session(simulator, topology, MakeProtocol(a, config.rost),
                            config.session, config.seed);
+  AttachObservability(simulator, session, config);
   stream::StreamingLayer streaming(session, stream, config.seed ^ 0x5151);
 
   const double t_measure = config.warmup_s;
@@ -113,6 +151,10 @@ StreamScenarioResult RunStreamScenario(const net::Topology& topology,
   r.members = static_cast<int>(streaming.ratio_stat().count());
   r.outages = streaming.outages_simulated();
   r.avg_recovery_rate = streaming.aggregate_rate_stat().mean();
+  if (config.registry != nullptr) {
+    ExportSessionCounters(*config.registry, session);
+    config.registry->Count("stream.outages", static_cast<double>(r.outages));
+  }
   return r;
 }
 
@@ -123,6 +165,7 @@ TraceResult RunMemberTraceScenario(const net::Topology& topology, Algorithm a,
   sim::Simulator simulator;
   overlay::Session session(simulator, topology, MakeProtocol(a, config.rost),
                            config.session, config.seed);
+  AttachObservability(simulator, session, config);
   metrics::MemberTrace trace(session, config.snapshot_interval_s);
 
   session.Prepopulate(config.population);

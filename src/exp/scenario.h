@@ -20,6 +20,12 @@
 #include "overlay/session.h"
 #include "stream/streaming.h"
 
+namespace omcast::obs {
+class Tracer;
+class Registry;
+class SimProfiler;
+}  // namespace omcast::obs
+
 namespace omcast::exp {
 
 enum class Algorithm {
@@ -49,6 +55,14 @@ struct ScenarioConfig {
   double snapshot_interval_s = 300.0;
   core::RostParams rost;          // used when algorithm == kRost
   overlay::SessionParams session;
+
+  // --- observability (obs/) -- all non-owning, null = off, and each must
+  // outlive the run. The tracer receives the protocol event stream, the
+  // registry receives end-of-run counter snapshots (protocol message costs,
+  // Fig. 10), and the profiler brackets every simulator dispatch.
+  obs::Tracer* tracer = nullptr;
+  obs::Registry* registry = nullptr;
+  obs::SimProfiler* profiler = nullptr;
 };
 
 struct TreeScenarioResult {

@@ -2,14 +2,17 @@
 //
 // The chaos harness (exp/chaos.h) wires a FaultPlane through every control
 // path -- heartbeats, ROST lock leases, gossip slices, ELN notifications --
-// and each component keeps its own counters. This module snapshots them all
-// into one flat record so experiments and tests have a single thing to
-// assert on (and a single thing to print).
+// and each component keeps its own counters. The primary snapshot is an
+// obs::Registry (CollectChaosRegistry), the unified metrics path that also
+// feeds the runner's per-cell JSON export; the ChaosCounters struct is kept
+// as a thin typed view over that registry (CountersFromRegistry) so
+// existing call sites and tests keep their field-level assertions.
 #pragma once
 
 #include <string>
 
 #include "core/rost/rost.h"
+#include "obs/registry.h"
 #include "overlay/gossip.h"
 #include "overlay/heartbeat.h"
 #include "sim/fault_plane.h"
@@ -56,9 +59,21 @@ struct ChaosCounters {
   long short_group_fallbacks = 0;
 };
 
-// Snapshots the counters of whichever components the run used; any pointer
-// may be null (its section stays zero). `now` is needed to evaluate lease
-// wedging.
+// Snapshots the counters of whichever components the run used into the
+// unified registry under "chaos.*" names; any pointer may be null (its
+// section stays zero). `now` is needed to evaluate lease wedging.
+obs::Registry CollectChaosRegistry(const sim::FaultPlane* fault_plane,
+                                   const overlay::HeartbeatService* heartbeat,
+                                   const core::RostProtocol* rost,
+                                   const overlay::GossipService* gossip,
+                                   const stream::PacketLevelStream* stream,
+                                   sim::Time now);
+
+// Typed view over a CollectChaosRegistry snapshot (or any registry using
+// the same "chaos.*" names).
+ChaosCounters CountersFromRegistry(const obs::Registry& registry);
+
+// Compatibility wrapper: CollectChaosRegistry |> CountersFromRegistry.
 ChaosCounters CollectChaosCounters(const sim::FaultPlane* fault_plane,
                                    const overlay::HeartbeatService* heartbeat,
                                    const core::RostProtocol* rost,

@@ -1,0 +1,119 @@
+#include "obs/profile.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace omcast::obs {
+
+namespace {
+
+// Microsecond buckets for callback wall time: sub-microsecond dispatches up
+// to pathological multi-millisecond callbacks.
+std::vector<double> WallBounds() {
+  return {0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 5000};
+}
+
+// Power-of-two-ish queue depths; overlay sims run from a handful of pending
+// events to tens of thousands during churn bursts.
+std::vector<double> DepthBounds() {
+  return {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384, 65536};
+}
+
+void AppendRow(std::string& out, const std::string& tag,
+               const SimProfiler::TagStats& st) {
+  char buf[160];
+  const double mean_us =
+      st.count > 0 ? st.total_us / static_cast<double>(st.count) : 0.0;
+  std::snprintf(buf, sizeof(buf), "  %-24s %12llu %12.3f %10.3f %10.3f\n",
+                tag.c_str(), static_cast<unsigned long long>(st.count),
+                st.total_us / 1000.0, mean_us, st.max_us);
+  out += buf;
+}
+
+void AppendHeader(std::string& out) {
+  out += "  tag                             events     total_ms    mean_us"
+         "     max_us\n";
+}
+
+}  // namespace
+
+SimProfiler::SimProfiler() : wall_us_(WallBounds()), depth_(DepthBounds()) {}
+
+void SimProfiler::BeginEvent(const char* tag, std::size_t queue_depth) {
+  current_ = &per_tag_[tag != nullptr ? tag : "untagged"];
+  depth_.Observe(static_cast<double>(queue_depth));
+  started_ = Clock::now();  // omcast-lint: allow(wallclock)
+}
+
+void SimProfiler::EndEvent() {
+  if (current_ == nullptr) return;
+  const auto elapsed = Clock::now() - started_;  // omcast-lint: allow(wallclock)
+  const double us =
+      std::chrono::duration<double, std::micro>(elapsed).count();
+  ++events_;
+  ++current_->count;
+  current_->total_us += us;
+  current_->max_us = std::max(current_->max_us, us);
+  wall_us_.Observe(us);
+  current_ = nullptr;
+}
+
+std::string SimProfiler::FormatTable() const {
+  std::string out = "sim profile: per-event-type dispatch\n";
+  AppendHeader(out);
+  for (const auto& [tag, st] : per_tag_) AppendRow(out, tag, st);
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "  wall_us p50=%.3f p99=%.3f  queue_depth mean=%.1f p99=%.0f "
+                "max=%.0f\n",
+                wall_us_.Quantile(0.5), wall_us_.Quantile(0.99), depth_.mean(),
+                depth_.Quantile(0.99), depth_.max());
+  out += buf;
+  return out;
+}
+
+void ProfileAggregator::Merge(const SimProfiler& profiler) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [tag, st] : profiler.per_tag()) {
+    SimProfiler::TagStats& agg = per_tag_[tag];
+    agg.count += st.count;
+    agg.total_us += st.total_us;
+    agg.max_us = std::max(agg.max_us, st.max_us);
+  }
+  const Histogram& depth = profiler.queue_depth_hist();
+  depth_.samples += static_cast<std::uint64_t>(depth.count());
+  depth_.sum += depth.sum();
+  depth_.max = std::max(depth_.max, depth.max());
+  events_ += profiler.events();
+  ++merged_;
+}
+
+std::uint64_t ProfileAggregator::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::string ProfileAggregator::FormatTable() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "sim profile: per-event-type dispatch (";
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%d run%s merged)\n", merged_,
+                merged_ == 1 ? "" : "s");
+  out += buf;
+  AppendHeader(out);
+  for (const auto& [tag, st] : per_tag_) AppendRow(out, tag, st);
+  const double depth_mean =
+      depth_.samples > 0 ? depth_.sum / static_cast<double>(depth_.samples)
+                         : 0.0;
+  std::snprintf(buf, sizeof(buf), "  queue_depth mean=%.1f max=%.0f\n",
+                depth_mean, depth_.max);
+  out += buf;
+  return out;
+}
+
+ProfileAggregator& GlobalProfileAggregator() {
+  static ProfileAggregator aggregator;
+  return aggregator;
+}
+
+}  // namespace omcast::obs

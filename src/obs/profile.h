@@ -1,0 +1,92 @@
+// Simulator profiling: per-event-type dispatch counts, callback wall-time
+// histograms and event-queue depth sampling.
+//
+// This is the ONE place in the simulation stack where host wall-clock is
+// legal (annotated for the determinism lint): profiling measures the
+// simulator, never feeds it. A SimProfiler's numbers are host-dependent and
+// are therefore excluded from every digest and every results field that the
+// determinism tests compare; they surface only through the benches'
+// --profile flag so perf work has a measured baseline.
+//
+// Usage: sim::Simulator::SetProfiler() installs a profiler; scheduling
+// sites label their events with string-literal tags
+// (ScheduleAt/ScheduleAfter's trailing parameter) and RunOne brackets each
+// callback with BeginEvent/EndEvent. The ProfileAggregator merges the
+// profilers of many runner cells (thread-safe) for one whole-grid table.
+#pragma once
+
+#include <chrono>  // omcast-lint: allow(wallclock)
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "obs/registry.h"
+
+namespace omcast::obs {
+
+class SimProfiler {
+ public:
+  struct TagStats {
+    std::uint64_t count = 0;
+    double total_us = 0.0;
+    double max_us = 0.0;
+  };
+
+  SimProfiler();
+
+  // Called by the simulator around every dispatched callback. `tag` must be
+  // a string literal (or otherwise outlive the call); nullptr buckets under
+  // "untagged". `queue_depth` is the pending-event count at dispatch.
+  void BeginEvent(const char* tag, std::size_t queue_depth);
+  void EndEvent();
+
+  std::uint64_t events() const { return events_; }
+  const std::map<std::string, TagStats>& per_tag() const { return per_tag_; }
+  const Histogram& wall_us_hist() const { return wall_us_; }
+  const Histogram& queue_depth_hist() const { return depth_; }
+
+  // Human-readable per-tag dispatch/wall-time table plus queue-depth
+  // summary (the --profile output).
+  std::string FormatTable() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;  // omcast-lint: allow(wallclock)
+
+  std::map<std::string, TagStats> per_tag_;
+  Histogram wall_us_;
+  Histogram depth_;
+  std::uint64_t events_ = 0;
+  TagStats* current_ = nullptr;
+  Clock::time_point started_{};
+};
+
+// Thread-safe accumulation of many cells' profilers into one table (the
+// runner executes cells on a thread pool; each cell owns a private
+// SimProfiler and merges it here when done).
+class ProfileAggregator {
+ public:
+  void Merge(const SimProfiler& profiler);
+
+  std::uint64_t events() const;
+  std::string FormatTable() const;
+
+ private:
+  struct DepthStats {
+    std::uint64_t samples = 0;
+    double sum = 0.0;
+    double max = 0.0;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, SimProfiler::TagStats> per_tag_;
+  DepthStats depth_;
+  std::uint64_t events_ = 0;
+  int merged_ = 0;
+};
+
+// Process-wide aggregator behind the benches' --profile flag: every cell
+// merges into it and the bench prints one table after the grid completes.
+ProfileAggregator& GlobalProfileAggregator();
+
+}  // namespace omcast::obs

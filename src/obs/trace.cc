@@ -1,0 +1,162 @@
+#include "obs/trace.h"
+
+#include <charconv>
+
+#include "util/check.h"
+#include "util/hash.h"
+
+namespace omcast::obs {
+
+namespace {
+
+// Shortest round-trip formatting, matching runner::Json's convention so the
+// same double always serializes to the same bytes.
+void AppendDouble(std::string& out, double v) {
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  util::Check(ec == std::errc(), "double formatting cannot fail");
+  out.append(buf, ptr);
+}
+
+void AppendInt(std::string& out, std::int64_t v) {
+  char buf[24];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  util::Check(ec == std::errc(), "integer formatting cannot fail");
+  out.append(buf, ptr);
+}
+
+void AppendUint(std::string& out, std::uint64_t v) {
+  char buf[24];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  util::Check(ec == std::errc(), "integer formatting cannot fail");
+  out.append(buf, ptr);
+}
+
+}  // namespace
+
+const char* EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kJoin: return "join";
+    case EventKind::kRejoin: return "rejoin";
+    case EventKind::kLeave: return "leave";
+    case EventKind::kSwitchAttempt: return "switch_attempt";
+    case EventKind::kSwitchCommit: return "switch_commit";
+    case EventKind::kSwitchAbort: return "switch_abort";
+    case EventKind::kLockRequest: return "lock_request";
+    case EventKind::kLockGrant: return "lock_grant";
+    case EventKind::kLockDeny: return "lock_deny";
+    case EventKind::kLockRelease: return "lock_release";
+    case EventKind::kLockExpire: return "lock_expire";
+    case EventKind::kLockTimeout: return "lock_timeout";
+    case EventKind::kHeartbeatMiss: return "heartbeat_miss";
+    case EventKind::kSuspicion: return "suspicion";
+    case EventKind::kFalseSuspicion: return "false_suspicion";
+    case EventKind::kGossipRound: return "gossip_round";
+    case EventKind::kEln: return "eln";
+    case EventKind::kCerGroupFormed: return "cer_group_formed";
+    case EventKind::kRepairStart: return "repair_start";
+    case EventKind::kRepairFinish: return "repair_finish";
+    case EventKind::kRepairFailover: return "repair_failover";
+  }
+  return "?";
+}
+
+Tracer::Tracer(std::size_t capacity) : capacity_(capacity) {
+  util::Check(capacity_ >= 1, "tracer ring needs at least one slot");
+}
+
+void Tracer::Emit(double t, EventKind kind, std::int64_t subject,
+                  std::int64_t peer, std::int64_t detail) {
+  TraceEvent ev;
+  ev.t = t;
+  ev.id = next_id_++;
+  ev.kind = kind;
+  ev.subject = subject;
+  ev.peer = peer;
+  ev.detail = detail;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(ev);
+    return;
+  }
+  ring_[head_] = ev;
+  head_ = (head_ + 1) % capacity_;
+  ++dropped_;
+}
+
+std::vector<TraceEvent> Tracer::Events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i)
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  return out;
+}
+
+std::string Tracer::ToJsonl() const {
+  std::string out;
+  out.reserve(ring_.size() * 64);
+  for (const TraceEvent& ev : Events()) {
+    out += "{\"t\":";
+    AppendDouble(out, ev.t);
+    out += ",\"id\":";
+    AppendUint(out, ev.id);
+    out += ",\"kind\":\"";
+    out += EventKindName(ev.kind);
+    out += "\",\"subject\":";
+    AppendInt(out, ev.subject);
+    out += ",\"peer\":";
+    AppendInt(out, ev.peer);
+    out += ",\"detail\":";
+    AppendInt(out, ev.detail);
+    out += "}\n";
+  }
+  return out;
+}
+
+std::string Tracer::ToChromeTrace() const {
+  // Instant events ("ph":"i", thread scope), one track (tid) per subject so
+  // Perfetto lays protocol activity out per node. ts is microseconds.
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& ev : Events()) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n{\"name\":\"";
+    out += EventKindName(ev.kind);
+    out += "\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":";
+    AppendInt(out, ev.subject);
+    out += ",\"ts\":";
+    AppendDouble(out, ev.t * 1e6);
+    out += ",\"args\":{\"id\":";
+    AppendUint(out, ev.id);
+    out += ",\"peer\":";
+    AppendInt(out, ev.peer);
+    out += ",\"detail\":";
+    AppendInt(out, ev.detail);
+    out += "}}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+std::uint64_t Tracer::Digest() const {
+  util::RollingHash h;
+  for (const TraceEvent& ev : Events()) {
+    h.MixDouble(ev.t);
+    h.MixU64(ev.id);
+    h.MixI64(static_cast<std::int64_t>(ev.kind));
+    h.MixI64(ev.subject);
+    h.MixI64(ev.peer);
+    h.MixI64(ev.detail);
+  }
+  return h.digest();
+}
+
+void Tracer::Clear() {
+  // Only the retained window is discarded; emitted()/dropped() are lifetime
+  // tallies and ids keep running, so events stay globally unique even when
+  // an exporter drains the ring in chunks.
+  ring_.clear();
+  head_ = 0;
+}
+
+}  // namespace omcast::obs

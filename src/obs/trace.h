@@ -1,0 +1,127 @@
+// Structured protocol trace bus.
+//
+// Every protocol-level occurrence worth explaining a run with -- joins,
+// departures, ROST switch attempts/commits/aborts, the full lock-lease
+// handshake, heartbeat misses and suspicions, gossip rounds, ELN
+// notifications, CER group formation and stripe repair lifecycle -- is
+// emitted as one typed, sim-time-stamped TraceEvent through instrumentation
+// seams in sim/, overlay/, core/rost/, core/cer/ and stream/.
+//
+// Determinism contract: an event carries only replay-deterministic content
+// (virtual sim time, a per-tracer monotonically increasing id, node ids and
+// protocol serials). Wall-clock never enters a trace payload -- that is what
+// obs::SimProfiler is for -- and the determinism lint's trace-wallclock rule
+// enforces it. Two runs with the same seed therefore produce byte-identical
+// JSONL exports, which the replay digest tests assert.
+//
+// Overhead contract: components hold a nullable Tracer* (default null) and
+// every emission site is guarded by that pointer, so an uninstrumented run
+// pays one predictable branch per event and nothing else.
+//
+// The buffer is a bounded ring: the newest `capacity` events are retained,
+// older ones are dropped (and counted), so a tracer can stay attached to an
+// arbitrarily long run with bounded memory.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace omcast::obs {
+
+// The event taxonomy. Names (EventKindName) are part of the JSONL/Perfetto
+// schema (scripts/trace_schema.json) -- extend at the end and update the
+// schema rather than reordering.
+enum class EventKind : int {
+  // overlay/session: membership lifecycle.
+  kJoin = 0,         // subject attached for the first time; peer = parent
+  kRejoin,           // subject re-attached after detach/orphaning; peer = parent
+  kLeave,            // subject departed; peer = its parent at death (-1 detached)
+  // core/rost: switching and the lock-lease handshake.
+  kSwitchAttempt,    // subject's switch condition held; peer = parent
+  kSwitchCommit,     // subject swapped with peer (the demoted parent)
+  kSwitchAbort,      // handshake completed but swap abandoned; detail = reason
+  kLockRequest,      // subject (participant) received peer's lock request
+  kLockGrant,        // subject leased itself to peer; detail = lease serial
+  kLockDeny,         // subject (initiator) received a deny; detail = hs serial
+  kLockRelease,      // subject's lease from peer released; detail = serial
+  kLockExpire,       // subject's lease self-expired; detail = lease serial
+  kLockTimeout,      // subject's grant-collection window lapsed; detail = hs serial
+  // overlay/heartbeat: failure detection.
+  kHeartbeatMiss,    // subject's suspicion window lapsed with no parent beat
+  kSuspicion,        // subject detected a real parent death (peer = -1)
+  kFalseSuspicion,   // subject suspected its live parent (peer = parent)
+  // overlay/gossip.
+  kGossipRound,      // subject ran one push-pull round; detail = view size
+  // stream / core/cer: loss notification and repair.
+  kEln,              // subject sent ELNs to its children; detail = hole count
+  kCerGroupFormed,   // subject (orphan) formed a group; peer = failed parent,
+                     // detail = group id
+  kRepairStart,      // subject (server) started a stripe for peer (orphan);
+                     // detail = group id
+  kRepairFinish,     // subject (server) exhausted its stripe; detail = group id
+  kRepairFailover,   // subject (survivor) took over peer's (dead server's)
+                     // stripe; detail = group id
+};
+
+// Stable snake_case name for JSONL/Perfetto export; never renamed, only
+// extended (scripts/validate_trace.py pins the set).
+const char* EventKindName(EventKind kind);
+
+struct TraceEvent {
+  double t = 0.0;             // sim time, seconds
+  std::uint64_t id = 0;       // per-tracer emission index (stable, monotonic)
+  EventKind kind = EventKind::kJoin;
+  std::int64_t subject = -1;  // primary node id
+  std::int64_t peer = -1;     // secondary node id (parent, holder, ...); -1 none
+  std::int64_t detail = 0;    // kind-specific payload (serial, count, group id)
+};
+
+class Tracer {
+ public:
+  // `capacity` bounds retained events; emissions beyond it evict the oldest.
+  explicit Tracer(std::size_t capacity = kDefaultCapacity);
+
+  void Emit(double t, EventKind kind, std::int64_t subject,
+            std::int64_t peer = -1, std::int64_t detail = 0);
+
+  // Total emissions over the tracer's lifetime (ids run [0, emitted)).
+  std::uint64_t emitted() const { return next_id_; }
+  // Emissions evicted from the ring.
+  std::uint64_t dropped() const { return dropped_; }
+  // Events currently retained.
+  std::size_t size() const { return ring_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+  // Retained events, oldest first.
+  std::vector<TraceEvent> Events() const;
+
+  // One JSON object per line, oldest first:
+  //   {"t":12.5,"id":3,"kind":"lock_grant","subject":17,"peer":4,"detail":2}
+  // Doubles are shortest-round-trip (std::to_chars), so equal-seed runs
+  // export byte-identical text.
+  std::string ToJsonl() const;
+
+  // Chrome trace_event JSON (load in Perfetto / chrome://tracing): instant
+  // events on one track per subject node, timestamps in microseconds.
+  std::string ToChromeTrace() const;
+
+  // Order-sensitive FNV-1a digest of every retained event, for the replay
+  // determinism tests.
+  std::uint64_t Digest() const;
+
+  // Discards the retained events. Lifetime tallies (emitted, dropped) keep
+  // running, so ids stay unique across a drain-and-clear export loop.
+  void Clear();
+
+ private:
+  static constexpr std::size_t kDefaultCapacity = 1u << 16;
+
+  std::size_t capacity_ = 0;
+  std::vector<TraceEvent> ring_;
+  std::size_t head_ = 0;  // oldest element once the ring is full
+  std::uint64_t next_id_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace omcast::obs

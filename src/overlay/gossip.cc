@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace omcast::overlay {
@@ -42,7 +43,8 @@ void GossipService::Activate(NodeId member) {
   view.active = true;
   // Desynchronize the first tick.
   view.timer = session_.simulator().ScheduleAfter(
-      rng_.Uniform(0.0, params_.period_s), [this, member] { Tick(member); });
+      rng_.Uniform(0.0, params_.period_s), [this, member] { Tick(member); },
+      "gossip.tick");
 }
 
 void GossipService::Deactivate(NodeId member) {
@@ -116,6 +118,10 @@ void GossipService::Tick(NodeId member) {
   const double now = session_.simulator().now();
   ++view.ticks;
   Prune(view, now);
+  if (obs::Tracer* tracer = session_.tracer(); tracer != nullptr) {
+    tracer->Emit(now, obs::EventKind::kGossipRound, member, kNoNode,
+                 static_cast<std::int64_t>(view.entries.size()));
+  }
 
   // A member whose view drained (isolation, mass departures) re-contacts
   // the bootstrap service for fresh peers.
@@ -167,7 +173,7 @@ void GossipService::Tick(NodeId member) {
     break;
   }
   view.timer = session_.simulator().ScheduleAfter(
-      params_.period_s, [this, member] { Tick(member); });
+      params_.period_s, [this, member] { Tick(member); }, "gossip.tick");
 }
 
 std::vector<NodeId> GossipService::KnownMembers(Session& session,

@@ -1,5 +1,6 @@
 #include "overlay/heartbeat.h"
 
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace omcast::overlay {
@@ -44,7 +45,8 @@ void HeartbeatService::StartSender(NodeId id) {
   if (st.sender != sim::kInvalidEventId) return;  // already beating
   // Random phase: deployments do not fire their timers in lockstep.
   st.sender = session_.simulator().ScheduleAfter(
-      rng_.Uniform(0.0, params_.period_s), [this, id] { SendBeats(id); });
+      rng_.Uniform(0.0, params_.period_s), [this, id] { SendBeats(id); },
+      "heartbeat.send");
 }
 
 void HeartbeatService::SendBeats(NodeId id) {
@@ -60,11 +62,11 @@ void HeartbeatService::SendBeats(NodeId id) {
                             [this, c, id] { OnHeartbeat(c, id); });
     } else {
       session_.simulator().ScheduleAfter(
-          hop, [this, c, id] { OnHeartbeat(c, id); });
+          hop, [this, c, id] { OnHeartbeat(c, id); }, "heartbeat.deliver");
     }
   }
-  st.sender = session_.simulator().ScheduleAfter(params_.period_s,
-                                                 [this, id] { SendBeats(id); });
+  st.sender = session_.simulator().ScheduleAfter(
+      params_.period_s, [this, id] { SendBeats(id); }, "heartbeat.send");
 }
 
 void HeartbeatService::OnHeartbeat(NodeId child, NodeId from) {
@@ -84,7 +86,8 @@ void HeartbeatService::ArmMonitor(NodeId child) {
   if (st.monitor != sim::kInvalidEventId)
     session_.simulator().Cancel(st.monitor);
   st.monitor = session_.simulator().ScheduleAfter(
-      SuspicionTimeout(), [this, child] { Suspect(child); });
+      SuspicionTimeout(), [this, child] { Suspect(child); },
+      "heartbeat.monitor");
 }
 
 void HeartbeatService::Suspect(NodeId child) {
@@ -92,6 +95,15 @@ void HeartbeatService::Suspect(NodeId child) {
   st.monitor = sim::kInvalidEventId;
   Member& m = session_.tree().Get(child);
   if (!m.alive) return;
+  obs::Tracer* tracer = session_.tracer();
+  if (tracer != nullptr) {
+    const sim::Time now = session_.simulator().now();
+    tracer->Emit(now, obs::EventKind::kHeartbeatMiss, child, m.parent);
+    tracer->Emit(now,
+                 m.parent == kNoNode ? obs::EventKind::kSuspicion
+                                     : obs::EventKind::kFalseSuspicion,
+                 child, m.parent);
+  }
 
   if (m.parent == kNoNode) {
     // The parent really did die (the session orphaned this member when it

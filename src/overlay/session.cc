@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/log.h"
 
@@ -88,6 +89,7 @@ Session::Session(sim::Simulator& simulator, const net::Topology& topology,
   alive_index_.assign(1, -1);  // root slot
   departure_event_.assign(1, sim::kInvalidEventId);
   join_attempts_.assign(1, 0);
+  ever_attached_.assign(1, 1);  // the root is always attached
 }
 
 net::HostId Session::AllocateHost() {
@@ -111,6 +113,7 @@ NodeId Session::CreateMemberRecord(double bandwidth, double lifetime_s,
   alive_index_.resize(tree_.size(), -1);
   departure_event_.resize(tree_.size(), sim::kInvalidEventId);
   join_attempts_.resize(tree_.size(), 0);
+  ever_attached_.resize(tree_.size(), 0);
   alive_index_[static_cast<std::size_t>(id)] = static_cast<int>(alive_.size());
   alive_.push_back(id);
   ++total_created_;
@@ -121,8 +124,8 @@ void Session::ScheduleDeparture(NodeId id) {
   const Member& m = tree_.Get(id);
   const sim::Time when = m.join_time + m.lifetime;
   util::Check(when >= sim_.now(), "departure must be in the future");
-  departure_event_[static_cast<std::size_t>(id)] =
-      sim_.ScheduleAt(when, [this, id] { HandleDeparture(id); });
+  departure_event_[static_cast<std::size_t>(id)] = sim_.ScheduleAt(
+      when, [this, id] { HandleDeparture(id); }, "session.departure");
 }
 
 void Session::Prepopulate(int count) {
@@ -182,6 +185,7 @@ void Session::Prepopulate(int count) {
     join_attempts_[static_cast<std::size_t>(id)] = 0;
     protocol_->OnAttached(*this, id);
     protocol_->OnPrepopulated(*this, id);
+    TraceAttached(id);
     hooks_.FireAttached(id, tree_.Get(id).parent);
     return true;
   };
@@ -222,7 +226,7 @@ void Session::StopArrivals() { arrivals_on_ = false; }
 void Session::ScheduleNextArrival() {
   if (!arrivals_on_) return;
   const double gap = rng_.ExponentialMean(1.0 / arrival_rate_);
-  sim_.ScheduleAfter(gap, [this] { Arrive(); });
+  sim_.ScheduleAfter(gap, [this] { Arrive(); }, "session.arrival");
 }
 
 void Session::Arrive() {
@@ -255,6 +259,7 @@ void Session::TryJoin(NodeId id) {
     util::Check(m.parent != kNoNode, "TryAttach true but not attached");
     join_attempts_[static_cast<std::size_t>(id)] = 0;
     protocol_->OnAttached(*this, id);
+    TraceAttached(id);
     hooks_.FireAttached(id, m.parent);
     return;
   }
@@ -279,9 +284,23 @@ void Session::TryJoin(NodeId id) {
       std::min(1 << std::min(attempts - 1, 10), params_.join_retry_max_backoff);
   // Guarded: with an external failure detector a second join path
   // (RejoinOrphan) can attach the member while this retry is in flight.
-  sim_.ScheduleAfter(params_.join_retry_delay_s * backoff, [this, id] {
-    if (tree_.Get(id).alive && tree_.Get(id).parent == kNoNode) TryJoin(id);
-  });
+  sim_.ScheduleAfter(
+      params_.join_retry_delay_s * backoff,
+      [this, id] {
+        if (tree_.Get(id).alive && tree_.Get(id).parent == kNoNode)
+          TryJoin(id);
+      },
+      "session.join_retry");
+}
+
+void Session::TraceAttached(NodeId id) {
+  char& ever = ever_attached_[static_cast<std::size_t>(id)];
+  if (tracer_ != nullptr) {
+    tracer_->Emit(sim_.now(),
+                  ever ? obs::EventKind::kRejoin : obs::EventKind::kJoin, id,
+                  tree_.Get(id).parent);
+  }
+  ever = 1;
 }
 
 void Session::ForceRejoin(NodeId id) {
@@ -291,9 +310,13 @@ void Session::ForceRejoin(NodeId id) {
   ++m.reconnections;
   protocol_->OnOrphaned(*this, id);
   // Defer to an event so eviction cascades unwind instead of recursing.
-  sim_.ScheduleAfter(0.0, [this, id] {
-    if (tree_.Get(id).alive && tree_.Get(id).parent == kNoNode) TryJoin(id);
-  });
+  sim_.ScheduleAfter(
+      0.0,
+      [this, id] {
+        if (tree_.Get(id).alive && tree_.Get(id).parent == kNoNode)
+          TryJoin(id);
+      },
+      "session.rejoin");
 }
 
 void Session::ChargeDisruption(NodeId member) {
@@ -333,6 +356,8 @@ void Session::DepartNow(NodeId id) {
 void Session::HandleDeparture(NodeId id) {
   Member& m = tree_.Get(id);
   if (!m.alive) return;
+  if (tracer_ != nullptr)
+    tracer_->Emit(sim_.now(), obs::EventKind::kLeave, id, m.parent);
   hooks_.FireDeparture(id);
 
   // Abrupt departure: every descendant suffers one streaming disruption
@@ -359,9 +384,13 @@ void Session::HandleDeparture(NodeId id) {
     protocol_->OnOrphaned(*this, c);
     if (params_.external_failure_detection) continue;
     if (params_.rejoin_delay_s > 0.0) {
-      sim_.ScheduleAfter(params_.rejoin_delay_s, [this, c] {
-        if (tree_.Get(c).alive && tree_.Get(c).parent == kNoNode) TryJoin(c);
-      });
+      sim_.ScheduleAfter(
+          params_.rejoin_delay_s,
+          [this, c] {
+            if (tree_.Get(c).alive && tree_.Get(c).parent == kNoNode)
+              TryJoin(c);
+          },
+          "session.rejoin");
     } else {
       TryJoin(c);
     }

@@ -26,6 +26,10 @@
 #include "rand/rng.h"
 #include "sim/simulator.h"
 
+namespace omcast::obs {
+class Tracer;
+}  // namespace omcast::obs
+
 namespace omcast::overlay {
 
 class Session;
@@ -193,6 +197,14 @@ class Session {
   // default.
   void SetMembershipOracle(MembershipOracle* oracle) { oracle_ = oracle; }
 
+  // Attaches a protocol trace bus (obs/trace.h); non-owning, must outlive
+  // the run. The session emits membership events and every protocol
+  // component (ROST, heartbeat, gossip, the packet stream) emits through
+  // this same pointer, so one SetTracer call instruments the whole stack.
+  // Null (the default) keeps every emission site at a single branch.
+  void SetTracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  obs::Tracer* tracer() { return tracer_; }
+
   // Discovery pool for joining: the union of a gossip sample (deep slots)
   // and the first `k` members in BFS order from the root (the "search from
   // the tree root downward" of the minimum-depth algorithm -- reachable in
@@ -248,6 +260,9 @@ class Session {
   void ScheduleDeparture(NodeId id);
   void HandleDeparture(NodeId id);
   void TryJoin(NodeId id);
+  // Emits kJoin (first attach) or kRejoin on the trace bus and marks the
+  // member as ever-attached. Call right after a successful attach.
+  void TraceAttached(NodeId id);
   net::HostId AllocateHost();
   void ReleaseHost(net::HostId host);
   void RemoveFromAlive(NodeId id);
@@ -260,12 +275,16 @@ class Session {
   rnd::Rng rng_;
   SessionHooks hooks_;
   MembershipOracle* oracle_ = nullptr;  // nullptr: uniform sampling
+  obs::Tracer* tracer_ = nullptr;       // nullptr: tracing off
 
   std::vector<NodeId> alive_;           // alive members, root excluded
   std::vector<int> alive_index_;        // NodeId -> index in alive_ (-1 if not)
   std::vector<net::HostId> free_hosts_; // stack of unoccupied stub hosts
   std::vector<sim::EventId> departure_event_;  // NodeId -> departure timer
   std::vector<int> join_attempts_;  // consecutive failed attempts per member
+  // NodeId -> has this member ever been attached (distinguishes the kJoin
+  // trace event from kRejoin; Member.reconnections only counts evictions).
+  std::vector<char> ever_attached_;
 
   bool arrivals_on_ = false;
   double arrival_rate_ = 0.0;

@@ -33,6 +33,10 @@ struct CellResult {
   std::map<std::string, double> metrics;
   std::map<std::string, std::vector<double>> samples;
   std::map<std::string, std::vector<std::pair<double, double>>> series;
+  // Flattened obs::Registry snapshot for the cell (counter/gauge/histogram
+  // exports, e.g. "rost.switches"). Unlike `metrics`, these are raw
+  // protocol tallies -- recorded per cell, not aggregated across reps.
+  std::map<std::string, double> registry;
 };
 
 // Identity and derived seed of one cell, handed to the cell function.

@@ -41,6 +41,12 @@ Json CellToJson(const CellOutcome& cell) {
     }
     j.Set("series", std::move(series));
   }
+  if (!cell.result.registry.empty()) {
+    Json registry = Json::MakeObject();
+    for (const auto& [name, value] : cell.result.registry)
+      registry.Set(name, value);
+    j.Set("registry", std::move(registry));
+  }
   return j;
 }
 
@@ -78,6 +84,13 @@ bool CellFromJson(const Json& cell, CellOutcome* out) {
       }
     }
   }
+  if (const Json* registry = cell.Find("registry"); registry != nullptr) {
+    if (!registry->is_object()) return false;
+    for (const auto& [name, value] : registry->AsObject()) {
+      if (!value.is_number()) return false;
+      result.registry[name] = value.AsDouble();
+    }
+  }
   out->result = std::move(result);
   if (const Json* wall = cell.Find("wall_ms");
       wall != nullptr && wall->is_number())
@@ -90,6 +103,12 @@ bool FindResumedCell(const Json& doc, const CellContext& ctx,
   const Json* kind = doc.Find("kind");
   if (kind == nullptr || !kind->is_string() ||
       kind->AsString() != kResultsKind)
+    return false;
+  // Cells from an older schema may lack fields this version records (the
+  // registry snapshot); re-run rather than resume across versions.
+  const Json* version = doc.Find("schema_version");
+  if (version == nullptr || !version->is_number() ||
+      version->AsInt() != kResultsSchemaVersion)
     return false;
   const Json* figure = doc.Find("figure");
   if (figure == nullptr || !figure->is_string() ||

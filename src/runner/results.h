@@ -5,9 +5,9 @@
 // reps, git SHA, wall-clock per cell) and as the resume source for
 // interrupted sweeps.
 //
-// JSON schema, version 1 (`"kind": "omcast-figure-results"`):
+// JSON schema, version 2 (`"kind": "omcast-figure-results"`):
 //   {
-//     "schema_version": 1, "kind": "omcast-figure-results",
+//     "schema_version": 2, "kind": "omcast-figure-results",
 //     "figure": "fig04_disruptions", "title": "...",
 //     "scale": "small", "git_sha": "...", "base_seed": 1,
 //     "reps": 3, "threads": 8, "warmup_s": 5400, "measure_s": 3600,
@@ -16,7 +16,8 @@
 //     "wall_ms_total": ..., "executed": N, "resumed": M,
 //     "cells": [ {"row": "...", "col": "...", "rep": 0, "seed": ...,
 //                 "wall_ms": ..., "resumed": false, "metrics": {...},
-//                 "samples": {...}, "series": {"name": [[t, v], ...]}} ],
+//                 "samples": {...}, "series": {"name": [[t, v], ...]},
+//                 "registry": {"rost.switches": ..., ...}} ],
 //     "aggregates": [ {"row": "...", "col": "...", "metric": "...",
 //                      "n": 3, "mean": ..., "stddev": ..., "ci95": ...,
 //                      "min": ..., "max": ...} ]
@@ -34,7 +35,9 @@
 
 namespace omcast::runner {
 
-inline constexpr int kResultsSchemaVersion = 1;
+// v1 -> v2: cells gained an optional "registry" object (flattened
+// obs::Registry snapshot); resume additionally gates on schema_version.
+inline constexpr int kResultsSchemaVersion = 2;
 inline constexpr const char* kResultsKind = "omcast-figure-results";
 
 // Run-level manifest fields recorded alongside the grid results.

@@ -129,6 +129,10 @@ std::uint64_t DigestOutcomes(const std::vector<CellOutcome>& cells) {
         h.MixDouble(v);
       }
     }
+    for (const auto& [name, value] : cell.result.registry) {
+      h.MixBytes(name);
+      h.MixDouble(value);
+    }
   }
   return h.digest();
 }

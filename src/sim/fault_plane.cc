@@ -31,7 +31,8 @@ void FaultPlane::ScheduleCopy(double base_delay_s,
                               const Simulator::Callback& cb) {
   const double extra = rng_.Uniform(0.0, params_.jitter_s);
   ++delivered_;
-  sim_.ScheduleAfter(base_delay_s + extra, Simulator::Callback(cb));
+  sim_.ScheduleAfter(base_delay_s + extra, Simulator::Callback(cb),
+                     "net.deliver");
 }
 
 bool FaultPlane::Deliver(int from, int to, double base_delay_s,

@@ -2,23 +2,24 @@
 
 #include <utility>
 
+#include "obs/profile.h"
 #include "util/check.h"
 
 namespace omcast::sim {
 
-EventId Simulator::ScheduleAt(Time t, Callback cb) {
+EventId Simulator::ScheduleAt(Time t, Callback cb, const char* tag) {
   util::Check(t >= now_, "cannot schedule an event in the past");
   util::Check(static_cast<bool>(cb), "event callback must be callable");
   OMCAST_DCHECK(t == t, "event time must not be NaN");
   const std::uint64_t id = next_id_++;
-  queue_.push(Event{t, next_seq_++, id, std::move(cb)});
+  queue_.push(Event{t, next_seq_++, id, tag, std::move(cb)});
   pending_.insert(id);
   return EventId{id};
 }
 
-EventId Simulator::ScheduleAfter(Time delay, Callback cb) {
+EventId Simulator::ScheduleAfter(Time delay, Callback cb, const char* tag) {
   util::Check(delay >= 0.0, "event delay must be non-negative");
-  return ScheduleAt(now_ + delay, std::move(cb));
+  return ScheduleAt(now_ + delay, std::move(cb), tag);
 }
 
 bool Simulator::Cancel(EventId id) {
@@ -52,7 +53,13 @@ bool Simulator::RunOne() {
     now_ = ev.time;
     ++executed_;
     if (trace_) trace_(ev.time, ev.id);
-    ev.cb();
+    if (profiler_ != nullptr) {
+      profiler_->BeginEvent(ev.tag, pending_.size());
+      ev.cb();
+      profiler_->EndEvent();
+    } else {
+      ev.cb();
+    }
     return true;
   }
   return false;

@@ -15,6 +15,10 @@
 #include <unordered_set>
 #include <vector>
 
+namespace omcast::obs {
+class SimProfiler;
+}  // namespace omcast::obs
+
 namespace omcast::sim {
 
 // Simulation time in seconds.
@@ -44,11 +48,14 @@ class Simulator {
   // Current virtual time. Starts at 0.
   Time now() const { return now_; }
 
-  // Schedules `cb` at absolute time `t` (must be >= now()).
-  EventId ScheduleAt(Time t, Callback cb);
+  // Schedules `cb` at absolute time `t` (must be >= now()). `tag` is an
+  // optional event-type label for profiling (obs::SimProfiler); it must be a
+  // string literal (or otherwise outlive the event) and never influences
+  // scheduling order.
+  EventId ScheduleAt(Time t, Callback cb, const char* tag = nullptr);
 
   // Schedules `cb` at now() + delay (delay must be >= 0).
-  EventId ScheduleAfter(Time delay, Callback cb);
+  EventId ScheduleAfter(Time delay, Callback cb, const char* tag = nullptr);
 
   // Cancels a pending event. Returns true if the event was still pending.
   // Safe to call with an already-fired or invalid id.
@@ -78,11 +85,18 @@ class Simulator {
     trace_ = std::move(observer);
   }
 
+  // Installs (or clears, with nullptr) a profiler that brackets every
+  // dispatched callback with wall-time measurement and queue-depth sampling.
+  // Profiling never touches sim time or event order, so it is safe to attach
+  // to a deterministic run; the profiler must outlive Run()/RunUntil().
+  void SetProfiler(obs::SimProfiler* profiler) { profiler_ = profiler; }
+
  private:
   struct Event {
     Time time = 0.0;
     std::uint64_t seq = 0;  // FIFO tie-break at equal times
     std::uint64_t id = 0;
+    const char* tag = nullptr;  // profiling label; not owned
     Callback cb;
   };
   struct Later {
@@ -109,6 +123,7 @@ class Simulator {
   // omcast-lint: allow(unordered-iter)
   std::unordered_set<std::uint64_t> pending_;
   TraceObserver trace_;
+  obs::SimProfiler* profiler_ = nullptr;  // not owned
 };
 
 }  // namespace omcast::sim

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace omcast::stream {
@@ -53,7 +54,7 @@ void PacketLevelStream::Start(double duration_s) {
   stream_start_ = now;
   stream_end_ = now + duration_s;
   last_seq_ = static_cast<std::int64_t>(duration_s * params_.packet_rate) - 1;
-  session_.simulator().ScheduleAt(now, [this] { Emit(0); });
+  session_.simulator().ScheduleAt(now, [this] { Emit(0); }, "stream.emit");
 }
 
 void PacketLevelStream::Emit(std::int64_t seq) {
@@ -62,11 +63,13 @@ void PacketLevelStream::Emit(std::int64_t seq) {
   for (NodeId c : session_.tree().Get(kRootId).children) {
     const double hop = session_.DelayMs(kRootId, c) / 1000.0;
     session_.simulator().ScheduleAfter(
-        hop, [this, c, seq] { Deliver(c, seq, session_.simulator().now()); });
+        hop, [this, c, seq] { Deliver(c, seq, session_.simulator().now()); },
+        "stream.deliver");
   }
   if (seq < last_seq_)
-    session_.simulator().ScheduleAfter(1.0 / params_.packet_rate,
-                                       [this, seq] { Emit(seq + 1); });
+    session_.simulator().ScheduleAfter(
+        1.0 / params_.packet_rate, [this, seq] { Emit(seq + 1); },
+        "stream.emit");
 }
 
 PacketLevelStream::Reception& PacketLevelStream::ReceptionFor(NodeId member,
@@ -114,7 +117,8 @@ void PacketLevelStream::Deliver(NodeId member, std::int64_t seq, double now) {
   for (NodeId c : m.children) {
     const double hop = session_.DelayMs(member, c) / 1000.0;
     session_.simulator().ScheduleAfter(
-        hop, [this, c, seq] { Deliver(c, seq, session_.simulator().now()); });
+        hop, [this, c, seq] { Deliver(c, seq, session_.simulator().now()); },
+        "stream.deliver");
   }
 }
 
@@ -122,6 +126,9 @@ void PacketLevelStream::NotifyChildren(NodeId member,
                                        const std::vector<std::int64_t>& seqs) {
   if (seqs.empty()) return;
   const Member& m = session_.tree().Get(member);
+  if (obs::Tracer* tr = session_.tracer(); tr != nullptr && !m.children.empty())
+    tr->Emit(session_.simulator().now(), obs::EventKind::kEln, member,
+             overlay::kNoNode, static_cast<std::int64_t>(seqs.size()));
   for (NodeId c : m.children) {
     const double hop = session_.DelayMs(member, c) / 1000.0;
     for (std::int64_t seq : seqs) {
@@ -135,7 +142,7 @@ void PacketLevelStream::NotifyChildren(NodeId member,
                               [this, c, seq] { DeliverEln(c, seq); });
       } else {
         session_.simulator().ScheduleAfter(
-            hop, [this, c, seq] { DeliverEln(c, seq); });
+            hop, [this, c, seq] { DeliverEln(c, seq); }, "stream.eln");
       }
     }
   }
@@ -236,6 +243,8 @@ void PacketLevelStream::OnDeparture(NodeId failed) {
       if (covered >= 1.0) break;
     }
     if (built.empty()) continue;
+    if (obs::Tracer* tr = session_.tracer(); tr != nullptr)
+      tr->Emit(now, obs::EventKind::kCerGroupFormed, orphan, failed, gid);
     if (params_.mode == core::RecoveryMode::kSingleSource) {
       built.front().mod_lo = 0.0;
       built.front().mod_hi = 100.0;
@@ -254,6 +263,9 @@ void PacketLevelStream::OnDeparture(NodeId failed) {
     // ("meaningless"). The chain, not a pre-scheduled batch, is what lets a
     // server death mid-repair hand the remaining range to a survivor.
     for (const RepairStripe& s : built) {
+      if (obs::Tracer* tr = session_.tracer(); tr != nullptr)
+        tr->Emit(now, obs::EventKind::kRepairStart, s.server, s.orphan,
+                 s.group_id);
       repair_stripes_.push_back(s);
       ServeNext(repair_stripes_.size() - 1);
     }
@@ -279,9 +291,15 @@ void PacketLevelStream::ServeNext(std::size_t index) {
     s.in_flight = seq;
     ++repairs_;
     session_.simulator().ScheduleAt(
-        done, [this, index, seq] { OnRepairServed(index, seq); });
+        done, [this, index, seq] { OnRepairServed(index, seq); },
+        "stream.repair");
     return;
   }
+  // Fell through: the stripe's share of the hole is exhausted (served or
+  // expired); the chain ends here.
+  if (obs::Tracer* tr = session_.tracer(); tr != nullptr)
+    tr->Emit(session_.simulator().now(), obs::EventKind::kRepairFinish,
+             s.server, s.orphan, s.group_id);
 }
 
 void PacketLevelStream::OnRepairServed(std::size_t index, std::int64_t seq) {
@@ -326,6 +344,9 @@ void PacketLevelStream::FailoverStripe(std::size_t index) {
   takeover.cursor = dead.in_flight >= 0 ? dead.in_flight : dead.cursor;
   takeover.hole_end = dead.hole_end;
   ++stripe_failovers_;
+  if (obs::Tracer* tr = session_.tracer(); tr != nullptr)
+    tr->Emit(session_.simulator().now(), obs::EventKind::kRepairFailover,
+             takeover.server, dead.server, takeover.group_id);
   repair_stripes_.push_back(takeover);
   ServeNext(repair_stripes_.size() - 1);
 }

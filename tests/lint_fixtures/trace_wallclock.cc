@@ -1,0 +1,53 @@
+// Fixture: a wall-clock value fed into a trace emission must be flagged.
+// Trace payloads are part of the replay-determinism contract (equal seeds
+// export byte-identical JSONL), so only virtual sim time and stable ids may
+// enter an Emit call; host timing belongs in obs::SimProfiler.
+#include <chrono>
+#include <cstdint>
+
+namespace fixture {
+
+enum class EventKind : int { kJoin = 0 };
+
+struct Tracer {
+  void Emit(double t, EventKind kind, std::int64_t subject,
+            std::int64_t peer = -1, std::int64_t detail = 0);
+};
+
+double WallMs();
+double SimNow();
+
+void BadWallMsPayload(Tracer* tracer) {
+  tracer->Emit(WallMs(), EventKind::kJoin, 1);  // expect(trace-wallclock)
+}
+
+void BadChronoPayload(Tracer& tracer) {
+  tracer.Emit(std::chrono::steady_clock::now().time_since_epoch().count(),  // expect(trace-wallclock) // expect(wallclock)
+              EventKind::kJoin, 2);
+}
+
+void BadWrappedArgument(Tracer* tracer) {
+  // The token sits on a continuation line of the call; the Emit line is
+  // the one flagged (plus the generic wallclock rule on the token line).
+  tracer->Emit(0.0, EventKind::kJoin, 3, -1,  // expect(trace-wallclock)
+               std::chrono::system_clock::now().time_since_epoch().count());  // expect(wallclock)
+}
+
+// Sim-time payloads are the contract; never flagged.
+void GoodSimTimePayload(Tracer* tracer) {
+  tracer->Emit(SimNow(), EventKind::kJoin, 4);
+}
+
+// The escape hatch silences an audited site.
+void AllowedAnnotated(Tracer* tracer) {
+  tracer->Emit(WallMs(), EventKind::kJoin, 5);  // omcast-lint: allow(trace-wallclock)
+}
+
+// A method merely named Emit with no timing token is not a violation
+// (stream::PacketLevelStream::Emit emits packets, not trace events).
+struct PacketStream {
+  void Emit(std::int64_t seq);
+  void Tick(std::int64_t seq) { this->Emit(seq + 1); }
+};
+
+}  // namespace fixture

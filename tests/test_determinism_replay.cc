@@ -11,9 +11,12 @@
 #include <set>
 #include <vector>
 
+#include <string>
+
 #include "core/rost/rost.h"
 #include "exp/scenario.h"
 #include "net/topology.h"
+#include "obs/trace.h"
 #include "overlay/gossip.h"
 #include "overlay/heartbeat.h"
 #include "overlay/session.h"
@@ -103,6 +106,11 @@ std::uint64_t RunChaosDigest(std::uint64_t seed) {
   auto protocol = std::make_unique<core::RostProtocol>(rp);
   core::RostProtocol* rost = protocol.get();
   overlay::Session session(sim, topology, std::move(protocol), sp, seed);
+  // The protocol trace rides on the same determinism contract as the event
+  // schedule: fold its digest in so a wall-clock or iteration-order leak
+  // into a trace payload fails here.
+  obs::Tracer tracer(1u << 18);
+  session.SetTracer(&tracer);
 
   sim::FaultPlaneParams fp;
   fp.loss_rate = 0.05;
@@ -161,6 +169,7 @@ std::uint64_t RunChaosDigest(std::uint64_t seed) {
   hash.MixI64(stream.deliveries());
   hash.MixI64(stream.repairs_scheduled());
   hash.MixDouble(stream.ratio_stat().mean());
+  hash.MixU64(tracer.Digest());
   return hash.digest();
 }
 
@@ -259,6 +268,59 @@ TEST(SeedReplayDeterminism, GridCellsUseDistinctDerivedSeeds) {
     seeds.insert(cell.ctx.seed);
   EXPECT_EQ(seeds.size(), summary.cells.size())
       << "two grid cells derived the same seed";
+}
+
+// Per-cell protocol traces must also be independent of the thread count:
+// each cell attaches a private Tracer and the exported JSONL text -- not
+// just a digest of it -- must come out byte-identical whether the grid ran
+// serially or on four workers.
+std::vector<std::string> RunTracedGridJsonl(int threads) {
+  runner::GridSpec spec;
+  spec.figure = "trace_determinism_probe";
+  spec.title = "per-cell trace determinism probe";
+  spec.row_header = "members";
+  spec.rows = {"40", "60"};
+  spec.cols = {"ROST"};
+  spec.reps = 2;
+  const net::Topology& topology =
+      runner::SharedTopology(net::TinyTopologyParams(), 1);
+  std::vector<std::string> jsonl(spec.cell_count());
+  spec.run = [&topology, &jsonl,
+              reps = spec.reps](const runner::CellContext& cell) {
+    obs::Tracer tracer(1u << 18);
+    exp::ScenarioConfig config;
+    config.population = cell.row == 0 ? 40 : 60;
+    config.warmup_s = 120.0;
+    config.measure_s = 180.0;
+    config.seed = cell.seed;
+    config.tracer = &tracer;
+    const exp::TreeScenarioResult r =
+        exp::RunTreeScenario(topology, exp::Algorithm::kRost, config);
+    // Cells write distinct slots, so no lock is needed across the pool.
+    jsonl[cell.row * static_cast<std::size_t>(reps) +
+          static_cast<std::size_t>(cell.rep)] = tracer.ToJsonl();
+    runner::CellResult out;
+    out.metrics["disruptions"] = r.avg_disruptions;
+    out.metrics["trace_events"] = static_cast<double>(tracer.emitted());
+    return out;
+  };
+  runner::RunnerOptions options;
+  options.threads = threads;
+  options.base_seed = 1;
+  (void)runner::RunGrid(spec, options);
+  return jsonl;
+}
+
+TEST(SeedReplayDeterminism, SerialAndParallelTraceJsonlAreByteIdentical) {
+  const std::vector<std::string> serial = RunTracedGridJsonl(/*threads=*/1);
+  const std::vector<std::string> parallel = RunTracedGridJsonl(/*threads=*/4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_FALSE(serial[i].empty()) << "cell " << i << " emitted no trace";
+    EXPECT_EQ(serial[i], parallel[i])
+        << "cell " << i << " exported different JSONL under 4 threads: a "
+           "trace payload depends on scheduling or wall-clock";
+  }
 }
 
 TEST(SeedReplayDeterminism, TraceObserverSeesMonotonicTime) {

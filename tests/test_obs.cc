@@ -1,0 +1,346 @@
+// Unit tests for the observability subsystem (src/obs): the metrics
+// registry (counters / gauges / fixed-bucket histograms, cross-checked
+// against util::RunningStat), the bounded trace ring and its JSONL /
+// Chrome-trace exports (round-tripped through the runner's own JSON
+// parser), and the simulator profiler.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/profile.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+#include "runner/json.h"
+#include "sim/simulator.h"
+#include "util/stats.h"
+
+namespace omcast {
+namespace {
+
+using obs::EventKind;
+using obs::Histogram;
+using obs::Registry;
+using obs::TraceEvent;
+using obs::Tracer;
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+TEST(Histogram, MeanMatchesRunningStat) {
+  // The histogram tracks the exact sum and count alongside the buckets; its
+  // sum/count mean must agree with RunningStat's Welford mean to round-off
+  // (they are different summation orders of the same data), and min/max are
+  // tracked exactly, so those must match bit for bit.
+  Histogram h({0.1, 1.0, 10.0, 100.0});
+  util::RunningStat stat;
+  double v = 0.0317;
+  for (int i = 0; i < 500; ++i) {
+    v = v * 1.37 + 0.011;
+    if (v > 250.0) v -= 249.0;
+    h.Observe(v);
+    stat.Add(v);
+  }
+  ASSERT_EQ(h.count(), static_cast<long>(stat.count()));
+  EXPECT_NEAR(h.mean(), stat.mean(), 1e-9 * std::abs(stat.mean()));
+  EXPECT_EQ(h.min(), stat.min());
+  EXPECT_EQ(h.max(), stat.max());
+}
+
+TEST(Histogram, BucketAssignmentUsesInclusiveUpperEdges) {
+  Histogram h({1.0, 2.0});
+  h.Observe(1.0);  // lands in bucket 0: (-inf, 1]
+  h.Observe(1.5);  // bucket 1: (1, 2]
+  h.Observe(2.0);  // bucket 1
+  h.Observe(3.0);  // overflow
+  ASSERT_EQ(h.bucket_counts().size(), 3u);
+  EXPECT_EQ(h.bucket_counts()[0], 1);
+  EXPECT_EQ(h.bucket_counts()[1], 2);
+  EXPECT_EQ(h.bucket_counts()[2], 1);
+}
+
+TEST(Histogram, QuantilesAreClampedAndOrdered) {
+  Histogram h({1.0, 2.0, 4.0, 8.0, 16.0});
+  for (int i = 1; i <= 100; ++i) h.Observe(static_cast<double>(i % 17) + 0.5);
+  const double p10 = h.Quantile(0.10);
+  const double p50 = h.Quantile(0.50);
+  const double p99 = h.Quantile(0.99);
+  EXPECT_LE(p10, p50);
+  EXPECT_LE(p50, p99);
+  EXPECT_GE(p10, h.min());
+  EXPECT_LE(p99, h.max());
+}
+
+TEST(Histogram, SingleObservationQuantileIsExact) {
+  Histogram h({1.0, 10.0});
+  h.Observe(3.25);
+  // Only one value exists; clamping to [min, max] pins every quantile to it.
+  EXPECT_EQ(h.Quantile(0.0), 3.25);
+  EXPECT_EQ(h.Quantile(0.5), 3.25);
+  EXPECT_EQ(h.Quantile(1.0), 3.25);
+}
+
+TEST(Histogram, EmptyHistogramIsZeroEverywhere) {
+  Histogram h({1.0});
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST(Histogram, MergeEqualsCombinedObservations) {
+  const std::vector<double> bounds = {0.5, 1.0, 5.0, 25.0};
+  Histogram a(bounds), b(bounds), combined(bounds);
+  for (int i = 0; i < 40; ++i) {
+    const double v = 0.2 * static_cast<double>(i) + 0.05;
+    (i % 2 == 0 ? a : b).Observe(v);
+    combined.Observe(v);
+  }
+  a.MergeFrom(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.sum(), combined.sum());
+  EXPECT_EQ(a.min(), combined.min());
+  EXPECT_EQ(a.max(), combined.max());
+  EXPECT_EQ(a.bucket_counts(), combined.bucket_counts());
+}
+
+TEST(Histogram, MergeFromEmptyIsANoOp) {
+  Histogram a({1.0}), empty({1.0});
+  a.Observe(0.5);
+  a.MergeFrom(empty);
+  EXPECT_EQ(a.count(), 1);
+  EXPECT_EQ(a.min(), 0.5);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+TEST(Registry, CountersAccumulateAndDefaultToZero) {
+  Registry reg;
+  EXPECT_EQ(reg.CounterValue("absent"), 0.0);
+  reg.Count("x");
+  reg.Count("x", 2.5);
+  EXPECT_EQ(reg.CounterValue("x"), 3.5);
+}
+
+TEST(Registry, GaugesAreLastWriteWins) {
+  Registry reg;
+  reg.SetGauge("g", 1.0);
+  reg.SetGauge("g", -4.0);
+  EXPECT_EQ(reg.gauges().at("g"), -4.0);
+}
+
+TEST(Registry, FirstHistogramRegistrationWins) {
+  Registry reg;
+  Histogram& h = reg.Hist("h", {1.0, 2.0});
+  Histogram& again = reg.Hist("h", {99.0});
+  EXPECT_EQ(&h, &again);
+  EXPECT_EQ(again.bounds(), (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(Registry, FlattenExpandsHistogramsDeterministically) {
+  Registry reg;
+  reg.Count("a.count1", 7.0);
+  reg.SetGauge("b.gauge", 0.25);
+  reg.Observe("c.hist", {1.0, 10.0}, 2.0);
+  reg.Observe("c.hist", {1.0, 10.0}, 6.0);
+  const std::map<std::string, double> flat = reg.Flatten();
+  EXPECT_EQ(flat.at("a.count1"), 7.0);
+  EXPECT_EQ(flat.at("b.gauge"), 0.25);
+  EXPECT_EQ(flat.at("c.hist.count"), 2.0);
+  EXPECT_EQ(flat.at("c.hist.sum"), 8.0);
+  EXPECT_EQ(flat.at("c.hist.min"), 2.0);
+  EXPECT_EQ(flat.at("c.hist.max"), 6.0);
+  EXPECT_TRUE(flat.contains("c.hist.p50"));
+  EXPECT_TRUE(flat.contains("c.hist.p99"));
+}
+
+TEST(Registry, MergeAddsCountersOverwritesGaugesMergesHistograms) {
+  Registry a, b;
+  a.Count("c", 1.0);
+  b.Count("c", 2.0);
+  b.Count("only_b", 5.0);
+  a.SetGauge("g", 1.0);
+  b.SetGauge("g", 9.0);
+  a.Observe("h", {1.0}, 0.5);
+  b.Observe("h", {1.0}, 2.5);
+  b.Observe("h2", {4.0}, 3.0);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.CounterValue("c"), 3.0);
+  EXPECT_EQ(a.CounterValue("only_b"), 5.0);
+  EXPECT_EQ(a.gauges().at("g"), 9.0);
+  EXPECT_EQ(a.histograms().at("h").count(), 2);
+  EXPECT_EQ(a.histograms().at("h2").count(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+// ---------------------------------------------------------------------------
+
+TEST(Tracer, IdsAreMonotonicAndEventsOldestFirst) {
+  Tracer tracer(16);
+  for (int i = 0; i < 5; ++i)
+    tracer.Emit(static_cast<double>(i), EventKind::kJoin, i, i - 1, i * 10);
+  const std::vector<TraceEvent> events = tracer.Events();
+  ASSERT_EQ(events.size(), 5u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].id, i);
+    EXPECT_EQ(events[i].t, static_cast<double>(i));
+    EXPECT_EQ(events[i].subject, static_cast<std::int64_t>(i));
+  }
+  EXPECT_EQ(tracer.emitted(), 5u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(Tracer, RingEvictsOldestAndCountsDrops) {
+  Tracer tracer(4);
+  for (int i = 0; i < 10; ++i)
+    tracer.Emit(static_cast<double>(i), EventKind::kLeave, i);
+  EXPECT_EQ(tracer.size(), 4u);
+  EXPECT_EQ(tracer.emitted(), 10u);
+  EXPECT_EQ(tracer.dropped(), 6u);
+  const std::vector<TraceEvent> events = tracer.Events();
+  ASSERT_EQ(events.size(), 4u);
+  // The newest four survive, oldest first.
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_EQ(events[i].id, 6u + i);
+}
+
+TEST(Tracer, ClearKeepsLifetimeTallies) {
+  Tracer tracer(4);
+  tracer.Emit(1.0, EventKind::kJoin, 1);
+  tracer.Clear();
+  EXPECT_EQ(tracer.size(), 0u);
+  EXPECT_EQ(tracer.emitted(), 1u);  // ids keep running across Clear()
+  tracer.Emit(2.0, EventKind::kJoin, 2);
+  EXPECT_EQ(tracer.Events().front().id, 1u);
+}
+
+TEST(Tracer, JsonlRoundTripsThroughRunnerJson) {
+  Tracer tracer(8);
+  tracer.Emit(12.5, EventKind::kLockGrant, 17, 4, 2);
+  tracer.Emit(13.0, EventKind::kSwitchCommit, 4, 17);
+  std::istringstream lines(tracer.ToJsonl());
+  std::string line;
+  std::vector<runner::Json> parsed;
+  while (std::getline(lines, line)) {
+    std::string error;
+    parsed.push_back(runner::Json::Parse(line, &error));
+    ASSERT_TRUE(error.empty()) << "bad JSONL line: " << line << ": " << error;
+  }
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].Find("t")->AsDouble(), 12.5);
+  EXPECT_EQ(parsed[0].Find("id")->AsUint(), 0u);
+  EXPECT_EQ(parsed[0].Find("kind")->AsString(), "lock_grant");
+  EXPECT_EQ(parsed[0].Find("subject")->AsInt(), 17);
+  EXPECT_EQ(parsed[0].Find("peer")->AsInt(), 4);
+  EXPECT_EQ(parsed[0].Find("detail")->AsInt(), 2);
+  EXPECT_EQ(parsed[1].Find("kind")->AsString(), "switch_commit");
+  EXPECT_EQ(parsed[1].Find("peer")->AsInt(), 17);
+}
+
+TEST(Tracer, ChromeTraceIsValidJsonWithOneEntryPerEvent) {
+  Tracer tracer(8);
+  tracer.Emit(0.5, EventKind::kEln, 3, -1, 7);
+  tracer.Emit(1.5, EventKind::kRepairStart, 9, 3, 1);
+  std::string error;
+  const runner::Json doc = runner::Json::Parse(tracer.ToChromeTrace(), &error);
+  ASSERT_TRUE(error.empty()) << error;
+  const runner::Json* events = doc.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->size(), 2u);
+  const runner::Json& first = events->AsArray()[0];
+  EXPECT_EQ(first.Find("name")->AsString(), "eln");
+  EXPECT_EQ(first.Find("ph")->AsString(), "i");
+  // Sim seconds surface as trace microseconds.
+  EXPECT_EQ(first.Find("ts")->AsDouble(), 0.5 * 1e6);
+  EXPECT_EQ(first.Find("tid")->AsInt(), 3);
+}
+
+TEST(Tracer, DigestIsOrderAndContentSensitive) {
+  Tracer a(8), b(8), c(8);
+  a.Emit(1.0, EventKind::kJoin, 1, 0);
+  a.Emit(2.0, EventKind::kLeave, 1, 0);
+  b.Emit(1.0, EventKind::kJoin, 1, 0);
+  b.Emit(2.0, EventKind::kLeave, 1, 0);
+  c.Emit(2.0, EventKind::kLeave, 1, 0);
+  c.Emit(1.0, EventKind::kJoin, 1, 0);
+  EXPECT_EQ(a.Digest(), b.Digest());
+  EXPECT_NE(a.Digest(), c.Digest());
+}
+
+TEST(Tracer, EveryKindHasAStableSnakeCaseName) {
+  // The names are schema (scripts/trace_schema.json pins them); walk the
+  // full enum and require lowercase snake_case, nonempty, and unique.
+  std::vector<std::string> names;
+  for (int k = static_cast<int>(EventKind::kJoin);
+       k <= static_cast<int>(EventKind::kRepairFailover); ++k) {
+    const std::string name = obs::EventKindName(static_cast<EventKind>(k));
+    ASSERT_FALSE(name.empty()) << "kind " << k;
+    for (const char ch : name)
+      EXPECT_TRUE((ch >= 'a' && ch <= 'z') || ch == '_')
+          << "kind " << k << " name '" << name << "'";
+    names.push_back(name);
+  }
+  EXPECT_EQ(names.size(), 21u);
+  std::vector<std::string> sorted = names;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::unique(sorted.begin(), sorted.end()), sorted.end())
+      << "duplicate event kind names";
+}
+
+// ---------------------------------------------------------------------------
+// SimProfiler + simulator integration
+// ---------------------------------------------------------------------------
+
+TEST(SimProfiler, CountsDispatchesPerTag) {
+  obs::SimProfiler profiler;
+  sim::Simulator simulator;
+  simulator.SetProfiler(&profiler);
+  for (int i = 0; i < 3; ++i)
+    simulator.ScheduleAt(static_cast<double>(i), [] {}, "test.a");
+  simulator.ScheduleAt(5.0, [] {}, "test.b");
+  simulator.ScheduleAt(6.0, [] {});  // untagged
+  simulator.Run();
+  EXPECT_EQ(profiler.events(), 5u);
+  ASSERT_TRUE(profiler.per_tag().contains("test.a"));
+  EXPECT_EQ(profiler.per_tag().at("test.a").count, 3u);
+  EXPECT_EQ(profiler.per_tag().at("test.b").count, 1u);
+  EXPECT_EQ(profiler.per_tag().at("untagged").count, 1u);
+  EXPECT_EQ(static_cast<std::uint64_t>(profiler.wall_us_hist().count()), 5u);
+  EXPECT_EQ(static_cast<std::uint64_t>(profiler.queue_depth_hist().count()),
+            5u);
+  const std::string table = profiler.FormatTable();
+  EXPECT_NE(table.find("test.a"), std::string::npos);
+}
+
+TEST(SimProfiler, AggregatorMergesCells) {
+  obs::SimProfiler a, b;
+  sim::Simulator sa, sb;
+  sa.SetProfiler(&a);
+  sb.SetProfiler(&b);
+  sa.ScheduleAt(0.0, [] {}, "cell.work");
+  sb.ScheduleAt(0.0, [] {}, "cell.work");
+  sb.ScheduleAt(1.0, [] {}, "cell.other");
+  sa.Run();
+  sb.Run();
+  obs::ProfileAggregator agg;
+  agg.Merge(a);
+  agg.Merge(b);
+  EXPECT_EQ(agg.events(), 3u);
+  const std::string table = agg.FormatTable();
+  EXPECT_NE(table.find("cell.work"), std::string::npos);
+  EXPECT_NE(table.find("cell.other"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace omcast

@@ -12,11 +12,14 @@
 #
 # Configurations (see CMakePresets.json):
 #   release     RelWithDebInfo, -Werror, no sanitizers
+#   clang       clang++ with -Wthread-safety -Werror (when clang++ installed)
 #   asan-ubsan  AddressSanitizer + UndefinedBehaviorSanitizer, DCHECK tier on
 #   tsan        ThreadSanitizer, DCHECK tier on
 #
 # Static checks:
-#   scripts/lint_determinism.py          repo-specific DES-reproducibility lint
+#   scripts/omcast-lint                  repo-specific determinism/concurrency/
+#                                        protocol lint (+ fixture selftests,
+#                                        SARIF selftest, committed baseline)
 #   clang-tidy / clang-format            only when installed (check-only)
 set -euo pipefail
 
@@ -52,14 +55,22 @@ run_config() {
 }
 
 run_config release
+if command -v clang++ >/dev/null 2>&1; then
+  run_config clang
+else
+  echo "==== [clang] clang++ not installed, skipping -Wthread-safety gate ===="
+fi
 run_config asan-ubsan
 if [[ "$QUICK" -eq 0 ]]; then
   run_config tsan
 fi
 
-echo "==== [lint] determinism lint ===="
-if python3 scripts/lint_determinism.py --selftest tests/lint_fixtures \
-    && python3 scripts/lint_determinism.py src/; then
+echo "==== [lint] omcast-lint (selftests + src/ vs baseline) ===="
+if python3 scripts/omcast-lint --selftest scripts/omcast_lint/fixtures \
+    && python3 scripts/lint_determinism.py --selftest tests/lint_fixtures \
+    && python3 scripts/omcast-lint --sarif-selftest \
+    && python3 scripts/omcast-lint src/ \
+        --baseline scripts/omcast_lint_baseline.json; then
   echo "==== [lint] OK ===="
 else
   echo "==== [lint] FAILED ===="

@@ -1,452 +1,24 @@
 #!/usr/bin/env python3
-"""Repo-specific determinism lint for the omcast discrete-event simulator.
+"""Compatibility shim: the determinism linter now lives in the
+scripts/omcast_lint/ package (rule registry, shared tokenizer, SARIF
+output, committed-baseline workflow, stale-suppression audit). This entry
+point keeps the historical CLI working unchanged:
 
-Every figure in this repository is produced by a deterministic seeded
-simulation; any source of run-to-run variation (wall clock, unseeded RNG,
-hash-order iteration, pointer-valued ties) silently invalidates results.
-This linter scans C++ sources for the hazard patterns we care about:
+    python3 scripts/lint_determinism.py src/
+    python3 scripts/lint_determinism.py --selftest tests/lint_fixtures
+    python3 scripts/lint_determinism.py --list-rules
 
-  rand            rand()/srand()/std::random_device/drand48/arc4random used
-                  outside src/rand (all randomness must flow through the
-                  seeded rnd::Rng substrate)
-  wallclock       std::chrono::{system,steady,high_resolution}_clock,
-                  time(), gettimeofday(), clock_gettime() in simulation
-                  code (simulation time is sim::Simulator::now(), never the
-                  host clock)
-  unordered-iter  declaring or range-for-iterating std::unordered_map /
-                  std::unordered_set: bucket order is nondeterministic
-                  across libstdc++ versions and (with pointer keys) runs,
-                  so it must never feed protocol decisions. Declarations
-                  must carry an allow annotation documenting the contract.
-  pointer-sort    ordering by raw pointer value (std::less<T*>, ordered
-                  map/set keyed by a pointer, uintptr_t casts): addresses
-                  change run to run under ASLR
-  uninit-member   scalar data member without an initializer in a struct or
-                  class body: reads of indeterminate values are UB and a
-                  classic source of "works on my machine" nondeterminism
-  trace-wallclock wall-clock value fed into a trace emission (`->Emit(...)`
-                  with a chrono/time token in its arguments): trace payloads
-                  must be replay-deterministic -- sim time and stable ids
-                  only -- or equal-seed runs stop exporting byte-identical
-                  JSONL (host timing belongs in obs::SimProfiler)
-
-False positives are silenced in place with an annotation on the same line
-or the line above:
-
-    // omcast-lint: allow(unordered-iter)
-    std::unordered_map<NodeId, View> views_;   // point lookups only
-
-Multiple rules: `omcast-lint: allow(rand, wallclock)`.
-
-Usage:
-    lint_determinism.py PATH [PATH ...]       lint files / directories
-    lint_determinism.py --selftest DIR        run against fixture files with
-                                              `// expect(<rule>)` markers
-    lint_determinism.py --list-rules          print the rule table
-
-Exit status: 0 clean, 1 violations found, 2 usage error.
+New code should invoke `scripts/omcast-lint` directly -- same engine, plus
+--baseline/--sarif and the concurrency/protocol rules' documentation in
+scripts/omcast_lint/.
 """
 
-from __future__ import annotations
-
-import argparse
-import re
 import sys
-from dataclasses import dataclass
 from pathlib import Path
 
-CXX_SUFFIXES = {".cc", ".cpp", ".cxx", ".h", ".hpp", ".hh"}
+sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-ALLOW_RE = re.compile(r"omcast-lint:\s*allow\(([a-z\-,\s]+)\)")
-EXPECT_RE = re.compile(r"//\s*expect\(([a-z\-]+)\)")
-
-
-@dataclass
-class Violation:
-    path: Path
-    line: int  # 1-based
-    rule: str
-    message: str
-
-    def __str__(self) -> str:
-        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
-
-
-# --------------------------------------------------------------------------
-# Source preparation: strip comments and string/char literals so rule
-# regexes never match inside them, while preserving line numbers.
-# --------------------------------------------------------------------------
-
-def strip_comments_and_strings(text: str) -> str:
-    out = []
-    i, n = 0, len(text)
-    state = "code"  # code | line_comment | block_comment | string | char | raw
-    raw_delim = ""
-    while i < n:
-        c = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if state == "code":
-            if c == "/" and nxt == "/":
-                state = "line_comment"
-                out.append("  ")
-                i += 2
-                continue
-            if c == "/" and nxt == "*":
-                state = "block_comment"
-                out.append("  ")
-                i += 2
-                continue
-            if c == "R" and nxt == '"':
-                m = re.match(r'R"([^(\s]*)\(', text[i:])
-                if m:
-                    state = "raw"
-                    raw_delim = ")" + m.group(1) + '"'
-                    out.append(" " * len(m.group(0)))
-                    i += len(m.group(0))
-                    continue
-            if c == '"':
-                state = "string"
-                out.append(" ")
-                i += 1
-                continue
-            if c == "'":
-                state = "char"
-                out.append(" ")
-                i += 1
-                continue
-            out.append(c)
-            i += 1
-        elif state == "line_comment":
-            if c == "\n":
-                state = "code"
-                out.append(c)
-            else:
-                out.append(" ")
-            i += 1
-        elif state == "block_comment":
-            if c == "*" and nxt == "/":
-                state = "code"
-                out.append("  ")
-                i += 2
-            else:
-                out.append(c if c == "\n" else " ")
-                i += 1
-        elif state == "string":
-            if c == "\\":
-                out.append("  ")
-                i += 2
-            elif c == '"':
-                state = "code"
-                out.append(" ")
-                i += 1
-            else:
-                out.append(c if c == "\n" else " ")
-                i += 1
-        elif state == "char":
-            if c == "\\":
-                out.append("  ")
-                i += 2
-            elif c == "'":
-                state = "code"
-                out.append(" ")
-                i += 1
-            else:
-                out.append(c if c == "\n" else " ")
-                i += 1
-        elif state == "raw":
-            if text.startswith(raw_delim, i):
-                state = "code"
-                out.append(" " * len(raw_delim))
-                i += len(raw_delim)
-            else:
-                out.append(c if c == "\n" else " ")
-                i += 1
-    return "".join(out)
-
-
-# --------------------------------------------------------------------------
-# Rules. Each returns a list of (line_index, message) for a file whose
-# comments/strings have been blanked. `code_lines` preserves line numbers.
-# --------------------------------------------------------------------------
-
-RAND_RE = re.compile(
-    r"std::random_device|\brandom_device\b|\bsrand\s*\(|"
-    r"(?<![:\w])s?rand\s*\(|\bdrand48\s*\(|\barc4random\b"
-)
-
-WALLCLOCK_RE = re.compile(
-    r"std::chrono::(system_clock|steady_clock|high_resolution_clock)|"
-    r"\bgettimeofday\s*\(|\bclock_gettime\s*\(|"
-    r"(?<![\w.>])(?:std::)?time\s*\(\s*(nullptr|NULL|0)\s*\)|"
-    r"\blocaltime\b|\bgmtime\b"
-)
-
-UNORDERED_DECL_RE = re.compile(r"std::unordered_(map|set)\s*<")
-
-POINTER_SORT_RES = [
-    re.compile(r"std::less\s*<[^<>]*\*\s*>"),
-    re.compile(r"std::(map|set|multimap|multiset)\s*<[^<>,]*\*\s*[,>]"),
-    re.compile(r"reinterpret_cast\s*<\s*(std::)?u?intptr_t\s*>"),
-]
-
-UNINIT_TYPE = (
-    r"(?:const\s+)?"
-    r"(?:bool|char|short|int|long|float|double|unsigned|std::size_t|"
-    r"std::u?int(?:8|16|32|64|ptr)?_t|size_t|u?int(?:8|16|32|64)_t|"
-    r"Time|sim::Time|NodeId|overlay::NodeId|net::HostId|HostId|EventId|"
-    r"sim::EventId)"
-)
-UNINIT_MEMBER_RE = re.compile(
-    r"^\s*" + UNINIT_TYPE + r"(?:\s+(?:const\s+)?)"
-    r"(?:\s*[\w]+\s*,\s*)*[\w]+\s*;\s*$"
-)
-STRUCT_OPEN_RE = re.compile(r"\b(struct|class)\s+\w+[^;{]*\{")
-
-TRACE_EMIT_RE = re.compile(r"(?:->|\.)\s*Emit\s*\(")
-TRACE_WALLCLOCK_TOKEN_RE = re.compile(
-    r"std::chrono|steady_clock|system_clock|high_resolution_clock|"
-    r"\bWallMs\s*\(|\bwall_ms\b|\bgettimeofday\b|\bclock_gettime\b|"
-    r"(?<![\w.>])(?:std::)?time\s*\(\s*(?:nullptr|NULL|0)\s*\)"
-)
-
-
-def find_rand(code_lines, path: Path):
-    if "src/rand" in path.as_posix():
-        return []  # the seeded substrate itself
-    hits = []
-    for i, line in enumerate(code_lines):
-        if RAND_RE.search(line):
-            hits.append((i, "unseeded randomness; route through rnd::Rng "
-                            "(src/rand/rng.h) so runs stay reproducible"))
-    return hits
-
-
-def find_wallclock(code_lines, path: Path):
-    del path
-    hits = []
-    for i, line in enumerate(code_lines):
-        if WALLCLOCK_RE.search(line):
-            hits.append((i, "wall-clock time in simulation code; use "
-                            "sim::Simulator::now() (virtual time) instead"))
-    return hits
-
-
-def find_unordered_iter(code_lines, path: Path):
-    del path
-    hits = []
-    # Track identifiers declared as unordered containers in this file so we
-    # can also flag range-for iteration over them.
-    unordered_vars: set[str] = set()
-    decl_name_re = re.compile(
-        r"std::unordered_(?:map|set)\s*<.*>\s*(\w+)\s*[;{=]")
-    for i, line in enumerate(code_lines):
-        if UNORDERED_DECL_RE.search(line):
-            hits.append((i, "unordered container: bucket order is "
-                            "nondeterministic; document why iteration order "
-                            "never feeds protocol decisions (or use a vector/"
-                            "std::map) and annotate with omcast-lint: "
-                            "allow(unordered-iter)"))
-            m = decl_name_re.search(line)
-            if m:
-                unordered_vars.add(m.group(1))
-    for i, line in enumerate(code_lines):
-        m = re.search(r"for\s*\(.*:\s*([\w.\->]+)\s*\)", line)
-        if m:
-            iterated = m.group(1).split(".")[-1].split(">")[-1]
-            if iterated in unordered_vars:
-                hits.append((i, f"range-for over unordered container "
-                                f"'{iterated}': iteration order is "
-                                f"nondeterministic"))
-    return hits
-
-
-def find_pointer_sort(code_lines, path: Path):
-    del path
-    hits = []
-    for i, line in enumerate(code_lines):
-        for rx in POINTER_SORT_RES:
-            if rx.search(line):
-                hits.append((i, "ordering by raw pointer value: addresses "
-                                "vary run to run under ASLR; key by a stable "
-                                "id instead"))
-                break
-    return hits
-
-
-def find_uninit_member(code_lines, path: Path):
-    del path
-    hits = []
-    # Lightweight brace tracking: flag declarations only directly inside a
-    # struct/class body (depth == body depth), not locals in member
-    # functions. Good enough for this codebase's Google-style layout.
-    depth = 0
-    struct_depths: list[int] = []
-    for i, line in enumerate(code_lines):
-        opens_struct = bool(STRUCT_OPEN_RE.search(line))
-        in_struct_body = bool(struct_depths) and depth == struct_depths[-1] + 1
-        if (in_struct_body and not opens_struct
-                and UNINIT_MEMBER_RE.match(line)
-                and "typedef" not in line and "using" not in line):
-            hits.append((i, "scalar member without initializer: reads of "
-                            "indeterminate values are UB and nondeterministic;"
-                            " add `= 0` / `{}`"))
-        for c in line:
-            if c == "{":
-                if opens_struct:
-                    struct_depths.append(depth)
-                    opens_struct = False  # first brace belongs to the struct
-                depth += 1
-            elif c == "}":
-                depth -= 1
-                if struct_depths and depth == struct_depths[-1]:
-                    struct_depths.pop()
-    return hits
-
-
-def find_trace_wallclock(code_lines, path: Path):
-    del path
-    hits = []
-    for i, line in enumerate(code_lines):
-        if not TRACE_EMIT_RE.search(line):
-            continue
-        # An Emit call's argument list often wraps; scan the call line plus
-        # the next two continuation lines for a wall-clock token.
-        window = " ".join(code_lines[i:i + 3])
-        if TRACE_WALLCLOCK_TOKEN_RE.search(window):
-            hits.append((i, "wall-clock value in a trace emission: trace "
-                            "payloads must be replay-deterministic (sim time "
-                            "and stable ids only); host timing belongs in "
-                            "obs::SimProfiler"))
-    return hits
-
-
-RULES = {
-    "rand": find_rand,
-    "wallclock": find_wallclock,
-    "unordered-iter": find_unordered_iter,
-    "pointer-sort": find_pointer_sort,
-    "uninit-member": find_uninit_member,
-    "trace-wallclock": find_trace_wallclock,
-}
-
-
-# --------------------------------------------------------------------------
-# Driver
-# --------------------------------------------------------------------------
-
-def allowed_rules(raw_lines: list[str], idx: int) -> set[str]:
-    """Rules allowed at line `idx` (annotation on the line or the one above)."""
-    allowed: set[str] = set()
-    for j in (idx, idx - 1):
-        if 0 <= j < len(raw_lines):
-            m = ALLOW_RE.search(raw_lines[j])
-            if m:
-                allowed.update(r.strip() for r in m.group(1).split(","))
-    return allowed
-
-
-def lint_file(path: Path) -> list[Violation]:
-    try:
-        text = path.read_text(encoding="utf-8", errors="replace")
-    except OSError as e:
-        print(f"warning: cannot read {path}: {e}", file=sys.stderr)
-        return []
-    raw_lines = text.splitlines()
-    code_lines = strip_comments_and_strings(text).splitlines()
-    violations = []
-    for rule, finder in RULES.items():
-        for idx, message in finder(code_lines, path):
-            if rule in allowed_rules(raw_lines, idx):
-                continue
-            violations.append(Violation(path, idx + 1, rule, message))
-    return violations
-
-
-def collect_files(paths: list[str]) -> list[Path]:
-    files = []
-    for p in paths:
-        path = Path(p)
-        if not path.exists():
-            # A typo'd path must not report "clean": fail loudly so CI can't
-            # silently lint nothing.
-            raise FileNotFoundError(p)
-        if path.is_dir():
-            files.extend(sorted(f for f in path.rglob("*")
-                                if f.suffix in CXX_SUFFIXES))
-        elif path.suffix in CXX_SUFFIXES:
-            files.append(path)
-        else:
-            print(f"warning: skipping non-C++ path {path}", file=sys.stderr)
-    return files
-
-
-def run_selftest(fixture_dir: str) -> int:
-    """Fixtures mark every line that must be flagged with `// expect(<rule>)`.
-
-    The selftest fails on any missed expectation or unexpected violation, so
-    it pins both the detectors and the allow() escape hatch.
-    """
-    fixtures = collect_files([fixture_dir])
-    if not fixtures:
-        print(f"selftest: no fixtures under {fixture_dir}", file=sys.stderr)
-        return 2
-    failures = 0
-    for path in fixtures:
-        raw_lines = path.read_text(encoding="utf-8").splitlines()
-        expected = set()
-        for i, line in enumerate(raw_lines):
-            for m in EXPECT_RE.finditer(line):
-                expected.add((i + 1, m.group(1)))
-        actual = {(v.line, v.rule) for v in lint_file(path)}
-        for line, rule in sorted(expected - actual):
-            print(f"selftest: {path}:{line}: expected [{rule}] "
-                  f"but the linter did not flag it")
-            failures += 1
-        for line, rule in sorted(actual - expected):
-            print(f"selftest: {path}:{line}: unexpected [{rule}] violation")
-            failures += 1
-    if failures:
-        print(f"selftest: FAILED ({failures} mismatches)")
-        return 1
-    print(f"selftest: OK ({len(fixtures)} fixtures)")
-    return 0
-
-
-def main(argv: list[str]) -> int:
-    parser = argparse.ArgumentParser(
-        description="DES-reproducibility lint for omcast C++ sources")
-    parser.add_argument("paths", nargs="*", help="files or directories")
-    parser.add_argument("--selftest", metavar="DIR",
-                        help="verify the linter against fixture files")
-    parser.add_argument("--list-rules", action="store_true")
-    args = parser.parse_args(argv)
-
-    if args.list_rules:
-        for rule in RULES:
-            print(rule)
-        return 0
-    try:
-        if args.selftest:
-            return run_selftest(args.selftest)
-        if not args.paths:
-            parser.print_usage(sys.stderr)
-            return 2
-        files = collect_files(args.paths)
-    except FileNotFoundError as err:
-        print(f"error: no such file or directory: {err}", file=sys.stderr)
-        return 2
-    all_violations: list[Violation] = []
-    for path in files:
-        all_violations.extend(lint_file(path))
-    for v in all_violations:
-        print(v)
-    if all_violations:
-        print(f"lint_determinism: {len(all_violations)} violation(s) in "
-              f"{len(files)} files", file=sys.stderr)
-        return 1
-    print(f"lint_determinism: clean ({len(files)} files)")
-    return 0
-
+from omcast_lint.cli import main  # noqa: E402
 
 if __name__ == "__main__":
-    sys.exit(main(sys.argv[1:]))
+    sys.exit(main())

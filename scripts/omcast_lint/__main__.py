@@ -1,0 +1,7 @@
+"""`python -m omcast_lint` entry point (run from scripts/)."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

@@ -1,0 +1,109 @@
+"""Committed-baseline workflow: pre-existing findings are triaged into a
+checked-in JSON file instead of being ignored, and CI fails only on findings
+NOT in the baseline.
+
+Fingerprints are line-number-free so unrelated edits above a finding do not
+churn the baseline: a fingerprint is
+
+    <repo-relative path>:<rule>:<sha1 of the blanked source line, without
+    whitespace>[:<occurrence>]
+
+with <occurrence> disambiguating identical lines within one file (in file
+order). Shrinking the baseline is always safe; growing it is a reviewed
+decision (the diff shows exactly which finding was deferred and why the
+commit message must say).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from pathlib import Path
+
+from .registry import Finding
+from .source import strip_comments_and_strings
+
+BASELINE_VERSION = 1
+
+
+def _normalized_line(path: Path, line: int) -> str:
+    """The blanked (comment/string-free) text of `line` (1-based), with all
+    whitespace removed, so reformatting does not change fingerprints."""
+    try:
+        text = path.read_text(encoding="utf-8", errors="replace")
+    except OSError:
+        return ""
+    lines = strip_comments_and_strings(text).splitlines()
+    if not 1 <= line <= len(lines):
+        return ""
+    return re.sub(r"\s+", "", lines[line - 1])
+
+
+def fingerprint(finding: Finding, root: Path,
+                occurrence: int) -> str:
+    rel = finding.path.resolve()
+    try:
+        rel = rel.relative_to(root.resolve())
+    except ValueError:
+        pass  # outside the root: keep the absolute path
+    digest = hashlib.sha1(
+        _normalized_line(finding.path, finding.line).encode()).hexdigest()[:12]
+    base = f"{rel.as_posix()}:{finding.rule}:{digest}"
+    return base if occurrence == 0 else f"{base}:{occurrence}"
+
+
+def fingerprints(findings: list[Finding], root: Path) -> list[str]:
+    """Fingerprint per finding, in order, with occurrence disambiguation."""
+    seen: dict[str, int] = {}
+    out = []
+    for f in findings:
+        base = fingerprint(f, root, 0)
+        n = seen.get(base, 0)
+        seen[base] = n + 1
+        out.append(base if n == 0 else f"{base}:{n}")
+    return out
+
+
+def load(path: Path) -> set[str]:
+    """Loads a baseline file; a missing file is an empty baseline."""
+    if not path.exists():
+        return set()
+    doc = json.loads(path.read_text(encoding="utf-8"))
+    if doc.get("version") != BASELINE_VERSION:
+        raise ValueError(f"{path}: unsupported baseline version "
+                         f"{doc.get('version')!r}")
+    entries = doc.get("findings", [])
+    if not isinstance(entries, list) or \
+            not all(isinstance(e, str) for e in entries):
+        raise ValueError(f"{path}: 'findings' must be a list of fingerprint "
+                         f"strings")
+    return set(entries)
+
+
+def write(path: Path, findings: list[Finding], root: Path) -> None:
+    doc = {
+        "version": BASELINE_VERSION,
+        "comment": "Triaged pre-existing omcast-lint findings. Entries are "
+                   "line-number-free fingerprints (see "
+                   "scripts/omcast_lint/baseline.py); remove entries as the "
+                   "findings are fixed, add entries only with review.",
+        "findings": sorted(set(fingerprints(findings, root))),
+    }
+    path.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+
+
+def split(findings: list[Finding], baseline: set[str],
+          root: Path) -> tuple[list[Finding], list[Finding], set[str]]:
+    """(new, baselined, stale_entries): findings not in / in the baseline,
+    and baseline entries that matched nothing (candidates for removal)."""
+    fps = fingerprints(findings, root)
+    new, old = [], []
+    used: set[str] = set()
+    for f, fp in zip(findings, fps):
+        if fp in baseline:
+            old.append(f)
+            used.add(fp)
+        else:
+            new.append(f)
+    return new, old, baseline - used

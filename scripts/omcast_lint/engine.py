@@ -1,0 +1,85 @@
+"""Lint engine: runs every registered rule over a SourceFile, applies the
+allow() escape hatch, and performs stale-suppression detection.
+
+Importing this module pulls in the rule modules, which register themselves
+with the registry.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from . import rules_concurrency  # noqa: F401  (registration side effect)
+from . import rules_determinism  # noqa: F401
+from . import rules_protocol     # noqa: F401
+from .registry import RULES, STALE_ALLOW, Finding
+from .source import CXX_SUFFIXES, SourceFile
+
+
+def lint_source(sf: SourceFile, stale_check: bool = True) -> list[Finding]:
+    findings: list[Finding] = []
+    # (line_idx, rule) pairs an allow() annotation actually silenced --
+    # the evidence the stale-suppression audit runs against.
+    suppressed: set[tuple[int, str]] = set()
+    for name, r in RULES.items():
+        for idx, message in r.check(sf):
+            if name in sf.allowed_rules(idx):
+                suppressed.add((idx, name))
+                continue
+            findings.append(Finding(sf.path, idx + 1, name, message))
+    if stale_check:
+        for idx, names in sf.allow_annotations():
+            for name in names:
+                if name == STALE_ALLOW:
+                    continue  # the audit itself cannot be suppressed
+                if name not in RULES:
+                    findings.append(Finding(
+                        sf.path, idx + 1, STALE_ALLOW,
+                        f"allow() names unknown rule '{name}' (known: "
+                        f"{', '.join(sorted(RULES))}); a misspelled "
+                        f"suppression silently suppresses nothing"))
+                elif not ({(idx, name), (idx + 1, name)} & suppressed):
+                    findings.append(Finding(
+                        sf.path, idx + 1, STALE_ALLOW,
+                        f"allow({name}) no longer suppresses anything on "
+                        f"this or the next line: the hazard it documented "
+                        f"is gone -- delete the annotation (or move it to "
+                        f"the line that still needs it)"))
+    findings.sort(key=lambda f: (f.line, f.rule))
+    return findings
+
+
+def lint_file(path: Path, stale_check: bool = True) -> list[Finding]:
+    sf = SourceFile.load(path)
+    if sf is None:
+        return []
+    return lint_source(sf, stale_check=stale_check)
+
+
+def collect_files(paths: list[str]) -> list[Path]:
+    files = []
+    for p in paths:
+        path = Path(p)
+        if not path.exists():
+            # A typo'd path must not report "clean": fail loudly so CI can't
+            # silently lint nothing.
+            raise FileNotFoundError(p)
+        if path.is_dir():
+            files.extend(sorted(f for f in path.rglob("*")
+                                if f.suffix in CXX_SUFFIXES))
+        elif path.suffix in CXX_SUFFIXES:
+            files.append(path)
+        else:
+            print(f"warning: skipping non-C++ path {path}", file=sys.stderr)
+    return files
+
+
+def lint_paths(paths: list[str],
+               stale_check: bool = True) -> tuple[list[Finding], int]:
+    """Lints files/directories; returns (findings, files linted)."""
+    files = collect_files(paths)
+    findings: list[Finding] = []
+    for path in files:
+        findings.extend(lint_file(path, stale_check=stale_check))
+    return findings, len(files)

@@ -1,0 +1,22 @@
+// Fixture [pointer-sort]: ordering by raw pointer value varies run to run
+// under ASLR; key by a stable id instead.
+#include <cstdint>
+#include <map>
+#include <set>
+
+namespace fixture {
+
+struct Node {
+  int id = 0;
+};
+
+std::set<Node*> active;  // expect(pointer-sort)
+
+std::uintptr_t Key(const Node* n) {
+  return reinterpret_cast<std::uintptr_t>(n);  // expect(pointer-sort)
+}
+
+// Negative: keying by the stable id is clean.
+std::map<int, Node*> by_id;
+
+}  // namespace fixture

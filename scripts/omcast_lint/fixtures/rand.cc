@@ -1,0 +1,29 @@
+// Fixture [rand]: unseeded randomness outside src/rand must be flagged;
+// the seeded rnd::Rng substrate is the only legal source.
+#include <cstdlib>
+
+namespace fixture {
+
+int UnseededDraw() {
+  std::srand(42);                    // expect(rand)
+  return rand();                     // expect(rand)
+}
+
+double UnseededDrand() {
+  return drand48();                  // expect(rand)
+}
+
+struct Rng {  // stand-in for rnd::Rng
+  unsigned long long state = 1;
+  unsigned long long Next() { return state = state * 6364136223846793005ull + 1ull; }
+};
+
+// Negative: seeded substrate use is clean.
+unsigned long long SeededDraw(Rng& rng) { return rng.Next(); }
+
+// Negative: a documented, reviewed seam stays silent via the escape hatch.
+int LegacyEntropy() {
+  return rand();  // omcast-lint: allow(rand)
+}
+
+}  // namespace fixture

@@ -1,0 +1,36 @@
+// Fixture [raw-mutex]: raw standard-library locking primitives are
+// invisible to clang -Wthread-safety; only util::Mutex (src/util/mutex.h)
+// carries capability annotations.
+#include <condition_variable>
+#include <mutex>
+
+namespace fixture {
+
+class BadQueue {
+ public:
+  void Push(int v) {
+    std::lock_guard<std::mutex> lock(mu_);  // expect(raw-mutex)
+    pending_ = v;
+    cv_.notify_one();
+  }
+
+ private:
+  std::mutex mu_;               // expect(raw-mutex)
+  std::condition_variable cv_;  // expect(raw-mutex)
+  int pending_ = 0;
+};
+
+// Negative: the annotated wrapper types are clean (stand-ins here; the real
+// ones live in src/util/mutex.h).
+namespace util {
+class Mutex {};
+class MutexLock {};
+}  // namespace util
+
+class GoodQueue {
+ private:
+  util::Mutex mu_;
+  int pending_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,57 @@
+// Fixture [rost-event-emit]: a ROST state-transition body missing its
+// paired EventKind emission must be flagged at the definition line.
+//
+// The TaxonomyRegistry() function below references every kSwitch*/kLock*
+// kind so the whole-file taxonomy cross-reference (which resolves the real
+// src/obs/trace.h by walking up from this file) stays satisfied; the
+// per-transition check still inspects each body in isolation.
+namespace fixture {
+
+enum class EventKind : int {
+  kSwitchAttempt,
+  kSwitchCommit,
+  kSwitchAbort,
+  kLockRequest,
+  kLockGrant,
+  kLockDeny,
+  kLockRelease,
+  kLockExpire,
+  kLockTimeout,
+};
+
+struct Tracer {
+  void Emit(EventKind kind, int subject, int detail);
+};
+
+class RostProtocol {
+ public:
+  void GrantLease(int participant, int serial);
+  void ReleaseLease(int peer, int serial);
+
+ private:
+  Tracer* tracer_ = nullptr;
+};
+
+void RostProtocol::GrantLease(int participant, int serial) {  // expect(rost-event-emit)
+  tracer_->Emit(EventKind::kLockGrant, participant, serial);
+  // BUG (deliberate): never schedules the kLockExpire emission.
+}
+
+// Negative: a compliant transition emits its paired kind.
+void RostProtocol::ReleaseLease(int peer, int serial) {
+  tracer_->Emit(EventKind::kLockRelease, peer, serial);
+}
+
+// Keeps the file-level taxonomy cross-reference satisfied (every family
+// kind has an emit site somewhere in this file).
+inline void TaxonomyRegistry(Tracer* tracer) {
+  tracer->Emit(EventKind::kSwitchAttempt, 0, 0);
+  tracer->Emit(EventKind::kSwitchCommit, 0, 0);
+  tracer->Emit(EventKind::kSwitchAbort, 0, 0);
+  tracer->Emit(EventKind::kLockRequest, 0, 0);
+  tracer->Emit(EventKind::kLockDeny, 0, 0);
+  tracer->Emit(EventKind::kLockExpire, 0, 0);
+  tracer->Emit(EventKind::kLockTimeout, 0, 0);
+}
+
+}  // namespace fixture

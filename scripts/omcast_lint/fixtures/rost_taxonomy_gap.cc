@@ -1,0 +1,31 @@
+// expect(rost-event-emit) -- taxonomy gap findings anchor to line 1.
+//
+// Fixture [rost-event-emit, cross-reference arm]: this file defines a ROST
+// transition, so every kSwitch*/kLock* kind in the real taxonomy
+// (src/obs/trace.h, resolved by walking up from this file) must have an
+// emit site here. Only kLockDeny is emitted; the other family kinds are
+// reported as file-level findings on line 1.
+namespace fixture {
+
+enum class EventKind : int {
+  kLockDeny,
+};
+
+struct Tracer {
+  void Emit(EventKind kind, int subject, int detail);
+};
+
+class RostProtocol {
+ public:
+  void OnLockDeny(int initiator, int serial);
+
+ private:
+  Tracer* tracer_ = nullptr;
+};
+
+// The transition itself is compliant -- only the taxonomy check fires.
+void RostProtocol::OnLockDeny(int initiator, int serial) {
+  tracer_->Emit(EventKind::kLockDeny, initiator, serial);
+}
+
+}  // namespace fixture

@@ -1,0 +1,27 @@
+// Fixture [seed-narrowing]: truncating a 64-bit seed/hash collapses
+// distinct cells onto one RNG stream; keep every bit end to end.
+#include <cstdint>
+
+namespace fixture {
+
+std::uint32_t TruncatedSeed(std::uint64_t seed) {
+  return static_cast<std::uint32_t>(seed >> 32);  // expect(seed-narrowing)
+}
+
+unsigned MixHash(std::uint64_t hash) {
+  const auto low = static_cast<unsigned>(hash);  // expect(seed-narrowing)
+  return low;
+}
+
+// Negative: 64-bit-preserving derivation is clean.
+std::uint64_t DerivedSeed(std::uint64_t seed, int cell) {
+  return seed + 1000ull * static_cast<std::uint64_t>(cell + 1);
+}
+
+// Negative: a narrowing cast with no seed/hash context is another rule's
+// problem (here: none).
+int Clamp(long long v) {
+  return static_cast<int>(v);
+}
+
+}  // namespace fixture

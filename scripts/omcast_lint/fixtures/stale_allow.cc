@@ -1,0 +1,26 @@
+// Fixture [stale-allow]: an allow() annotation that suppresses nothing on
+// its own or the following line -- or that names a rule that does not
+// exist -- is itself a finding, so dead suppressions cannot accumulate.
+#include <cstdlib>
+
+namespace fixture {
+
+int Clean() {
+  return 7;  // omcast-lint: allow(rand)  // expect(stale-allow)
+}
+
+// omcast-lint: allow(no-such-rule)  // expect(stale-allow)
+int AlsoClean() { return 8; }
+
+// Negative: a load-bearing suppression is not stale.
+int LegacyEntropy() {
+  return rand();  // omcast-lint: allow(rand)
+}
+
+// Negative: annotation-on-the-line-above placement is load-bearing too.
+int MoreEntropy() {
+  // omcast-lint: allow(rand)
+  return rand();
+}
+
+}  // namespace fixture

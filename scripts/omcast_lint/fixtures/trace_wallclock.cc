@@ -1,0 +1,26 @@
+// Fixture [trace-wallclock]: a wall-clock value inside a trace emission
+// breaks byte-identical replay of the JSONL export.
+namespace fixture {
+
+double WallMs();
+
+struct Tracer {
+  void Emit(int kind, int subject, double when);
+};
+
+void BadEmit(Tracer* tracer) {
+  tracer->Emit(0, 7, WallMs());  // expect(trace-wallclock)
+}
+
+void BadEmitWrapped(Tracer* tracer) {
+  tracer->Emit(  // expect(trace-wallclock)
+      0, 7,
+      WallMs());
+}
+
+// Negative: sim time and stable ids only.
+void GoodEmit(Tracer* tracer, double sim_now) {
+  tracer->Emit(0, 7, sim_now);
+}
+
+}  // namespace fixture

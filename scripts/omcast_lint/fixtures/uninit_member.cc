@@ -1,0 +1,26 @@
+// Fixture [uninit-member]: scalar data members without initializers read
+// indeterminate values (UB, and a classic nondeterminism source).
+#include <cstdint>
+
+namespace fixture {
+
+struct CellStats {
+  int delivered;                 // expect(uninit-member)
+  double ratio;                  // expect(uninit-member)
+  std::uint64_t seed;            // expect(uninit-member)
+  int attempts = 0;              // negative: initialized
+  double loss{0.0};              // negative: brace-initialized
+  int Sum() const {
+    int acc = delivered;         // negative: local scope, not a member decl
+    return acc + attempts;
+  }
+};
+
+// Negative: locals in free functions are out of scope for this rule.
+inline int Scratch() {
+  int acc;
+  acc = 3;
+  return acc;
+}
+
+}  // namespace fixture

@@ -1,0 +1,35 @@
+// Fixture [unordered-iter]: declaring or range-for-iterating an unordered
+// container must be flagged unless the declaration documents its contract.
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+struct View {
+  std::unordered_map<int, int> peers;  // expect(unordered-iter)
+};
+
+int SumDegrees(const View& view) {
+  int total = 0;
+  for (const auto& kv : view.peers) {  // expect(unordered-iter)
+    total += kv.second;
+  }
+  return total;
+}
+
+// Negative: documented point-lookup-only contract via the escape hatch.
+struct Cache {
+  // omcast-lint: allow(unordered-iter)
+  std::unordered_set<long> seen;  // point lookups only, never iterated
+};
+
+// Negative: ordered containers are clean.
+int SumSorted(const std::map<int, int>& m) {
+  int total = 0;
+  for (const auto& kv : m) total += kv.second;
+  return total;
+}
+
+}  // namespace fixture

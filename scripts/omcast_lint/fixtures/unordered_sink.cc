@@ -1,0 +1,50 @@
+// Fixture [unordered-sink]: a range-for over an unordered container whose
+// body feeds a trace/metrics/digest sink exports hash-bucket order.
+#include <map>
+#include <unordered_map>
+
+namespace fixture {
+
+struct Tracer {
+  void Emit(int kind, int subject, int detail);
+};
+struct Digest {
+  void MixU64(unsigned long long v);
+};
+
+void ExportCounts(Tracer* tracer) {
+  std::unordered_map<int, int> counts;  // omcast-lint: allow(unordered-iter)
+  counts[3] = 1;
+  for (const auto& kv : counts) {  // expect(unordered-iter)  // expect(unordered-sink)
+    tracer->Emit(0, kv.first, kv.second);
+  }
+}
+
+void MixCounts(Digest& digest) {
+  std::unordered_map<int, int> counts;  // omcast-lint: allow(unordered-iter)
+  counts[1] = 2;  // spacer: the allow above must not reach the range-for
+  for (const auto& kv : counts)  // expect(unordered-iter)  // expect(unordered-sink)
+    digest.MixU64(static_cast<unsigned long long>(kv.second));
+}
+
+// Negative: iteration that feeds no sink is only an unordered-iter hazard.
+int Total(Tracer* tracer) {
+  std::unordered_map<int, int> counts;  // omcast-lint: allow(unordered-iter)
+  int total = 0;
+  for (const auto& kv : counts) {  // expect(unordered-iter)
+    total += kv.second;
+  }
+  tracer->Emit(0, total, 0);
+  return total;
+}
+
+// Negative: copy into a sorted container first, then export.
+void ExportSorted(Tracer* tracer) {
+  std::unordered_map<int, int> counts;  // omcast-lint: allow(unordered-iter)
+  std::map<int, int> sorted(counts.begin(), counts.end());
+  for (const auto& kv : sorted) {
+    tracer->Emit(0, kv.first, kv.second);
+  }
+}
+
+}  // namespace fixture

@@ -1,0 +1,30 @@
+// Fixture [wallclock]: host-clock reads (and the gateway <chrono> include)
+// in simulation code must be flagged; virtual time is sim::Simulator::now().
+#include <chrono>  // expect(wallclock)
+
+namespace fixture {
+
+using Clock = std::chrono::steady_clock;  // expect(wallclock)
+
+double HostNow() {
+  const auto t0 = Clock::now();                       // expect(wallclock)
+  auto t1 = std::chrono::system_clock::now();         // expect(wallclock)
+  (void)t1;
+  return std::chrono::duration<double>(t0.time_since_epoch()).count();
+}
+
+struct Simulator {
+  double now_s = 0.0;
+  double now() const { return now_s; }
+};
+
+// Negative: virtual time is clean.
+double VirtualNow(const Simulator& sim) { return sim.now(); }
+
+// Negative: the profiler seam carries the annotation.
+double ProfilerSample() {
+  const auto t = Clock::now();  // omcast-lint: allow(wallclock)
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+}  // namespace fixture

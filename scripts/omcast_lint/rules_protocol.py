@@ -1,0 +1,117 @@
+"""Protocol-invariant rule: every ROST state-transition function must emit
+its paired obs::EventKind trace event.
+
+The 21-kind EventKind taxonomy (src/obs/trace.h) is the observability
+contract the replay/causality tests are built on: tests/test_trace_causality
+proves properties like "every lease release pairs with a grant" *from the
+trace alone*, so a transition that silently skips its emission makes those
+proofs vacuous rather than failing them. This rule pins, statically:
+
+  1. each known transition function of core::RostProtocol contains an
+     EventKind::<paired kind> token for every kind it owns, and
+  2. (cross-reference) every taxonomy kind in the ROST switch/lock families
+     has at least one emit site in the file defining the transitions, so a
+     kind added to the enum cannot silently go un-emitted.
+
+The table below is the protocol contract; extending ROST with a new
+transition means adding its pairing here (the fixtures pin the rule's
+behaviour on both the missing- and present-emission sides).
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from .registry import rule
+from .source import SourceFile, find_method_definitions
+
+# Transition function -> the EventKind tokens its body must contain.
+# CompleteHandshake owns both outcomes of a finished handshake (commit and
+# neighbourhood-changed abort); GrantLease owns the grant and schedules the
+# expiry event, so both kinds must appear in its body.
+TRANSITION_EMITS: dict[str, tuple[str, ...]] = {
+    "CheckSwitch": ("kSwitchAttempt",),
+    "CompleteHandshake": ("kSwitchCommit", "kSwitchAbort"),
+    "OnLockRequest": ("kLockRequest",),
+    "OnLockDeny": ("kLockDeny",),
+    "OnLockTimeout": ("kLockTimeout",),
+    "GrantLease": ("kLockGrant", "kLockExpire"),
+    "ReleaseLease": ("kLockRelease",),
+}
+
+# Taxonomy families owned by ROST: every kind with one of these prefixes
+# must have an emit site in the transition-defining file.
+ROST_FAMILY_PREFIXES = ("kSwitch", "kLock")
+
+CLASS_NAME = "RostProtocol"
+
+ENUM_KIND_RE = re.compile(r"^\s*(k[A-Z]\w*)\s*[=,]")
+
+
+def _taxonomy_kinds(sf: SourceFile) -> list[str] | None:
+    """EventKind enumerators from src/obs/trace.h, located by walking up
+    from the linted file to the directory that contains src/obs/trace.h.
+    Returns None when the taxonomy is unavailable (fixtures, exported
+    snippets) -- the cross-reference is skipped, never guessed."""
+    for parent in sf.path.resolve().parents:
+        trace_h = parent / "src" / "obs" / "trace.h"
+        if trace_h.is_file():
+            try:
+                text = trace_h.read_text(encoding="utf-8", errors="replace")
+            except OSError:
+                return None
+            kinds: list[str] = []
+            in_enum = False
+            for line in text.splitlines():
+                if "enum class EventKind" in line:
+                    in_enum = True
+                    continue
+                if in_enum:
+                    if line.strip().startswith("};"):
+                        break
+                    m = ENUM_KIND_RE.match(line)
+                    if m:
+                        kinds.append(m.group(1))
+            return kinds or None
+    return None
+
+
+@rule("rost-event-emit",
+      "ROST state-transition function missing its paired EventKind trace "
+      "emission (cross-referenced against the obs::EventKind taxonomy)")
+def find_rost_event_emit(sf: SourceFile):
+    defs = [d for d in find_method_definitions(sf, CLASS_NAME)
+            if d.name in TRANSITION_EMITS]
+    if not defs:
+        return []
+    hits = []
+    emitted_kinds: set[str] = set()
+    kind_re = re.compile(r"EventKind::(k\w+)")
+    for i, line in enumerate(sf.code_lines):
+        for m in kind_re.finditer(line):
+            emitted_kinds.add(m.group(1))
+    for d in defs:
+        body = " ".join(sf.code_lines[d.body_start:d.end + 1])
+        for kind in TRANSITION_EMITS[d.name]:
+            if not re.search(r"EventKind::" + kind + r"\b", body):
+                hits.append((d.start,
+                             f"ROST transition '{d.name}' must emit "
+                             f"EventKind::{kind}: the trace-causality tests "
+                             f"prove lease/switch invariants from the trace "
+                             f"alone, so a skipped emission silently "
+                             f"un-checks them (pairing table: "
+                             f"scripts/omcast_lint/rules_protocol.py)"))
+    # Cross-reference: a ROST-family kind in the taxonomy with no emit site
+    # anywhere in the transition-defining file.
+    taxonomy = _taxonomy_kinds(sf)
+    if taxonomy:
+        for kind in taxonomy:
+            if kind.startswith(ROST_FAMILY_PREFIXES) and \
+                    kind not in emitted_kinds:
+                hits.append((0, f"EventKind::{kind} belongs to the ROST "
+                                f"switch/lock family but has no emit site in "
+                                f"this file: new taxonomy kinds must be "
+                                f"emitted by their transition (or the family "
+                                f"prefix table updated)"))
+    return hits

@@ -1,0 +1,292 @@
+"""Source model shared by every rule: comment/string stripping, a
+lightweight C++ tokenizer, and brace-matched block/function extraction.
+
+All line indices in this module are 0-based; findings convert to 1-based
+only at the reporting boundary.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+CXX_SUFFIXES = {".cc", ".cpp", ".cxx", ".h", ".hpp", ".hh"}
+
+ALLOW_RE = re.compile(r"omcast-lint:\s*allow\(([a-z\-,\s]+)\)")
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks comments and string/char literals so rule regexes never match
+    inside them, preserving line numbers (newlines survive)."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char | raw
+    raw_delim = ""
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "R" and nxt == '"':
+                m = re.match(r'R"([^(\s]*)\(', text[i:])
+                if m:
+                    state = "raw"
+                    raw_delim = ")" + m.group(1) + '"'
+                    out.append(" " * len(m.group(0)))
+                    i += len(m.group(0))
+                    continue
+            if c == '"':
+                state = "string"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+            i += 1
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+            i += 1
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+        elif state == "string":
+            if c == "\\":
+                out.append("  ")
+                i += 2
+            elif c == '"':
+                state = "code"
+                out.append(" ")
+                i += 1
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+        elif state == "char":
+            if c == "\\":
+                out.append("  ")
+                i += 2
+            elif c == "'":
+                state = "code"
+                out.append(" ")
+                i += 1
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+        elif state == "raw":
+            if text.startswith(raw_delim, i):
+                state = "code"
+                out.append(" " * len(raw_delim))
+                i += len(raw_delim)
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+    return "".join(out)
+
+
+# ---------------------------------------------------------------------------
+# Tokenizer
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "ident" | "number" | "punct"
+    text: str
+    line: int  # 0-based
+
+    def __repr__(self) -> str:  # compact for debugging
+        return f"{self.kind}:{self.text}@{self.line + 1}"
+
+
+_TOKEN_RE = re.compile(
+    r"[A-Za-z_]\w*"            # identifiers / keywords
+    r"|\d[\w.+\-]*"            # numeric literals (incl. 1e-3, 0xff)
+    r"|::|->|<<=|>>=|<<|>>|<=|>=|==|!=|&&|\|\||\+\+|--|\+=|-=|\*=|/=|\.\.\."
+    r"|[{}()\[\];,<>=*&:.#~!+\-/|?%^]"
+)
+
+_KIND_IDENT = re.compile(r"[A-Za-z_]")
+_KIND_NUMBER = re.compile(r"\d")
+
+
+def tokenize(code_lines: list[str]) -> list[Token]:
+    """Tokenizes blanked source (run strip_comments_and_strings first)."""
+    tokens: list[Token] = []
+    for i, line in enumerate(code_lines):
+        for m in _TOKEN_RE.finditer(line):
+            text = m.group(0)
+            if _KIND_IDENT.match(text):
+                kind = "ident"
+            elif _KIND_NUMBER.match(text):
+                kind = "number"
+            else:
+                kind = "punct"
+            tokens.append(Token(kind, text, i))
+    return tokens
+
+
+# ---------------------------------------------------------------------------
+# SourceFile: the unit every rule operates on
+# ---------------------------------------------------------------------------
+
+@dataclass
+class SourceFile:
+    path: Path
+    raw_lines: list[str]
+    code_lines: list[str]   # comments/strings blanked; same line count
+    _tokens: list[Token] | None = field(default=None, repr=False)
+
+    @classmethod
+    def from_text(cls, path: Path, text: str) -> "SourceFile":
+        return cls(path=path,
+                   raw_lines=text.splitlines(),
+                   code_lines=strip_comments_and_strings(text).splitlines())
+
+    @classmethod
+    def load(cls, path: Path) -> "SourceFile | None":
+        try:
+            text = path.read_text(encoding="utf-8", errors="replace")
+        except OSError as e:
+            print(f"warning: cannot read {path}: {e}", file=sys.stderr)
+            return None
+        return cls.from_text(path, text)
+
+    @property
+    def tokens(self) -> list[Token]:
+        """Token stream, computed lazily and shared by all rules."""
+        if self._tokens is None:
+            self._tokens = tokenize(self.code_lines)
+        return self._tokens
+
+    def allow_annotations(self) -> list[tuple[int, list[str]]]:
+        """(line_idx, [rule names]) for every allow() annotation, raw text
+        (annotations live in comments, which the code view blanks)."""
+        out = []
+        for i, line in enumerate(self.raw_lines):
+            m = ALLOW_RE.search(line)
+            if m:
+                out.append((i, [r.strip() for r in m.group(1).split(",")
+                                if r.strip()]))
+        return out
+
+    def allowed_rules(self, idx: int) -> set[str]:
+        """Rules allowed at line `idx` (annotation on the line or the one
+        above)."""
+        allowed: set[str] = set()
+        for j in (idx, idx - 1):
+            if 0 <= j < len(self.raw_lines):
+                m = ALLOW_RE.search(self.raw_lines[j])
+                if m:
+                    allowed.update(r.strip() for r in m.group(1).split(","))
+        return allowed
+
+
+# ---------------------------------------------------------------------------
+# Brace-matched extraction (token-stream based)
+# ---------------------------------------------------------------------------
+
+def block_end_line(tokens: list[Token], open_index: int) -> int | None:
+    """Given the index of a '{' token, returns the 0-based line of its
+    matching '}', or None if unbalanced."""
+    depth = 0
+    for k in range(open_index, len(tokens)):
+        t = tokens[k]
+        if t.text == "{":
+            depth += 1
+        elif t.text == "}":
+            depth -= 1
+            if depth == 0:
+                return t.line
+    return None
+
+
+@dataclass(frozen=True)
+class MethodDef:
+    name: str
+    start: int  # 0-based line of the qualified name
+    body_start: int  # 0-based line of the opening '{'
+    end: int    # 0-based line of the closing '}'
+
+
+def find_method_definitions(sf: SourceFile, class_name: str) -> list[MethodDef]:
+    """Out-of-line member-function definitions `class_name::Name(...) {...}`.
+
+    Walks the token stream: a `class_name :: Name (` sequence followed (at
+    paren depth zero) by `{` is a definition; a `;` first means it was only
+    a declaration or a qualified call inside an expression.
+    """
+    toks = sf.tokens
+    defs: list[MethodDef] = []
+    k = 0
+    while k + 3 < len(toks):
+        if (toks[k].kind == "ident" and toks[k].text == class_name
+                and toks[k + 1].text == "::" and toks[k + 2].kind == "ident"
+                and toks[k + 3].text == "("):
+            name = toks[k + 2].text
+            start = toks[k].line
+            # Scan past the parameter list, then to the body's '{'.
+            depth = 0
+            j = k + 3
+            body = None
+            while j < len(toks):
+                t = toks[j]
+                if t.text == "(":
+                    depth += 1
+                elif t.text == ")":
+                    depth -= 1
+                elif depth == 0:
+                    if t.text == "{":
+                        body = j
+                        break
+                    if t.text in (";", "=", ","):
+                        break  # declaration / pointer-to-member / call
+                j += 1
+            if body is not None:
+                end = block_end_line(toks, body)
+                if end is not None:
+                    defs.append(MethodDef(name, start, toks[body].line, end))
+                    k = j
+        k += 1
+    return defs
+
+
+def range_for_block(sf: SourceFile, for_line: int) -> tuple[int, int]:
+    """(first, last) 0-based line range of a range-for's body, inclusive of
+    the `for` line. Brace-matched when the statement opens a block; a
+    braceless single statement extends through the next line."""
+    toks = sf.tokens
+    # First '{' token at or after for_line, before any ';' that would end a
+    # braceless body.
+    for k, t in enumerate(toks):
+        if t.line < for_line:
+            continue
+        if t.line > for_line + 1:
+            break
+        if t.text == "{":
+            end = block_end_line(toks, k)
+            if end is not None:
+                return (for_line, end)
+            break
+    return (for_line, min(for_line + 1, len(sf.code_lines) - 1))

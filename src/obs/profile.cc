@@ -73,7 +73,7 @@ std::string SimProfiler::FormatTable() const {
 }
 
 void ProfileAggregator::Merge(const SimProfiler& profiler) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   for (const auto& [tag, st] : profiler.per_tag()) {
     SimProfiler::TagStats& agg = per_tag_[tag];
     agg.count += st.count;
@@ -89,12 +89,12 @@ void ProfileAggregator::Merge(const SimProfiler& profiler) {
 }
 
 std::uint64_t ProfileAggregator::events() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return events_;
 }
 
 std::string ProfileAggregator::FormatTable() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   std::string out = "sim profile: per-event-type dispatch (";
   char buf[160];
   std::snprintf(buf, sizeof(buf), "%d run%s merged)\n", merged_,

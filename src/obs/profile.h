@@ -18,13 +18,17 @@
 #include <chrono>  // omcast-lint: allow(wallclock)
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 
 #include "obs/registry.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace omcast::obs {
 
+// Thread-compatibility: a SimProfiler is owned by one simulation run on one
+// thread (cell-confined, like obs::Registry); only ProfileAggregator::Merge
+// crosses threads, after the owning run has finished mutating it.
 class SimProfiler {
  public:
   struct TagStats {
@@ -66,10 +70,13 @@ class SimProfiler {
 // SimProfiler and merges it here when done).
 class ProfileAggregator {
  public:
-  void Merge(const SimProfiler& profiler);
+  // The caller must have stopped mutating `profiler` (cells merge their
+  // private profiler exactly once, after the simulation run completes);
+  // Merge reads it unsynchronized.
+  void Merge(const SimProfiler& profiler) OMCAST_EXCLUDES(mu_);
 
-  std::uint64_t events() const;
-  std::string FormatTable() const;
+  std::uint64_t events() const OMCAST_EXCLUDES(mu_);
+  std::string FormatTable() const OMCAST_EXCLUDES(mu_);
 
  private:
   struct DepthStats {
@@ -78,11 +85,11 @@ class ProfileAggregator {
     double max = 0.0;
   };
 
-  mutable std::mutex mu_;
-  std::map<std::string, SimProfiler::TagStats> per_tag_;
-  DepthStats depth_;
-  std::uint64_t events_ = 0;
-  int merged_ = 0;
+  mutable util::Mutex mu_;
+  std::map<std::string, SimProfiler::TagStats> per_tag_ OMCAST_GUARDED_BY(mu_);
+  DepthStats depth_ OMCAST_GUARDED_BY(mu_);
+  std::uint64_t events_ OMCAST_GUARDED_BY(mu_) = 0;
+  int merged_ OMCAST_GUARDED_BY(mu_) = 0;
 };
 
 // Process-wide aggregator behind the benches' --profile flag: every cell

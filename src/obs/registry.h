@@ -10,6 +10,18 @@
 // Everything is deterministic: std::map storage, fixed bucket bounds chosen
 // by the instrumentation site, and quantiles interpolated from the bucket
 // counts (cross-checked against util::RunningStat by tests/test_obs.cc).
+//
+// Thread-compatibility contract (checked statically, not with a lock): a
+// Registry is deliberately unsynchronized because it is *cell-confined* --
+// each runner grid cell builds its own instance on its own worker thread
+// and only the Flatten()ed value crosses threads, via the cell's
+// pre-assigned result slot. Cross-thread aggregation goes through
+// MergeFrom on a registry the caller owns (after ThreadPool::Wait), never
+// through sharing one live Registry between threads. Adding a mutex here
+// would buy nothing and put a lock acquisition on every protocol counter
+// bump; the omcast-lint raw-mutex rule plus the clang -Wthread-safety
+// preset keep the synchronized world (util::Mutex users) and this
+// single-owner world honestly separated.
 #pragma once
 
 #include <map>

@@ -2,11 +2,11 @@
 
 #include <chrono>  // omcast-lint: allow(wallclock)
 #include <cstdio>
-#include <mutex>
 
 #include "runner/results.h"
 #include "runner/thread_pool.h"
 #include "util/check.h"
+#include "util/mutex.h"
 
 namespace omcast::runner {
 
@@ -66,7 +66,7 @@ GridRunSummary RunGrid(const GridSpec& spec, const RunnerOptions& options) {
   }
 
   const double t0 = WallMs();
-  std::mutex progress_mu;
+  util::Mutex progress_mu;
   std::size_t completed = 0;
 
   ThreadPool pool(options.threads);
@@ -80,7 +80,7 @@ GridRunSummary RunGrid(const GridSpec& spec, const RunnerOptions& options) {
       cell.result = spec.run(cell.ctx);
       cell.wall_ms = WallMs() - cell_t0;
       if (options.progress) {
-        std::lock_guard<std::mutex> lock(progress_mu);
+        util::MutexLock lock(progress_mu);
         ++completed;
         const double elapsed_s = (WallMs() - t0) / 1000.0;
         const double eta_s = elapsed_s / static_cast<double>(completed) *

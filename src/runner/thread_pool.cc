@@ -11,7 +11,12 @@ ThreadPool::ThreadPool(int num_threads) {
                       ? static_cast<std::size_t>(num_threads)
                       : static_cast<std::size_t>(
                             std::max(1u, std::thread::hardware_concurrency()));
-  queues_.resize(n);
+  {
+    // No worker exists yet, but the analysis (rightly) has no notion of
+    // "before concurrency starts", so take the lock for the guarded writes.
+    util::MutexLock lock(mu_);
+    queues_.resize(n);
+  }
   workers_.reserve(n);
   for (std::size_t i = 0; i < n; ++i)
     workers_.emplace_back([this, i] { WorkerLoop(i); });
@@ -19,23 +24,23 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     stop_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& t : workers_) t.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   util::Check(task != nullptr, "ThreadPool::Submit: null task");
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     util::Check(!stop_, "ThreadPool::Submit after shutdown");
     queues_[next_queue_].push_back(Task{next_index_++, std::move(task)});
     next_queue_ = (next_queue_ + 1) % queues_.size();
     ++in_flight_;
   }
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
 }
 
 bool ThreadPool::NextTask(std::size_t self, Task& out) {
@@ -63,44 +68,50 @@ bool ThreadPool::NextTask(std::size_t self, Task& out) {
 }
 
 void ThreadPool::WorkerLoop(std::size_t self) {
-  std::unique_lock<std::mutex> lock(mu_);
+  // Manual Lock/Unlock instead of a scoped lock: the loop drops the mutex
+  // around each task body. The analysis checks the calls stay balanced on
+  // every path.
+  mu_.Lock();
   while (true) {
     Task task;
     if (NextTask(self, task)) {
-      lock.unlock();
+      mu_.Unlock();
       std::exception_ptr error;
       try {
         task.fn();
       } catch (...) {
         error = std::current_exception();
       }
-      lock.lock();
+      mu_.Lock();
       if (error) errors_.emplace_back(task.index, error);
-      if (--in_flight_ == 0) done_cv_.notify_all();
+      if (--in_flight_ == 0) done_cv_.NotifyAll();
       continue;
     }
     // The destructor drains every queued task before workers exit: tasks
     // are only abandoned if the process dies, never by shutdown ordering.
-    if (stop_) return;
-    work_cv_.wait(lock);
+    if (stop_) break;
+    work_cv_.Wait(mu_);
   }
+  mu_.Unlock();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] { return in_flight_ == 0; });
-  if (errors_.empty()) return;
-  auto first = std::min_element(
-      errors_.begin(), errors_.end(),
-      [](const auto& a, const auto& b) { return a.first < b.first; });
-  std::exception_ptr error = first->second;
-  errors_.clear();
-  lock.unlock();
+  std::exception_ptr error;
+  {
+    util::MutexLock lock(mu_);
+    while (in_flight_ != 0) done_cv_.Wait(mu_);
+    if (errors_.empty()) return;
+    auto first = std::min_element(
+        errors_.begin(), errors_.end(),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    error = first->second;
+    errors_.clear();
+  }
   std::rethrow_exception(error);
 }
 
 long ThreadPool::steals() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return steals_;
 }
 

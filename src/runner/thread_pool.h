@@ -13,17 +13,24 @@
 // execution order is not) after every task has finished or been captured.
 // The destructor drains all remaining tasks and joins the workers, so a
 // pool can always be destroyed safely mid-flight.
+//
+// Lock discipline (checked by clang -Wthread-safety via the annotations):
+// one mutex guards every queue and counter; NextTask REQUIRES it; the
+// public surface EXCLUDES it. Only `workers_` is unguarded -- it is written
+// exclusively by the constructor before any concurrency exists and is
+// immutable afterwards.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace omcast::runner {
 
@@ -37,18 +44,19 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   // Enqueues a task. Tasks may be submitted from the owning thread only.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) OMCAST_EXCLUDES(mu_);
 
   // Blocks until every submitted task has completed, then rethrows the
   // captured exception with the lowest submission index, if any (remaining
   // captured exceptions are discarded; each Wait() reports at most one).
-  void Wait();
+  void Wait() OMCAST_EXCLUDES(mu_);
 
+  // Immutable after construction (set before any worker can observe it).
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
   // Number of tasks executed by a worker other than the one whose deque
   // they were submitted to. Observability for tests; not deterministic.
-  long steals() const;
+  long steals() const OMCAST_EXCLUDES(mu_);
 
  private:
   struct Task {
@@ -56,22 +64,23 @@ class ThreadPool {
     std::function<void()> fn;
   };
 
-  void WorkerLoop(std::size_t self);
-  // Must hold mu_. Pops the next task for worker `self` (own deque back,
-  // else steal from the front of the busiest other deque).
-  bool NextTask(std::size_t self, Task& out);
+  void WorkerLoop(std::size_t self) OMCAST_EXCLUDES(mu_);
+  // Pops the next task for worker `self` (own deque back, else steal from
+  // the front of the deepest other deque).
+  bool NextTask(std::size_t self, Task& out) OMCAST_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;   // workers: "a task may be available"
-  std::condition_variable done_cv_;   // Wait(): "in_flight_ may be zero"
-  std::vector<std::deque<Task>> queues_;
-  std::size_t next_index_ = 0;   // submission counter
-  std::size_t next_queue_ = 0;   // round-robin submission target
-  std::size_t in_flight_ = 0;    // submitted and not yet finished
-  bool stop_ = false;
-  long steals_ = 0;
-  std::vector<std::pair<std::size_t, std::exception_ptr>> errors_;
-  std::vector<std::thread> workers_;
+  mutable util::Mutex mu_;
+  util::CondVar work_cv_;   // workers: "a task may be available"
+  util::CondVar done_cv_;   // Wait(): "in_flight_ may be zero"
+  std::vector<std::deque<Task>> queues_ OMCAST_GUARDED_BY(mu_);
+  std::size_t next_index_ OMCAST_GUARDED_BY(mu_) = 0;  // submission counter
+  std::size_t next_queue_ OMCAST_GUARDED_BY(mu_) = 0;  // round-robin target
+  std::size_t in_flight_ OMCAST_GUARDED_BY(mu_) = 0;   // not yet finished
+  bool stop_ OMCAST_GUARDED_BY(mu_) = false;
+  long steals_ OMCAST_GUARDED_BY(mu_) = 0;
+  std::vector<std::pair<std::size_t, std::exception_ptr>> errors_
+      OMCAST_GUARDED_BY(mu_);
+  std::vector<std::thread> workers_;  // construction-only writes
 };
 
 }  // namespace omcast::runner

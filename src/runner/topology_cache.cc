@@ -1,11 +1,12 @@
 #include "runner/topology_cache.h"
 
 #include <list>
-#include <mutex>
 #include <utility>
 
 #include "rand/rng.h"
 #include "util/hash.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace omcast::runner {
 
@@ -53,11 +54,18 @@ struct Entry {
   net::Topology topology;
 };
 
-// std::list so references stay valid as entries are added.
-std::mutex g_mu;
-std::list<Entry>& Entries() {
-  static std::list<Entry> entries;
-  return entries;
+// The process-wide cache: one mutex guarding the entry list (std::list so
+// the returned Topology references stay valid as entries are added; the
+// entries themselves are immutable once built, so callers read them without
+// the lock -- only the *list* is guarded).
+struct Cache {
+  util::Mutex mu;
+  std::list<Entry> entries OMCAST_GUARDED_BY(mu);
+};
+
+Cache& GetCache() {
+  static Cache cache;
+  return cache;
 }
 
 }  // namespace
@@ -65,19 +73,21 @@ std::list<Entry>& Entries() {
 const net::Topology& SharedTopology(const net::TopologyParams& params,
                                     std::uint64_t seed) {
   const std::uint64_t key = ParamsKey(params, seed);
-  std::lock_guard<std::mutex> lock(g_mu);
-  for (const Entry& e : Entries())
+  Cache& cache = GetCache();
+  util::MutexLock lock(cache.mu);
+  for (const Entry& e : cache.entries)
     if (e.key == key && e.seed == seed && SameParams(e.params, params))
       return e.topology;
   rnd::Rng rng(seed);
-  Entries().push_back(
+  cache.entries.push_back(
       Entry{key, seed, params, net::Topology::Generate(params, rng)});
-  return Entries().back().topology;
+  return cache.entries.back().topology;
 }
 
 int SharedTopologyCount() {
-  std::lock_guard<std::mutex> lock(g_mu);
-  return static_cast<int>(Entries().size());
+  Cache& cache = GetCache();
+  util::MutexLock lock(cache.mu);
+  return static_cast<int>(cache.entries.size());
 }
 
 }  // namespace omcast::runner

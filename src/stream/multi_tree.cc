@@ -30,7 +30,7 @@ MultiTreeStream::MultiTreeStream(sim::Simulator& simulator,
     // injected with their full bandwidth value into every session.
     sessions_.push_back(std::make_unique<Session>(
         sim_, topology, std::make_unique<proto::MinDepthProtocol>(), sp,
-        seed + 1000u * static_cast<unsigned>(k + 1)));
+        seed + 1000ull * static_cast<std::uint64_t>(k + 1)));
     Session* session = sessions_.back().get();
     const int tree = k;
     session->hooks().AddOnDeparture([this, session, tree](NodeId failed) {

@@ -1,5 +1,5 @@
 // Fixture: host-clock reads in simulation code must be flagged.
-#include <chrono>
+#include <chrono>  // expect(wallclock)
 #include <ctime>
 
 double HostNow() {

@@ -2,7 +2,7 @@
 // Trace payloads are part of the replay-determinism contract (equal seeds
 // export byte-identical JSONL), so only virtual sim time and stable ids may
 // enter an Emit call; host timing belongs in obs::SimProfiler.
-#include <chrono>
+#include <chrono>  // expect(wallclock)
 #include <cstdint>
 
 namespace fixture {

@@ -53,7 +53,7 @@ AttackOutcome RunAttack(const net::Topology& topology, bool use_referees,
     overlay::Member& m = session.tree().Get(id);
     m.reported_bandwidth = 100.0;
     m.reported_age_bonus = 1e7;
-    m.capacity = 100;
+    session.tree().SetCapacity(id, 100);
     squad.push_back(id);
   }
   // Give them two hours of switching opportunities.
@@ -62,9 +62,9 @@ AttackOutcome RunAttack(const net::Topology& topology, bool use_referees,
   AttackOutcome out;
   double layer_sum = 0.0;
   for (const overlay::NodeId id : squad) {
-    const overlay::Member& m = session.tree().Get(id);
-    layer_sum += m.layer;
-    out.best_layer = std::min(out.best_layer, m.layer);
+    const int layer = session.tree().Layer(id);
+    layer_sum += layer;
+    out.best_layer = std::min(out.best_layer, layer);
   }
   out.avg_cheater_layer = layer_sum / static_cast<double>(squad.size());
   out.switches = rost->switches_performed();

@@ -48,8 +48,7 @@ int main(int argc, char** argv) {
   // an internal node below the root.
   overlay::NodeId victim = overlay::kNoNode;
   for (overlay::NodeId id : session.alive_members()) {
-    const overlay::Member& m = session.tree().Get(id);
-    if (m.layer >= 3 && session.tree().IsRooted(id)) {
+    if (session.tree().Layer(id) >= 3 && session.tree().IsRooted(id)) {
       victim = id;
       break;
     }

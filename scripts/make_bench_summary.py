@@ -23,15 +23,18 @@ def summarize_figure(doc):
     metric = doc.get("headline_metric", "")
     last_row = rows[-1] if rows else None
 
-    # Mean of the headline metric at the last row, one entry per curve.
+    # Mean of the headline metric at the last row, one entry per curve --
+    # plus the whole per-row trajectory, so a summary diff shows the full
+    # perf curve (bench/scale_sweep commits this as BENCH_scale_sweep.json).
     headline = {}
+    trajectory = {row: {} for row in rows}
     for agg in doc.get("aggregates", []):
-        if (
-            agg.get("metric") == metric
-            and agg.get("row") == last_row
-            and agg.get("col") in cols
-        ):
+        if agg.get("metric") != metric or agg.get("col") not in cols:
+            continue
+        if agg.get("row") == last_row:
             headline[agg["col"]] = agg.get("mean")
+        if agg.get("row") in trajectory:
+            trajectory[agg["row"]][agg["col"]] = agg.get("mean")
 
     cells = doc.get("cells", [])
     return {
@@ -55,6 +58,7 @@ def summarize_figure(doc):
         "headline_metric": metric,
         "headline_row": last_row,
         "headline": headline,
+        "headline_trajectory": trajectory,
     }
 
 

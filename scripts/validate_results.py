@@ -1,0 +1,169 @@
+#!/usr/bin/env python3
+"""Validates a runner results JSON (the --out file every grid bench
+writes) against the schema src/runner/results.cc emits: the pinned kind
+and schema_version, consistent grid axes, one well-formed record per
+cell, and aggregates that reference real rows/cols/metrics. CI's
+scale-smoke job runs this over a fresh bench/scale_sweep export so a
+schema drift fails the push that caused it, not the next resume.
+
+Usage: validate_results.py RESULTS.json [--require-metric NAME]
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+EXPECTED_KIND = "omcast-figure-results"
+EXPECTED_SCHEMA_VERSION = 2
+
+REQUIRED_TOP_LEVEL = {
+    "schema_version": (int,),
+    "kind": (str,),
+    "figure": (str,),
+    "rows": (list,),
+    "cols": (list,),
+    "reps": (int,),
+    "headline_metric": (str,),
+    "cells": (list,),
+    "aggregates": (list,),
+}
+
+REQUIRED_CELL = {
+    "row": (str,),
+    "col": (str,),
+    "rep": (int,),
+    "seed": (int,),
+    "wall_ms": (int, float),
+    "metrics": (dict,),
+}
+
+REQUIRED_AGGREGATE = {
+    "row": (str,),
+    "col": (str,),
+    "metric": (str,),
+    "n": (int,),
+    "mean": (int, float),
+}
+
+
+def check_fields(obj, required, where, errors):
+    for name, types in required.items():
+        if name not in obj:
+            errors.append(f"{where}: missing field '{name}'")
+        elif not isinstance(obj[name], types):
+            errors.append(
+                f"{where}: field '{name}' has type "
+                f"{type(obj[name]).__name__}, expected "
+                f"{'/'.join(t.__name__ for t in types)}"
+            )
+
+
+def validate(doc, require_metric):
+    errors = []
+    check_fields(doc, REQUIRED_TOP_LEVEL, "document", errors)
+    if errors:
+        return errors
+
+    if doc["kind"] != EXPECTED_KIND:
+        errors.append(f"kind is '{doc['kind']}', expected '{EXPECTED_KIND}'")
+    if doc["schema_version"] != EXPECTED_SCHEMA_VERSION:
+        errors.append(
+            f"schema_version is {doc['schema_version']}, expected "
+            f"{EXPECTED_SCHEMA_VERSION}"
+        )
+
+    rows, cols, reps = set(doc["rows"]), set(doc["cols"]), doc["reps"]
+    if not rows or not cols or reps < 1:
+        errors.append("grid axes are empty")
+        return errors
+
+    expected_cells = len(doc["rows"]) * len(doc["cols"]) * reps
+    if len(doc["cells"]) != expected_cells:
+        errors.append(
+            f"cells: {len(doc['cells'])} records for a "
+            f"{len(doc['rows'])}x{len(doc['cols'])}x{reps} grid "
+            f"(expected {expected_cells})"
+        )
+
+    seen = set()
+    for i, cell in enumerate(doc["cells"]):
+        where = f"cells[{i}]"
+        if not isinstance(cell, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        check_fields(cell, REQUIRED_CELL, where, errors)
+        if not REQUIRED_CELL.keys() <= cell.keys():
+            continue
+        if cell["row"] not in rows:
+            errors.append(f"{where}: unknown row '{cell['row']}'")
+        if cell["col"] not in cols:
+            errors.append(f"{where}: unknown col '{cell['col']}'")
+        key = (cell["row"], cell["col"], cell["rep"])
+        if key in seen:
+            errors.append(f"{where}: duplicate cell {key}")
+        seen.add(key)
+        for name, value in cell["metrics"].items():
+            if not isinstance(value, (int, float)):
+                errors.append(f"{where}: metric '{name}' is not a number")
+
+    metric_names = set()
+    for i, agg in enumerate(doc["aggregates"]):
+        where = f"aggregates[{i}]"
+        if not isinstance(agg, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        check_fields(agg, REQUIRED_AGGREGATE, where, errors)
+        if not REQUIRED_AGGREGATE.keys() <= agg.keys():
+            continue
+        if agg["row"] not in rows:
+            errors.append(f"{where}: unknown row '{agg['row']}'")
+        if agg["col"] not in cols:
+            errors.append(f"{where}: unknown col '{agg['col']}'")
+        metric_names.add(agg["metric"])
+
+    if doc["headline_metric"] and doc["headline_metric"] not in metric_names:
+        errors.append(
+            f"headline_metric '{doc['headline_metric']}' never appears in "
+            "aggregates"
+        )
+    if require_metric and require_metric not in metric_names:
+        errors.append(
+            f"required metric '{require_metric}' never appears in aggregates"
+        )
+    return errors
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("results", type=pathlib.Path)
+    parser.add_argument(
+        "--require-metric",
+        default=None,
+        help="additionally require this metric in the aggregates",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        doc = json.loads(args.results.read_text())
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"error: {args.results}: {err}", file=sys.stderr)
+        return 1
+    if not isinstance(doc, dict):
+        print(f"error: {args.results}: top level is not an object",
+              file=sys.stderr)
+        return 1
+
+    errors = validate(doc, args.require_metric)
+    for line in errors:
+        print(f"INVALID {args.results}: {line}", file=sys.stderr)
+    if not errors:
+        print(
+            f"{args.results}: valid {doc['kind']} v{doc['schema_version']} "
+            f"({doc['figure']}, {len(doc['cells'])} cells)"
+        )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -38,7 +38,7 @@ void AuditRecoveryGroup(Session& session, NodeId requester, int k,
                   "a member must not recover from itself");
     OMCAST_DCHECK(id != overlay::kRootId,
                   "the source is never a repair peer");
-    OMCAST_DCHECK(session.tree().Get(id).alive,
+    OMCAST_DCHECK(session.tree().Alive(id),
                   "recovery group members must be alive");
     OMCAST_DCHECK(session.tree().IsRooted(id),
                   "recovery group members must be attached to the tree");

@@ -29,7 +29,7 @@ PartialTree PartialTree::Build(const overlay::Tree& tree,
     while (cur != overlay::kNoNode) {
       const overlay::Member& m = tree.Get(cur);
       const bool seen = pt.index_.contains(cur);
-      const int idx = pt.InternNode(cur, m.layer);
+      const int idx = pt.InternNode(cur, tree.Layer(cur));
       if (child_idx != -1 && pt.nodes_[static_cast<std::size_t>(child_idx)].parent == -1 &&
           !tree.Get(pt.nodes_[static_cast<std::size_t>(child_idx)].id).IsRoot()) {
         pt.nodes_[static_cast<std::size_t>(child_idx)].parent = idx;
@@ -38,7 +38,7 @@ PartialTree PartialTree::Build(const overlay::Tree& tree,
       if (m.IsRoot()) pt.root_ = idx;
       if (seen) break;  // the rest of the chain is already spliced
       child_idx = idx;
-      cur = m.parent;
+      cur = tree.Parent(cur);
     }
   }
   return pt;

@@ -27,10 +27,9 @@ std::vector<NodeId> RefereeService::PickReferees(Session& session,
                                                  NodeId exclude, int count) {
   // Referees are chosen among current members uniformly; the enrolled node
   // itself never serves as its own referee.
-  std::vector<NodeId> pool = session.alive_members();
   std::vector<NodeId> out;
-  pool = session.rng().SampleWithoutReplacement(
-      std::move(pool), static_cast<std::size_t>(count) + 1);
+  const std::vector<NodeId> pool = session.rng().SampleWithoutReplacementFrom(
+      session.alive_members(), static_cast<std::size_t>(count) + 1);
   for (NodeId id : pool) {
     if (id == exclude) continue;
     out.push_back(id);
@@ -57,7 +56,7 @@ bool RefereeService::Repair(Session& session, std::vector<NodeId>& referees,
   bool any_alive = false;
   std::vector<NodeId> kept;
   for (NodeId r : referees)
-    if (session.tree().Get(r).alive) {
+    if (session.tree().Alive(r)) {
       kept.push_back(r);
       any_alive = true;
     }

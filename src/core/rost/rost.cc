@@ -57,13 +57,12 @@ bool RostProtocol::TryPreemptJoin(Session& session,
   // The joiner must be able to host the displaced leaf on top of any
   // fragment children it brings along; otherwise the splice would detach
   // someone, and a free-rider displacing a free-rider would just ping-pong.
-  if (joiner.capacity - static_cast<int>(joiner.children.size()) < 1)
-    return false;
+  if (tree.SpareCapacity(id) < 1) return false;
   NodeId weakest = kNoNode;
   for (NodeId c : candidates) {
     if (c == kRootId) continue;
     const Member& m = tree.Get(c);
-    if (!m.children.empty()) continue;  // only leaves: nobody else moves
+    if (tree.ChildCount(c) != 0) continue;  // only leaves: nobody else moves
     if (m.reported_bandwidth >= joiner.reported_bandwidth) continue;
     if (weakest == kNoNode ||
         m.reported_bandwidth < tree.Get(weakest).reported_bandwidth ||
@@ -76,7 +75,7 @@ bool RostProtocol::TryPreemptJoin(Session& session,
   // Rooted fan-out grows by the joiner's spare capacity minus the slot the
   // leaf re-occupies, so repeated preemptions drain the orphan backlog a
   // correlated kill leaves behind instead of deadlocking on a full tree.
-  const NodeId slot_parent = tree.Get(weakest).parent;
+  const NodeId slot_parent = tree.Parent(weakest);
   tree.Detach(weakest);
   tree.Attach(slot_parent, id);
   tree.Attach(id, weakest);
@@ -210,7 +209,7 @@ void RostProtocol::StartHandshake(Session& session, NodeId id, NodeId parent,
 void RostProtocol::OnLockRequest(Session& session, NodeId participant,
                                  NodeId holder, std::uint64_t hs_serial) {
   // A dead participant is simply silent; the initiator's timeout covers it.
-  if (!session.tree().Get(participant).alive) return;
+  if (!session.tree().Alive(participant)) return;
   const sim::Time now = session.simulator().now();
   if (obs::Tracer* tr = session.tracer(); tr != nullptr)
     tr->Emit(now, obs::EventKind::kLockRequest, participant, holder,
@@ -252,7 +251,7 @@ void RostProtocol::OnLockGrant(Session& session, NodeId holder,
     // Late grant for an abandoned attempt: free the participant early
     // rather than letting its lease run out (a dead holder stays silent,
     // leaving the lease to expire).
-    if (session.tree().Get(holder).alive)
+    if (session.tree().Alive(holder))
       SendRelease(session, holder, participant, lease_serial);
     return;
   }
@@ -306,9 +305,9 @@ void RostProtocol::CompleteHandshake(Session& session, NodeId holder) {
   // the member was re-parented). The leases only cover the neighbourhood
   // captured at initiation; any drift means the swap would rearrange edges
   // nobody locked, so abort and release.
-  const Member& m = session.tree().Get(holder);
-  bool valid =
-      m.alive && m.parent == hs.parent && session.tree().IsRooted(holder);
+  const overlay::Tree& tree = session.tree();
+  bool valid = tree.Alive(holder) && tree.Parent(holder) == hs.parent &&
+               tree.IsRooted(holder);
   if (valid) {
     std::vector<NodeId> current = BuildLockSet(session, holder, hs.parent);
     std::vector<NodeId> locked = hs.participants;
@@ -439,18 +438,17 @@ long RostProtocol::WedgedLeases(sim::Time now) const {
 
 void RostProtocol::CheckSwitch(Session& session, NodeId id) {
   overlay::Tree& tree = session.tree();
-  Member& m = tree.Get(id);
-  if (!m.alive) return;
+  if (!tree.Alive(id)) return;
   StateFor(id).timer = sim::kInvalidEventId;
   if (StateFor(id).handshake != nullptr) return;  // attempt already in flight
 
   // While detached (rejoining) or inside an orphaned fragment, just keep
   // the periodic check alive.
-  if (m.parent == kNoNode || !tree.IsRooted(id)) {
+  if (tree.Parent(id) == kNoNode || !tree.IsRooted(id)) {
     ScheduleCheck(session, id, params_.switching_interval_s);
     return;
   }
-  const NodeId parent = m.parent;
+  const NodeId parent = tree.Parent(id);
   if (parent == kRootId) {
     // The source has infinite BTP; nothing to compare against.
     ScheduleCheck(session, id, params_.switching_interval_s);
@@ -520,9 +518,9 @@ std::vector<NodeId> RostProtocol::BuildLockSet(Session& session, NodeId id,
                                                NodeId parent) const {
   // Lock set: self, parent, grandparent, own children, siblings.
   const overlay::Tree& tree = session.tree();
-  std::vector<NodeId> lock_set = {id, parent, tree.Get(parent).parent};
-  for (NodeId c : tree.Get(id).children) lock_set.push_back(c);
-  for (NodeId s : tree.Get(parent).children)
+  std::vector<NodeId> lock_set = {id, parent, tree.Parent(parent)};
+  for (NodeId c : tree.ChildrenOf(id)) lock_set.push_back(c);
+  for (NodeId s : tree.ChildrenOf(parent))
     if (s != id) lock_set.push_back(s);
   return lock_set;
 }
@@ -562,12 +560,10 @@ bool RostProtocol::SwitchFeasible(Session& session, NodeId id,
   // handshake itself reveals an out-degree shortage (e.g. a bandwidth
   // cheater) and the swap aborts.
   const overlay::Tree& tree = session.tree();
-  const Member& m = tree.Get(id);
-  const Member& p = tree.Get(parent);
-  const int siblings = static_cast<int>(p.children.size()) - 1;
-  const int former = static_cast<int>(m.children.size());
-  const int overflow = std::max(0, former - p.capacity);
-  return m.capacity >= 1 + siblings + overflow;
+  const int siblings = tree.ChildCount(parent) - 1;
+  const int former = tree.ChildCount(id);
+  const int overflow = std::max(0, former - tree.Capacity(parent));
+  return tree.Capacity(id) >= 1 + siblings + overflow;
 }
 
 void RostProtocol::OnPrepopulated(Session& session, NodeId id) {
@@ -579,9 +575,8 @@ void RostProtocol::OnPrepopulated(Session& session, NodeId id) {
       static_cast<long>(age / params_.switching_interval_s);
   opportunities = std::min(opportunities, 256L);
   while (opportunities-- > 0) {
-    const Member& m = tree.Get(id);
-    if (m.parent == kNoNode || m.parent == kRootId) break;
-    const NodeId parent = m.parent;
+    const NodeId parent = tree.Parent(id);
+    if (parent == kNoNode || parent == kRootId) break;
     if (!SwitchConditionHolds(session, id, parent)) break;
     if (!SwitchFeasible(session, id, parent)) break;
     PerformSwitch(session, id, parent);
@@ -591,13 +586,13 @@ void RostProtocol::OnPrepopulated(Session& session, NodeId id) {
 void RostProtocol::PerformSwitch(Session& session, NodeId child,
                                  NodeId parent) {
   overlay::Tree& tree = session.tree();
-  const NodeId grand = tree.Get(parent).parent;
+  const NodeId grand = tree.Parent(parent);
   util::Check(grand != kNoNode, "switch requires a grandparent");
 
   std::vector<NodeId> siblings;
-  for (NodeId s : tree.Get(parent).children)
+  for (NodeId s : tree.ChildrenOf(parent))
     if (s != child) siblings.push_back(s);
-  std::vector<NodeId> former = tree.Get(child).children;
+  std::vector<NodeId> former = tree.Children(child);
   // Members whose edges the swap rearranges; AuditSwitch checks none are
   // lost or duplicated once the neighbourhood is reassembled.
   const std::size_t neighbourhood_size = 2 + siblings.size() + former.size();
@@ -623,7 +618,7 @@ void RostProtocol::PerformSwitch(Session& session, NodeId child,
     return tree.Get(a).Btp(now) > tree.Get(b).Btp(now);
   });
   const int overflow =
-      std::max(0, static_cast<int>(former.size()) - tree.Get(parent).capacity);
+      std::max(0, static_cast<int>(former.size()) - tree.Capacity(parent));
   for (std::size_t i = 0; i < former.size(); ++i) {
     if (static_cast<int>(i) < overflow) {
       // Stays with its old parent (the promoted node): no reconnection.
@@ -651,34 +646,33 @@ void RostProtocol::AuditSwitch(Session& session, NodeId child, NodeId parent,
     return;
   }
   const overlay::Tree& tree = session.tree();
-  const Member& promoted = tree.Get(child);
-  const Member& demoted = tree.Get(parent);
 
   // Positions after the swap (Fig. 2): child under the grandparent, parent
   // under the child, layers shifted accordingly.
-  OMCAST_DCHECK(promoted.parent == grand,
+  OMCAST_DCHECK(tree.Parent(child) == grand,
                 "switch: promoted child must sit under the grandparent");
-  OMCAST_DCHECK(demoted.parent == child,
+  OMCAST_DCHECK(tree.Parent(parent) == child,
                 "switch: demoted parent must sit under the promoted child");
-  OMCAST_DCHECK(promoted.layer + 1 == demoted.layer,
+  OMCAST_DCHECK(tree.Layer(child) + 1 == tree.Layer(parent),
                 "switch: demoted parent must be one layer below");
 
   // Conservation: the reassembled neighbourhood (promoted node, its new
   // children, the demoted parent's adopted children) is exactly the set of
   // members the swap disassembled -- nobody dropped, nobody double-attached.
-  OMCAST_DCHECK(1 + promoted.children.size() + demoted.children.size() ==
+  OMCAST_DCHECK(1 + static_cast<std::size_t>(tree.ChildCount(child)) +
+                        static_cast<std::size_t>(tree.ChildCount(parent)) ==
                     neighbourhood_size,
                 "switch: neighbourhood member count must be conserved");
-  OMCAST_DCHECK(static_cast<int>(demoted.children.size()) <= demoted.capacity,
+  OMCAST_DCHECK(tree.ChildCount(parent) <= tree.Capacity(parent),
                 "switch: demoted parent must respect its capacity");
 
   // Every rearranged member is rooted again: the swap must never strand a
   // fragment (orphans would silently stop receiving the stream).
   OMCAST_DCHECK(tree.IsRooted(child),
                 "switch: promoted child must be rooted");
-  for (NodeId c : promoted.children)
+  for (NodeId c : tree.ChildrenOf(child))
     OMCAST_DCHECK(tree.IsRooted(c), "switch: promoted node's children rooted");
-  for (NodeId c : demoted.children)
+  for (NodeId c : tree.ChildrenOf(parent))
     OMCAST_DCHECK(tree.IsRooted(c), "switch: demoted node's children rooted");
 
   // Full structural audit (O(n)): capacity, layer, parent/child symmetry and

@@ -28,15 +28,15 @@ int KillDomain(overlay::Session& session, const net::Topology& topology,
     if (topology.DomainOf(session.tree().Get(id).host) == domain)
       victims.push_back(id);
   for (NodeId id : victims)
-    if (session.tree().Get(id).alive) session.DepartNow(id);
+    if (session.tree().Alive(id)) session.DepartNow(id);
   return static_cast<int>(victims.size());
 }
 
 int KillFlash(overlay::Session& session, rnd::Rng& rng, int count) {
-  const std::vector<NodeId> victims = rng.SampleWithoutReplacement(
+  const std::vector<NodeId> victims = rng.SampleWithoutReplacementFrom(
       session.alive_members(), static_cast<std::size_t>(count));
   for (NodeId id : victims)
-    if (session.tree().Get(id).alive) session.DepartNow(id);
+    if (session.tree().Alive(id)) session.DepartNow(id);
   return static_cast<int>(victims.size());
 }
 
@@ -48,7 +48,7 @@ void KillBusiestParent(overlay::Session& session) {
   std::size_t most = 0;
   for (NodeId id : session.alive_members()) {
     if (id == overlay::kRootId) continue;
-    const std::size_t n = session.tree().Get(id).children.size();
+    const auto n = static_cast<std::size_t>(session.tree().ChildCount(id));
     if (n == 0) continue;
     if (n > most || (n == most && id < victim)) {
       victim = id;
@@ -128,7 +128,7 @@ ChaosResult RunChaosScenario(const net::Topology& topology,
       simulator.ScheduleAfter(config.packet.detect_s + 1.0, [&] {
         for (NodeId server : stream.ActiveRepairServers()) {
           if (server == overlay::kRootId) continue;
-          if (!session.tree().Get(server).alive) continue;
+          if (!session.tree().Alive(server)) continue;
           session.DepartNow(server);
           r.mid_repair_kill_fired = true;
           break;
@@ -151,7 +151,7 @@ ChaosResult RunChaosScenario(const net::Topology& topology,
     if (!session.tree().IsRooted(id)) adrift.push_back(id);
   simulator.RunUntil(simulator.now() + config.settle_s);
   for (NodeId id : adrift)
-    if (session.tree().Get(id).alive && !session.tree().IsRooted(id))
+    if (session.tree().Alive(id) && !session.tree().IsRooted(id))
       ++r.unrooted_members;
 
   const sim::Time now = simulator.now();

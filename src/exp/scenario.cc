@@ -85,7 +85,7 @@ void ExportRostCounters(obs::Registry& reg, const core::RostProtocol& rost) {
 
 TreeScenarioResult RunTreeScenario(const net::Topology& topology, Algorithm a,
                                    const ScenarioConfig& config) {
-  sim::Simulator simulator;
+  sim::Simulator simulator(config.queue_kind);
   std::unique_ptr<overlay::Protocol> protocol = MakeProtocol(a, config.rost);
   auto* rost = a == Algorithm::kRost
                    ? static_cast<core::RostProtocol*>(protocol.get())
@@ -131,7 +131,7 @@ StreamScenarioResult RunStreamScenario(const net::Topology& topology,
                                        Algorithm a,
                                        const ScenarioConfig& config,
                                        const stream::StreamParams& stream) {
-  sim::Simulator simulator;
+  sim::Simulator simulator(config.queue_kind);
   overlay::Session session(simulator, topology, MakeProtocol(a, config.rost),
                            config.session, config.seed);
   AttachObservability(simulator, session, config);
@@ -162,7 +162,7 @@ TraceResult RunMemberTraceScenario(const net::Topology& topology, Algorithm a,
                                    const ScenarioConfig& config,
                                    double member_bandwidth,
                                    double member_lifetime_s, double trace_s) {
-  sim::Simulator simulator;
+  sim::Simulator simulator(config.queue_kind);
   overlay::Session session(simulator, topology, MakeProtocol(a, config.rost),
                            config.session, config.seed);
   AttachObservability(simulator, session, config);

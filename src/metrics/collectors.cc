@@ -50,11 +50,10 @@ void TreeSnapshots::Snap(double end_s) {
   double max_layer = 0.0;
   int counted = 0;
   for (NodeId id : session_.alive_members()) {
-    const Member& m = tree.Get(id);
-    if (!m.in_tree || !tree.IsRooted(id)) continue;
+    if (!tree.InTree(id) || !tree.IsRooted(id)) continue;
     delay_ms_.Add(session_.OverlayDelayMs(id));
     stretch_.Add(session_.Stretch(id));
-    if (m.layer > max_layer) max_layer = m.layer;
+    if (tree.Layer(id) > max_layer) max_layer = tree.Layer(id);
     ++counted;
   }
   depth_.Add(max_layer);
@@ -84,9 +83,8 @@ void MemberTrace::Track(NodeId id) {
 
 void MemberTrace::SampleDelay() {
   const overlay::Tree& tree = session_.tree();
-  const Member& m = tree.Get(tracked_);
-  if (!m.alive) return;  // member departed; stop sampling
-  if (m.in_tree && tree.IsRooted(tracked_))
+  if (!tree.Alive(tracked_)) return;  // member departed; stop sampling
+  if (tree.InTree(tracked_) && tree.IsRooted(tracked_))
     delays_.push_back(
         {session_.simulator().now(), session_.OverlayDelayMs(tracked_)});
   session_.simulator().ScheduleAfter(sample_interval_s_,

@@ -1,5 +1,7 @@
 #include "net/topology.h"
 
+#include <algorithm>
+#include <cmath>
 #include <limits>
 #include <queue>
 
@@ -68,6 +70,34 @@ std::vector<double> ApspFromLocalEdges(int n,
   return dist;
 }
 
+// Single-source shortest paths over local edges; O(E log V), no n^2 table.
+std::vector<double> DistancesFrom(int n, const std::vector<LocalEdge>& edges,
+                                  int source) {
+  std::vector<std::vector<std::pair<int, double>>> adj(
+      static_cast<std::size_t>(n));
+  for (const auto& e : edges) {
+    adj[static_cast<std::size_t>(e.a)].push_back({e.b, e.delay});
+    adj[static_cast<std::size_t>(e.b)].push_back({e.a, e.delay});
+  }
+  std::vector<double> dist(static_cast<std::size_t>(n), kInf);
+  using Item = std::pair<double, int>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  dist[static_cast<std::size_t>(source)] = 0.0;
+  pq.push({0.0, source});
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[static_cast<std::size_t>(u)]) continue;
+    for (const auto& [v, w] : adj[static_cast<std::size_t>(u)]) {
+      if (d + w < dist[static_cast<std::size_t>(v)]) {
+        dist[static_cast<std::size_t>(v)] = d + w;
+        pq.push({dist[static_cast<std::size_t>(v)], v});
+      }
+    }
+  }
+  return dist;
+}
+
 }  // namespace
 
 TopologyParams PaperTopologyParams() { return TopologyParams{}; }
@@ -87,6 +117,20 @@ TopologyParams SmallTopologyParams() {
   p.transit_nodes_per_domain = 8;
   p.stub_domains_per_transit_node = 3;
   p.nodes_per_stub_domain = 16;  // 48 transit + 2304 stub hosts
+  return p;
+}
+
+TopologyParams ScaleTopologyParams(int stub_hosts) {
+  util::Check(stub_hosts >= 1, "need >= 1 stub host");
+  TopologyParams p;
+  p.transit_domains = 10;
+  p.transit_nodes_per_domain = 10;  // 100 transit nodes
+  p.nodes_per_stub_domain = 50;
+  const int domains = (stub_hosts + p.nodes_per_stub_domain - 1) /
+                      p.nodes_per_stub_domain;
+  p.stub_domains_per_transit_node = std::max(1, (domains + 99) / 100);
+  p.delay_model = DelayModel::kLandmark;
+  p.keep_flat_edges = false;
   return p;
 }
 
@@ -139,36 +183,73 @@ Topology Topology::Generate(const TopologyParams& params, rnd::Rng& rng) {
         if (rng.Bernoulli(params.inter_transit_edge_prob))
           add_interdomain(i, j);
   }
+  // The core APSP is constant in host count (T^2 doubles); both delay
+  // models keep it exact.
+  const bool landmark = params.delay_model == DelayModel::kLandmark;
   t.transit_dist_ = ApspFromLocalEdges(T, core_edges);
 
-  // --- Stub domains.
-  const int ns = params.nodes_per_stub_domain;
-  t.intra_dist_.resize(t.num_stub_domains_);
-  t.gateway_index_.resize(t.num_stub_domains_);
-  t.gateway_edge_delay_.resize(t.num_stub_domains_);
-  std::vector<std::vector<LocalEdge>> stub_edges(t.num_stub_domains_);
-  for (int d = 0; d < t.num_stub_domains_; ++d) {
-    stub_edges[d] =
-        ConnectedRandomGraph(ns, params.intra_stub_edge_prob,
-                             params.ss_delay_lo, params.ss_delay_hi, rng);
-    t.intra_dist_[d] = ApspFromLocalEdges(ns, stub_edges[d]);
-    t.gateway_index_[d] = rng.UniformInt(0, ns - 1);
-    t.gateway_edge_delay_[d] =
-        rng.Uniform(params.ts_delay_lo, params.ts_delay_hi);
+  // Flat-edge numbering: stub host h -> h, transit node x -> stub_nodes + x.
+  if (params.keep_flat_edges) {
+    for (const auto& e : core_edges)
+      t.flat_edges_.push_back(
+          {t.num_stub_nodes_ + e.a, t.num_stub_nodes_ + e.b, e.delay});
   }
 
-  // --- Flat edge list for validation: stub host h -> h,
-  // transit node x -> num_stub_nodes_ + x.
-  for (const auto& e : core_edges)
-    t.flat_edges_.push_back(
-        {t.num_stub_nodes_ + e.a, t.num_stub_nodes_ + e.b, e.delay});
+  // --- Stub domains. Each domain is generated, measured, and dropped in
+  // one pass so the transient edge lists never accumulate at 10^6 hosts.
+  // The rng draw order (graph, gateway index, gateway edge) is identical in
+  // both delay models: the graphs are bit-identical given the same seed.
+  const int ns = params.nodes_per_stub_domain;
+  const int k = std::min(std::max(params.intra_landmarks, 1), ns);
+  t.intra_stride_ = k;
+  t.gateway_index_.resize(static_cast<std::size_t>(t.num_stub_domains_));
+  t.gateway_edge_delay_.resize(static_cast<std::size_t>(t.num_stub_domains_));
+  if (landmark)
+    t.host_landmark_dist_.resize(static_cast<std::size_t>(t.num_stub_nodes_) *
+                                 static_cast<std::size_t>(k));
+  else
+    t.intra_dist_.resize(static_cast<std::size_t>(t.num_stub_domains_));
   for (int d = 0; d < t.num_stub_domains_; ++d) {
-    const int base = d * ns;
-    for (const auto& e : stub_edges[d])
-      t.flat_edges_.push_back({base + e.a, base + e.b, e.delay});
-    t.flat_edges_.push_back({base + t.gateway_index_[d],
-                             t.num_stub_nodes_ + t.TransitOfDomain(d),
-                             t.gateway_edge_delay_[d]});
+    const auto ud = static_cast<std::size_t>(d);
+    const std::vector<LocalEdge> edges =
+        ConnectedRandomGraph(ns, params.intra_stub_edge_prob,
+                             params.ss_delay_lo, params.ss_delay_hi, rng);
+    t.gateway_index_[ud] = rng.UniformInt(0, ns - 1);
+    t.gateway_edge_delay_[ud] =
+        rng.Uniform(params.ts_delay_lo, params.ts_delay_hi);
+    if (landmark) {
+      // Greedy farthest-point intra-domain landmarks, seeded at the gateway
+      // so column 0 doubles as the exact host->gateway leg.
+      std::vector<double> nearest(static_cast<std::size_t>(ns), kInf);
+      int next = t.gateway_index_[ud];
+      const std::size_t base =
+          ud * static_cast<std::size_t>(ns) * static_cast<std::size_t>(k);
+      for (int j = 0; j < k; ++j) {
+        const std::vector<double> row = DistancesFrom(ns, edges, next);
+        for (int i = 0; i < ns; ++i) {
+          const auto ui = static_cast<std::size_t>(i);
+          t.host_landmark_dist_[base +
+                                ui * static_cast<std::size_t>(k) +
+                                static_cast<std::size_t>(j)] = row[ui];
+          nearest[ui] = std::min(nearest[ui], row[ui]);
+        }
+        next = 0;
+        for (int i = 1; i < ns; ++i)
+          if (nearest[static_cast<std::size_t>(i)] >
+              nearest[static_cast<std::size_t>(next)])
+            next = i;
+      }
+    } else {
+      t.intra_dist_[ud] = ApspFromLocalEdges(ns, edges);
+    }
+    if (params.keep_flat_edges) {
+      const int base = d * ns;
+      for (const auto& e : edges)
+        t.flat_edges_.push_back({base + e.a, base + e.b, e.delay});
+      t.flat_edges_.push_back({base + t.gateway_index_[ud],
+                               t.num_stub_nodes_ + t.TransitOfDomain(d),
+                               t.gateway_edge_delay_[ud]});
+    }
   }
   return t;
 }
@@ -192,6 +273,34 @@ double Topology::Delay(HostId a, HostId b) const {
   if (a == b) return 0.0;
   const int da = DomainOf(a);
   const int db = DomainOf(b);
+  if (params_.delay_model == DelayModel::kLandmark) {
+    const auto k = static_cast<std::size_t>(intra_stride_);
+    const std::size_t ra = static_cast<std::size_t>(a) * k;
+    const std::size_t rb = static_cast<std::size_t>(b) * k;
+    // Same-domain: ALT midpoint over the domain's landmark columns.
+    if (da == db) {
+      double upper = kInf;
+      double lower = 0.0;
+      for (std::size_t j = 0; j < k; ++j) {
+        const double la = host_landmark_dist_[ra + j];
+        const double lb = host_landmark_dist_[rb + j];
+        upper = std::min(upper, la + lb);
+        lower = std::max(lower, std::abs(la - lb));
+      }
+      return 0.5 * (upper + lower);
+    }
+    // Cross-domain: exact host->gateway legs (landmark column 0) plus the
+    // exact core APSP between the two attachment transit nodes -- identical
+    // to the hierarchical oracle.
+    const int lta = TransitOfDomain(da);
+    const int ltb = TransitOfDomain(db);
+    return host_landmark_dist_[ra] +
+           gateway_edge_delay_[static_cast<std::size_t>(da)] +
+           transit_dist_[static_cast<std::size_t>(lta) * num_transit_nodes_ +
+                         ltb] +
+           gateway_edge_delay_[static_cast<std::size_t>(db)] +
+           host_landmark_dist_[rb];
+  }
   const int n = params_.nodes_per_stub_domain;
   const int ia = IndexInDomain(a);
   const int ib = IndexInDomain(b);
@@ -209,6 +318,40 @@ double Topology::Delay(HostId a, HostId b) const {
 }
 
 std::vector<FlatEdge> Topology::FlatEdges() const { return flat_edges_; }
+
+std::size_t Topology::DelayTableBytes() const {
+  std::size_t bytes = (transit_dist_.size() + host_landmark_dist_.size() +
+                       gateway_edge_delay_.size()) *
+                      sizeof(double);
+  for (const auto& m : intra_dist_) bytes += m.size() * sizeof(double);
+  return bytes;
+}
+
+DelayAccuracy CompareDelayOracles(const Topology& approx,
+                                  const Topology& exact, int pairs,
+                                  double rel_budget, double abs_budget_ms,
+                                  rnd::Rng& rng) {
+  util::Check(approx.num_stub_nodes() == exact.num_stub_nodes(),
+              "oracle comparison needs topologies of the same size");
+  const int hosts = exact.num_stub_nodes();
+  DelayAccuracy acc;
+  double rel_sum = 0.0;
+  for (int i = 0; i < pairs; ++i) {
+    const HostId a = rng.UniformInt(0, hosts - 1);
+    const HostId b = rng.UniformInt(0, hosts - 1);
+    const double truth = exact.Delay(a, b);
+    const double est = approx.Delay(a, b);
+    const double abs_err = std::abs(est - truth);
+    const double rel_err = truth > 0.0 ? abs_err / truth : 0.0;
+    rel_sum += rel_err;
+    acc.max_rel_err = std::max(acc.max_rel_err, rel_err);
+    acc.max_abs_err_ms = std::max(acc.max_abs_err_ms, abs_err);
+    if (rel_err > rel_budget && abs_err > abs_budget_ms) ++acc.gate_violations;
+    ++acc.pairs;
+  }
+  acc.mean_rel_err = acc.pairs > 0 ? rel_sum / acc.pairs : 0.0;
+  return acc;
+}
 
 std::vector<double> Dijkstra(int node_count, const std::vector<FlatEdge>& edges,
                              int source) {

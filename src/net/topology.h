@@ -31,11 +31,45 @@ namespace omcast::net {
 // Global index of a stub host, in [0, num_stub_nodes()).
 using HostId = int;
 
+// Which delay oracle Generate() precomputes.
+//
+//   kHierarchical -- exact hierarchical routing. Per-domain APSP matrices
+//     (num_stub_domains * ns^2 doubles) plus the transit-core APSP. The
+//     default, and the reference every approximation is gated against.
+//   kLandmark -- O(hosts)-memory approximation for 10^5..10^6-host
+//     topologies. The hierarchical tables that scale with host count are
+//     the per-domain APSP matrices (domains * ns^2 doubles -- hundreds of
+//     MB at 10^6 hosts); the transit-core APSP is constant in host count
+//     (T^2, under half a MB even at paper scale) and stays exact. Landmark
+//     mode replaces each domain's APSP with `intra_landmarks` exact
+//     distance columns (one Dijkstra per landmark; the gateway is always
+//     landmark 0), so per-host storage drops from ns to intra_landmarks
+//     doubles. Cross-domain delay is then EXACT -- host->gateway legs come
+//     from column 0 and the core+gateway-edge legs were never approximated.
+//     Same-domain delay uses ALT-style triangle-inequality bounds over the
+//     domain's landmark set L: max_l |d(l,a)-d(l,b)| <= d(a,b) <=
+//     min_l (d(l,a)+d(l,b)), returning the midpoint (exact whenever a or b
+//     is itself a landmark, or a == b). tests/test_topology.cc gates the
+//     end-to-end error against the exact oracle.
+//
+// Landmark selection is greedy farthest-point seeded at the gateway (ties
+// to the lowest index) and consumes NO rng draws, so the two models
+// generate bit-identical graphs from the same seed.
+enum class DelayModel { kHierarchical, kLandmark };
+
 struct TopologyParams {
   int transit_domains = 12;
   int transit_nodes_per_domain = 20;
   int stub_domains_per_transit_node = 4;
   int nodes_per_stub_domain = 16;
+
+  DelayModel delay_model = DelayModel::kHierarchical;
+  // Per-stub-domain landmark count under kLandmark (clamped to the domain
+  // size; landmark 0 is always the gateway).
+  int intra_landmarks = 4;
+  // The flat validation edge list costs ~24 bytes/edge (~200 MB at 10^6
+  // hosts); million-member sweeps switch it off.
+  bool keep_flat_edges = true;
 
   // Delay ranges in milliseconds (paper Section 5).
   double tt_delay_lo = 15.0;
@@ -63,6 +97,12 @@ TopologyParams TinyTopologyParams();
 // figure benches, where steady-state populations stay below ~2000.
 TopologyParams SmallTopologyParams();
 
+// A transit-stub instance scaled to hold at least `stub_hosts` end hosts
+// (10 transit domains x 10 transit nodes, 50-host stub domains), with the
+// landmark delay model and no flat edge list: the memory-lean configuration
+// the scale sweep uses for 10^5..10^6-member overlays.
+TopologyParams ScaleTopologyParams(int stub_hosts);
+
 // An undirected weighted edge of the flat graph view (for validation).
 struct FlatEdge {
   int a = 0;
@@ -86,8 +126,11 @@ class Topology {
   int num_stub_domains() const { return num_stub_domains_; }
   const TopologyParams& params() const { return params_; }
 
+  DelayModel delay_model() const { return params_.delay_model; }
+
   // One-way propagation delay in milliseconds between stub hosts `a` and
-  // `b` under hierarchical routing. Delay(a, a) == 0; symmetric.
+  // `b` under hierarchical routing (or its landmark approximation, per
+  // params().delay_model). Delay(a, a) == 0; symmetric.
   double Delay(HostId a, HostId b) const;
 
   // Stub domain a host belongs to, in [0, num_stub_domains()).
@@ -97,10 +140,15 @@ class Topology {
   int TransitOfDomain(int domain) const;
 
   // Flat view of every node and link, for validating the hierarchical delay
-  // oracle against plain Dijkstra in tests. Node numbering of the flat
+  // oracle against plain Dijkstra in tests. Empty when the topology was
+  // generated with keep_flat_edges == false. Node numbering of the flat
   // graph: stub host h -> h; transit node t -> num_stub_nodes() + t.
   std::vector<FlatEdge> FlatEdges() const;
   int FlatNodeCount() const { return num_stub_nodes_ + num_transit_nodes_; }
+
+  // Bytes held by the precomputed delay tables (the dominant footprint);
+  // the scale bench reports it per delay model.
+  std::size_t DelayTableBytes() const;
 
  private:
   Topology() = default;
@@ -113,19 +161,43 @@ class Topology {
   int num_transit_nodes_ = 0;
   int num_stub_domains_ = 0;
 
-  // Per stub domain: dense APSP matrix (n*n, row-major) of intra-domain
-  // delays, the gateway's index within the domain, and the delay of the
-  // gateway<->transit edge.
-  std::vector<std::vector<double>> intra_dist_;
+  // Per stub domain: the gateway's index within the domain and the delay of
+  // the gateway<->transit edge (both models).
   std::vector<int> gateway_index_;
   std::vector<double> gateway_edge_delay_;
 
-  // Transit core APSP (num_transit_nodes^2, row-major).
+  // Transit core APSP (T^2, row-major); exact in both delay models.
   std::vector<double> transit_dist_;
 
-  // Flat edge list kept for validation/export.
+  // kHierarchical: per-domain dense APSP matrix (n*n, row-major) of
+  // intra-domain delays.
+  std::vector<std::vector<double>> intra_dist_;
+
+  // kLandmark: per host, exact distances to its domain's `intra_stride_`
+  // landmarks (row-major host x stride; column 0 is the gateway).
+  int intra_stride_ = 0;
+  std::vector<double> host_landmark_dist_;
+
+  // Flat edge list kept for validation/export (empty if gated off).
   std::vector<FlatEdge> flat_edges_;
 };
+
+// Samples `pairs` distinct random host pairs from `rng` and compares
+// approx.Delay against exact.Delay (the two topologies must describe the
+// same graph, i.e. be generated from the same params-modulo-delay_model and
+// seed). Used by the accuracy-gate test and the delay-oracle microbench.
+struct DelayAccuracy {
+  int pairs = 0;
+  double mean_rel_err = 0.0;
+  double max_rel_err = 0.0;   // over pairs with exact delay > 0
+  double max_abs_err_ms = 0.0;
+  // Pairs violating BOTH the relative and the absolute budget.
+  int gate_violations = 0;
+};
+DelayAccuracy CompareDelayOracles(const Topology& approx,
+                                  const Topology& exact, int pairs,
+                                  double rel_budget, double abs_budget_ms,
+                                  rnd::Rng& rng);
 
 // Dijkstra over an explicit edge list; returns distances from `source`.
 // Exposed for tests and for small custom graphs.

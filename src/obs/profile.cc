@@ -1,5 +1,9 @@
 #include "obs/profile.h"
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include <algorithm>
 #include <cstdio>
 
@@ -35,6 +39,22 @@ void AppendHeader(std::string& out) {
          "     max_us\n";
 }
 
+// Process peak resident set in bytes; 0 where the platform offers no
+// getrusage. Linux reports ru_maxrss in kilobytes, macOS in bytes.
+std::uint64_t CurrentPeakRssBytes() {
+#if defined(__APPLE__)
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  return static_cast<std::uint64_t>(ru.ru_maxrss);
+#elif defined(__unix__)
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;
+#else
+  return 0;
+#endif
+}
+
 }  // namespace
 
 SimProfiler::SimProfiler() : wall_us_(WallBounds()), depth_(DepthBounds()) {}
@@ -58,6 +78,29 @@ void SimProfiler::EndEvent() {
   current_ = nullptr;
 }
 
+void SimProfiler::BeginLoop() {
+  if (in_loop_) return;  // nested RunUntil from a callback: outer loop times
+  in_loop_ = true;
+  loop_start_events_ = events_;
+  loop_started_ = Clock::now();  // omcast-lint: allow(wallclock)
+}
+
+void SimProfiler::EndLoop() {
+  if (!in_loop_) return;
+  in_loop_ = false;
+  const auto elapsed =
+      Clock::now() - loop_started_;  // omcast-lint: allow(wallclock)
+  loop_us_ += std::chrono::duration<double, std::micro>(elapsed).count();
+  loop_events_ += events_ - loop_start_events_;
+}
+
+void SimProfiler::SampleMemory(std::size_t pool_live,
+                               std::size_t pool_capacity) {
+  pool_live_max_ = std::max(pool_live_max_, pool_live);
+  pool_capacity_max_ = std::max(pool_capacity_max_, pool_capacity);
+  peak_rss_bytes_ = std::max(peak_rss_bytes_, CurrentPeakRssBytes());
+}
+
 std::string SimProfiler::FormatTable() const {
   std::string out = "sim profile: per-event-type dispatch\n";
   AppendHeader(out);
@@ -68,6 +111,18 @@ std::string SimProfiler::FormatTable() const {
                 "max=%.0f\n",
                 wall_us_.Quantile(0.5), wall_us_.Quantile(0.99), depth_.mean(),
                 depth_.Quantile(0.99), depth_.max());
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "  loop wall_ms=%.3f events=%llu rate=%.0f/s\n", loop_us_ / 1000.0,
+                static_cast<unsigned long long>(loop_events_),
+                events_per_sec());
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "  memory peak_rss_mb=%.1f pool_live_max=%llu "
+                "pool_capacity_max=%llu\n",
+                static_cast<double>(peak_rss_bytes_) / (1024.0 * 1024.0),
+                static_cast<unsigned long long>(pool_live_max_),
+                static_cast<unsigned long long>(pool_capacity_max_));
   out += buf;
   return out;
 }
@@ -85,12 +140,39 @@ void ProfileAggregator::Merge(const SimProfiler& profiler) {
   depth_.sum += depth.sum();
   depth_.max = std::max(depth_.max, depth.max());
   events_ += profiler.events();
+  loop_us_ += profiler.loop_us();
+  loop_events_ += profiler.loop_events();
+  peak_rss_bytes_ = std::max(peak_rss_bytes_, profiler.peak_rss_bytes());
+  pool_live_max_ = std::max(pool_live_max_, profiler.pool_live_max());
+  pool_capacity_max_ = std::max(pool_capacity_max_, profiler.pool_capacity_max());
   ++merged_;
 }
 
 std::uint64_t ProfileAggregator::events() const {
   util::MutexLock lock(mu_);
   return events_;
+}
+
+double ProfileAggregator::loop_us() const {
+  util::MutexLock lock(mu_);
+  return loop_us_;
+}
+
+std::uint64_t ProfileAggregator::loop_events() const {
+  util::MutexLock lock(mu_);
+  return loop_events_;
+}
+
+double ProfileAggregator::events_per_sec() const {
+  util::MutexLock lock(mu_);
+  return loop_us_ > 0.0
+             ? static_cast<double>(loop_events_) / (loop_us_ * 1e-6)
+             : 0.0;
+}
+
+std::uint64_t ProfileAggregator::peak_rss_bytes() const {
+  util::MutexLock lock(mu_);
+  return peak_rss_bytes_;
 }
 
 std::string ProfileAggregator::FormatTable() const {
@@ -107,6 +189,21 @@ std::string ProfileAggregator::FormatTable() const {
                          : 0.0;
   std::snprintf(buf, sizeof(buf), "  queue_depth mean=%.1f max=%.0f\n",
                 depth_mean, depth_.max);
+  out += buf;
+  const double rate =
+      loop_us_ > 0.0 ? static_cast<double>(loop_events_) / (loop_us_ * 1e-6)
+                     : 0.0;
+  std::snprintf(buf, sizeof(buf),
+                "  loop wall_ms=%.3f events=%llu rate=%.0f/s\n",
+                loop_us_ / 1000.0,
+                static_cast<unsigned long long>(loop_events_), rate);
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "  memory peak_rss_mb=%.1f pool_live_max=%llu "
+                "pool_capacity_max=%llu\n",
+                static_cast<double>(peak_rss_bytes_) / (1024.0 * 1024.0),
+                static_cast<unsigned long long>(pool_live_max_),
+                static_cast<unsigned long long>(pool_capacity_max_));
   out += buf;
   return out;
 }

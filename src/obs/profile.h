@@ -45,7 +45,31 @@ class SimProfiler {
   void BeginEvent(const char* tag, std::size_t queue_depth);
   void EndEvent();
 
+  // Called by the simulator around each Run()/RunUntil() loop. Unlike the
+  // BeginEvent/EndEvent brackets -- which time callbacks only -- the loop
+  // bracket includes queue operations (schedule/cancel/pop), so this is the
+  // number that moves when the event queue itself gets faster; the headline
+  // events-per-second rate in --profile tables derives from it.
+  void BeginLoop();
+  void EndLoop();
+
+  // Memory sampling hook, called by the simulator every few thousand events
+  // (and once per loop end): records high-water marks for the event-pool
+  // occupancy and the process peak RSS (getrusage; 0 where unsupported).
+  void SampleMemory(std::size_t pool_live, std::size_t pool_capacity);
+
   std::uint64_t events() const { return events_; }
+  double loop_us() const { return loop_us_; }
+  std::uint64_t loop_events() const { return loop_events_; }
+  // Events dispatched per wall second of run-loop time (0 before any loop).
+  double events_per_sec() const {
+    return loop_us_ > 0.0 ? static_cast<double>(loop_events_) /
+                                (loop_us_ * 1e-6)
+                          : 0.0;
+  }
+  std::uint64_t peak_rss_bytes() const { return peak_rss_bytes_; }
+  std::size_t pool_live_max() const { return pool_live_max_; }
+  std::size_t pool_capacity_max() const { return pool_capacity_max_; }
   const std::map<std::string, TagStats>& per_tag() const { return per_tag_; }
   const Histogram& wall_us_hist() const { return wall_us_; }
   const Histogram& queue_depth_hist() const { return depth_; }
@@ -63,6 +87,16 @@ class SimProfiler {
   std::uint64_t events_ = 0;
   TagStats* current_ = nullptr;
   Clock::time_point started_{};
+  // Run-loop timing (queue operations included).
+  double loop_us_ = 0.0;
+  std::uint64_t loop_events_ = 0;
+  std::uint64_t loop_start_events_ = 0;
+  Clock::time_point loop_started_{};
+  bool in_loop_ = false;
+  // Memory high-water marks.
+  std::uint64_t peak_rss_bytes_ = 0;
+  std::size_t pool_live_max_ = 0;
+  std::size_t pool_capacity_max_ = 0;
 };
 
 // Thread-safe accumulation of many cells' profilers into one table (the
@@ -76,6 +110,14 @@ class ProfileAggregator {
   void Merge(const SimProfiler& profiler) OMCAST_EXCLUDES(mu_);
 
   std::uint64_t events() const OMCAST_EXCLUDES(mu_);
+  // Sum of merged run-loop wall time / dispatched-in-loop events; the
+  // aggregate events-per-second rate divides the two.
+  double loop_us() const OMCAST_EXCLUDES(mu_);
+  std::uint64_t loop_events() const OMCAST_EXCLUDES(mu_);
+  double events_per_sec() const OMCAST_EXCLUDES(mu_);
+  // Maximum over merged cells (cells share the process, so peak RSS is a
+  // max, not a sum).
+  std::uint64_t peak_rss_bytes() const OMCAST_EXCLUDES(mu_);
   std::string FormatTable() const OMCAST_EXCLUDES(mu_);
 
  private:
@@ -89,6 +131,11 @@ class ProfileAggregator {
   std::map<std::string, SimProfiler::TagStats> per_tag_ OMCAST_GUARDED_BY(mu_);
   DepthStats depth_ OMCAST_GUARDED_BY(mu_);
   std::uint64_t events_ OMCAST_GUARDED_BY(mu_) = 0;
+  double loop_us_ OMCAST_GUARDED_BY(mu_) = 0.0;
+  std::uint64_t loop_events_ OMCAST_GUARDED_BY(mu_) = 0;
+  std::uint64_t peak_rss_bytes_ OMCAST_GUARDED_BY(mu_) = 0;
+  std::size_t pool_live_max_ OMCAST_GUARDED_BY(mu_) = 0;
+  std::size_t pool_capacity_max_ OMCAST_GUARDED_BY(mu_) = 0;
   int merged_ OMCAST_GUARDED_BY(mu_) = 0;
 };
 

@@ -21,7 +21,7 @@ GossipService::GossipService(Session& session, GossipParams params,
         // contacts seed its view, as do the parent and the parent's view.
         const double now = session_.simulator().now();
         std::vector<Entry> bootstrap = {{parent, now}};
-        for (NodeId m : rng_.SampleWithoutReplacement(
+        for (NodeId m : rng_.SampleWithoutReplacementFrom(
                  session_.alive_members(),
                  static_cast<std::size_t>(params_.exchange_size)))
           bootstrap.push_back({m, now});
@@ -114,7 +114,7 @@ void GossipService::Merge(NodeId member, const std::vector<Entry>& incoming) {
 void GossipService::Tick(NodeId member) {
   View& view = ViewFor(member);
   view.timer = sim::kInvalidEventId;
-  if (!view.active || !session_.tree().Get(member).alive) return;
+  if (!view.active || !session_.tree().Alive(member)) return;
   const double now = session_.simulator().now();
   ++view.ticks;
   Prune(view, now);
@@ -127,7 +127,7 @@ void GossipService::Tick(NodeId member) {
   // the bootstrap service for fresh peers.
   if (view.entries.empty()) {
     std::vector<Entry> seed;
-    for (NodeId m : rng_.SampleWithoutReplacement(
+    for (NodeId m : rng_.SampleWithoutReplacementFrom(
              session_.alive_members(),
              static_cast<std::size_t>(params_.exchange_size)))
       seed.push_back({m, now});
@@ -138,7 +138,7 @@ void GossipService::Tick(NodeId member) {
   for (int attempt = 0; attempt < 3 && !view.entries.empty(); ++attempt) {
     const std::size_t pick = rng_.UniformIndex(view.entries.size());
     const NodeId partner = view.entries[pick].id;
-    if (!session_.tree().Get(partner).alive) {
+    if (!session_.tree().Alive(partner)) {
       view.entries[pick] = view.entries.back();
       view.entries.pop_back();
       ++dead_contacts_;
@@ -157,12 +157,12 @@ void GossipService::Tick(NodeId member) {
       const double hop = session_.DelayMs(member, partner) / 1000.0;
       fault_plane_->Deliver(
           member, partner, hop, [this, member, partner, hop, mine] {
-            if (!session_.tree().Get(partner).alive) return;
+            if (!session_.tree().Alive(partner)) return;
             Merge(partner, mine);
             const auto theirs = SampleSlice(partner);
             fault_plane_->Deliver(partner, member, hop,
                                   [this, member, theirs] {
-                                    if (!session_.tree().Get(member).alive)
+                                    if (!session_.tree().Alive(member))
                                       return;
                                     Merge(member, theirs);
                                   });
@@ -191,7 +191,7 @@ std::vector<NodeId> GossipService::KnownMembers(Session& session,
     return rng_.SampleWithoutReplacement(std::move(ids),
                                          static_cast<std::size_t>(k));
   }
-  std::vector<NodeId> sample = session.rng().SampleWithoutReplacement(
+  std::vector<NodeId> sample = session.rng().SampleWithoutReplacementFrom(
       session.alive_members(), static_cast<std::size_t>(k) + 1);
   std::erase(sample, requester);
   if (sample.size() > static_cast<std::size_t>(k)) sample.pop_back();
@@ -210,7 +210,7 @@ double GossipService::LiveFraction(NodeId member) const {
   if (view.entries.empty()) return 0.0;
   int alive = 0;
   for (const Entry& e : view.entries)
-    if (session_.tree().Get(e.id).alive) ++alive;
+    if (session_.tree().Alive(e.id)) ++alive;
   return static_cast<double>(alive) / static_cast<double>(view.entries.size());
 }
 

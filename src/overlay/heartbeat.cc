@@ -17,15 +17,17 @@ HeartbeatService::HeartbeatService(Session& session, HeartbeatParams params,
               "suspicion needs at least one missed heartbeat");
   session_.hooks().AddOnAttached([this](NodeId id, NodeId) {
     StartSender(id);
-    StateFor(id).parent_died_at = -1.0;
+    parent_died_at_[static_cast<std::size_t>(id)] = -1.0;
     ArmMonitor(id);
   });
   session_.hooks().AddOnDeparture([this](NodeId departed) {
     // Stamp the actual death time on each soon-to-be orphan for the
     // detection-latency metric (fires before the tree is modified).
     const sim::Time now = session_.simulator().now();
-    for (NodeId c : session_.tree().Get(departed).children)
-      StateFor(c).parent_died_at = now;
+    for (NodeId c : session_.tree().ChildrenOf(departed)) {
+      EnsureState(c);
+      parent_died_at_[static_cast<std::size_t>(c)] = now;
+    }
   });
   session_.hooks().AddOnMemberDeparted(
       [this](const Member& m) { StopAll(m.id); });
@@ -34,27 +36,29 @@ HeartbeatService::HeartbeatService(Session& session, HeartbeatParams params,
   StartSender(kRootId);
 }
 
-HeartbeatService::State& HeartbeatService::StateFor(NodeId id) {
-  if (state_.size() <= static_cast<std::size_t>(id))
-    state_.resize(static_cast<std::size_t>(id) + 1);
-  return state_[static_cast<std::size_t>(id)];
+void HeartbeatService::EnsureState(NodeId id) {
+  const auto need = static_cast<std::size_t>(id) + 1;
+  if (sender_.size() >= need) return;
+  sender_.resize(need, sim::kInvalidEventId);
+  monitor_.resize(need, sim::kInvalidEventId);
+  parent_died_at_.resize(need, -1.0);
 }
 
 void HeartbeatService::StartSender(NodeId id) {
-  State& st = StateFor(id);
-  if (st.sender != sim::kInvalidEventId) return;  // already beating
+  EnsureState(id);
+  sim::EventId& sender = sender_[static_cast<std::size_t>(id)];
+  if (sender != sim::kInvalidEventId) return;  // already beating
   // Random phase: deployments do not fire their timers in lockstep.
-  st.sender = session_.simulator().ScheduleAfter(
+  sender = session_.simulator().ScheduleAfter(
       rng_.Uniform(0.0, params_.period_s), [this, id] { SendBeats(id); },
       "heartbeat.send");
 }
 
 void HeartbeatService::SendBeats(NodeId id) {
-  State& st = StateFor(id);
-  st.sender = sim::kInvalidEventId;
-  const Member& m = session_.tree().Get(id);
-  if (!m.alive) return;
-  for (NodeId c : m.children) {
+  sender_[static_cast<std::size_t>(id)] = sim::kInvalidEventId;
+  const Tree& tree = session_.tree();
+  if (!tree.Alive(id)) return;
+  for (NodeId c : tree.ChildrenOf(id)) {
     ++sent_;
     const double hop = session_.DelayMs(id, c) / 1000.0;
     if (fault_plane_ != nullptr) {
@@ -65,53 +69,56 @@ void HeartbeatService::SendBeats(NodeId id) {
           hop, [this, c, id] { OnHeartbeat(c, id); }, "heartbeat.deliver");
     }
   }
-  st.sender = session_.simulator().ScheduleAfter(
+  sender_[static_cast<std::size_t>(id)] = session_.simulator().ScheduleAfter(
       params_.period_s, [this, id] { SendBeats(id); }, "heartbeat.send");
 }
 
 void HeartbeatService::OnHeartbeat(NodeId child, NodeId from) {
-  const Member& m = session_.tree().Get(child);
-  if (!m.alive) return;
+  const Tree& tree = session_.tree();
+  if (!tree.Alive(child)) return;
   // A beat from anyone but the *current* parent is stale news (the sender
   // was demoted, or the child was re-parented while the beat was in
   // flight); it must not keep a dead parent's ghost alive.
-  if (m.parent != from) return;
-  StateFor(child).parent_died_at = -1.0;
+  if (tree.Parent(child) != from) return;
+  EnsureState(child);
+  parent_died_at_[static_cast<std::size_t>(child)] = -1.0;
   ArmMonitor(child);
 }
 
 void HeartbeatService::ArmMonitor(NodeId child) {
   if (child == kRootId) return;  // the source has no parent to monitor
-  State& st = StateFor(child);
-  if (st.monitor != sim::kInvalidEventId)
-    session_.simulator().Cancel(st.monitor);
-  st.monitor = session_.simulator().ScheduleAfter(
+  EnsureState(child);
+  sim::EventId& monitor = monitor_[static_cast<std::size_t>(child)];
+  if (monitor != sim::kInvalidEventId)
+    session_.simulator().Cancel(monitor);
+  monitor = session_.simulator().ScheduleAfter(
       SuspicionTimeout(), [this, child] { Suspect(child); },
       "heartbeat.monitor");
 }
 
 void HeartbeatService::Suspect(NodeId child) {
-  State& st = StateFor(child);
-  st.monitor = sim::kInvalidEventId;
-  Member& m = session_.tree().Get(child);
-  if (!m.alive) return;
+  monitor_[static_cast<std::size_t>(child)] = sim::kInvalidEventId;
+  const Tree& tree = session_.tree();
+  if (!tree.Alive(child)) return;
+  const NodeId parent = tree.Parent(child);
   obs::Tracer* tracer = session_.tracer();
   if (tracer != nullptr) {
     const sim::Time now = session_.simulator().now();
-    tracer->Emit(now, obs::EventKind::kHeartbeatMiss, child, m.parent);
+    tracer->Emit(now, obs::EventKind::kHeartbeatMiss, child, parent);
     tracer->Emit(now,
-                 m.parent == kNoNode ? obs::EventKind::kSuspicion
-                                     : obs::EventKind::kFalseSuspicion,
-                 child, m.parent);
+                 parent == kNoNode ? obs::EventKind::kSuspicion
+                                   : obs::EventKind::kFalseSuspicion,
+                 child, parent);
   }
 
-  if (m.parent == kNoNode) {
+  if (parent == kNoNode) {
     // The parent really did die (the session orphaned this member when it
     // happened); the silence is how the member finds out.
     ++detections_;
-    if (st.parent_died_at >= 0.0)
-      latency_.Add(session_.simulator().now() - st.parent_died_at);
-    st.parent_died_at = -1.0;
+    sim::Time& died_at = parent_died_at_[static_cast<std::size_t>(child)];
+    if (died_at >= 0.0)
+      latency_.Add(session_.simulator().now() - died_at);
+    died_at = -1.0;
     session_.RejoinOrphan(child);
     return;
   }
@@ -125,16 +132,17 @@ void HeartbeatService::Suspect(NodeId child) {
 }
 
 void HeartbeatService::StopAll(NodeId id) {
-  State& st = StateFor(id);
-  if (st.sender != sim::kInvalidEventId) {
-    session_.simulator().Cancel(st.sender);
-    st.sender = sim::kInvalidEventId;
+  EnsureState(id);
+  const auto i = static_cast<std::size_t>(id);
+  if (sender_[i] != sim::kInvalidEventId) {
+    session_.simulator().Cancel(sender_[i]);
+    sender_[i] = sim::kInvalidEventId;
   }
-  if (st.monitor != sim::kInvalidEventId) {
-    session_.simulator().Cancel(st.monitor);
-    st.monitor = sim::kInvalidEventId;
+  if (monitor_[i] != sim::kInvalidEventId) {
+    session_.simulator().Cancel(monitor_[i]);
+    monitor_[i] = sim::kInvalidEventId;
   }
-  st.parent_died_at = -1.0;
+  parent_died_at_[i] = -1.0;
 }
 
 }  // namespace omcast::overlay

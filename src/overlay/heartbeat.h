@@ -59,15 +59,8 @@ class HeartbeatService {
   const util::RunningStat& detection_latency() const { return latency_; }
 
  private:
-  struct State {
-    sim::EventId sender = sim::kInvalidEventId;
-    sim::EventId monitor = sim::kInvalidEventId;
-    // When the member's parent actually departed (for the latency metric);
-    // negative while the parent is alive.
-    sim::Time parent_died_at = -1.0;
-  };
-
-  State& StateFor(NodeId id);
+  // Grows the per-node arrays to cover `id`.
+  void EnsureState(NodeId id);
   void StartSender(NodeId id);
   void SendBeats(NodeId id);
   void OnHeartbeat(NodeId child, NodeId from);
@@ -79,7 +72,15 @@ class HeartbeatService {
   HeartbeatParams params_;
   rnd::Rng rng_;
   sim::FaultPlane* fault_plane_;  // nullptr: reliable delivery
-  std::vector<State> state_;
+  // Per-node bookkeeping, struct-of-arrays indexed by NodeId (the suspicion
+  // monitor is re-armed on every delivered heartbeat -- the hottest timer in
+  // the simulation -- so the three fields live in separate flat vectors
+  // rather than one padded record).
+  std::vector<sim::EventId> sender_;   // periodic send timer
+  std::vector<sim::EventId> monitor_;  // child-side suspicion deadline
+  // When the member's parent actually departed (for the latency metric);
+  // negative while the parent is alive.
+  std::vector<sim::Time> parent_died_at_;
   long sent_ = 0;
   long detections_ = 0;
   long false_suspicions_ = 0;

@@ -5,9 +5,16 @@
 // stream rate, so a member with bandwidth b can feed floor(b) children
 // (its out-degree constraint); b < 1 is a free-rider. The multicast source
 // is member 0 and never departs.
+//
+// The Member record holds the COLD per-node state: identity, bandwidth and
+// BTP inputs, lifetime and the paper's per-member counters. The hot state
+// the protocols touch on every event -- tree links (parent / child list),
+// layer, liveness, in-tree flag and out-degree capacity -- lives in flat
+// arrays inside overlay::Tree (SoA, indexed by the dense NodeId), where a
+// churn scan walks contiguous memory instead of striding over ~100-byte
+// records; access it through Tree::Parent/Layer/Alive/InTree/Capacity/
+// SpareCapacity/ChildrenOf and mutate it through Tree operations.
 #pragma once
-
-#include <vector>
 
 #include "net/topology.h"
 #include "sim/simulator.h"
@@ -22,10 +29,9 @@ struct Member {
   NodeId id = kNoNode;
   net::HostId host = 0;
 
-  // Actual outbound bandwidth (units of stream rate) and the out-degree
-  // constraint derived from it.
+  // Actual outbound bandwidth (units of stream rate). The derived out-degree
+  // constraint floor(bandwidth) is hot state: Tree::Capacity().
   double bandwidth = 0.0;
-  int capacity = 0;
 
   // What the member *claims*; differs from the actuals only for cheaters
   // (Section 3.4). Honest members report truthfully.
@@ -34,14 +40,6 @@ struct Member {
 
   sim::Time join_time = 0.0;  // may be negative for equilibrium pre-population
   sim::Time lifetime = 0.0;   // departs at join_time + lifetime
-  bool alive = false;
-
-  // Tree position. `in_tree` is false while the member is (re)joining; an
-  // orphaned fragment root keeps its children but has parent == kNoNode.
-  NodeId parent = kNoNode;
-  std::vector<NodeId> children;
-  int layer = 0;
-  bool in_tree = false;
 
   // --- Metrics ------------------------------------------------------------
   // Streaming disruptions experienced (one per failed ancestor, Section 6).
@@ -51,9 +49,6 @@ struct Member {
   // *not* counted here.
   int reconnections = 0;
 
-  int SpareCapacity() const {
-    return capacity - static_cast<int>(children.size());
-  }
   sim::Time Age(sim::Time now) const { return now - join_time; }
   // Bandwidth-time product (Section 3.2) from the actual values.
   double Btp(sim::Time now) const { return bandwidth * Age(now); }

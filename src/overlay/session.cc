@@ -172,26 +172,26 @@ void Session::Prepopulate(int count) {
   });
   std::vector<NodeId> by_capacity = ids;
   std::sort(by_capacity.begin(), by_capacity.end(), [this](NodeId a, NodeId b) {
-    return tree_.Get(a).capacity > tree_.Get(b).capacity;
+    return tree_.Capacity(a) > tree_.Capacity(b);
   });
   std::size_t strongest = 0;
   // Rooted spare capacity is tracked in closed form: protocol reshuffles
   // (evictions, switches) move slots around but never change the total.
-  long spare = tree_.Get(kRootId).capacity;
+  long spare = tree_.Capacity(kRootId);
   const auto attach_now = [this, &spare](NodeId id) {
-    if (tree_.Get(id).parent != kNoNode) return true;  // already injected
+    if (tree_.Parent(id) != kNoNode) return true;  // already injected
     if (!protocol_->TryAttach(*this, id)) return false;
-    spare += tree_.Get(id).capacity - 1;
+    spare += tree_.Capacity(id) - 1;
     join_attempts_[static_cast<std::size_t>(id)] = 0;
     protocol_->OnAttached(*this, id);
     protocol_->OnPrepopulated(*this, id);
     TraceAttached(id);
-    hooks_.FireAttached(id, tree_.Get(id).parent);
+    hooks_.FireAttached(id, tree_.Parent(id));
     return true;
   };
   const auto inject_strongest = [&](NodeId skip) {
     while (strongest < by_capacity.size() &&
-           tree_.Get(by_capacity[strongest]).parent != kNoNode)
+           tree_.Parent(by_capacity[strongest]) != kNoNode)
       ++strongest;
     if (strongest >= by_capacity.size() || by_capacity[strongest] == skip)
       return false;
@@ -199,10 +199,10 @@ void Session::Prepopulate(int count) {
   };
   int stragglers = 0;
   for (NodeId id : ids) {
-    if (tree_.Get(id).parent != kNoNode) continue;  // already injected
+    if (tree_.Parent(id) != kNoNode) continue;  // already injected
     // Keep the replay out of capacity ruin: attaching `id` must leave at
     // least one spare slot, so pull capacity providers forward as needed.
-    const long need = std::max<long>(1, 2 - tree_.Get(id).capacity);
+    const long need = std::max<long>(1, 2 - tree_.Capacity(id));
     while (spare < need && inject_strongest(id)) {
     }
     if (spare < 1 || !attach_now(id)) {
@@ -252,15 +252,14 @@ NodeId Session::InjectMember(double bandwidth, double lifetime_s) {
 }
 
 void Session::TryJoin(NodeId id) {
-  Member& m = tree_.Get(id);
-  if (!m.alive) return;
-  util::Check(m.parent == kNoNode, "member already attached");
+  if (!tree_.Alive(id)) return;
+  util::Check(tree_.Parent(id) == kNoNode, "member already attached");
   if (protocol_->TryAttach(*this, id)) {
-    util::Check(m.parent != kNoNode, "TryAttach true but not attached");
+    util::Check(tree_.Parent(id) != kNoNode, "TryAttach true but not attached");
     join_attempts_[static_cast<std::size_t>(id)] = 0;
     protocol_->OnAttached(*this, id);
     TraceAttached(id);
-    hooks_.FireAttached(id, m.parent);
+    hooks_.FireAttached(id, tree_.Parent(id));
     return;
   }
   ++failed_join_attempts_;
@@ -271,8 +270,8 @@ void Session::TryJoin(NodeId id) {
   // failure detection has fired by now) rejoin on their own, freeing their
   // subtree capacity for the overlay.
   if (attempts == params_.fragment_dissolve_after_attempts &&
-      !m.children.empty()) {
-    std::vector<NodeId> children = m.children;
+      tree_.ChildCount(id) != 0) {
+    const std::vector<NodeId> children = tree_.Children(id);
     for (NodeId c : children) {
       tree_.Detach(c);
       protocol_->OnOrphaned(*this, c);
@@ -287,8 +286,7 @@ void Session::TryJoin(NodeId id) {
   sim_.ScheduleAfter(
       params_.join_retry_delay_s * backoff,
       [this, id] {
-        if (tree_.Get(id).alive && tree_.Get(id).parent == kNoNode)
-          TryJoin(id);
+        if (tree_.Alive(id) && tree_.Parent(id) == kNoNode) TryJoin(id);
       },
       "session.join_retry");
 }
@@ -298,36 +296,32 @@ void Session::TraceAttached(NodeId id) {
   if (tracer_ != nullptr) {
     tracer_->Emit(sim_.now(),
                   ever ? obs::EventKind::kRejoin : obs::EventKind::kJoin, id,
-                  tree_.Get(id).parent);
+                  tree_.Parent(id));
   }
   ever = 1;
 }
 
 void Session::ForceRejoin(NodeId id) {
-  Member& m = tree_.Get(id);
-  util::Check(m.alive && m.parent == kNoNode,
+  util::Check(tree_.Alive(id) && tree_.Parent(id) == kNoNode,
               "ForceRejoin requires a detached, alive member");
-  ++m.reconnections;
+  ++tree_.Get(id).reconnections;
   protocol_->OnOrphaned(*this, id);
   // Defer to an event so eviction cascades unwind instead of recursing.
   sim_.ScheduleAfter(
       0.0,
       [this, id] {
-        if (tree_.Get(id).alive && tree_.Get(id).parent == kNoNode)
-          TryJoin(id);
+        if (tree_.Alive(id) && tree_.Parent(id) == kNoNode) TryJoin(id);
       },
       "session.rejoin");
 }
 
 void Session::ChargeDisruption(NodeId member) {
-  Member& m = tree_.Get(member);
-  if (!m.alive) return;
-  ++m.disruptions;
+  if (!tree_.Alive(member)) return;
+  ++tree_.Get(member).disruptions;
   hooks_.FireDisruption(member, member);
   tree_.ForEachDescendant(member, [this, member](NodeId desc) {
-    Member& dm = tree_.Get(desc);
-    if (!dm.alive) return;
-    ++dm.disruptions;
+    if (!tree_.Alive(desc)) return;
+    ++tree_.Get(desc).disruptions;
     hooks_.FireDisruption(desc, member);
   });
 }
@@ -348,29 +342,28 @@ void Session::DepartNow(NodeId id) {
   if (departure_event_[slot] == sim::kInvalidEventId ||
       !sim_.Cancel(departure_event_[slot])) {
     // Departure already ran (or is the currently-running event).
-    if (!tree_.Get(id).alive) return;
+    if (!tree_.Alive(id)) return;
   }
   HandleDeparture(id);
 }
 
 void Session::HandleDeparture(NodeId id) {
+  if (!tree_.Alive(id)) return;
   Member& m = tree_.Get(id);
-  if (!m.alive) return;
   if (tracer_ != nullptr)
-    tracer_->Emit(sim_.now(), obs::EventKind::kLeave, id, m.parent);
+    tracer_->Emit(sim_.now(), obs::EventKind::kLeave, id, tree_.Parent(id));
   hooks_.FireDeparture(id);
 
   // Abrupt departure: every descendant suffers one streaming disruption
   // (Section 6, "Comparison of Tree Reliability").
   tree_.ForEachDescendant(id, [this, id](NodeId desc) {
-    Member& dm = tree_.Get(desc);
-    if (!dm.alive) return;
-    ++dm.disruptions;
+    if (!tree_.Alive(desc)) return;
+    ++tree_.Get(desc).disruptions;
     hooks_.FireDisruption(desc, id);
   });
 
   const std::vector<NodeId> orphans = tree_.RemoveFromTree(id);
-  m.alive = false;
+  tree_.MarkDead(id);
   RemoveFromAlive(id);
   ReleaseHost(m.host);
   protocol_->OnDeparture(*this, id);
@@ -387,8 +380,7 @@ void Session::HandleDeparture(NodeId id) {
       sim_.ScheduleAfter(
           params_.rejoin_delay_s,
           [this, c] {
-            if (tree_.Get(c).alive && tree_.Get(c).parent == kNoNode)
-              TryJoin(c);
+            if (tree_.Alive(c) && tree_.Parent(c) == kNoNode) TryJoin(c);
           },
           "session.rejoin");
     } else {
@@ -400,27 +392,27 @@ void Session::HandleDeparture(NodeId id) {
 void Session::RejoinOrphan(NodeId id) {
   util::Check(params_.external_failure_detection,
               "RejoinOrphan is the external failure detector's entry point");
-  if (tree_.Get(id).alive && tree_.Get(id).parent == kNoNode) TryJoin(id);
+  if (tree_.Alive(id) && tree_.Parent(id) == kNoNode) TryJoin(id);
 }
 
 std::vector<NodeId> Session::SampleCandidates(int k, NodeId exclude) {
   // Gossip spreads knowledge of members that are *in* the overlay, so keep
   // drawing until k tree members are found (bounded so a heavily fragmented
   // overlay cannot loop forever).
+  const std::size_t want = static_cast<std::size_t>(k) * 6 + 16;
   std::vector<NodeId> sample =
       oracle_ != nullptr
-          ? oracle_->KnownMembers(*this, exclude,
-                                  static_cast<int>(k) * 6 + 16)
-          : rng_.SampleWithoutReplacement(alive_,
-                                          static_cast<std::size_t>(k) * 6 + 16);
+          ? oracle_->KnownMembers(*this, exclude, static_cast<int>(k) * 6 + 16)
+      : params_.seed_baseline_sampling
+          ? rng_.SampleWithoutReplacement(alive_, want)
+          : rng_.SampleWithoutReplacementFrom(alive_, want);
   std::vector<NodeId> out;
   out.reserve(static_cast<std::size_t>(k) + 1);
   // The source is known to every member via the bootstrap mechanism.
   out.push_back(kRootId);
   for (NodeId id : sample) {
     if (static_cast<int>(out.size()) > k) break;
-    const Member& m = tree_.Get(id);
-    if (!m.in_tree) continue;
+    if (!tree_.InTree(id)) continue;
     if (exclude != kNoNode && tree_.IsInSubtreeOf(id, exclude)) continue;
     if (!tree_.IsRooted(id)) continue;
     out.push_back(id);
@@ -430,8 +422,19 @@ std::vector<NodeId> Session::SampleCandidates(int k, NodeId exclude) {
 
 std::vector<NodeId> Session::CollectJoinPool(int k, NodeId exclude) {
   std::vector<NodeId> pool = SampleCandidates(k, exclude);
-  std::vector<char> seen(tree_.size(), 0);
-  for (NodeId id : pool) seen[static_cast<std::size_t>(id)] = 1;
+  // Epoch-stamped dedup: allocating and zeroing a fresh O(members) bitmap
+  // here made every join O(N) at 10^6 members; bumping the epoch retires
+  // all stale stamps in O(1). The seed-baseline mode keeps the O(members)
+  // bitmap so the scale_sweep baseline column pays the seed's real cost;
+  // both paths dedup identically, so results cannot differ.
+  if (params_.seed_baseline_sampling) {
+    seen_epoch_ = 0;
+    seen_stamp_.assign(tree_.size(), 0);
+  } else {
+    seen_stamp_.resize(tree_.size(), 0);
+  }
+  const int epoch = ++seen_epoch_;
+  for (NodeId id : pool) seen_stamp_[static_cast<std::size_t>(id)] = epoch;
   // Breadth-first prefix from the root (cannot reach detached fragments,
   // so `exclude`'s subtree is naturally skipped).
   std::vector<NodeId> frontier = {kRootId};
@@ -440,11 +443,11 @@ std::vector<NodeId> Session::CollectJoinPool(int k, NodeId exclude) {
   while (head < frontier.size() && examined < k) {
     const NodeId cur = frontier[head++];
     ++examined;
-    if (!seen[static_cast<std::size_t>(cur)]) {
-      seen[static_cast<std::size_t>(cur)] = 1;
+    if (seen_stamp_[static_cast<std::size_t>(cur)] != epoch) {
+      seen_stamp_[static_cast<std::size_t>(cur)] = epoch;
       pool.push_back(cur);
     }
-    for (NodeId c : tree_.Get(cur).children) frontier.push_back(c);
+    for (NodeId c : tree_.ChildrenOf(cur)) frontier.push_back(c);
   }
   return pool;
 }
@@ -458,7 +461,7 @@ double Session::OverlayDelayMs(NodeId id) const {
   double total = 0.0;
   NodeId cur = id;
   while (cur != kRootId) {
-    const NodeId p = tree_.Get(cur).parent;
+    const NodeId p = tree_.Parent(cur);
     total += DelayMs(p, cur);
     cur = p;
   }

@@ -113,6 +113,15 @@ struct SessionParams {
   // declares the parent dead, and calls RejoinOrphan(). Replaces the fixed
   // rejoin_delay_s oracle with real detection latency under message loss.
   bool external_failure_detection = false;
+  // Route join-candidate collection through the seed's cost model: the
+  // by-value sampling overload that copies the whole alive-member vector
+  // per join (O(population)), and a freshly zeroed O(members) dedup bitmap
+  // per join pool. Both paths produce bit-identical results -- the sampling
+  // overloads draw the same variate sequence and the dedup semantics are
+  // unchanged -- only the hot-path cost differs. The bench/scale_sweep
+  // baseline column sets this so the committed trajectory measures the seed
+  // cost model, not just the queue/oracle swap.
+  bool seed_baseline_sampling = false;
   rnd::BoundedPareto bandwidth_dist = rnd::PaperBandwidthDist();
   rnd::LognormalDist lifetime_dist = rnd::PaperLifetimeDist();
 };
@@ -285,6 +294,11 @@ class Session {
   // NodeId -> has this member ever been attached (distinguishes the kJoin
   // trace event from kRejoin; Member.reconnections only counts evictions).
   std::vector<char> ever_attached_;
+  // Epoch-stamped dedup scratch for CollectJoinPool: a slot counts as "seen"
+  // when its stamp equals the current epoch, so marking the whole set clean
+  // is a counter bump, not an O(members) clear per join.
+  std::vector<int> seen_stamp_;
+  int seen_epoch_ = 0;
 
   bool arrivals_on_ = false;
   double arrival_rate_ = 0.0;

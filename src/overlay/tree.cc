@@ -24,10 +24,6 @@ Tree::Tree(net::HostId root_host, double root_bandwidth) {
   root.host = root_host;
   root.bandwidth = root_bandwidth;
   root.reported_bandwidth = root_bandwidth;
-  root.capacity = CapacityFor(root_bandwidth);
-  root.alive = true;
-  root.in_tree = true;
-  root.layer = 0;
   root.lifetime = std::numeric_limits<double>::infinity();
   // The source is pre-assigned an effectively infinite age so that it is the
   // oldest member under any time-ordering rule and its BTP dominates every
@@ -36,6 +32,16 @@ Tree::Tree(net::HostId root_host, double root_bandwidth) {
   // keeps BTP arithmetic free of inf/NaN.
   root.join_time = -4.0e9;
   members_.push_back(root);
+  parent_.push_back(kNoNode);
+  first_child_.push_back(kNoNode);
+  last_child_.push_back(kNoNode);
+  prev_sibling_.push_back(kNoNode);
+  next_sibling_.push_back(kNoNode);
+  child_count_.push_back(0);
+  layer_.push_back(0);
+  capacity_.push_back(CapacityFor(root_bandwidth));
+  alive_.push_back(1);
+  in_tree_.push_back(1);
 }
 
 NodeId Tree::CreateMember(net::HostId host, double bandwidth,
@@ -47,73 +53,112 @@ NodeId Tree::CreateMember(net::HostId host, double bandwidth,
   m.host = host;
   m.bandwidth = bandwidth;
   m.reported_bandwidth = bandwidth;
-  m.capacity = CapacityFor(bandwidth);
   m.join_time = join_time;
   m.lifetime = lifetime;
-  m.alive = true;
-  m.in_tree = false;
-  members_.push_back(std::move(m));
+  members_.push_back(m);
+  parent_.push_back(kNoNode);
+  first_child_.push_back(kNoNode);
+  last_child_.push_back(kNoNode);
+  prev_sibling_.push_back(kNoNode);
+  next_sibling_.push_back(kNoNode);
+  child_count_.push_back(0);
+  layer_.push_back(0);
+  capacity_.push_back(CapacityFor(bandwidth));
+  alive_.push_back(1);
+  in_tree_.push_back(0);
   return members_.back().id;
 }
 
-Member& Tree::Get(NodeId id) {
-  util::Check(id >= 0 && static_cast<std::size_t>(id) < members_.size(),
-              "node id out of range");
-  return members_[static_cast<std::size_t>(id)];
+std::vector<NodeId> Tree::Children(NodeId id) const {
+  std::vector<NodeId> out;
+  out.reserve(static_cast<std::size_t>(ChildCount(id)));
+  for (NodeId c = FirstChild(id); c != kNoNode;
+       c = next_sibling_[static_cast<std::size_t>(c)])
+    out.push_back(c);
+  return out;
 }
 
-const Member& Tree::Get(NodeId id) const {
-  util::Check(id >= 0 && static_cast<std::size_t>(id) < members_.size(),
-              "node id out of range");
-  return members_[static_cast<std::size_t>(id)];
+void Tree::AppendChild(NodeId parent, NodeId child) {
+  const auto p = static_cast<std::size_t>(parent);
+  const auto c = static_cast<std::size_t>(child);
+  const NodeId tail = last_child_[p];
+  prev_sibling_[c] = tail;
+  next_sibling_[c] = kNoNode;
+  if (tail == kNoNode) {
+    first_child_[p] = child;
+  } else {
+    next_sibling_[static_cast<std::size_t>(tail)] = child;
+  }
+  last_child_[p] = child;
+  ++child_count_[p];
+}
+
+void Tree::UnlinkChild(NodeId parent, NodeId child) {
+  const auto p = static_cast<std::size_t>(parent);
+  const auto c = static_cast<std::size_t>(child);
+  const NodeId prev = prev_sibling_[c];
+  const NodeId next = next_sibling_[c];
+  if (prev == kNoNode) {
+    first_child_[p] = next;
+  } else {
+    next_sibling_[static_cast<std::size_t>(prev)] = next;
+  }
+  if (next == kNoNode) {
+    last_child_[p] = prev;
+  } else {
+    prev_sibling_[static_cast<std::size_t>(next)] = prev;
+  }
+  prev_sibling_[c] = kNoNode;
+  next_sibling_[c] = kNoNode;
+  --child_count_[p];
 }
 
 void Tree::Attach(NodeId parent, NodeId child) {
-  Member& p = Get(parent);
-  Member& c = Get(child);
-  util::Check(p.alive && c.alive, "attach requires both members alive");
-  util::Check(c.parent == kNoNode, "child already attached");
-  util::Check(p.SpareCapacity() > 0, "attach would exceed out-degree");
+  util::Check(Alive(parent) && Alive(child),
+              "attach requires both members alive");
+  util::Check(Parent(child) == kNoNode, "child already attached");
+  util::Check(SpareCapacity(parent) > 0, "attach would exceed out-degree");
   util::Check(!IsInSubtreeOf(parent, child), "attach would create a cycle");
   util::Check(IsRooted(parent), "parent must be connected to the root");
-  p.children.push_back(child);
-  c.parent = parent;
-  c.in_tree = true;
+  AppendChild(parent, child);
+  parent_[static_cast<std::size_t>(child)] = parent;
+  in_tree_[static_cast<std::size_t>(child)] = 1;
   RecomputeLayers(child);
 }
 
 void Tree::Detach(NodeId child) {
-  Member& c = Get(child);
-  util::Check(c.parent != kNoNode, "detach requires an attached member");
-  Member& p = Get(c.parent);
-  auto it = std::find(p.children.begin(), p.children.end(), child);
-  util::Check(it != p.children.end(), "parent/child link out of sync");
-  p.children.erase(it);
-  c.parent = kNoNode;
-  c.in_tree = false;
+  const NodeId parent = Parent(child);
+  util::Check(parent != kNoNode, "detach requires an attached member");
+  UnlinkChild(parent, child);
+  parent_[static_cast<std::size_t>(child)] = kNoNode;
+  in_tree_[static_cast<std::size_t>(child)] = 0;
 }
 
 std::vector<NodeId> Tree::RemoveFromTree(NodeId id) {
-  Member& m = Get(id);
-  if (m.parent != kNoNode) Detach(id);
-  std::vector<NodeId> orphans = m.children;
+  if (Parent(id) != kNoNode) Detach(id);
+  std::vector<NodeId> orphans = Children(id);
   for (NodeId c : orphans) {
-    Member& cm = Get(c);
-    cm.parent = kNoNode;
-    cm.in_tree = false;
+    const auto ci = static_cast<std::size_t>(c);
+    parent_[ci] = kNoNode;
+    prev_sibling_[ci] = kNoNode;
+    next_sibling_[ci] = kNoNode;
+    in_tree_[ci] = 0;
   }
-  m.children.clear();
-  m.in_tree = false;
+  const auto i = static_cast<std::size_t>(id);
+  first_child_[i] = kNoNode;
+  last_child_[i] = kNoNode;
+  child_count_[i] = 0;
+  in_tree_[i] = 0;
   return orphans;
 }
 
 bool Tree::IsRooted(NodeId id) const {
   NodeId cur = id;
   while (true) {
-    const Member& m = Get(cur);
-    if (m.IsRoot()) return true;
-    if (m.parent == kNoNode) return false;
-    cur = m.parent;
+    if (cur == kRootId) return true;
+    const NodeId p = Parent(cur);
+    if (p == kNoNode) return false;
+    cur = p;
   }
 }
 
@@ -121,20 +166,23 @@ bool Tree::IsInSubtreeOf(NodeId id, NodeId maybe_ancestor) const {
   NodeId cur = id;
   while (cur != kNoNode) {
     if (cur == maybe_ancestor) return true;
-    cur = Get(cur).parent;
+    cur = Parent(cur);
   }
   return false;
 }
 
 void Tree::ForEachDescendant(NodeId id,
                              const std::function<void(NodeId)>& fn) const {
-  std::vector<NodeId> stack = Get(id).children;
+  // Stack DFS seeded with the children in attach order; pushing each child
+  // list in order and popping from the back preserves the visit order of
+  // the previous vector<NodeId> representation exactly.
+  std::vector<NodeId> stack = Children(id);
   while (!stack.empty()) {
     const NodeId cur = stack.back();
     stack.pop_back();
     fn(cur);
-    const Member& m = Get(cur);
-    stack.insert(stack.end(), m.children.begin(), m.children.end());
+    for (NodeId c = FirstChild(cur); c != kNoNode; c = NextSibling(c))
+      stack.push_back(c);
   }
 }
 
@@ -149,9 +197,9 @@ std::vector<NodeId> Tree::PathToRoot(NodeId id) const {
   NodeId cur = id;
   while (cur != kNoNode) {
     path.push_back(cur);
-    cur = Get(cur).parent;
+    cur = Parent(cur);
   }
-  util::Check(Get(path.back()).IsRoot(), "path must end at the root");
+  util::Check(path.back() == kRootId, "path must end at the root");
   return path;
 }
 
@@ -176,53 +224,68 @@ int Tree::SharedPathEdges(NodeId a, NodeId b) const {
 
 int Tree::Depth() const {
   int depth = 0;
-  for (const Member& m : members_)
-    if (m.alive && m.in_tree && IsRooted(m.id)) depth = std::max(depth, m.layer);
+  for (std::size_t i = 0; i < members_.size(); ++i)
+    if (alive_[i] != 0 && in_tree_[i] != 0 &&
+        IsRooted(static_cast<NodeId>(i)))
+      depth = std::max(depth, static_cast<int>(layer_[i]));
   return depth;
 }
 
 void Tree::RecomputeLayers(NodeId fragment_root) {
-  Member& r = Get(fragment_root);
-  util::Check(r.parent != kNoNode, "fragment root must be attached");
-  r.layer = Get(r.parent).layer + 1;
+  const NodeId p = Parent(fragment_root);
+  util::Check(p != kNoNode, "fragment root must be attached");
+  layer_[static_cast<std::size_t>(fragment_root)] =
+      layer_[static_cast<std::size_t>(p)] + 1;
   std::vector<NodeId> stack = {fragment_root};
   while (!stack.empty()) {
     const NodeId cur = stack.back();
     stack.pop_back();
-    const int next_layer = Get(cur).layer + 1;
-    for (NodeId c : Get(cur).children) {
-      Get(c).layer = next_layer;
+    const std::int32_t next_layer = layer_[static_cast<std::size_t>(cur)] + 1;
+    for (NodeId c = FirstChild(cur); c != kNoNode; c = NextSibling(c)) {
+      layer_[static_cast<std::size_t>(c)] = next_layer;
       stack.push_back(c);
     }
   }
 }
 
 void Tree::CheckInvariants() const {
-  for (const Member& m : members_) {
-    if (!m.alive) {
-      util::Check(m.children.empty() && m.parent == kNoNode,
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    const NodeId id = static_cast<NodeId>(i);
+    if (alive_[i] == 0) {
+      util::Check(ChildCount(id) == 0 && Parent(id) == kNoNode,
                   "dead member must be fully detached");
       continue;
     }
-    util::Check(static_cast<int>(m.children.size()) <= m.capacity,
-                "out-degree constraint violated (node " +
-                    std::to_string(m.id) + ": " +
-                    std::to_string(m.children.size()) + " children, capacity " +
-                    std::to_string(m.capacity) + ")");
-    for (NodeId c : m.children) {
-      const Member& cm = Get(c);
-      util::Check(cm.parent == m.id, "child->parent link out of sync");
-      util::Check(cm.alive, "dead member still attached");
-      if (m.in_tree && IsRooted(m.id))
-        util::Check(cm.layer == m.layer + 1, "layer must be parent's + 1");
+    util::Check(ChildCount(id) <= Capacity(id),
+                "out-degree constraint violated (node " + std::to_string(id) +
+                    ": " + std::to_string(ChildCount(id)) +
+                    " children, capacity " + std::to_string(Capacity(id)) +
+                    ")");
+    int counted = 0;
+    NodeId prev = kNoNode;
+    for (NodeId c = FirstChild(id); c != kNoNode; c = NextSibling(c)) {
+      util::Check(Parent(c) == id, "child->parent link out of sync");
+      util::Check(Alive(c), "dead member still attached");
+      util::Check(prev_sibling_[static_cast<std::size_t>(c)] == prev,
+                  "sibling links out of sync");
+      if (InTree(id) && IsRooted(id))
+        util::Check(Layer(c) == Layer(id) + 1, "layer must be parent's + 1");
+      prev = c;
+      ++counted;
     }
-    if (m.parent != kNoNode) {
-      const Member& pm = Get(m.parent);
-      util::Check(std::find(pm.children.begin(), pm.children.end(), m.id) !=
-                      pm.children.end(),
-                  "parent->child link out of sync");
+    util::Check(last_child_[i] == prev, "tail link out of sync");
+    util::Check(counted == ChildCount(id), "child count out of sync");
+    if (Parent(id) != kNoNode) {
+      bool found = false;
+      for (NodeId c = FirstChild(Parent(id)); c != kNoNode; c = NextSibling(c))
+        if (c == id) {
+          found = true;
+          break;
+        }
+      util::Check(found, "parent->child link out of sync");
     }
-    if (m.IsRoot()) util::Check(m.parent == kNoNode, "root has no parent");
+    if (id == kRootId)
+      util::Check(Parent(id) == kNoNode, "root has no parent");
   }
 }
 

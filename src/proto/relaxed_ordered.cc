@@ -58,13 +58,14 @@ NodeId RelaxedOrderedProtocol::PlaceOne(Session& session, NodeId id) {
     const NodeId v = scan_stack_.back();
     scan_stack_.pop_back();
     const Member& m = tree.Get(v);
-    for (NodeId c : m.children) scan_stack_.push_back(c);
-    if (static_cast<std::size_t>(m.layer) >= layer_summaries_.size())
-      layer_summaries_.resize(static_cast<std::size_t>(m.layer) + 1);
-    LayerSummary& summary = layer_summaries_[static_cast<std::size_t>(m.layer)];
-    max_layer = std::max(max_layer, m.layer);
-    if (m.SpareCapacity() > 0) {
-      spare_total += m.SpareCapacity();
+    for (NodeId c : tree.ChildrenOf(v)) scan_stack_.push_back(c);
+    const int layer = tree.Layer(v);
+    if (static_cast<std::size_t>(layer) >= layer_summaries_.size())
+      layer_summaries_.resize(static_cast<std::size_t>(layer) + 1);
+    LayerSummary& summary = layer_summaries_[static_cast<std::size_t>(layer)];
+    max_layer = std::max(max_layer, layer);
+    if (tree.SpareCapacity(v) > 0) {
+      spare_total += tree.SpareCapacity(v);
       // Reservoir sample of spare slots (the delay tie-break is applied to
       // this sample rather than every slot in the layer).
       ++summary.spare_seen;
@@ -102,22 +103,21 @@ NodeId RelaxedOrderedProtocol::PlaceOne(Session& session, NodeId id) {
   // the rooted headroom below 1 are deferred -- otherwise the end of the
   // eviction chain could find no slot anywhere.
   const auto eviction_keeps_headroom = [&](NodeId v) {
-    const Member& inc = tree.Get(v);
-    const int adoptable = std::min<int>(joining.SpareCapacity(),
-                                        static_cast<int>(inc.children.size()));
-    long lost = inc.SpareCapacity();
-    std::vector<NodeId> children = inc.children;
+    const int adoptable =
+        std::min<int>(tree.SpareCapacity(id), tree.ChildCount(v));
+    long lost = tree.SpareCapacity(v);
+    std::vector<NodeId> children = tree.Children(v);
     std::sort(children.begin(), children.end(), [&](NodeId a, NodeId b) {
       return RanksHigher(tree.Get(a), tree.Get(b));
     });
     for (std::size_t i = static_cast<std::size_t>(adoptable);
          i < children.size(); ++i) {
-      lost += tree.Get(children[i]).SpareCapacity();
+      lost += tree.SpareCapacity(children[i]);
       tree.ForEachDescendant(children[i], [&](NodeId d) {
-        lost += tree.Get(d).SpareCapacity();
+        lost += tree.SpareCapacity(d);
       });
     }
-    const long gained = joining.SpareCapacity() - adoptable;
+    const long gained = tree.SpareCapacity(id) - adoptable;
     return spare_total - lost + gained >= 1;
   };
 
@@ -133,7 +133,7 @@ NodeId RelaxedOrderedProtocol::PlaceOne(Session& session, NodeId id) {
     double best_delay = 0.0;
     for (int i = 0; i < above.spare_count; ++i) {
       const NodeId u = above.spare[i];
-      if (tree.Get(u).SpareCapacity() <= 0) continue;
+      if (tree.SpareCapacity(u) <= 0) continue;
       const double d = session.DelayMs(u, id);
       if (best == kNoNode || d < best_delay) {
         best = u;
@@ -161,7 +161,7 @@ NodeId RelaxedOrderedProtocol::PlaceOne(Session& session, NodeId id) {
 void RelaxedOrderedProtocol::Replace(Session& session, NodeId incumbent,
                                      NodeId joining) {
   overlay::Tree& tree = session.tree();
-  const NodeId parent = tree.Get(incumbent).parent;
+  const NodeId parent = tree.Parent(incumbent);
   util::Check(parent != kNoNode, "cannot replace a fragment root");
 
   // The replacement adopts the incumbent's strongest children up to its own
@@ -172,11 +172,11 @@ void RelaxedOrderedProtocol::Replace(Session& session, NodeId incumbent,
   // central administrator, so they cost a reconnection but no disruption;
   // the evicted member itself loses its slot and is off the stream until
   // its own rejoin completes -- one streaming disruption.
-  std::vector<NodeId> children = tree.Get(incumbent).children;
+  std::vector<NodeId> children = tree.Children(incumbent);
   std::sort(children.begin(), children.end(), [&](NodeId a, NodeId b) {
     return RanksHigher(tree.Get(a), tree.Get(b));
   });
-  const int adoptable = std::min<int>(tree.Get(joining).SpareCapacity(),
+  const int adoptable = std::min<int>(tree.SpareCapacity(joining),
                                       static_cast<int>(children.size()));
   for (NodeId c : children) tree.Detach(c);
   tree.Detach(incumbent);

@@ -14,14 +14,15 @@ NodeId PickMinDepthParent(Session& session,
   NodeId best = kNoNode;
   int best_layer = 0;
   double best_delay = 0.0;
+  const Tree& tree = session.tree();
   for (NodeId c : candidates) {
-    const overlay::Member& m = session.tree().Get(c);
-    if (m.SpareCapacity() <= 0) continue;
+    if (tree.SpareCapacity(c) <= 0) continue;
+    const int layer = tree.Layer(c);
     const double delay = session.DelayMs(c, joining);
-    if (best == kNoNode || m.layer < best_layer ||
-        (m.layer == best_layer && delay < best_delay)) {
+    if (best == kNoNode || layer < best_layer ||
+        (layer == best_layer && delay < best_delay)) {
       best = c;
-      best_layer = m.layer;
+      best_layer = layer;
       best_delay = delay;
     }
   }
@@ -33,9 +34,10 @@ NodeId PickOldestParent(Session& session, const std::vector<NodeId>& candidates,
   NodeId best = kNoNode;
   double best_join = 0.0;
   double best_delay = 0.0;
+  const Tree& tree = session.tree();
   for (NodeId c : candidates) {
-    const overlay::Member& m = session.tree().Get(c);
-    if (m.SpareCapacity() <= 0) continue;
+    if (tree.SpareCapacity(c) <= 0) continue;
+    const overlay::Member& m = tree.Get(c);
     const double delay = session.DelayMs(c, joining);
     // Oldest member == smallest join time.
     if (best == kNoNode || m.join_time < best_join ||
@@ -54,10 +56,8 @@ std::vector<std::vector<NodeId>> LayersByBfs(const Tree& tree) {
   std::size_t level = 0;
   while (level < layers.size()) {
     std::vector<NodeId> next;
-    for (NodeId id : layers[level]) {
-      const overlay::Member& m = tree.Get(id);
-      next.insert(next.end(), m.children.begin(), m.children.end());
-    }
+    for (NodeId id : layers[level])
+      for (NodeId c : tree.ChildrenOf(id)) next.push_back(c);
     if (!next.empty()) layers.push_back(std::move(next));
     ++level;
   }

@@ -31,6 +31,9 @@ std::uint64_t ParamsKey(const net::TopologyParams& p, std::uint64_t seed) {
   h.MixDouble(p.intra_transit_edge_prob);
   h.MixDouble(p.inter_transit_edge_prob);
   h.MixDouble(p.intra_stub_edge_prob);
+  h.MixI64(static_cast<std::int64_t>(p.delay_model));
+  h.MixI64(p.intra_landmarks);
+  h.MixI64(p.keep_flat_edges ? 1 : 0);
   return h.digest();
 }
 
@@ -44,7 +47,10 @@ bool SameParams(const net::TopologyParams& a, const net::TopologyParams& b) {
          a.ss_delay_lo == b.ss_delay_lo && a.ss_delay_hi == b.ss_delay_hi &&
          a.intra_transit_edge_prob == b.intra_transit_edge_prob &&
          a.inter_transit_edge_prob == b.inter_transit_edge_prob &&
-         a.intra_stub_edge_prob == b.intra_stub_edge_prob;
+         a.intra_stub_edge_prob == b.intra_stub_edge_prob &&
+         a.delay_model == b.delay_model &&
+         a.intra_landmarks == b.intra_landmarks &&
+         a.keep_flat_edges == b.keep_flat_edges;
 }
 
 struct Entry {

@@ -1,0 +1,161 @@
+// Calendar queue (Brown 1988) with a pooled event slab: the O(1)-amortized
+// pending-event set behind sim::Simulator's default queue mode.
+//
+// Design, in one breath: events live in a slab (std::vector<Event>) recycled
+// through a LIFO free list, so steady-state scheduling performs no heap
+// allocation beyond what each callback's std::function already owns; a
+// bucket holds one Entry per *distinct* pending time -- sorted descending so
+// the bucket minimum is the back -- and each Entry chains its equal-time
+// events through doubly-linked slab slots in insertion (= seq) order, which
+// preserves the simulator's FIFO-at-equal-times contract while making the
+// synchronized-timer pileup (10^5 monitors armed at one instant) O(1) per
+// insert, pop and cancel instead of an O(n) memmove; a bucket's index is
+// floor(time / width) modulo a power-of-two bucket count; dispatch walks the
+// calendar one bucket-width "day" at a time and falls back to a direct
+// minimum scan after a fruitless full year, so sparse tails (departure
+// timers hours out) cannot make a single pop unbounded.
+//
+// Cancellation is EAGER: Erase() unlinks the chain node and frees the slot
+// immediately, so occupancy tracks the live event count and size() is exact.
+// The id -> slot mapping needed for cancellation is an open-addressing table
+// with backward-shift deletion -- deterministic, iteration-free and
+// allocation-free at steady state (std::unordered_* would heap-allocate a
+// node per pending event, which is precisely the churn this queue removes).
+//
+// Determinism: width estimation and resizing depend only on the pending set
+// (sampled time gaps and operation counters), never on wall clock or RNG, so
+// two runs that schedule identical (time, seq) streams make identical
+// resizing decisions. Event ids are assigned by the Simulator and are
+// sequential in every queue mode; replay digests hash (time, id) pairs and
+// therefore cannot tell the calendar from the binary heap.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace omcast::sim {
+
+using Time = double;
+
+class CalendarQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  // Occupancy snapshot for obs::SimProfiler / bench --profile tables.
+  struct PoolStats {
+    std::size_t live = 0;            // events currently pending
+    std::size_t slab_capacity = 0;   // pooled Event slots (live + free)
+    std::size_t bucket_count = 0;    // calendar days per year
+    double bucket_width_s = 0.0;     // seconds per day
+    std::uint64_t rebuilds = 0;      // resize / re-width operations so far
+  };
+
+  CalendarQueue();
+  CalendarQueue(const CalendarQueue&) = delete;
+  CalendarQueue& operator=(const CalendarQueue&) = delete;
+
+  // Inserts an event. (time, seq) must be unique per event (seq strictly
+  // increasing across all inserts); `id` must not currently be pending.
+  void Insert(Time time, std::uint64_t seq, std::uint64_t id, const char* tag,
+              Callback cb);
+
+  // Removes the pending event `id`. Returns false if no such event pends.
+  bool Erase(std::uint64_t id);
+
+  // True if `id` is pending.
+  bool Contains(std::uint64_t id) const;
+
+  // Time of the earliest pending event. Requires !empty().
+  Time PeekTime();
+
+  // Pops the earliest pending event -- minimum (time, seq) -- into the out
+  // parameters. Requires !empty(). `tag` may be nullptr.
+  void PopMin(Time* time, std::uint64_t* seq, std::uint64_t* id,
+              const char** tag, Callback* cb);
+
+  bool empty() const { return live_ == 0; }
+  std::size_t size() const { return live_; }
+  PoolStats pool_stats() const;
+
+ private:
+  struct Event {
+    Callback cb;
+    Time time = 0.0;
+    std::uint64_t seq = 0;
+    std::uint64_t id = 0;
+    const char* tag = nullptr;  // profiling label; not owned
+    // Doubly-linked chain of equal-time events in one bucket Entry, in
+    // insertion (= seq) order. While the slot is on the free list, `next`
+    // doubles as the free-list link.
+    std::int32_t prev = -1;
+    std::int32_t next = -1;
+  };
+  // One Entry per distinct pending time in the bucket, sorted descending by
+  // time so the bucket minimum is the back. head/tail bound the equal-time
+  // chain: head is the oldest (lowest seq, the pop target), tail the newest.
+  struct Entry {
+    Time time = 0.0;
+    std::int32_t head = -1;
+    std::int32_t tail = -1;
+  };
+  struct MapCell {
+    std::uint64_t id = 0;   // 0 = empty (the simulator never issues id 0)
+    std::int32_t slot = -1;
+  };
+
+  std::int32_t AllocSlot();
+  void FreeSlot(std::int32_t slot);
+  std::size_t BucketIndex(Time t) const;
+  void BucketInsert(std::size_t bucket, Time time, std::int32_t slot);
+  // Locates the earliest pending entry, advancing cur_day_. Returns the
+  // bucket index holding it. Requires !empty().
+  std::size_t FindMinBucket();
+  // Rebuilds the calendar for the current live set: re-estimates the width,
+  // picks a new bucket count and redistributes every pending entry (chains
+  // move wholesale -- a time value lives in exactly one Entry).
+  void Rebuild();
+  double EstimateWidth() const;
+  void MaybeResizeAfterInsert();
+  void MaybeResizeAfterErase();
+
+  // id -> slot open-addressing table (linear probing, backward-shift
+  // deletion). Capacity is a power of two >= 2 * live.
+  void MapInsert(std::uint64_t id, std::int32_t slot);
+  // Returns the slot for `id`, or -1. If `erase`, removes the mapping.
+  std::int32_t MapFind(std::uint64_t id, bool erase);
+  void MapGrow();
+
+  std::vector<Event> slab_;
+  std::int32_t free_head_ = -1;
+  std::vector<std::vector<Entry>> buckets_;
+  std::size_t bucket_mask_ = 0;    // buckets_.size() - 1 (power of two)
+  double width_ = 1.0;             // seconds per bucket
+  double inv_width_ = 1.0;         // 1 / width_ (division off the hot path)
+  // Dispatch scan position: the calendar "day" (floor(time / width)) being
+  // drained. Inserts rewind it; FindMinBucket advances it.
+  std::uint64_t cur_day_ = 0;
+  std::size_t live_ = 0;
+  std::vector<MapCell> map_;
+  std::size_t map_mask_ = 0;
+  std::size_t map_used_ = 0;
+  // Scan-cost trigger: a calendar whose width no longer matches the live
+  // distribution walks many empty buckets per pop; when the walk-to-pop
+  // ratio degenerates the queue re-estimates the width. Counts, not clocks.
+  std::uint64_t scan_steps_ = 0;
+  std::uint64_t pops_ = 0;
+  // Shift-cost trigger: the mirror failure mode. A width that is too WIDE
+  // for the dense part of the pending set piles many *distinct* times into
+  // a few buckets, so sorted inserts memmove O(bucket) Entries -- while
+  // producing zero empty-day scan steps, invisibly to the trigger above.
+  // Count the Entries displaced per insert and re-estimate when the
+  // shift-per-insert ratio degenerates. Equal-time chain appends displace
+  // nothing, so a synchronized pileup (which no width can split) cannot
+  // storm this trigger. Counts, not clocks.
+  std::uint64_t shift_steps_ = 0;
+  std::uint64_t inserts_ = 0;
+  std::uint64_t rebuilds_ = 0;
+};
+
+}  // namespace omcast::sim

@@ -12,8 +12,12 @@ EventId Simulator::ScheduleAt(Time t, Callback cb, const char* tag) {
   util::Check(static_cast<bool>(cb), "event callback must be callable");
   OMCAST_DCHECK(t == t, "event time must not be NaN");
   const std::uint64_t id = next_id_++;
-  queue_.push(Event{t, next_seq_++, id, tag, std::move(cb)});
-  pending_.insert(id);
+  if (kind_ == QueueKind::kCalendar) {
+    calendar_.Insert(t, next_seq_++, id, tag, std::move(cb));
+  } else {
+    queue_.push(Event{t, next_seq_++, id, tag, std::move(cb)});
+    pending_.insert(id);
+  }
   return EventId{id};
 }
 
@@ -27,39 +31,69 @@ bool Simulator::Cancel(EventId id) {
   // the caller (a stale copy from another simulator, or uninitialized state);
   // kInvalidEventId is the documented "nothing scheduled" value and is fine.
   OMCAST_DCHECK(id.value < next_id_, "Cancel: event id was never issued");
+  if (kind_ == QueueKind::kCalendar) {
+    if (id.value == 0) return false;
+    return calendar_.Erase(id.value);
+  }
   return pending_.erase(id.value) > 0;
 }
 
 bool Simulator::IsPending(EventId id) const {
   OMCAST_DCHECK(id.value < next_id_, "IsPending: event id was never issued");
+  if (kind_ == QueueKind::kCalendar) {
+    return id.value != 0 && calendar_.Contains(id.value);
+  }
   return pending_.contains(id.value);
 }
 
+void Simulator::Dispatch(Time time, std::uint64_t seq, std::uint64_t id,
+                         const char* tag, Callback cb) {
+  // The queue must hand events over in non-decreasing time, FIFO at equal
+  // times: the bit-reproducibility of every run rests on this ordering.
+  OMCAST_DCHECK(time >= now_, "event queue must be time-monotonic");
+  OMCAST_DCHECK(
+      time > now_ ||
+          last_seq_at_now_ == std::numeric_limits<std::uint64_t>::max() ||
+          seq > last_seq_at_now_,
+      "events at equal times must fire in scheduling order");
+  last_seq_at_now_ = seq;
+  now_ = time;
+  ++executed_;
+  if (trace_) trace_(time, id);
+  if (profiler_ != nullptr) {
+    // Memory is sampled, not polled: getrusage once per event would dominate
+    // the very hot path this profiler exists to measure.
+    if ((executed_ & 0xFFF) == 0) {
+      const CalendarQueue::PoolStats ps = pool_stats();
+      profiler_->SampleMemory(ps.live, ps.slab_capacity);
+    }
+    profiler_->BeginEvent(tag, pending_count());
+    cb();
+    profiler_->EndEvent();
+  } else {
+    cb();
+  }
+}
+
 bool Simulator::RunOne() {
+  if (kind_ == QueueKind::kCalendar) {
+    if (calendar_.empty()) return false;
+    Time time = 0.0;
+    std::uint64_t seq = 0;
+    std::uint64_t id = 0;
+    const char* tag = nullptr;
+    Callback cb;
+    calendar_.PopMin(&time, &seq, &id, &tag, &cb);
+    Dispatch(time, seq, id, tag, std::move(cb));
+    return true;
+  }
   while (!queue_.empty()) {
     // priority_queue::top() is const; the callback is moved out via
     // const_cast, which is safe because the element is popped immediately.
     Event ev = std::move(const_cast<Event&>(queue_.top()));
     queue_.pop();
     if (pending_.erase(ev.id) == 0) continue;  // cancelled
-    // The queue must hand events over in non-decreasing time, FIFO at equal
-    // times: the bit-reproducibility of every run rests on this ordering.
-    OMCAST_DCHECK(ev.time >= now_, "event queue must be time-monotonic");
-    OMCAST_DCHECK(
-        ev.time > now_ || last_seq_at_now_ == std::numeric_limits<std::uint64_t>::max() ||
-            ev.seq > last_seq_at_now_,
-        "events at equal times must fire in scheduling order");
-    last_seq_at_now_ = ev.seq;
-    now_ = ev.time;
-    ++executed_;
-    if (trace_) trace_(ev.time, ev.id);
-    if (profiler_ != nullptr) {
-      profiler_->BeginEvent(ev.tag, pending_.size());
-      ev.cb();
-      profiler_->EndEvent();
-    } else {
-      ev.cb();
-    }
+    Dispatch(ev.time, ev.seq, ev.id, ev.tag, std::move(ev.cb));
     return true;
   }
   return false;
@@ -67,19 +101,38 @@ bool Simulator::RunOne() {
 
 void Simulator::Run() {
   stopped_ = false;
+  if (profiler_ != nullptr) profiler_->BeginLoop();
   while (!stopped_ && RunOne()) {
+  }
+  if (profiler_ != nullptr) {
+    const CalendarQueue::PoolStats ps = pool_stats();
+    profiler_->SampleMemory(ps.live, ps.slab_capacity);
+    profiler_->EndLoop();
   }
 }
 
 void Simulator::RunUntil(Time t) {
   util::Check(t >= now_, "cannot run backwards in time");
   stopped_ = false;
-  while (!stopped_) {
-    // Drop cancelled heads so the next-time peek is accurate.
-    while (!queue_.empty() && !pending_.contains(queue_.top().id))
-      queue_.pop();
-    if (queue_.empty() || queue_.top().time > t) break;
-    RunOne();
+  if (profiler_ != nullptr) profiler_->BeginLoop();
+  if (kind_ == QueueKind::kCalendar) {
+    while (!stopped_) {
+      if (calendar_.empty() || calendar_.PeekTime() > t) break;
+      RunOne();
+    }
+  } else {
+    while (!stopped_) {
+      // Drop cancelled heads so the next-time peek is accurate.
+      while (!queue_.empty() && !pending_.contains(queue_.top().id))
+        queue_.pop();
+      if (queue_.empty() || queue_.top().time > t) break;
+      RunOne();
+    }
+  }
+  if (profiler_ != nullptr) {
+    const CalendarQueue::PoolStats ps = pool_stats();
+    profiler_->SampleMemory(ps.live, ps.slab_capacity);
+    profiler_->EndLoop();
   }
   if (!stopped_) now_ = t;
 }

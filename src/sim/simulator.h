@@ -1,8 +1,23 @@
 // Single-threaded discrete-event simulation engine.
 //
-// The engine owns a virtual clock (seconds, double) and a priority queue of
-// callbacks. Events scheduled for the same instant fire in scheduling order,
-// which together with seeded RNGs makes every run bit-reproducible.
+// The engine owns a virtual clock (seconds, double) and a pending-event set.
+// Events scheduled for the same instant fire in scheduling order, which
+// together with seeded RNGs makes every run bit-reproducible.
+//
+// Two queue implementations sit behind one dispatch contract:
+//
+//  - QueueKind::kCalendar (default): calendar queue over a pooled event slab
+//    (sim/calendar_queue.h) -- O(1) amortized schedule/cancel/dispatch, no
+//    per-event heap allocation at steady state. This is the mode that scales
+//    to 10^6 members.
+//  - QueueKind::kBinaryHeap: the original std::priority_queue binary heap
+//    with an unordered_set cancellation ledger, kept verbatim as the
+//    baseline the determinism tests and bench/scale_sweep A/B against.
+//
+// Both modes assign the same sequential EventIds and hand events over in the
+// same (time, seq) order, so replay digests -- which hash (time, id) pairs --
+// are bit-identical across modes; tests/test_determinism_replay.cc enforces
+// this on real scenario cells.
 //
 // Cancellation is by EventId: timers such as ROST's per-node switching checks
 // or CER repair timeouts are cancelled when the owning node departs.
@@ -15,14 +30,13 @@
 #include <unordered_set>
 #include <vector>
 
+#include "sim/calendar_queue.h"
+
 namespace omcast::obs {
 class SimProfiler;
 }  // namespace omcast::obs
 
 namespace omcast::sim {
-
-// Simulation time in seconds.
-using Time = double;
 
 // Opaque handle for a scheduled event; value-semantic and cheap to copy.
 struct EventId {
@@ -33,6 +47,12 @@ struct EventId {
 // Returned by EventId-producing calls that may be "nothing scheduled".
 inline constexpr EventId kInvalidEventId{0};
 
+// Pending-event set implementation; see the header comment.
+enum class QueueKind {
+  kCalendar,
+  kBinaryHeap,
+};
+
 class Simulator {
  public:
   using Callback = std::function<void()>;
@@ -41,9 +61,11 @@ class Simulator {
   // rolling hash of the event trace; must not mutate the simulation.
   using TraceObserver = std::function<void(Time t, std::uint64_t event_id)>;
 
-  Simulator() = default;
+  explicit Simulator(QueueKind kind = QueueKind::kCalendar) : kind_(kind) {}
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
+
+  QueueKind queue_kind() const { return kind_; }
 
   // Current virtual time. Starts at 0.
   Time now() const { return now_; }
@@ -78,7 +100,16 @@ class Simulator {
   std::uint64_t executed_count() const { return executed_; }
 
   // Number of events currently pending.
-  std::size_t pending_count() const { return pending_.size(); }
+  std::size_t pending_count() const {
+    return kind_ == QueueKind::kCalendar ? calendar_.size() : pending_.size();
+  }
+
+  // Event-pool occupancy of the calendar queue (zeros in heap mode, which
+  // has no pool). Surfaced through obs::SimProfiler and --profile tables.
+  CalendarQueue::PoolStats pool_stats() const {
+    return kind_ == QueueKind::kCalendar ? calendar_.pool_stats()
+                                         : CalendarQueue::PoolStats{};
+  }
 
   // Installs (or clears, with nullptr) the per-event trace observer.
   void SetTraceObserver(TraceObserver observer) {
@@ -86,7 +117,8 @@ class Simulator {
   }
 
   // Installs (or clears, with nullptr) a profiler that brackets every
-  // dispatched callback with wall-time measurement and queue-depth sampling.
+  // dispatched callback with wall-time measurement and queue-depth sampling,
+  // and times the run loop itself (queue-operation cost included).
   // Profiling never touches sim time or event order, so it is safe to attach
   // to a deterministic run; the profiler must outlive Run()/RunUntil().
   void SetProfiler(obs::SimProfiler* profiler) { profiler_ = profiler; }
@@ -108,7 +140,12 @@ class Simulator {
 
   // Pops and runs the next non-cancelled event; returns false if none left.
   bool RunOne();
+  // Executes one popped event: clock advance, ordering DCHECKs, trace hook,
+  // profiler bracketing. Shared by both queue modes.
+  void Dispatch(Time time, std::uint64_t seq, std::uint64_t id,
+                const char* tag, Callback cb);
 
+  const QueueKind kind_;
   Time now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t next_id_ = 1;  // 0 is kInvalidEventId
@@ -117,6 +154,9 @@ class Simulator {
   // instant; used by the DCHECK tier to assert FIFO order at equal times.
   std::uint64_t last_seq_at_now_ = std::numeric_limits<std::uint64_t>::max();
   bool stopped_ = false;
+  // kCalendar state.
+  CalendarQueue calendar_;
+  // kBinaryHeap state (the seed implementation, unchanged).
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   // Never iterated: membership-only cancellation ledger, so the hash order
   // cannot leak into protocol decisions.

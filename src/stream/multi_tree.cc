@@ -35,7 +35,7 @@ MultiTreeStream::MultiTreeStream(sim::Simulator& simulator,
     const int tree = k;
     session->hooks().AddOnDeparture([this, session, tree](NodeId failed) {
       const double now = sim_.now();
-      for (const NodeId orphan : session->tree().Get(failed).children) {
+      for (const NodeId orphan : session->tree().ChildrenOf(failed)) {
         double begin = now;
         double end = now + params_.detect_s + params_.rejoin_s;
         if (params_.cer_recovery) {
@@ -53,8 +53,8 @@ MultiTreeStream::MultiTreeStream(sim::Simulator& simulator,
           NodeId prev = orphan;
           for (NodeId g : group) {
             core::RecoverySource src;
-            const Member& gm = session->tree().Get(g);
-            src.usable = gm.alive && gm.in_tree &&
+            src.usable = session->tree().Alive(g) &&
+                         session->tree().InTree(g) &&
                          !session->tree().IsInSubtreeOf(g, failed) &&
                          session->tree().IsRooted(g);
             src.rate_fraction = src.usable ? ResidualFraction(tree, g) : 0.0;

@@ -60,7 +60,7 @@ void PacketLevelStream::Start(double duration_s) {
 void PacketLevelStream::Emit(std::int64_t seq) {
   ++emitted_;
   // The source holds the packet; push it to the root's current children.
-  for (NodeId c : session_.tree().Get(kRootId).children) {
+  for (NodeId c : session_.tree().ChildrenOf(kRootId)) {
     const double hop = session_.DelayMs(kRootId, c) / 1000.0;
     session_.simulator().ScheduleAfter(
         hop, [this, c, seq] { Deliver(c, seq, session_.simulator().now()); },
@@ -88,8 +88,7 @@ PacketLevelStream::Reception& PacketLevelStream::ReceptionFor(NodeId member,
 }
 
 void PacketLevelStream::Deliver(NodeId member, std::int64_t seq, double now) {
-  const Member& m = session_.tree().Get(member);
-  if (!m.alive) return;
+  if (!session_.tree().Alive(member)) return;
   Reception& rx = ReceptionFor(member, now);
   if (seq >= rx.first_seq) {
     const auto idx = static_cast<std::size_t>(seq - rx.first_seq);
@@ -114,7 +113,7 @@ void PacketLevelStream::Deliver(NodeId member, std::int64_t seq, double now) {
     rx.max_seen = std::max(rx.max_seen, seq);
   }
   // Forward to current children, one hop each.
-  for (NodeId c : m.children) {
+  for (NodeId c : session_.tree().ChildrenOf(member)) {
     const double hop = session_.DelayMs(member, c) / 1000.0;
     session_.simulator().ScheduleAfter(
         hop, [this, c, seq] { Deliver(c, seq, session_.simulator().now()); },
@@ -125,11 +124,12 @@ void PacketLevelStream::Deliver(NodeId member, std::int64_t seq, double now) {
 void PacketLevelStream::NotifyChildren(NodeId member,
                                        const std::vector<std::int64_t>& seqs) {
   if (seqs.empty()) return;
-  const Member& m = session_.tree().Get(member);
-  if (obs::Tracer* tr = session_.tracer(); tr != nullptr && !m.children.empty())
+  const overlay::Tree& tree = session_.tree();
+  if (obs::Tracer* tr = session_.tracer();
+      tr != nullptr && tree.ChildCount(member) != 0)
     tr->Emit(session_.simulator().now(), obs::EventKind::kEln, member,
              overlay::kNoNode, static_cast<std::int64_t>(seqs.size()));
-  for (NodeId c : m.children) {
+  for (NodeId c : tree.ChildrenOf(member)) {
     const double hop = session_.DelayMs(member, c) / 1000.0;
     for (std::int64_t seq : seqs) {
       ++eln_sent_;
@@ -149,8 +149,7 @@ void PacketLevelStream::NotifyChildren(NodeId member,
 }
 
 void PacketLevelStream::DeliverEln(NodeId member, std::int64_t seq) {
-  const Member& m = session_.tree().Get(member);
-  if (!m.alive) return;
+  if (!session_.tree().Alive(member)) return;
   Reception& rx = ReceptionFor(member, session_.simulator().now());
   if (seq < rx.first_seq) return;
   rx.tracker.OnEln(seq - rx.first_seq);
@@ -198,7 +197,7 @@ void PacketLevelStream::OnDeparture(NodeId failed) {
     if (s.in_flight >= 0 || s.cursor <= s.hole_end) FailoverStripe(i);
   }
 
-  for (const NodeId orphan : tree.Get(failed).children) {
+  for (const NodeId orphan : tree.ChildrenOf(failed)) {
     // The hole this orphan must repair: packets emitted while it is
     // detached.
     const auto hole_begin = static_cast<std::int64_t>(std::ceil(
@@ -220,8 +219,7 @@ void PacketLevelStream::OnDeparture(NodeId failed) {
     for (NodeId g : group) {
       latency += session_.DelayMs(prev, g) / 1000.0;
       prev = g;
-      const Member& gm = tree.Get(g);
-      const bool usable = gm.alive && gm.in_tree &&
+      const bool usable = tree.Alive(g) && tree.InTree(g) &&
                           !tree.IsInSubtreeOf(g, failed) && tree.IsRooted(g);
       if (!usable) continue;
       const double rate = ResidualFraction(g);
@@ -322,7 +320,7 @@ void PacketLevelStream::FailoverStripe(std::size_t index) {
     if (i == index) continue;
     const RepairStripe& c = repair_stripes_[i];
     if (c.group_id != dead.group_id || c.dead) continue;
-    if (!session_.tree().Get(c.server).alive) continue;
+    if (!session_.tree().Alive(c.server)) continue;
     if (best == repair_stripes_.size() || c.rate > repair_stripes_[best].rate)
       best = i;
   }

@@ -48,7 +48,7 @@ void StreamingLayer::OnDeparture(NodeId failed) {
   const sim::Time now = session_.simulator().now();
   // Each orphaned child runs the recovery protocol; its whole subtree
   // inherits the resulting stall (ELN suppresses duplicate recoveries).
-  for (const NodeId orphan : tree.Get(failed).children) {
+  for (const NodeId orphan : tree.ChildrenOf(failed)) {
     std::vector<NodeId> group = core::SelectRecoveryGroup(
         session_, orphan, params_.recovery_group_size, params_.selection);
 
@@ -61,9 +61,8 @@ void StreamingLayer::OnDeparture(NodeId failed) {
     NodeId prev = orphan;
     for (NodeId g : group) {
       core::RecoverySource src;
-      const Member& gm = tree.Get(g);
       // A recovery node disrupted by the same failure has no data: NACK.
-      src.usable = gm.alive && gm.in_tree &&
+      src.usable = tree.Alive(g) && tree.InTree(g) &&
                    !tree.IsInSubtreeOf(g, failed) && tree.IsRooted(g);
       src.rate_fraction = src.usable ? ResidualFraction(g) : 0.0;
       src.hop_latency_s = session_.DelayMs(prev, g) / 1000.0;
@@ -79,8 +78,8 @@ void StreamingLayer::OnDeparture(NodeId failed) {
     if (outage.starving_s <= 0.0) continue;
 
     const auto charge = [&](NodeId member) {
+      if (!tree.Alive(member)) return;
       const Member& mm = tree.Get(member);
-      if (!mm.alive) return;
       // A member cannot starve past its own departure.
       const double remaining = mm.join_time + mm.lifetime - now;
       AddStarving(member, std::min(outage.starving_s, std::max(0.0, remaining)));

@@ -242,7 +242,7 @@ TEST(RecoveryGroup, MembersAreRootedAndAlive) {
   const auto group =
       SelectRecoveryGroup(session, requester, 4, GroupSelection::kMlc);
   for (const overlay::NodeId g : group) {
-    EXPECT_TRUE(session.tree().Get(g).alive);
+    EXPECT_TRUE(session.tree().Alive(g));
     EXPECT_TRUE(session.tree().IsRooted(g));
   }
 }

@@ -57,12 +57,12 @@ class LeasePathTest : public ::testing::Test {
   // root(capacity 1) <- parent(bw 1) <- child(bw 4): the child's BTP grows
   // 4x faster, so the first periodic check wants the swap.
   void BuildChain(Session& s) {
-    s.tree().Get(kRootId).capacity = 1;
+    s.tree().SetCapacity(kRootId, 1);
     parent_ = s.InjectMember(1.0, 1e9);
     sim_.RunUntil(1.0);
     child_ = s.InjectMember(4.0, 1e9);
     sim_.RunUntil(2.0);
-    ASSERT_EQ(s.tree().Get(child_).parent, parent_);
+    ASSERT_EQ(s.tree().Parent(child_), parent_);
   }
 
   sim::Simulator sim_;
@@ -81,8 +81,8 @@ TEST_F(LeasePathTest, HandshakeOverCleanPlaneCompletesTheSwitch) {
   sim_.RunUntil(150.0);
   // Same outcome as the oracle path's ChildWithHigherBtpAndBandwidth test,
   // but reached through request -> grant -> swap -> release messages.
-  EXPECT_EQ(s->tree().Get(child_).parent, kRootId);
-  EXPECT_EQ(s->tree().Get(parent_).parent, child_);
+  EXPECT_EQ(s->tree().Parent(child_), kRootId);
+  EXPECT_EQ(s->tree().Parent(parent_), child_);
   EXPECT_EQ(rost_->switches_performed(), 1);
   // Lock set {child, parent, grandparent=root}: one self lease + two
   // participant leases, all released on teardown.
@@ -104,7 +104,7 @@ TEST_F(LeasePathTest, LostRequestsTimeOutBackOffAndEventuallySucceed) {
   // so no attempt can assemble its grant set.
   plane_->SetLinkLossRate(child_, parent_, 1.0);
   sim_.RunUntil(160.0);
-  EXPECT_EQ(s->tree().Get(child_).parent, parent_);  // still stuck below
+  EXPECT_EQ(s->tree().Parent(child_), parent_);  // still stuck below
   EXPECT_EQ(rost_->switches_performed(), 0);
   EXPECT_GE(rost_->lock_timeouts(), 1);
   EXPECT_GE(rost_->lock_retries(), 1);
@@ -115,7 +115,7 @@ TEST_F(LeasePathTest, LostRequestsTimeOutBackOffAndEventuallySucceed) {
   // Heal the link: the next backoff retry completes the switch.
   plane_->ClearLinkOverrides();
   sim_.RunUntil(400.0);
-  EXPECT_EQ(s->tree().Get(child_).parent, kRootId);
+  EXPECT_EQ(s->tree().Parent(child_), kRootId);
   EXPECT_EQ(rost_->switches_performed(), 1);
   EXPECT_EQ(rost_->leases_outstanding(), 0);
   EXPECT_EQ(rost_->WedgedLeases(sim_.now()), 0);
@@ -152,16 +152,16 @@ TEST_F(LeasePathTest, DeadInitiatorsLeasesExpireInsteadOfWedging) {
 
 TEST_F(LeasePathTest, SaturatedTreePreemptJoinDisplacesWeakestLeaf) {
   auto s = Make();
-  s->tree().Get(kRootId).capacity = 1;
+  s->tree().SetCapacity(kRootId, 1);
   const NodeId freerider = s->InjectMember(0.0, 1e9);
   sim_.RunUntil(1.0);
-  ASSERT_EQ(s->tree().Get(freerider).parent, kRootId);  // tree now full
+  ASSERT_EQ(s->tree().Parent(freerider), kRootId);  // tree now full
   const NodeId contributor = s->InjectMember(3.0, 1e9);
   sim_.RunUntil(2.0);
   // The contributor took the free-rider's slot and rehoused it: nobody is
   // detached and rooted fan-out grew by the contributor's spare capacity.
-  EXPECT_EQ(s->tree().Get(contributor).parent, kRootId);
-  EXPECT_EQ(s->tree().Get(freerider).parent, contributor);
+  EXPECT_EQ(s->tree().Parent(contributor), kRootId);
+  EXPECT_EQ(s->tree().Parent(freerider), contributor);
   EXPECT_TRUE(s->tree().IsRooted(freerider));
   EXPECT_EQ(rost_->preempt_joins(), 1);
   s->tree().CheckInvariants();
@@ -169,15 +169,15 @@ TEST_F(LeasePathTest, SaturatedTreePreemptJoinDisplacesWeakestLeaf) {
 
 TEST_F(LeasePathTest, JoinerWithoutSpareCapacityCannotPreempt) {
   auto s = Make();
-  s->tree().Get(kRootId).capacity = 1;
+  s->tree().SetCapacity(kRootId, 1);
   const NodeId first = s->InjectMember(0.0, 1e9);
   sim_.RunUntil(1.0);
-  ASSERT_EQ(s->tree().Get(first).parent, kRootId);
+  ASSERT_EQ(s->tree().Parent(first), kRootId);
   // A free-rider cannot host the leaf it would displace (and displacing an
   // equal would just ping-pong), so it stays in the retry loop instead.
   const NodeId second = s->InjectMember(0.0, 1e9);
   sim_.RunUntil(2.0);
-  EXPECT_EQ(s->tree().Get(second).parent, kNoNode);
+  EXPECT_EQ(s->tree().Parent(second), kNoNode);
   EXPECT_EQ(rost_->preempt_joins(), 0);
 }
 
@@ -217,7 +217,7 @@ TEST_F(RepairChaosTest, ServerDeathMidRepairFailsOverToSurvivingStripe) {
   const NodeId victim = session_->InjectMember(0.5, 1e9);
   sim_.RunUntil(1.0);
   Tree& tree = session_->tree();
-  if (tree.Get(victim).parent != hub) {
+  if (tree.Parent(victim) != hub) {
     tree.Detach(victim);
     tree.Attach(hub, victim);
   }
@@ -229,7 +229,7 @@ TEST_F(RepairChaosTest, ServerDeathMidRepairFailsOverToSurvivingStripe) {
   ASSERT_FALSE(servers.empty());
   NodeId dead_server = kNoNode;
   for (NodeId server : servers) {
-    if (server == kRootId || !tree.Get(server).alive) continue;
+    if (server == kRootId || !tree.Alive(server)) continue;
     dead_server = server;
     break;
   }
@@ -256,7 +256,7 @@ TEST_F(RepairChaosTest, ShrunkenRecoveryGroupFallsBackToFewerStripes) {
   session_->InjectMember(1.0, 1e9);
   sim_.RunUntil(1.0);
   Tree& tree = session_->tree();
-  if (tree.Get(victim).parent != hub) {
+  if (tree.Parent(victim) != hub) {
     tree.Detach(victim);
     tree.Attach(hub, victim);
   }

@@ -33,8 +33,12 @@ namespace {
 using overlay::NodeId;
 
 // One full scenario run; everything observable is folded into the digest.
-std::uint64_t RunScenarioDigest(std::uint64_t seed) {
-  sim::Simulator sim;
+// `queue` selects the pending-event implementation: the calendar queue and
+// the seed's binary heap must be indistinguishable at digest granularity.
+std::uint64_t RunScenarioDigest(std::uint64_t seed,
+                                sim::QueueKind queue =
+                                    sim::QueueKind::kCalendar) {
+  sim::Simulator sim(queue);
   rnd::Rng topo_rng(1);  // fixed topology across seeds; churn varies
   const net::Topology topology =
       net::Topology::Generate(net::TinyTopologyParams(), topo_rng);
@@ -74,10 +78,9 @@ std::uint64_t RunScenarioDigest(std::uint64_t seed) {
   hash.MixU64(static_cast<std::uint64_t>(session.total_members_created()));
   const overlay::Tree& tree = session.tree();
   for (NodeId id = 0; id < static_cast<NodeId>(tree.size()); ++id) {
-    const overlay::Member& m = tree.Get(id);
-    hash.MixI64(static_cast<std::int64_t>(m.parent));
-    hash.MixI64(m.layer);
-    hash.MixU64(m.alive ? 1 : 0);
+    hash.MixI64(static_cast<std::int64_t>(tree.Parent(id)));
+    hash.MixI64(tree.Layer(id));
+    hash.MixU64(tree.Alive(id) ? 1 : 0);
   }
   hash.MixI64(stream.packets_emitted());
   hash.MixI64(stream.deliveries());
@@ -91,8 +94,9 @@ std::uint64_t RunScenarioDigest(std::uint64_t seed) {
 // the oracle, and a correlated stub-domain kill mid-stream. The entire
 // fault schedule -- which messages drop, duplicate, jitter -- must replay
 // bit-identically under the same seed.
-std::uint64_t RunChaosDigest(std::uint64_t seed) {
-  sim::Simulator sim;
+std::uint64_t RunChaosDigest(std::uint64_t seed,
+                             sim::QueueKind queue = sim::QueueKind::kCalendar) {
+  sim::Simulator sim(queue);
   rnd::Rng topo_rng(1);
   const net::Topology topology =
       net::Topology::Generate(net::TinyTopologyParams(), topo_rng);
@@ -143,7 +147,7 @@ std::uint64_t RunChaosDigest(std::uint64_t seed) {
       if (topology.DomainOf(session.tree().Get(id).host) == 1)
         victims.push_back(id);
     for (NodeId id : victims)
-      if (session.tree().Get(id).alive) session.DepartNow(id);
+      if (session.tree().Alive(id)) session.DepartNow(id);
   });
 
   sim.RunUntil(300.0);
@@ -162,9 +166,8 @@ std::uint64_t RunChaosDigest(std::uint64_t seed) {
   hash.MixI64(rost->lock_timeouts());
   const overlay::Tree& tree = session.tree();
   for (NodeId id = 0; id < static_cast<NodeId>(tree.size()); ++id) {
-    const overlay::Member& m = tree.Get(id);
-    hash.MixI64(static_cast<std::int64_t>(m.parent));
-    hash.MixU64(m.alive ? 1 : 0);
+    hash.MixI64(static_cast<std::int64_t>(tree.Parent(id)));
+    hash.MixU64(tree.Alive(id) ? 1 : 0);
   }
   hash.MixI64(stream.deliveries());
   hash.MixI64(stream.repairs_scheduled());
@@ -200,6 +203,38 @@ TEST(SeedReplayDeterminism, ChaosDigestSeesTheSeed) {
 }
 
 // ---------------------------------------------------------------------------
+// Queue-implementation equivalence: the calendar queue + SoA tree must be
+// *observationally identical* to the seed's binary heap -- same (time, seq)
+// dispatch order, same sequential EventIds, same downstream RNG draws --
+// so swapping the queue can never change a paper figure. The digest covers
+// the entire event trace plus end state, so any divergence in any event
+// fails loudly.
+// ---------------------------------------------------------------------------
+
+TEST(QueueEquivalence, ScenarioDigestsMatchAcrossQueueKinds) {
+  for (const std::uint64_t seed : {42ull, 7ull, 1234ull}) {
+    EXPECT_EQ(RunScenarioDigest(seed, sim::QueueKind::kCalendar),
+              RunScenarioDigest(seed, sim::QueueKind::kBinaryHeap))
+        << "seed " << seed
+        << ": calendar queue dispatched a different event history than the "
+           "seed binary heap";
+  }
+}
+
+TEST(QueueEquivalence, ChaosDigestsMatchAcrossQueueKinds) {
+  // The chaos run leans hard on cancellation (heartbeat re-arms cancel and
+  // reschedule suspicion timers constantly) and on equal-time pileups from
+  // the fault plane's jittered redeliveries -- the two places a queue
+  // implementation could break ordering.
+  for (const std::uint64_t seed : {17ull, 99ull}) {
+    EXPECT_EQ(RunChaosDigest(seed, sim::QueueKind::kCalendar),
+              RunChaosDigest(seed, sim::QueueKind::kBinaryHeap))
+        << "seed " << seed
+        << ": fault-plane/heartbeat history diverged between queue kinds";
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Grid-level determinism: the experiment runner must produce bit-identical
 // per-cell results whether the grid executes serially or across a stolen-work
 // thread pool. Each cell runs a real (small) tree scenario against the shared
@@ -208,7 +243,8 @@ TEST(SeedReplayDeterminism, ChaosDigestSeesTheSeed) {
 // output-slot mixup all fail this test.
 // ---------------------------------------------------------------------------
 
-runner::GridRunSummary RunScenarioGrid(int threads) {
+runner::GridRunSummary RunScenarioGrid(
+    int threads, sim::QueueKind queue = sim::QueueKind::kCalendar) {
   runner::GridSpec spec;
   spec.figure = "determinism_probe";
   spec.title = "grid determinism probe";
@@ -219,12 +255,13 @@ runner::GridRunSummary RunScenarioGrid(int threads) {
   spec.headline_metric = "disruptions";
   const net::Topology& topology =
       runner::SharedTopology(net::TinyTopologyParams(), 1);
-  spec.run = [&topology](const runner::CellContext& cell) {
+  spec.run = [&topology, queue](const runner::CellContext& cell) {
     exp::ScenarioConfig config;
     config.population = cell.row == 0 ? 40 : 60;
     config.warmup_s = 120.0;
     config.measure_s = 300.0;
     config.seed = cell.seed;
+    config.queue_kind = queue;
     const exp::Algorithm algorithm =
         cell.col == 0 ? exp::Algorithm::kMinDepth : exp::Algorithm::kRost;
     const exp::TreeScenarioResult r =
@@ -259,6 +296,24 @@ TEST(SeedReplayDeterminism, SerialAndParallelGridsAreBitIdentical) {
         << serial.cells[i].ctx.col_label << " rep "
         << serial.cells[i].ctx.rep << ") diverged";
   }
+}
+
+TEST(QueueEquivalence, SerialAndFourThreadGridsMatchAcrossQueueKinds) {
+  // The full 2x2: {calendar, heap} x {serial, 4 workers}. All four grids
+  // must digest identically -- queue choice and thread count are both
+  // implementation details the results must not see.
+  const runner::GridRunSummary cal_serial =
+      RunScenarioGrid(/*threads=*/1, sim::QueueKind::kCalendar);
+  const std::uint64_t reference = runner::DigestOutcomes(cal_serial.cells);
+  const auto expect_same = [&](int threads, sim::QueueKind queue,
+                               const char* label) {
+    const runner::GridRunSummary summary = RunScenarioGrid(threads, queue);
+    EXPECT_EQ(runner::DigestOutcomes(summary.cells), reference)
+        << label << " diverged from the serial calendar-queue grid";
+  };
+  expect_same(1, sim::QueueKind::kBinaryHeap, "serial binary-heap grid");
+  expect_same(4, sim::QueueKind::kCalendar, "4-thread calendar grid");
+  expect_same(4, sim::QueueKind::kBinaryHeap, "4-thread binary-heap grid");
 }
 
 TEST(SeedReplayDeterminism, GridCellsUseDistinctDerivedSeeds) {

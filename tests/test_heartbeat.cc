@@ -42,22 +42,22 @@ TEST_F(HeartbeatTest, DetectsRealParentDeathAndRejoinsTheOrphan) {
   HeartbeatService hb(*session_, hp, 7);
 
   Tree& tree = session_->tree();
-  tree.Get(kRootId).capacity = 1;
+  tree.SetCapacity(kRootId, 1);
   const NodeId parent = session_->InjectMember(2.0, 1e9);
   sim_.RunUntil(1.0);
   const NodeId child = session_->InjectMember(1.0, 1e9);
   sim_.RunUntil(2.0);
-  ASSERT_EQ(tree.Get(child).parent, parent);
+  ASSERT_EQ(tree.Parent(child), parent);
 
   session_->DepartNow(parent);
   // The session must NOT have rejoined the orphan on its own...
-  EXPECT_EQ(tree.Get(child).parent, kNoNode);
+  EXPECT_EQ(tree.Parent(child), kNoNode);
   // ...but the detector notices the silence within its timeout (+1 beat of
   // phase, + hops) and re-enters the join path.
   sim_.RunUntil(sim_.now() + hb.SuspicionTimeout() + hp.period_s + 1.0);
   EXPECT_EQ(hb.detections(), 1);
   EXPECT_EQ(hb.false_suspicions(), 0);
-  EXPECT_NE(tree.Get(child).parent, kNoNode);
+  EXPECT_NE(tree.Parent(child), kNoNode);
   EXPECT_TRUE(tree.IsRooted(child));
 
   // Latency metric: the silence clock starts at the last beat *before* the
@@ -85,12 +85,12 @@ TEST_F(HeartbeatTest, SeveredLinkCausesFalseSuspicionAndReconnection) {
   HeartbeatService hb(*session_, hp, 7, &plane);
 
   Tree& tree = session_->tree();
-  tree.Get(kRootId).capacity = 1;
+  tree.SetCapacity(kRootId, 1);
   const NodeId parent = session_->InjectMember(2.0, 1e9);
   sim_.RunUntil(1.0);
   const NodeId child = session_->InjectMember(1.0, 1e9);
   sim_.RunUntil(2.0);
-  ASSERT_EQ(tree.Get(child).parent, parent);
+  ASSERT_EQ(tree.Parent(child), parent);
   const int reconnections_before = tree.Get(child).reconnections;
 
   // Sever parent -> child: every heartbeat is lost, though the parent is
@@ -102,7 +102,7 @@ TEST_F(HeartbeatTest, SeveredLinkCausesFalseSuspicionAndReconnection) {
   // The child re-entered the join path (charged as protocol overhead, not a
   // disruption) and is attached again.
   EXPECT_GT(tree.Get(child).reconnections, reconnections_before);
-  EXPECT_TRUE(tree.Get(child).alive);
+  EXPECT_TRUE(tree.Alive(child));
 }
 
 }  // namespace

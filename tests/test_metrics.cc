@@ -85,7 +85,7 @@ TEST_F(MetricsTest, TreeSnapshotsSkipUnrootedMembers) {
   const NodeId b = session_->InjectMember(2.0, 1e9);
   sim_.RunUntil(1.0);
   overlay::Tree& tree = session_->tree();
-  if (tree.Get(b).parent != a) {
+  if (tree.Parent(b) != a) {
     tree.Detach(b);
     tree.Attach(a, b);
   }
@@ -102,7 +102,7 @@ TEST_F(MetricsTest, MemberTraceRecordsDisruptionsAndDelays) {
   const NodeId tagged = session_->InjectMember(0.5, 1e9);
   sim_.RunUntil(1.0);
   overlay::Tree& tree = session_->tree();
-  if (tree.Get(tagged).parent != hub) {
+  if (tree.Parent(tagged) != hub) {
     tree.Detach(tagged);
     tree.Attach(hub, tagged);
   }

@@ -323,6 +323,51 @@ TEST(SimProfiler, CountsDispatchesPerTag) {
   EXPECT_NE(table.find("test.a"), std::string::npos);
 }
 
+TEST(SimProfiler, LoopBracketsDriveEventsPerSec) {
+  obs::SimProfiler profiler;
+  EXPECT_EQ(profiler.events_per_sec(), 0.0);  // no loop yet
+  sim::Simulator simulator;
+  simulator.SetProfiler(&profiler);
+  for (int i = 0; i < 100; ++i)
+    simulator.ScheduleAt(static_cast<double>(i), [] {}, "test.loop");
+  simulator.Run();
+  EXPECT_EQ(profiler.loop_events(), 100u);
+  EXPECT_GT(profiler.loop_us(), 0.0);
+  EXPECT_GT(profiler.events_per_sec(), 0.0);
+  // The loop bracket includes queue pops, so it can only be wider than the
+  // sum of the per-callback brackets.
+  double callback_us = 0.0;
+  for (const auto& [tag, stats] : profiler.per_tag())
+    callback_us += stats.total_us;
+  EXPECT_GE(profiler.loop_us(), callback_us);
+}
+
+TEST(SimProfiler, SampleMemoryKeepsHighWaterMarks) {
+  obs::SimProfiler profiler;
+  profiler.SampleMemory(10, 64);
+  profiler.SampleMemory(50, 128);
+  profiler.SampleMemory(3, 16);  // below the marks: must not lower them
+  EXPECT_EQ(profiler.pool_live_max(), 50u);
+  EXPECT_EQ(profiler.pool_capacity_max(), 128u);
+  // getrusage-backed peak RSS: any live process has resident pages.
+  EXPECT_GT(profiler.peak_rss_bytes(), 0u);
+}
+
+TEST(SimProfiler, RunLoopSamplesPoolOccupancy) {
+  obs::SimProfiler profiler;
+  sim::Simulator simulator(sim::QueueKind::kCalendar);
+  simulator.SetProfiler(&profiler);
+  // A standing population of far-future timers keeps the pool occupied
+  // through the end-of-loop sample.
+  for (int i = 0; i < 500; ++i)
+    simulator.ScheduleAt(1000.0 + i, [] {}, "test.standing");
+  simulator.ScheduleAt(1.0, [] {}, "test.near");
+  simulator.RunUntil(2.0);
+  EXPECT_GE(profiler.pool_live_max(), 500u);
+  EXPECT_GE(profiler.pool_capacity_max(), profiler.pool_live_max());
+  EXPECT_GT(profiler.peak_rss_bytes(), 0u);
+}
+
 TEST(SimProfiler, AggregatorMergesCells) {
   obs::SimProfiler a, b;
   sim::Simulator sa, sb;

@@ -48,11 +48,11 @@ TEST_F(PacketElnTest, DescendantsClassifyUpstreamLossDuringRecovery) {
   const NodeId leaf = session_->InjectMember(0.5, 1e9);
   sim_.RunUntil(1.0);
   overlay::Tree& tree = session_->tree();
-  if (tree.Get(orphan).parent != failing) {
+  if (tree.Parent(orphan) != failing) {
     tree.Detach(orphan);
     tree.Attach(failing, orphan);
   }
-  if (tree.Get(leaf).parent != orphan) {
+  if (tree.Parent(leaf) != orphan) {
     tree.Detach(leaf);
     tree.Attach(orphan, leaf);
   }
@@ -68,7 +68,7 @@ TEST_F(PacketElnTest, DescendantsClassifyUpstreamLossDuringRecovery) {
   EXPECT_GT(packets.eln_notifications_sent(), 0);
   // The leaf's parent (the orphan) is still its parent: no rejoin happened
   // below the orphan.
-  EXPECT_EQ(tree.Get(leaf).parent, orphan);
+  EXPECT_EQ(tree.Parent(leaf), orphan);
   // After the rejoin completes and repairs drain, the stream heals.
   sim_.RunUntil(130.0);
   EXPECT_TRUE(tree.IsRooted(leaf));

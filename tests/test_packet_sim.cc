@@ -74,7 +74,7 @@ TEST_F(PacketSimTest, ParentFailureCreatesBoundedHole) {
   const NodeId victim = session_->InjectMember(0.5, 120.0);
   sim_.RunUntil(1.0);
   overlay::Tree& tree = session_->tree();
-  if (tree.Get(victim).parent != hub) {
+  if (tree.Parent(victim) != hub) {
     tree.Detach(victim);
     tree.Attach(hub, victim);
   }
@@ -102,7 +102,7 @@ TEST_F(PacketSimTest, CooperativeRecoveryFillsTheHole) {
   const NodeId victim = session_->InjectMember(0.5, 200.0);
   sim_.RunUntil(1.0);
   overlay::Tree& tree = session_->tree();
-  if (tree.Get(victim).parent != hub) {
+  if (tree.Parent(victim) != hub) {
     tree.Detach(victim);
     tree.Attach(hub, victim);
   }

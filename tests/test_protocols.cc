@@ -44,13 +44,13 @@ TEST_F(ProtocolTest, MinDepthPrefersHighestLayer) {
   // Fill the tree: first member lands under the root.
   const NodeId a = s->InjectMember(3.0, 1e9);
   sim_.RunUntil(1.0);
-  EXPECT_EQ(s->tree().Get(a).parent, kRootId);
+  EXPECT_EQ(s->tree().Parent(a), kRootId);
   // Root has 100 slots; the next hundred join at layer 1 before anyone
   // lands at layer 2.
   for (int i = 0; i < 50; ++i) s->InjectMember(0.5, 1e9);
   sim_.RunUntil(2.0);
   for (NodeId id : s->alive_members())
-    EXPECT_EQ(s->tree().Get(id).layer, 1);
+    EXPECT_EQ(s->tree().Layer(id), 1);
 }
 
 TEST_F(ProtocolTest, MinDepthBreaksTiesByDelay) {
@@ -60,10 +60,10 @@ TEST_F(ProtocolTest, MinDepthBreaksTiesByDelay) {
   sim_.RunUntil(1.0);
   // Saturate the root so the next join must go to layer 2.
   Tree& tree = s->tree();
-  tree.Get(kRootId).capacity = 2;
+  tree.SetCapacity(kRootId, 2);
   const NodeId c = s->InjectMember(0.5, 1e9);
   sim_.RunUntil(2.0);
-  const NodeId parent = tree.Get(c).parent;
+  const NodeId parent = tree.Parent(c);
   ASSERT_TRUE(parent == a || parent == b);
   const NodeId other = parent == a ? b : a;
   EXPECT_LE(s->DelayMs(c, parent), s->DelayMs(c, other));
@@ -73,33 +73,33 @@ TEST_F(ProtocolTest, LongestFirstPicksOldest) {
   auto s = Make(std::make_unique<proto::LongestFirstProtocol>());
   // The root is the oldest member, so early members chain under it first;
   // saturate the root to force a real choice.
-  s->tree().Get(kRootId).capacity = 1;
+  s->tree().SetCapacity(kRootId, 1);
   const NodeId a = s->InjectMember(5.0, 1e9);  // oldest non-root
   sim_.RunUntil(10.0);
   const NodeId b = s->InjectMember(5.0, 1e9);
   sim_.RunUntil(20.0);
   const NodeId c = s->InjectMember(0.5, 1e9);
   sim_.RunUntil(21.0);
-  EXPECT_EQ(s->tree().Get(a).parent, kRootId);
-  EXPECT_EQ(s->tree().Get(b).parent, a);  // a older than b
-  EXPECT_EQ(s->tree().Get(c).parent, a);  // a oldest with spare capacity
+  EXPECT_EQ(s->tree().Parent(a), kRootId);
+  EXPECT_EQ(s->tree().Parent(b), a);  // a older than b
+  EXPECT_EQ(s->tree().Parent(c), a);  // a oldest with spare capacity
 }
 
 TEST_F(ProtocolTest, RelaxedBoEvictsWeakerNode) {
   auto s = Make(std::make_unique<proto::RelaxedBandwidthOrderedProtocol>());
   Tree& tree = s->tree();
-  tree.Get(kRootId).capacity = 1;  // force depth
+  tree.SetCapacity(kRootId, 1);  // force depth
   const NodeId weak = s->InjectMember(1.0, 1e9);
   sim_.RunUntil(1.0);
-  ASSERT_EQ(tree.Get(weak).parent, kRootId);
+  ASSERT_EQ(tree.Parent(weak), kRootId);
   const NodeId strong = s->InjectMember(4.0, 1e9);
   sim_.RunUntil(2.0);
   // The strong newcomer replaces the weak layer-1 incumbent.
-  EXPECT_EQ(tree.Get(strong).parent, kRootId);
-  EXPECT_EQ(tree.Get(strong).layer, 1);
+  EXPECT_EQ(tree.Parent(strong), kRootId);
+  EXPECT_EQ(tree.Layer(strong), 1);
   // The evicted node rejoined below and was charged a reconnection.
   EXPECT_TRUE(tree.IsRooted(weak));
-  EXPECT_EQ(tree.Get(weak).layer, 2);
+  EXPECT_EQ(tree.Layer(weak), 2);
   EXPECT_EQ(tree.Get(weak).reconnections, 1);
   tree.CheckInvariants();
 }
@@ -107,7 +107,7 @@ TEST_F(ProtocolTest, RelaxedBoEvictsWeakerNode) {
 TEST_F(ProtocolTest, RelaxedBoReplacementAdoptsChildren) {
   auto s = Make(std::make_unique<proto::RelaxedBandwidthOrderedProtocol>());
   Tree& tree = s->tree();
-  tree.Get(kRootId).capacity = 1;
+  tree.SetCapacity(kRootId, 1);
   // weak keeps one spare slot so the overlay retains placement headroom
   // (the administrator defers evictions when no slot exists anywhere).
   const NodeId weak = s->InjectMember(3.0, 1e9);
@@ -115,8 +115,8 @@ TEST_F(ProtocolTest, RelaxedBoReplacementAdoptsChildren) {
   const NodeId child1 = s->InjectMember(0.5, 1e9);
   const NodeId child2 = s->InjectMember(0.5, 1e9);
   sim_.RunUntil(2.0);
-  ASSERT_EQ(tree.Get(child1).parent, weak);
-  ASSERT_EQ(tree.Get(child2).parent, weak);
+  ASSERT_EQ(tree.Parent(child1), weak);
+  ASSERT_EQ(tree.Parent(child2), weak);
   const NodeId strong = s->InjectMember(10.0, 1e9);
   sim_.RunUntil(3.0);
   // Children moved under the replacement (bandwidth-ordered guarantees
@@ -125,39 +125,39 @@ TEST_F(ProtocolTest, RelaxedBoReplacementAdoptsChildren) {
   // lower bound on reconnections is fixed.
   EXPECT_GE(tree.Get(child1).reconnections + tree.Get(child2).reconnections, 2);
   EXPECT_GE(tree.Get(weak).reconnections, 1);
-  EXPECT_EQ(tree.Get(strong).layer, 1);
+  EXPECT_EQ(tree.Layer(strong), 1);
   EXPECT_TRUE(tree.IsRooted(weak));
   EXPECT_TRUE(tree.IsRooted(child1));
   EXPECT_TRUE(tree.IsRooted(child2));
   // Bandwidth ordering holds along every parent-child edge that changed.
   for (NodeId id : {weak, child1, child2})
-    EXPECT_GE(tree.Get(tree.Get(id).parent).bandwidth, tree.Get(id).bandwidth);
+    EXPECT_GE(tree.Get(tree.Parent(id)).bandwidth, tree.Get(id).bandwidth);
   tree.CheckInvariants();
 }
 
 TEST_F(ProtocolTest, RelaxedToFreshJoinEvictsNobody) {
   auto s = Make(std::make_unique<proto::RelaxedTimeOrderedProtocol>());
   Tree& tree = s->tree();
-  tree.Get(kRootId).capacity = 1;
+  tree.SetCapacity(kRootId, 1);
   const NodeId elder = s->InjectMember(3.0, 1e9);
   sim_.RunUntil(100.0);
   const NodeId young = s->InjectMember(3.0, 1e9);
   sim_.RunUntil(101.0);
   // Fresh member (age 0) cannot outrank anyone: it stacks below.
-  EXPECT_EQ(tree.Get(elder).parent, kRootId);
-  EXPECT_EQ(tree.Get(young).parent, elder);
+  EXPECT_EQ(tree.Parent(elder), kRootId);
+  EXPECT_EQ(tree.Parent(young), elder);
   EXPECT_EQ(tree.Get(elder).reconnections, 0);
 }
 
 TEST_F(ProtocolTest, RelaxedToRejoinerEvictsYounger) {
   auto s = Make(std::make_unique<proto::RelaxedTimeOrderedProtocol>());
   Tree& tree = s->tree();
-  tree.Get(kRootId).capacity = 1;
+  tree.SetCapacity(kRootId, 1);
   const NodeId elder = s->InjectMember(3.0, 1e9);
   sim_.RunUntil(50.0);
   const NodeId young = s->InjectMember(3.0, 1e9);
   sim_.RunUntil(60.0);
-  ASSERT_EQ(tree.Get(young).parent, elder);
+  ASSERT_EQ(tree.Parent(young), elder);
   // Make the elder's position collapse: detach and force a rejoin. The
   // elder (age 60) outranks the younger (age 10)... but the younger is at
   // layer 2 while layer 1 is now free, so check eviction from a crowded
@@ -171,8 +171,8 @@ TEST_F(ProtocolTest, RelaxedToRejoinerEvictsYounger) {
   s->ForceRejoin(elder);
   sim_.RunUntil(61.0);
   // The elder outranks the younger layer-1 incumbent and takes its place.
-  EXPECT_EQ(tree.Get(elder).parent, kRootId);
-  EXPECT_EQ(tree.Get(elder).layer, 1);
+  EXPECT_EQ(tree.Parent(elder), kRootId);
+  EXPECT_EQ(tree.Layer(elder), 1);
   EXPECT_TRUE(tree.IsRooted(young));
   EXPECT_GE(tree.Get(young).reconnections, 1);
   tree.CheckInvariants();
@@ -181,7 +181,7 @@ TEST_F(ProtocolTest, RelaxedToRejoinerEvictsYounger) {
 TEST_F(ProtocolTest, RelaxedToOverflowChildrenAreReparented) {
   auto s = Make(std::make_unique<proto::RelaxedTimeOrderedProtocol>());
   Tree& tree = s->tree();
-  tree.Get(kRootId).capacity = 2;
+  tree.SetCapacity(kRootId, 2);
   // Hand-assemble: root <- {incumbent, elder}; incumbent <- {k1, k2, k3}.
   const NodeId incumbent = s->InjectMember(3.0, 1e9);
   const NodeId elder = s->InjectMember(1.0, 1e9);
@@ -190,7 +190,7 @@ TEST_F(ProtocolTest, RelaxedToOverflowChildrenAreReparented) {
   const NodeId k3 = s->InjectMember(1.0, 1e9);
   sim_.RunUntil(1.0);
   for (NodeId id : {incumbent, elder, k1, k2, k3})
-    if (tree.Get(id).parent != kNoNode) tree.Detach(id);
+    if (tree.Parent(id) != kNoNode) tree.Detach(id);
   tree.Attach(kRootId, incumbent);
   tree.Attach(kRootId, elder);
   for (NodeId k : {k1, k2, k3}) tree.Attach(incumbent, k);
@@ -203,12 +203,12 @@ TEST_F(ProtocolTest, RelaxedToOverflowChildrenAreReparented) {
   // Shrink the root and make the elder rejoin: it evicts the younger
   // incumbent but can only adopt one (the oldest) of its three children.
   tree.Detach(elder);
-  tree.Get(kRootId).capacity = 1;
+  tree.SetCapacity(kRootId, 1);
   s->ForceRejoin(elder);
   sim_.RunUntil(2.0);
-  EXPECT_EQ(tree.Get(elder).parent, kRootId);
-  ASSERT_EQ(tree.Get(elder).children.size(), 1u);
-  EXPECT_EQ(tree.Get(elder).children.front(), k1);  // oldest child adopted
+  EXPECT_EQ(tree.Parent(elder), kRootId);
+  ASSERT_EQ(tree.Children(elder).size(), 1u);
+  EXPECT_EQ(tree.Children(elder).front(), k1);  // oldest child adopted
   // The overflow children were re-parented by the administrator (graceful:
   // reconnection but no disruption); the evicted incumbent rejoined alone
   // and took the one streaming disruption of the eviction.

@@ -68,10 +68,10 @@ TEST_F(RefereeTest, CheaterClaimsAreIgnoredWithReferees) {
 }
 
 TEST_F(RefereeTest, CheaterCannotClimbWithReferees) {
-  session_->tree().Get(kRootId).capacity = 1;
+  session_->tree().SetCapacity(kRootId, 1);
   const NodeId honest = session_->InjectMember(2.0, 1e9);
   sim_.RunUntil(1.0);
-  ASSERT_EQ(session_->tree().Get(honest).parent, kRootId);
+  ASSERT_EQ(session_->tree().Parent(honest), kRootId);
   const NodeId cheater = session_->InjectMember(1.0, 1e9);
   sim_.RunUntil(2.0);
   ASSERT_TRUE(session_->tree().IsRooted(cheater));
@@ -80,7 +80,7 @@ TEST_F(RefereeTest, CheaterCannotClimbWithReferees) {
   m.reported_age_bonus = 1e7;
   rost_->CheckSwitchNow(*session_, cheater);
   // Verified bandwidth 1.0 < honest's 2.0: no switch.
-  EXPECT_NE(session_->tree().Get(cheater).layer, 1);
+  EXPECT_NE(session_->tree().Layer(cheater), 1);
   EXPECT_EQ(rost_->switches_performed(), 0);
 }
 
@@ -94,18 +94,18 @@ TEST_F(RefereeTest, CheaterClimbsWithoutReferees) {
   auto protocol = std::make_unique<RostProtocol>(p);
   RostProtocol* rost = protocol.get();
   Session session(sim, *topology_, std::move(protocol), SessionParams{}, 5);
-  session.tree().Get(kRootId).capacity = 1;
+  session.tree().SetCapacity(kRootId, 1);
   const NodeId honest = session.InjectMember(2.0, 1e9);
   sim.RunUntil(1.0);
-  ASSERT_EQ(session.tree().Get(honest).parent, kRootId);
+  ASSERT_EQ(session.tree().Parent(honest), kRootId);
   const NodeId cheater = session.InjectMember(1.0, 1e9);
   sim.RunUntil(2.0);
-  ASSERT_EQ(session.tree().Get(cheater).parent, honest);
+  ASSERT_EQ(session.tree().Parent(cheater), honest);
   overlay::Member& m = session.tree().Get(cheater);
   m.reported_bandwidth = 100.0;
   m.reported_age_bonus = 1e7;
   rost->CheckSwitchNow(session, cheater);
-  EXPECT_EQ(session.tree().Get(cheater).parent, kRootId);
+  EXPECT_EQ(session.tree().Parent(cheater), kRootId);
   EXPECT_EQ(rost->switches_performed(), 1);
 }
 
@@ -132,7 +132,7 @@ TEST_F(RefereeTest, TotalWitnessLossResetsAttestation) {
   sim_.RunUntil(50.0);
   // Kill the entire candidate pool: all referees are gone at once.
   for (NodeId p : pool)
-    if (session_->tree().Get(p).alive) session_->DepartNow(p);
+    if (session_->tree().Alive(p)) session_->DepartNow(p);
   const long resets_before = rost_->referees().attestation_resets();
   const double age = rost_->referees().VerifiedAge(*session_, a, sim_.now());
   EXPECT_GT(rost_->referees().attestation_resets(), resets_before);

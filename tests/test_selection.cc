@@ -46,7 +46,7 @@ TEST_F(SelectionTest, PickMinDepthPrefersShallowerLayer) {
   const NodeId j = session_->InjectMember(0.5, 1e9);
   sim_.RunUntil(1.0);
   for (NodeId id : {a, b, j})
-    if (tree.Get(id).parent != kNoNode) tree.Detach(id);
+    if (tree.Parent(id) != kNoNode) tree.Detach(id);
   tree.Attach(kRootId, a);
   tree.Attach(a, b);
   EXPECT_EQ(PickMinDepthParent(*session_, {b, a}, j), a);
@@ -60,7 +60,7 @@ TEST_F(SelectionTest, PickMinDepthSkipsFullParents) {
   const NodeId j = session_->InjectMember(0.5, 1e9);
   sim_.RunUntil(1.0);
   for (NodeId id : {a, b, c, j})
-    if (tree.Get(id).parent != kNoNode) tree.Detach(id);
+    if (tree.Parent(id) != kNoNode) tree.Detach(id);
   tree.Attach(kRootId, a);
   tree.Attach(kRootId, b);
   tree.Attach(a, c);  // a is now full
@@ -75,7 +75,7 @@ TEST_F(SelectionTest, PickOldestIgnoresLayer) {
   const NodeId j = session_->InjectMember(0.5, 1e9);
   sim_.RunUntil(1.0);
   for (NodeId id : {shallow, deep, j})
-    if (tree.Get(id).parent != kNoNode) tree.Detach(id);
+    if (tree.Parent(id) != kNoNode) tree.Detach(id);
   tree.Attach(kRootId, shallow);
   tree.Attach(shallow, deep);
   tree.Get(deep).join_time = -500.0;  // deep is much older
@@ -89,7 +89,7 @@ TEST_F(SelectionTest, LayersByBfsGroupsByDepth) {
   const NodeId c = session_->InjectMember(0.5, 1e9);
   sim_.RunUntil(1.0);
   for (NodeId id : {a, b, c})
-    if (tree.Get(id).parent != kNoNode) tree.Detach(id);
+    if (tree.Parent(id) != kNoNode) tree.Detach(id);
   tree.Attach(kRootId, a);
   tree.Attach(a, b);
   tree.Attach(b, c);
@@ -107,7 +107,7 @@ TEST_F(SelectionTest, LayersByBfsSkipsDetachedFragments) {
   const NodeId b = session_->InjectMember(2.0, 1e9);
   sim_.RunUntil(1.0);
   for (NodeId id : {a, b})
-    if (tree.Get(id).parent != kNoNode) tree.Detach(id);
+    if (tree.Parent(id) != kNoNode) tree.Detach(id);
   tree.Attach(kRootId, a);
   tree.Attach(a, b);
   tree.Detach(a);
@@ -128,7 +128,7 @@ TEST_F(SelectionTest, EvictionDeferredWhenItWouldDrainHeadroom) {
   // Young supernode holds the top slot and all the headroom.
   const NodeId super = s.InjectMember(10.0, 1e9);
   sim.RunUntil(1.0);
-  ASSERT_EQ(tree.Get(super).parent, kRootId);
+  ASSERT_EQ(tree.Parent(super), kRootId);
   // An old free-rider joins: it outranks the young supernode by age, but
   // evicting it would leave spare = 0 (the free-rider brings none).
   const NodeId elder = s.InjectMember(0.5, 1e9);
@@ -137,8 +137,8 @@ TEST_F(SelectionTest, EvictionDeferredWhenItWouldDrainHeadroom) {
   tree.Get(elder).join_time = -1e6;
   s.ForceRejoin(elder);
   sim.RunUntil(3.0);
-  EXPECT_EQ(tree.Get(super).parent, kRootId);  // not evicted
-  EXPECT_EQ(tree.Get(elder).parent, super);    // placed in a spare slot
+  EXPECT_EQ(tree.Parent(super), kRootId);  // not evicted
+  EXPECT_EQ(tree.Parent(elder), super);    // placed in a spare slot
   tree.CheckInvariants();
 }
 
@@ -161,9 +161,10 @@ TEST_F(SelectionTest, EvictionChainsTerminate) {
   s.tree().CheckInvariants();
   // Bandwidth ordering holds along every parent-child edge.
   for (NodeId id : s.alive_members()) {
-    const auto& m = s.tree().Get(id);
-    if (m.parent == kNoNode || m.parent == kRootId) continue;
-    EXPECT_GE(s.tree().Get(m.parent).bandwidth + 1e-9, m.bandwidth);
+    const NodeId parent = s.tree().Parent(id);
+    if (parent == kNoNode || parent == kRootId) continue;
+    EXPECT_GE(s.tree().Get(parent).bandwidth + 1e-9,
+              s.tree().Get(id).bandwidth);
   }
 }
 

@@ -69,16 +69,16 @@ TEST_F(SessionTest, DepartureDisruptsDescendantsOnce) {
   sim_.RunUntil(1.0);
   Tree& tree = session->tree();
   // Rearrange deterministically.
-  if (tree.Get(b).parent != a) {
+  if (tree.Parent(b) != a) {
     tree.Detach(b);
     tree.Attach(a, b);
   }
-  if (tree.Get(c).parent != b) {
+  if (tree.Parent(c) != b) {
     tree.Detach(c);
     tree.Attach(b, c);
   }
   session->DepartNow(a);
-  EXPECT_FALSE(tree.Get(a).alive);
+  EXPECT_FALSE(tree.Alive(a));
   EXPECT_EQ(tree.Get(b).disruptions, 1);
   EXPECT_EQ(tree.Get(c).disruptions, 1);
   // Orphans rejoined immediately (structural model).
@@ -95,7 +95,7 @@ TEST_F(SessionTest, DepartureFiresHooksInOrder) {
   const NodeId b = session->InjectMember(0.5, 1e9);
   sim_.RunUntil(1.0);
   Tree& tree = session->tree();
-  if (tree.Get(b).parent != a) {
+  if (tree.Parent(b) != a) {
     tree.Detach(b);
     tree.Attach(a, b);
   }
@@ -103,7 +103,7 @@ TEST_F(SessionTest, DepartureFiresHooksInOrder) {
   session->hooks().AddOnDeparture([&](NodeId id) {
     EXPECT_EQ(id, a);
     // Tree must still be intact at this point.
-    EXPECT_EQ(session->tree().Get(b).parent, a);
+    EXPECT_EQ(session->tree().Parent(b), a);
     events.push_back("departure");
   });
   session->hooks().AddOnDisruption([&](NodeId affected, NodeId failed) {
@@ -124,9 +124,9 @@ TEST_F(SessionTest, LifetimeExpiryDepartsAutomatically) {
   auto session = MakeSession();
   const NodeId a = session->InjectMember(1.0, 10.0);
   sim_.RunUntil(9.0);
-  EXPECT_TRUE(session->tree().Get(a).alive);
+  EXPECT_TRUE(session->tree().Alive(a));
   sim_.RunUntil(11.0);
-  EXPECT_FALSE(session->tree().Get(a).alive);
+  EXPECT_FALSE(session->tree().Alive(a));
   EXPECT_EQ(session->alive_count(), 0);
 }
 
@@ -147,7 +147,7 @@ TEST_F(SessionTest, SampleCandidatesExcludesFragmentAndIncludesRoot) {
   const NodeId b = session->InjectMember(0.5, 1e9);
   sim_.RunUntil(1.0);
   Tree& tree = session->tree();
-  if (tree.Get(b).parent != a) {
+  if (tree.Parent(b) != a) {
     tree.Detach(b);
     tree.Attach(a, b);
   }
@@ -179,11 +179,11 @@ TEST_F(SessionTest, OverlayDelayIsSumOfHops) {
   const NodeId b = session->InjectMember(0.5, 1e9);
   sim_.RunUntil(1.0);
   Tree& tree = session->tree();
-  if (tree.Get(b).parent != a) {
+  if (tree.Parent(b) != a) {
     tree.Detach(b);
     tree.Attach(a, b);
   }
-  ASSERT_EQ(tree.Get(a).parent, kRootId);
+  ASSERT_EQ(tree.Parent(a), kRootId);
   const double expected =
       session->DelayMs(kRootId, a) + session->DelayMs(a, b);
   EXPECT_NEAR(session->OverlayDelayMs(b), expected, 1e-9);
@@ -214,7 +214,7 @@ TEST_F(SessionTest, DeterministicGivenSeed) {
     std::uint64_t checksum = static_cast<std::uint64_t>(session.alive_count());
     for (NodeId id : session.alive_members())
       checksum = checksum * 31 +
-                 static_cast<std::uint64_t>(session.tree().Get(id).layer);
+                 static_cast<std::uint64_t>(session.tree().Layer(id));
     return checksum;
   };
   EXPECT_EQ(run(5), run(5));

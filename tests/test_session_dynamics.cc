@@ -37,7 +37,7 @@ TEST_F(SessionDynamicsTest, JoinPoolContainsBfsPrefixFromRoot) {
   auto s = Make();
   // Build a deep chain the random sample could easily miss.
   Tree& tree = s->tree();
-  tree.Get(kRootId).capacity = 1;
+  tree.SetCapacity(kRootId, 1);
   NodeId prev = kRootId;
   std::vector<NodeId> chain;
   for (int i = 0; i < 10; ++i) {
@@ -108,22 +108,22 @@ TEST_F(SessionDynamicsTest, StuckFragmentDissolves) {
   auto s = Make();
   Tree& tree = s->tree();
   // A fragment root that can never re-attach (zero capacity anywhere).
-  tree.Get(kRootId).capacity = 1;
+  tree.SetCapacity(kRootId, 1);
   const NodeId blocker = s->InjectMember(1.0, 1e9);
   const NodeId kid1 = s->InjectMember(0.5, 1e9);
   sim_.RunUntil(1.0);
-  ASSERT_EQ(tree.Get(blocker).parent, kRootId);
-  ASSERT_EQ(tree.Get(kid1).parent, blocker);
+  ASSERT_EQ(tree.Parent(blocker), kRootId);
+  ASSERT_EQ(tree.Parent(kid1), blocker);
   tree.Detach(blocker);  // fragment {blocker, kid1}, root slot now free...
-  tree.Get(kRootId).capacity = 0;  // ...and gone again
+  tree.SetCapacity(kRootId, 0);  // ...and gone again
   s->ForceRejoin(blocker);
   // After fragment_dissolve_after_attempts failures, kid1 is released and
   // retries on its own.
   sim_.RunUntil(40.0);
-  EXPECT_EQ(tree.Get(blocker).children.size(), 0u);
-  EXPECT_EQ(tree.Get(kid1).parent, kNoNode);  // both waiting, independently
+  EXPECT_EQ(tree.Children(blocker).size(), 0u);
+  EXPECT_EQ(tree.Parent(kid1), kNoNode);  // both waiting, independently
   // Capacity reappears: both re-attach.
-  tree.Get(kRootId).capacity = 2;
+  tree.SetCapacity(kRootId, 2);
   sim_.RunUntil(80.0);
   EXPECT_TRUE(tree.IsRooted(blocker));
   EXPECT_TRUE(tree.IsRooted(kid1));
@@ -135,7 +135,7 @@ TEST_F(SessionDynamicsTest, ChargeDisruptionHitsSubtree) {
   const NodeId a = s->InjectMember(2.0, 1e9);
   const NodeId b = s->InjectMember(0.5, 1e9);
   sim_.RunUntil(1.0);
-  if (tree.Get(b).parent != a) {
+  if (tree.Parent(b) != a) {
     tree.Detach(b);
     tree.Attach(a, b);
   }
@@ -165,9 +165,10 @@ TEST_F(SessionDynamicsTest, RostPrepopulationFastForwardsSwitches) {
   int checked = 0;
   for (NodeId id : session.alive_members()) {
     const Member& m = session.tree().Get(id);
-    if (m.parent == kNoNode || m.parent == kRootId) continue;
+    const NodeId parent = session.tree().Parent(id);
+    if (parent == kNoNode || parent == kRootId) continue;
     ++checked;
-    const Member& p = session.tree().Get(m.parent);
+    const Member& p = session.tree().Get(parent);
     const bool would_switch =
         m.Btp(0.0) > p.Btp(0.0) && m.bandwidth >= p.bandwidth;
     if (would_switch && rost != nullptr) ++violations;
@@ -186,16 +187,16 @@ TEST_F(SessionDynamicsTest, RejoinDelayKeepsOrphanDetached) {
   const NodeId hub = s->InjectMember(5.0, 1e9);
   const NodeId child = s->InjectMember(0.5, 1e9);
   sim_.RunUntil(1.0);
-  if (tree.Get(child).parent != hub) {
+  if (tree.Parent(child) != hub) {
     tree.Detach(child);
     tree.Attach(hub, child);
   }
   s->DepartNow(hub);
   // The orphan is physically detached for the detection + rejoin window.
   sim_.RunUntil(10.0);
-  EXPECT_EQ(tree.Get(child).parent, kNoNode);
+  EXPECT_EQ(tree.Parent(child), kNoNode);
   sim_.RunUntil(14.0);
-  EXPECT_EQ(tree.Get(child).parent, kNoNode);
+  EXPECT_EQ(tree.Parent(child), kNoNode);
   sim_.RunUntil(20.0);
   EXPECT_TRUE(tree.IsRooted(child));
 }
@@ -208,13 +209,13 @@ TEST_F(SessionDynamicsTest, RejoinDelaySkipsMembersThatDieMeanwhile) {
   const NodeId hub = s->InjectMember(5.0, 1e9);
   const NodeId child = s->InjectMember(0.5, 10.0);  // dies during the window
   sim_.RunUntil(1.0);
-  if (tree.Get(child).parent != hub) {
+  if (tree.Parent(child) != hub) {
     tree.Detach(child);
     tree.Attach(hub, child);
   }
   s->DepartNow(hub);
   sim_.RunUntil(30.0);  // child died at ~11, before its rejoin at ~16
-  EXPECT_FALSE(tree.Get(child).alive);
+  EXPECT_FALSE(tree.Alive(child));
   tree.CheckInvariants();
 }
 

@@ -51,7 +51,7 @@ TEST_F(StreamingTest, FailureTriggersOneOutagePerOrphan) {
   sim_.RunUntil(1.0);
   overlay::Tree& tree = session_->tree();
   for (NodeId id : {c1, c2}) {
-    if (tree.Get(id).parent != hub) {
+    if (tree.Parent(id) != hub) {
       tree.Detach(id);
       tree.Attach(hub, id);
     }
@@ -71,12 +71,12 @@ TEST_F(StreamingTest, StarvingRatioRecordedOnDeparture) {
   const NodeId victim = session_->InjectMember(0.5, 120.0);
   sim_.RunUntil(2.0);
   overlay::Tree& tree = session_->tree();
-  if (tree.Get(victim).parent != hub) {
+  if (tree.Parent(victim) != hub) {
     tree.Detach(victim);
     tree.Attach(hub, victim);
   }
   sim_.RunUntil(200.0);  // hub dies at 40, victim at ~122
-  ASSERT_FALSE(tree.Get(victim).alive);
+  ASSERT_FALSE(tree.Alive(victim));
   EXPECT_GE(streaming_->ratio_stat().count(), 1u);
   // The victim starved for part of its 115 s of viewing.
   EXPECT_GT(streaming_->ratio_stat().max(), 0.0);
@@ -160,7 +160,7 @@ TEST_F(StreamingTest, CooperativeBeatsSingleSource) {
       sim.RunUntil(sim.now() + 1.0);
       overlay::Tree& tree = session.tree();
       for (overlay::NodeId c : {c1, c2}) {
-        if (tree.Get(c).parent != hub) {
+        if (tree.Parent(c) != hub) {
           tree.Detach(c);
           tree.Attach(hub, c);
         }

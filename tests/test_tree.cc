@@ -20,28 +20,26 @@ class TreeTest : public ::testing::Test {
 };
 
 TEST_F(TreeTest, RootIsAliveAndInTree) {
-  const Member& root = tree_.Get(kRootId);
-  EXPECT_TRUE(root.alive);
-  EXPECT_TRUE(root.in_tree);
-  EXPECT_EQ(root.layer, 0);
-  EXPECT_EQ(root.capacity, 100);
-  EXPECT_TRUE(root.IsRoot());
+  EXPECT_TRUE(tree_.Alive(kRootId));
+  EXPECT_TRUE(tree_.InTree(kRootId));
+  EXPECT_EQ(tree_.Layer(kRootId), 0);
+  EXPECT_EQ(tree_.Capacity(kRootId), 100);
+  EXPECT_TRUE(tree_.Get(kRootId).IsRoot());
 }
 
 TEST_F(TreeTest, CreateMemberStartsDetached) {
   const NodeId a = Add(2.0);
-  const Member& m = tree_.Get(a);
-  EXPECT_TRUE(m.alive);
-  EXPECT_FALSE(m.in_tree);
-  EXPECT_EQ(m.parent, kNoNode);
-  EXPECT_EQ(m.capacity, 2);
+  EXPECT_TRUE(tree_.Alive(a));
+  EXPECT_FALSE(tree_.InTree(a));
+  EXPECT_EQ(tree_.Parent(a), kNoNode);
+  EXPECT_EQ(tree_.Capacity(a), 2);
 }
 
 TEST_F(TreeTest, CapacityIsFloorOfBandwidth) {
-  EXPECT_EQ(tree_.Get(Add(0.5)).capacity, 0);   // free-rider
-  EXPECT_EQ(tree_.Get(Add(1.0)).capacity, 1);
-  EXPECT_EQ(tree_.Get(Add(2.9)).capacity, 2);
-  EXPECT_EQ(tree_.Get(Add(100.0)).capacity, 100);
+  EXPECT_EQ(tree_.Capacity(Add(0.5)), 0);   // free-rider
+  EXPECT_EQ(tree_.Capacity(Add(1.0)), 1);
+  EXPECT_EQ(tree_.Capacity(Add(2.9)), 2);
+  EXPECT_EQ(tree_.Capacity(Add(100.0)), 100);
 }
 
 TEST_F(TreeTest, AttachSetsLayersAndLinks) {
@@ -49,10 +47,10 @@ TEST_F(TreeTest, AttachSetsLayersAndLinks) {
   const NodeId b = Add(1.0);
   tree_.Attach(kRootId, a);
   tree_.Attach(a, b);
-  EXPECT_EQ(tree_.Get(a).layer, 1);
-  EXPECT_EQ(tree_.Get(b).layer, 2);
-  EXPECT_EQ(tree_.Get(b).parent, a);
-  ASSERT_EQ(tree_.Get(a).children.size(), 1u);
+  EXPECT_EQ(tree_.Layer(a), 1);
+  EXPECT_EQ(tree_.Layer(b), 2);
+  EXPECT_EQ(tree_.Parent(b), a);
+  ASSERT_EQ(tree_.Children(a).size(), 1u);
   tree_.CheckInvariants();
 }
 
@@ -67,8 +65,8 @@ TEST_F(TreeTest, AttachFragmentRecomputesSubtreeLayers) {
   const NodeId d = Add(5.0);
   tree_.Attach(kRootId, d);
   tree_.Attach(d, b);  // re-attach the fragment one level deeper
-  EXPECT_EQ(tree_.Get(b).layer, 2);
-  EXPECT_EQ(tree_.Get(c).layer, 3);
+  EXPECT_EQ(tree_.Layer(b), 2);
+  EXPECT_EQ(tree_.Layer(c), 3);
   tree_.CheckInvariants();
 }
 
@@ -78,9 +76,9 @@ TEST_F(TreeTest, DetachKeepsChildren) {
   tree_.Attach(kRootId, a);
   tree_.Attach(a, b);
   tree_.Detach(a);
-  EXPECT_EQ(tree_.Get(a).parent, kNoNode);
-  EXPECT_FALSE(tree_.Get(a).in_tree);
-  EXPECT_EQ(tree_.Get(b).parent, a);  // subtree intact
+  EXPECT_EQ(tree_.Parent(a), kNoNode);
+  EXPECT_FALSE(tree_.InTree(a));
+  EXPECT_EQ(tree_.Parent(b), a);  // subtree intact
   EXPECT_FALSE(tree_.IsRooted(a));
   EXPECT_FALSE(tree_.IsRooted(b));
 }
@@ -94,9 +92,9 @@ TEST_F(TreeTest, RemoveFromTreeOrphansEachChild) {
   tree_.Attach(a, c);
   const auto orphans = tree_.RemoveFromTree(a);
   EXPECT_EQ(orphans.size(), 2u);
-  EXPECT_EQ(tree_.Get(b).parent, kNoNode);
-  EXPECT_EQ(tree_.Get(c).parent, kNoNode);
-  EXPECT_TRUE(tree_.Get(a).children.empty());
+  EXPECT_EQ(tree_.Parent(b), kNoNode);
+  EXPECT_EQ(tree_.Parent(c), kNoNode);
+  EXPECT_TRUE(tree_.Children(a).empty());
 }
 
 TEST_F(TreeTest, IsInSubtreeOf) {

@@ -110,8 +110,8 @@ TEST_P(TreeFuzzTest, MatchesReferenceModel) {
       alive.push_back(id);
       for (int attempt = 0; attempt < 8; ++attempt) {
         const NodeId p = alive[rng.UniformIndex(alive.size())];
-        if (p == id || !tree.Get(p).alive) continue;
-        if (tree.Get(p).SpareCapacity() <= 0) continue;
+        if (p == id || !tree.Alive(p)) continue;
+        if (tree.SpareCapacity(p) <= 0) continue;
         if (!tree.IsRooted(p)) continue;
         if (tree.IsInSubtreeOf(p, id)) continue;
         tree.Attach(p, id);
@@ -121,17 +121,17 @@ TEST_P(TreeFuzzTest, MatchesReferenceModel) {
     } else if (dice < 60) {
       // Detach a random attached non-root member (fragment root).
       const NodeId id = alive[rng.UniformIndex(alive.size())];
-      if (id != kRootId && tree.Get(id).parent != kNoNode) {
+      if (id != kRootId && tree.Parent(id) != kNoNode) {
         tree.Detach(id);
         ref.Detach(id);
       }
     } else if (dice < 85) {
       // Re-attach a random detached member somewhere legal.
       const NodeId id = alive[rng.UniformIndex(alive.size())];
-      if (id != kRootId && tree.Get(id).parent == kNoNode) {
+      if (id != kRootId && tree.Parent(id) == kNoNode) {
         for (int attempt = 0; attempt < 8; ++attempt) {
           const NodeId p = alive[rng.UniformIndex(alive.size())];
-          if (p == id || tree.Get(p).SpareCapacity() <= 0) continue;
+          if (p == id || tree.SpareCapacity(p) <= 0) continue;
           if (!tree.IsRooted(p)) continue;
           if (tree.IsInSubtreeOf(p, id)) continue;
           tree.Attach(p, id);
@@ -142,9 +142,9 @@ TEST_P(TreeFuzzTest, MatchesReferenceModel) {
     } else {
       // Remove (depart) a random non-root member.
       const NodeId id = alive[rng.UniformIndex(alive.size())];
-      if (id != kRootId && tree.Get(id).alive) {
+      if (id != kRootId && tree.Alive(id)) {
         tree.RemoveFromTree(id);
-        tree.Get(id).alive = false;
+        tree.MarkDead(id);
         ref.Remove(id);
         std::erase(alive, id);
       }
@@ -154,10 +154,10 @@ TEST_P(TreeFuzzTest, MatchesReferenceModel) {
     if (op % 20 != 19) continue;
     tree.CheckInvariants();
     for (const auto& [node, parent] : ref.parents()) {
-      EXPECT_EQ(tree.Get(node).parent, parent) << "node " << node;
+      EXPECT_EQ(tree.Parent(node), parent) << "node " << node;
       EXPECT_EQ(tree.IsRooted(node), ref.IsRooted(node)) << "node " << node;
       if (ref.IsRooted(node)) {
-        EXPECT_EQ(tree.Get(node).layer, ref.Layer(node)) << "node " << node;
+        EXPECT_EQ(tree.Layer(node), ref.Layer(node)) << "node " << node;
       }
       const auto expected = ref.Descendants(node);
       std::set<NodeId> actual;

@@ -1,0 +1,49 @@
+// Fixture [rost-event-emit, Session table]: the reconnect/re-entry state
+// machine's transitions pair with the kReconnect* taxonomy family. A
+// ReentryAttempt body that emits the attached outcome but not the abandoned
+// one must be flagged at the definition line.
+//
+// TaxonomyRegistry() references every kReconnect* kind so the whole-file
+// taxonomy cross-reference (resolved against the real src/obs/trace.h by
+// walking up from this file) stays satisfied.
+namespace fixture {
+
+enum class EventKind : int {
+  kReconnectStart,
+  kReconnectAttached,
+  kReconnectAbandoned,
+};
+
+struct Tracer {
+  void Emit(EventKind kind, int subject, int peer, int detail);
+};
+
+class Session {
+ public:
+  void BeginReentry(int node, int predecessor);
+  void ReentryAttempt(int node, int predecessor);
+
+ private:
+  Tracer* tracer_ = nullptr;
+};
+
+// Negative: a compliant transition emits its paired kind.
+void Session::BeginReentry(int node, int predecessor) {
+  tracer_->Emit(EventKind::kReconnectStart, node, predecessor, 0);
+}
+
+void Session::ReentryAttempt(int node, int predecessor) {  // expect(rost-event-emit)
+  tracer_->Emit(EventKind::kReconnectAttached, node, predecessor, 1);
+  // BUG (deliberate): the retries-exhausted branch never emits
+  // kReconnectAbandoned, so an abandoned rejoin is invisible in the trace.
+}
+
+// Keeps the file-level taxonomy cross-reference satisfied (every family
+// kind has an emit site somewhere in this file).
+inline void TaxonomyRegistry(Tracer* tracer) {
+  tracer->Emit(EventKind::kReconnectStart, 0, 0, 0);
+  tracer->Emit(EventKind::kReconnectAttached, 0, 0, 0);
+  tracer->Emit(EventKind::kReconnectAbandoned, 0, 0, 0);
+}
+
+}  // namespace fixture

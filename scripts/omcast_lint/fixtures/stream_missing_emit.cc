@@ -1,0 +1,50 @@
+// Fixture [rost-event-emit, PacketLevelStream table]: frame-dependency
+// playback transitions pair with the kPlaybackRegime / kDecodeStall /
+// kDependencyResync taxonomy kinds. A JudgeWindow body that reports decode
+// stalls but never the dependency-resync edge must be flagged at the
+// definition line.
+//
+// TaxonomyRegistry() references every playback-family kind so the
+// whole-file taxonomy cross-reference (resolved against the real
+// src/obs/trace.h by walking up from this file) stays satisfied.
+namespace fixture {
+
+enum class EventKind : int {
+  kDependencyResync,
+  kPlaybackRegime,
+  kDecodeStall,
+};
+
+struct Tracer {
+  void Emit(EventKind kind, int subject, int peer, int detail);
+};
+
+class PacketLevelStream {
+ public:
+  void SetRegime(int member, int regime);
+  void JudgeWindow(int member);
+
+ private:
+  Tracer* tracer_ = nullptr;
+};
+
+// Negative: a compliant transition emits its paired kind.
+void PacketLevelStream::SetRegime(int member, int regime) {
+  tracer_->Emit(EventKind::kPlaybackRegime, member, -1, regime);
+}
+
+void PacketLevelStream::JudgeWindow(int member) {  // expect(rost-event-emit)
+  tracer_->Emit(EventKind::kDecodeStall, member, -1, 2);
+  // BUG (deliberate): the first-on-time-reference branch never emits
+  // kDependencyResync, so recovery from a desynced start is untraceable.
+}
+
+// Keeps the file-level taxonomy cross-reference satisfied (every family
+// kind has an emit site somewhere in this file).
+inline void TaxonomyRegistry(Tracer* tracer) {
+  tracer->Emit(EventKind::kDependencyResync, 0, 0, 0);
+  tracer->Emit(EventKind::kPlaybackRegime, 0, 0, 0);
+  tracer->Emit(EventKind::kDecodeStall, 0, 0, 0);
+}
+
+}  // namespace fixture

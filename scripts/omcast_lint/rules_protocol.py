@@ -1,21 +1,24 @@
-"""Protocol-invariant rule: every ROST state-transition function must emit
-its paired obs::EventKind trace event.
+"""Protocol-invariant rule: every state-transition function of an
+instrumented protocol class must emit its paired obs::EventKind trace event.
 
-The 21-kind EventKind taxonomy (src/obs/trace.h) is the observability
-contract the replay/causality tests are built on: tests/test_trace_causality
-proves properties like "every lease release pairs with a grant" *from the
-trace alone*, so a transition that silently skips its emission makes those
-proofs vacuous rather than failing them. This rule pins, statically:
+The EventKind taxonomy (src/obs/trace.h) is the observability contract the
+replay/causality tests are built on: tests/test_trace_causality proves
+properties like "every lease release pairs with a grant" *from the trace
+alone*, so a transition that silently skips its emission makes those proofs
+vacuous rather than failing them. This rule pins, statically:
 
-  1. each known transition function of core::RostProtocol contains an
+  1. each known transition function of an instrumented class contains an
      EventKind::<paired kind> token for every kind it owns, and
-  2. (cross-reference) every taxonomy kind in the ROST switch/lock families
-     has at least one emit site in the file defining the transitions, so a
-     kind added to the enum cannot silently go un-emitted.
+  2. (cross-reference) every taxonomy kind in the families a class owns has
+     at least one emit site in the file defining that class's transitions,
+     so a kind added to the enum cannot silently go un-emitted.
 
-The table below is the protocol contract; extending ROST with a new
-transition means adding its pairing here (the fixtures pin the rule's
-behaviour on both the missing- and present-emission sides).
+The tables below are the protocol contract -- one entry per instrumented
+class: core::RostProtocol (switch/lock families), overlay::Session
+(reconnect/re-entry state machine) and stream::PacketLevelStream (frame
+playback: regime transitions, decode stalls, dependency resync). Extending a
+protocol with a new transition means adding its pairing here (the fixtures
+pin the rule's behaviour on both the missing- and present-emission sides).
 """
 
 from __future__ import annotations
@@ -26,25 +29,51 @@ from pathlib import Path
 from .registry import rule
 from .source import SourceFile, find_method_definitions
 
-# Transition function -> the EventKind tokens its body must contain.
-# CompleteHandshake owns both outcomes of a finished handshake (commit and
-# neighbourhood-changed abort); GrantLease owns the grant and schedules the
-# expiry event, so both kinds must appear in its body.
-TRANSITION_EMITS: dict[str, tuple[str, ...]] = {
-    "CheckSwitch": ("kSwitchAttempt",),
-    "CompleteHandshake": ("kSwitchCommit", "kSwitchAbort"),
-    "OnLockRequest": ("kLockRequest",),
-    "OnLockDeny": ("kLockDeny",),
-    "OnLockTimeout": ("kLockTimeout",),
-    "GrantLease": ("kLockGrant", "kLockExpire"),
-    "ReleaseLease": ("kLockRelease",),
-}
-
-# Taxonomy families owned by ROST: every kind with one of these prefixes
-# must have an emit site in the transition-defining file.
-ROST_FAMILY_PREFIXES = ("kSwitch", "kLock")
-
-CLASS_NAME = "RostProtocol"
+# One pairing table per instrumented class:
+#   transitions: function -> the EventKind tokens its body must contain;
+#   family_prefixes: taxonomy prefixes the class owns -- every enum kind with
+#     one of these prefixes must have an emit site somewhere in the file that
+#     defines the class's transitions.
+#
+# RostProtocol: CompleteHandshake owns both outcomes of a finished handshake
+# (commit and neighbourhood-changed abort); GrantLease owns the grant and
+# schedules the expiry event, so both kinds must appear in its body.
+# Session: BeginReentry materializes the returning member; ReentryAttempt
+# owns both terminal outcomes of the bounded-retry rejoin (attached,
+# abandoned). PacketLevelStream: SetRegime owns the hysteresis transition
+# event; JudgeWindow owns per-window decode-stall reporting and the
+# dependency-resync edge.
+PROTOCOL_TABLES: tuple[dict, ...] = (
+    {
+        "class_name": "RostProtocol",
+        "transitions": {
+            "CheckSwitch": ("kSwitchAttempt",),
+            "CompleteHandshake": ("kSwitchCommit", "kSwitchAbort"),
+            "OnLockRequest": ("kLockRequest",),
+            "OnLockDeny": ("kLockDeny",),
+            "OnLockTimeout": ("kLockTimeout",),
+            "GrantLease": ("kLockGrant", "kLockExpire"),
+            "ReleaseLease": ("kLockRelease",),
+        },
+        "family_prefixes": ("kSwitch", "kLock"),
+    },
+    {
+        "class_name": "Session",
+        "transitions": {
+            "BeginReentry": ("kReconnectStart",),
+            "ReentryAttempt": ("kReconnectAttached", "kReconnectAbandoned"),
+        },
+        "family_prefixes": ("kReconnect",),
+    },
+    {
+        "class_name": "PacketLevelStream",
+        "transitions": {
+            "SetRegime": ("kPlaybackRegime",),
+            "JudgeWindow": ("kDecodeStall", "kDependencyResync"),
+        },
+        "family_prefixes": ("kPlayback", "kDecodeStall", "kDependencyResync"),
+    },
+)
 
 ENUM_KIND_RE = re.compile(r"^\s*(k[A-Z]\w*)\s*[=,]")
 
@@ -78,40 +107,44 @@ def _taxonomy_kinds(sf: SourceFile) -> list[str] | None:
 
 
 @rule("rost-event-emit",
-      "ROST state-transition function missing its paired EventKind trace "
+      "protocol state-transition function missing its paired EventKind trace "
       "emission (cross-referenced against the obs::EventKind taxonomy)")
 def find_rost_event_emit(sf: SourceFile):
-    defs = [d for d in find_method_definitions(sf, CLASS_NAME)
-            if d.name in TRANSITION_EMITS]
-    if not defs:
-        return []
     hits = []
     emitted_kinds: set[str] = set()
     kind_re = re.compile(r"EventKind::(k\w+)")
-    for i, line in enumerate(sf.code_lines):
+    for line in sf.code_lines:
         for m in kind_re.finditer(line):
             emitted_kinds.add(m.group(1))
-    for d in defs:
-        body = " ".join(sf.code_lines[d.body_start:d.end + 1])
-        for kind in TRANSITION_EMITS[d.name]:
-            if not re.search(r"EventKind::" + kind + r"\b", body):
-                hits.append((d.start,
-                             f"ROST transition '{d.name}' must emit "
-                             f"EventKind::{kind}: the trace-causality tests "
-                             f"prove lease/switch invariants from the trace "
-                             f"alone, so a skipped emission silently "
-                             f"un-checks them (pairing table: "
-                             f"scripts/omcast_lint/rules_protocol.py)"))
-    # Cross-reference: a ROST-family kind in the taxonomy with no emit site
-    # anywhere in the transition-defining file.
     taxonomy = _taxonomy_kinds(sf)
-    if taxonomy:
-        for kind in taxonomy:
-            if kind.startswith(ROST_FAMILY_PREFIXES) and \
-                    kind not in emitted_kinds:
-                hits.append((0, f"EventKind::{kind} belongs to the ROST "
-                                f"switch/lock family but has no emit site in "
-                                f"this file: new taxonomy kinds must be "
-                                f"emitted by their transition (or the family "
-                                f"prefix table updated)"))
+    for table in PROTOCOL_TABLES:
+        transitions: dict[str, tuple[str, ...]] = table["transitions"]
+        defs = [d for d in find_method_definitions(sf, table["class_name"])
+                if d.name in transitions]
+        if not defs:
+            continue
+        for d in defs:
+            body = " ".join(sf.code_lines[d.body_start:d.end + 1])
+            for kind in transitions[d.name]:
+                if not re.search(r"EventKind::" + kind + r"\b", body):
+                    hits.append((d.start,
+                                 f"{table['class_name']} transition "
+                                 f"'{d.name}' must emit EventKind::{kind}: "
+                                 f"the trace-causality tests prove protocol "
+                                 f"invariants from the trace alone, so a "
+                                 f"skipped emission silently un-checks them "
+                                 f"(pairing table: "
+                                 f"scripts/omcast_lint/rules_protocol.py)"))
+        # Cross-reference: a family kind in the taxonomy with no emit site
+        # anywhere in the transition-defining file.
+        if taxonomy:
+            for kind in taxonomy:
+                if kind.startswith(tuple(table["family_prefixes"])) and \
+                        kind not in emitted_kinds:
+                    hits.append((0, f"EventKind::{kind} belongs to the "
+                                    f"{table['class_name']} family but has "
+                                    f"no emit site in this file: new "
+                                    f"taxonomy kinds must be emitted by "
+                                    f"their transition (or the family "
+                                    f"prefix table updated)"))
     return hits

@@ -62,7 +62,7 @@ void KillBusiestParent(overlay::Session& session) {
 
 ChaosResult RunChaosScenario(const net::Topology& topology,
                              const ChaosConfig& config) {
-  sim::Simulator simulator;
+  sim::Simulator simulator(config.queue_kind);
   std::unique_ptr<overlay::Protocol> protocol =
       MakeProtocol(config.algorithm, config.rost);
   auto* rost = config.algorithm == Algorithm::kRost
@@ -121,6 +121,55 @@ ChaosResult RunChaosScenario(const net::Topology& topology,
           KillFlash(session, chaos_rng, config.flash_departures);
     });
   }
+  if (config.join_storm_at_s >= 0.0 && config.join_storm_count > 0) {
+    simulator.ScheduleAt(t0 + config.join_storm_at_s, [&] {
+      // A flash crowd arrives at one instant; injection stops (and the
+      // shortfall is visible in join_storm_injected) if the stub hosts run
+      // out.
+      for (int i = 0; i < config.join_storm_count; ++i) {
+        if (session.alive_count() + 1 >= topology.num_stub_nodes()) break;
+        const double bandwidth = sp.bandwidth_dist.Sample(chaos_rng);
+        const double lifetime = sp.lifetime_dist.Sample(chaos_rng);
+        session.InjectMember(bandwidth, lifetime);
+        ++r.join_storm_injected;
+      }
+    });
+  }
+  if (config.episodic_at_s >= 0.0) {
+    simulator.ScheduleAt(t0 + config.episodic_at_s, [&] {
+      // Everything hosted in the outage domain -- including the root if it
+      // is co-located -- joins one link group; messages touching the group
+      // see the episode's loss floor while it is ON.
+      if (topology.DomainOf(session.tree().Get(overlay::kRootId).host) ==
+          config.episodic_domain_index)
+        fault_plane.SetNodeGroup(overlay::kRootId, 0);
+      for (NodeId id : session.alive_members())
+        if (topology.DomainOf(session.tree().Get(id).host) ==
+            config.episodic_domain_index)
+          fault_plane.SetNodeGroup(id, 0);
+      fault_plane.StartEpisodicLoss(0, config.episodic);
+    });
+  }
+  if (config.reconnect_storm_at_s >= 0.0 &&
+      config.reconnect_storm_fraction > 0.0) {
+    simulator.ScheduleAt(t0 + config.reconnect_storm_at_s, [&] {
+      const auto want = static_cast<std::size_t>(
+          config.reconnect_storm_fraction *
+          static_cast<double>(session.alive_count()));
+      const std::vector<NodeId> victims =
+          chaos_rng.SampleWithoutReplacementFrom(session.alive_members(),
+                                                 want);
+      for (NodeId id : victims) {
+        if (!session.tree().Alive(id)) continue;
+        const double downtime =
+            chaos_rng.ExponentialMean(config.reconnect_downtime_mean_s);
+        const double lifetime = sp.lifetime_dist.Sample(chaos_rng);
+        session.DepartNow(id);
+        session.ScheduleReentry(id, downtime, lifetime);
+        ++r.reconnect_storm_killed;
+      }
+    });
+  }
   if (config.mid_repair_kill_at_s >= 0.0) {
     simulator.ScheduleAt(t0 + config.mid_repair_kill_at_s, [&] {
       KillBusiestParent(session);
@@ -158,6 +207,16 @@ ChaosResult RunChaosScenario(const net::Topology& topology,
   obs::Registry reg = metrics::CollectChaosRegistry(
       &fault_plane, heartbeat ? &*heartbeat : nullptr, rost,
       gossip ? &*gossip : nullptr, &stream, now);
+  // Re-entry counters live here rather than in the collector: the session
+  // object is not part of the CollectChaosRegistry signature.
+  reg.Count("reconnect.scheduled",
+            static_cast<double>(session.reentries_scheduled()));
+  reg.Count("reconnect.attached",
+            static_cast<double>(session.reentries_attached()));
+  reg.Count("reconnect.abandoned",
+            static_cast<double>(session.reentries_abandoned()));
+  reg.Count("reconnect.pending",
+            static_cast<double>(session.reentries_pending()));
   r.counters = metrics::CountersFromRegistry(reg);
   r.registry = reg.Flatten();
   if (config.registry != nullptr) config.registry->MergeFrom(reg);
@@ -166,6 +225,21 @@ ChaosResult RunChaosScenario(const net::Topology& topology,
   r.members = static_cast<int>(stream.ratio_stat().count());
   r.zero_wedged_locks = rost == nullptr || rost->WedgedLeases(now) == 0;
   r.final_population = session.alive_count();
+  r.episodes_started = fault_plane.episodes_started();
+  r.degraded_time_fraction = stream.degraded_fraction_stat().count() > 0
+                                 ? stream.degraded_fraction_stat().mean()
+                                 : 0.0;
+  r.mean_recovery_to_cadence_s = stream.recovery_latency_stat().count() > 0
+                                     ? stream.recovery_latency_stat().mean()
+                                     : 0.0;
+  r.decode_stalls = stream.decode_stalls();
+  r.regime_transitions = stream.regime_transitions();
+  r.dependency_resyncs = stream.dependency_resyncs();
+  r.permanently_stalled = stream.permanently_stalled();
+  r.reentries_scheduled = session.reentries_scheduled();
+  r.reentries_attached = session.reentries_attached();
+  r.reentries_abandoned = session.reentries_abandoned();
+  r.reentries_pending = session.reentries_pending();
   return r;
 }
 

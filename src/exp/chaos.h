@@ -13,7 +13,13 @@
 //   * injectable failure patterns: one correlated stub-domain kill (every
 //     member hosted in the domain dies at once), a flash crowd of
 //     simultaneous random departures, and a recovery-group member killed
-//     mid-repair while it is serving CER stripes.
+//     mid-repair while it is serving CER stripes;
+//   * degraded-regime scenario family: a flash-crowd JOIN storm, an
+//     ISP-level episodic-loss outage over one stub domain's links, and a
+//     reconnect storm (members depart and re-enter through the session's
+//     bounded-retry re-entry path), scored by the frame-playback QoE
+//     metrics (degraded-time fraction, recovery-to-cadence latency, decode
+//     stalls).
 //
 // Everything is seeded: the same config produces bit-identical runs (the
 // chaos regression tests replay schedules and compare rolling-hash traces).
@@ -46,6 +52,10 @@ struct ChaosConfig {
   double settle_s = 30.0;
   std::uint64_t seed = 1;
   Algorithm algorithm = Algorithm::kRost;
+  // Event-queue implementation for the run's simulator. Both kinds dispatch
+  // identically (the determinism tests pin cross-queue digest equality);
+  // exposed so chaos replay digests can be pinned under each.
+  sim::QueueKind queue_kind = sim::QueueKind::kCalendar;
 
   sim::FaultPlaneParams fault;  // loss/dup/jitter for every control message
 
@@ -66,6 +76,27 @@ struct ChaosConfig {
   // killed to start a CER repair; once its stripes are serving, the first
   // active recovery-group server is killed too, forcing a stripe failover.
   double mid_repair_kill_at_s = -1.0;
+  // Flash-crowd join storm: `join_storm_count` members inject
+  // simultaneously at join_storm_at_s (bandwidths/lifetimes drawn from the
+  // session's distributions via the chaos RNG), stressing the join path
+  // while the stream is live.
+  double join_storm_at_s = -1.0;
+  int join_storm_count = 0;
+  // ISP-level correlated loss: at episodic_at_s every member hosted in stub
+  // domain `episodic_domain_index` (and the root, if co-located) joins a
+  // fault-plane link group whose episodic on/off loss process starts
+  // immediately (sim::EpisodicLossParams).
+  double episodic_at_s = -1.0;
+  int episodic_domain_index = 0;
+  sim::EpisodicLossParams episodic;
+  // Rejoin-under-load storm: at reconnect_storm_at_s a
+  // `reconnect_storm_fraction` sample of the alive membership departs
+  // abruptly and re-enters through the session's bounded-retry re-entry
+  // path after per-member exponential downtimes (mean
+  // reconnect_downtime_mean_s).
+  double reconnect_storm_at_s = -1.0;
+  double reconnect_storm_fraction = 0.0;
+  double reconnect_downtime_mean_s = 5.0;
 
   core::RostParams rost;            // algorithm == kRost
   overlay::SessionParams session;   // external_failure_detection is set
@@ -97,6 +128,28 @@ struct ChaosResult {
   int domain_members_killed = 0;
   int flash_members_killed = 0;
   bool mid_repair_kill_fired = false;
+  int join_storm_injected = 0;
+  long episodes_started = 0;
+  int reconnect_storm_killed = 0;
+
+  // --- degraded-regime QoE (zero unless packet.frame_playback) -------------
+  // Mean fraction of finalized members' viewing time spent degraded or
+  // stalled; the scenario family's headline metric.
+  double degraded_time_fraction = 0.0;
+  // Mean completed-episode latency from leaving nominal cadence to
+  // regaining it.
+  double mean_recovery_to_cadence_s = 0.0;
+  long decode_stalls = 0;
+  long regime_transitions = 0;
+  long dependency_resyncs = 0;
+  int permanently_stalled = 0;
+
+  // --- re-entry state machine ----------------------------------------------
+  long reentries_scheduled = 0;
+  long reentries_attached = 0;
+  long reentries_abandoned = 0;
+  // Must be zero after the settle window: every re-entry resolved.
+  long reentries_pending = 0;
 
   // --- post-drain health ---------------------------------------------------
   // No lease is held past its expiry (a wedged lock would deadlock

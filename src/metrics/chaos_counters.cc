@@ -47,6 +47,20 @@ obs::Registry CollectChaosRegistry(const sim::FaultPlane* fault_plane,
     count("chaos.eln_sent", stream->eln_notifications_sent());
     count("chaos.stripe_failovers", stream->stripe_failovers());
     count("chaos.short_group_fallbacks", stream->short_group_fallbacks());
+    // Frame-playback QoE (all zero unless PacketSimParams.frame_playback):
+    // the degraded-regime scenario family's headline metrics.
+    count("qoe.decode_stalls", stream->decode_stalls());
+    count("qoe.regime_transitions", stream->regime_transitions());
+    count("qoe.dependency_resyncs", stream->dependency_resyncs());
+    count("qoe.permanently_stalled", stream->permanently_stalled());
+    reg.SetGauge("qoe.degraded_time_fraction",
+                 stream->degraded_fraction_stat().count() > 0
+                     ? stream->degraded_fraction_stat().mean()
+                     : 0.0);
+    reg.SetGauge("qoe.mean_recovery_to_cadence_s",
+                 stream->recovery_latency_stat().count() > 0
+                     ? stream->recovery_latency_stat().mean()
+                     : 0.0);
   }
   return reg;
 }

@@ -57,6 +57,12 @@ const char* EventKindName(EventKind kind) {
     case EventKind::kRepairStart: return "repair_start";
     case EventKind::kRepairFinish: return "repair_finish";
     case EventKind::kRepairFailover: return "repair_failover";
+    case EventKind::kReconnectStart: return "reconnect_start";
+    case EventKind::kReconnectAttached: return "reconnect_attached";
+    case EventKind::kReconnectAbandoned: return "reconnect_abandoned";
+    case EventKind::kDependencyResync: return "dependency_resync";
+    case EventKind::kPlaybackRegime: return "playback_regime";
+    case EventKind::kDecodeStall: return "decode_stall";
   }
   return "?";
 }

@@ -62,6 +62,21 @@ enum class EventKind : int {
   kRepairFinish,     // subject (server) exhausted its stripe; detail = group id
   kRepairFailover,   // subject (survivor) took over peer's (dead server's)
                      // stripe; detail = group id
+  // overlay/session: reconnect/re-entry state machine (degraded regime).
+  kReconnectStart,   // subject (successor member) re-entered after downtime;
+                     // peer = departed predecessor
+  kReconnectAttached,// subject's bounded-retry rejoin attached; peer =
+                     // predecessor, detail = attempts used
+  kReconnectAbandoned,// subject exhausted its bounded retries and gave up;
+                     // peer = predecessor, detail = attempts used
+  // stream/packet_sim: frame-dependency playback (degraded regime).
+  kDependencyResync, // subject decoded its first on-time reference frame
+                     // after a desynced start; detail = decode stalls absorbed
+  kPlaybackRegime,   // subject's playback regime changed; detail = new regime
+                     // (0 nominal, 1 degraded, 2 stalled)
+  kDecodeStall,      // subject's playback window had decode stalls (frames
+                     // that arrived but whose reference missed its deadline);
+                     // detail = stall count in the window
 };
 
 // Stable snake_case name for JSONL/Perfetto export; never renamed, only

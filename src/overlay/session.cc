@@ -67,6 +67,10 @@ void ValidateSessionParams(const SessionParams& params) {
               "fragment dissolution needs at least one failed attempt");
   util::Check(params.prepopulate_age_horizon_s >= 0.0,
               "pre-population age horizon must be non-negative");
+  util::Check(params.reentry_max_attempts >= 1,
+              "re-entry needs at least one join attempt");
+  util::Check(params.reentry_backoff_cap >= 1,
+              "re-entry backoff cap must be at least 1x the base delay");
 }
 
 Session::Session(sim::Simulator& simulator, const net::Topology& topology,
@@ -90,6 +94,7 @@ Session::Session(sim::Simulator& simulator, const net::Topology& topology,
   departure_event_.assign(1, sim::kInvalidEventId);
   join_attempts_.assign(1, 0);
   ever_attached_.assign(1, 1);  // the root is always attached
+  reentry_predecessor_.assign(1, kNoNode);
 }
 
 net::HostId Session::AllocateHost() {
@@ -114,6 +119,7 @@ NodeId Session::CreateMemberRecord(double bandwidth, double lifetime_s,
   departure_event_.resize(tree_.size(), sim::kInvalidEventId);
   join_attempts_.resize(tree_.size(), 0);
   ever_attached_.resize(tree_.size(), 0);
+  reentry_predecessor_.resize(tree_.size(), kNoNode);
   alive_index_[static_cast<std::size_t>(id)] = static_cast<int>(alive_.size());
   alive_.push_back(id);
   ++total_created_;
@@ -393,6 +399,80 @@ void Session::RejoinOrphan(NodeId id) {
   util::Check(params_.external_failure_detection,
               "RejoinOrphan is the external failure detector's entry point");
   if (tree_.Alive(id) && tree_.Parent(id) == kNoNode) TryJoin(id);
+}
+
+void Session::ScheduleReentry(NodeId departed, double downtime_s,
+                              double lifetime_s) {
+  util::Check(departed != kRootId, "the source never re-enters");
+  util::Check(downtime_s >= 0.0, "downtime must be non-negative");
+  util::Check(lifetime_s > 0.0, "re-entry lifetime must be positive");
+  ++reentries_scheduled_;
+  sim_.ScheduleAfter(
+      downtime_s,
+      [this, departed, lifetime_s] { BeginReentry(departed, lifetime_s); },
+      "session.reentry");
+}
+
+void Session::BeginReentry(NodeId predecessor, double lifetime_s) {
+  if (free_hosts_.empty()) {
+    // At host capacity the returning viewer finds no slot and gives up
+    // without ever materializing (detail 0 = no attempt was possible).
+    ++reentries_abandoned_;
+    if (tracer_ != nullptr)
+      tracer_->Emit(sim_.now(), obs::EventKind::kReconnectAbandoned, kNoNode,
+                    predecessor, 0);
+    return;
+  }
+  // Same household, new session: the successor inherits the predecessor's
+  // bandwidth (its record persists after death) but nothing else.
+  const double bandwidth = tree_.Get(predecessor).bandwidth;
+  const NodeId id = CreateMemberRecord(bandwidth, lifetime_s, sim_.now());
+  reentry_predecessor_[static_cast<std::size_t>(id)] = predecessor;
+  ScheduleDeparture(id);
+  if (tracer_ != nullptr)
+    tracer_->Emit(sim_.now(), obs::EventKind::kReconnectStart, id, predecessor);
+  ReentryAttempt(id, predecessor);
+}
+
+void Session::ReentryAttempt(NodeId id, NodeId predecessor) {
+  // The member can expire (lifetime) while detached mid-retry; a scheduled
+  // retry after that must be a no-op.
+  if (!tree_.Alive(id) || tree_.Parent(id) != kNoNode) return;
+  const int attempt = join_attempts_[static_cast<std::size_t>(id)] + 1;
+  if (protocol_->TryAttach(*this, id)) {
+    util::Check(tree_.Parent(id) != kNoNode, "TryAttach true but not attached");
+    join_attempts_[static_cast<std::size_t>(id)] = 0;
+    ++reentries_attached_;
+    protocol_->OnAttached(*this, id);
+    TraceAttached(id);
+    if (tracer_ != nullptr)
+      tracer_->Emit(sim_.now(), obs::EventKind::kReconnectAttached, id,
+                    predecessor, attempt);
+    hooks_.FireAttached(id, tree_.Parent(id));
+    return;
+  }
+  ++failed_join_attempts_;
+  join_attempts_[static_cast<std::size_t>(id)] = attempt;
+  if (attempt >= params_.reentry_max_attempts) {
+    // A returning viewer that the overlay keeps refusing leaves for good --
+    // the bounded analog of TryJoin's unbounded persistence.
+    ++reentries_abandoned_;
+    if (tracer_ != nullptr)
+      tracer_->Emit(sim_.now(), obs::EventKind::kReconnectAbandoned, id,
+                    predecessor, attempt);
+    DepartNow(id);
+    return;
+  }
+  const int backoff =
+      std::min(1 << std::min(attempt - 1, 10), params_.reentry_backoff_cap);
+  sim_.ScheduleAfter(
+      params_.join_retry_delay_s * backoff,
+      [this, id, predecessor] { ReentryAttempt(id, predecessor); },
+      "session.reentry_retry");
+}
+
+NodeId Session::ReentryPredecessor(NodeId id) const {
+  return reentry_predecessor_[static_cast<std::size_t>(id)];
 }
 
 std::vector<NodeId> Session::SampleCandidates(int k, NodeId exclude) {

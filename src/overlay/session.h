@@ -113,6 +113,13 @@ struct SessionParams {
   // declares the parent dead, and calls RejoinOrphan(). Replaces the fixed
   // rejoin_delay_s oracle with real detection latency under message loss.
   bool external_failure_detection = false;
+  // Re-entry (ScheduleReentry) retries a returning member's join at most
+  // this many times before abandoning it: unlike a fresh join, a returning
+  // viewer gives up and leaves for good when the overlay repeatedly refuses
+  // it. Retries back off exponentially (base join_retry_delay_s) up to
+  // reentry_backoff_cap times the base delay.
+  int reentry_max_attempts = 6;
+  int reentry_backoff_cap = 16;
   // Route join-candidate collection through the seed's cost model: the
   // by-value sampling overload that copies the whole alive-member vector
   // per join (O(population)), and a freshly zeroed O(members) dedup bitmap
@@ -261,6 +268,30 @@ class Session {
   // already reattached in the meantime).
   void RejoinOrphan(NodeId id);
 
+  // --- reconnect / re-entry ------------------------------------------------
+  // Models a departed-then-returning viewer: after `downtime_s`, a successor
+  // member re-enters with `departed`'s bandwidth (the same household, a new
+  // session) and lifetime `lifetime_s`, joining through the BOUNDED-retry
+  // re-entry path -- at most params().reentry_max_attempts tries with
+  // exponential backoff, then the member abandons and departs. The trace bus
+  // sees kReconnectStart at re-entry, then kReconnectAttached or
+  // kReconnectAbandoned (detail = attempts used). `departed` may still be
+  // alive at call time (e.g. scheduling a return around a planned kill); the
+  // successor is created only when the downtime elapses.
+  void ScheduleReentry(NodeId departed, double downtime_s, double lifetime_s);
+
+  // Predecessor of a re-entered member; kNoNode for ordinary members.
+  NodeId ReentryPredecessor(NodeId id) const;
+
+  long reentries_scheduled() const { return reentries_scheduled_; }
+  long reentries_attached() const { return reentries_attached_; }
+  long reentries_abandoned() const { return reentries_abandoned_; }
+  // Re-entries still in downtime or mid-retry. Zero after a run settles:
+  // every scheduled re-entry must resolve to attached or abandoned.
+  long reentries_pending() const {
+    return reentries_scheduled_ - reentries_attached_ - reentries_abandoned_;
+  }
+
  private:
   void ScheduleNextArrival();
   void Arrive();
@@ -269,6 +300,12 @@ class Session {
   void ScheduleDeparture(NodeId id);
   void HandleDeparture(NodeId id);
   void TryJoin(NodeId id);
+  // Creates the successor member once a re-entry's downtime has elapsed and
+  // starts its bounded-retry join.
+  void BeginReentry(NodeId predecessor, double lifetime_s);
+  // One bounded-retry join attempt of a re-entered member; terminal states
+  // are attached (kReconnectAttached) and abandoned (kReconnectAbandoned).
+  void ReentryAttempt(NodeId id, NodeId predecessor);
   // Emits kJoin (first attach) or kRejoin on the trace bus and marks the
   // member as ever-attached. Call right after a successful attach.
   void TraceAttached(NodeId id);
@@ -294,6 +331,8 @@ class Session {
   // NodeId -> has this member ever been attached (distinguishes the kJoin
   // trace event from kRejoin; Member.reconnections only counts evictions).
   std::vector<char> ever_attached_;
+  // NodeId -> predecessor for re-entered members (kNoNode otherwise).
+  std::vector<NodeId> reentry_predecessor_;
   // Epoch-stamped dedup scratch for CollectJoinPool: a slot counts as "seen"
   // when its stamp equals the current epoch, so marking the whole set clean
   // is a counter bump, not an O(members) clear per join.
@@ -305,6 +344,9 @@ class Session {
   int total_created_ = 0;
   int dropped_arrivals_ = 0;
   long failed_join_attempts_ = 0;
+  long reentries_scheduled_ = 0;
+  long reentries_attached_ = 0;
+  long reentries_abandoned_ = 0;
 };
 
 }  // namespace omcast::overlay

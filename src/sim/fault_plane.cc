@@ -1,5 +1,6 @@
 #include "sim/fault_plane.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/check.h"
@@ -8,7 +9,10 @@ namespace omcast::sim {
 
 FaultPlane::FaultPlane(Simulator& simulator, FaultPlaneParams params,
                        std::uint64_t seed)
-    : sim_(simulator), params_(params), rng_(seed) {
+    : sim_(simulator),
+      params_(params),
+      rng_(seed),
+      episode_rng_(seed ^ 0xe915c0deULL) {
   util::Check(params_.loss_rate >= 0.0 && params_.loss_rate <= 1.0,
               "loss rate must be a probability");
   util::Check(params_.dup_prob >= 0.0 && params_.dup_prob <= 1.0,
@@ -18,7 +22,75 @@ FaultPlane::FaultPlane(Simulator& simulator, FaultPlaneParams params,
 
 double FaultPlane::LossRateFor(int from, int to) const {
   const auto it = link_loss_.find(LinkKey(from, to));
-  return it == link_loss_.end() ? params_.loss_rate : it->second;
+  if (it != link_loss_.end()) return it->second;
+  return std::max({params_.loss_rate, EpisodicRateFor(from),
+                   EpisodicRateFor(to)});
+}
+
+double FaultPlane::EpisodicRateFor(int node) const {
+  if (episodes_.empty()) return 0.0;
+  const auto g = node_group_.find(node);
+  if (g == node_group_.end()) return 0.0;
+  const auto e = episodes_.find(g->second);
+  if (e == episodes_.end() || !e->second.active) return 0.0;
+  return e->second.params.loss_rate;
+}
+
+void FaultPlane::SetNodeGroup(int node, int group) {
+  node_group_[node] = group;
+}
+
+double FaultPlane::DrawDuration(double mean,
+                                const EpisodicLossParams& params) {
+  return params.duration == EpisodicLossParams::Duration::kFixed
+             ? mean
+             : episode_rng_.ExponentialMean(mean);
+}
+
+void FaultPlane::ScheduleToggle(int group, std::uint64_t generation,
+                                double delay_s) {
+  sim_.ScheduleAfter(
+      delay_s,
+      [this, group, generation] {
+        const auto it = episodes_.find(group);
+        if (it == episodes_.end() || it->second.generation != generation)
+          return;  // restarted or stopped since this toggle was scheduled
+        EpisodeState& st = it->second;
+        st.active = !st.active;
+        double mean = st.params.mean_off_s;
+        if (st.active) {
+          ++episodes_started_;
+          mean = st.params.mean_on_s;
+        }
+        ScheduleToggle(group, generation, DrawDuration(mean, st.params));
+      },
+      "fault.episode");
+}
+
+void FaultPlane::StartEpisodicLoss(int group, EpisodicLossParams params) {
+  util::Check(params.loss_rate >= 0.0 && params.loss_rate <= 1.0,
+              "episodic loss rate must be a probability");
+  util::Check(params.mean_on_s > 0.0 && params.mean_off_s > 0.0,
+              "episode durations must be positive");
+  EpisodeState& st = episodes_[group];
+  st.params = params;
+  ++st.generation;
+  st.active = true;  // the first episode begins at the call instant
+  ++episodes_started_;
+  ScheduleToggle(group, st.generation,
+                 DrawDuration(params.mean_on_s, params));
+}
+
+void FaultPlane::StopEpisodicLoss(int group) {
+  const auto it = episodes_.find(group);
+  if (it == episodes_.end()) return;
+  ++it->second.generation;
+  it->second.active = false;
+}
+
+bool FaultPlane::EpisodeActive(int group) const {
+  const auto it = episodes_.find(group);
+  return it != episodes_.end() && it->second.active;
 }
 
 void FaultPlane::SetLinkLossRate(int from, int to, double rate) {

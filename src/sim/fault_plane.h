@@ -20,6 +20,16 @@
 // rates still draws from the RNG per message, so enabling faults never
 // changes *which* RNG draws protocols themselves make.
 //
+// Episodic loss models ISP-level correlated outages: nodes are assigned to
+// link groups (SetNodeGroup) and a group flips between ON episodes -- during
+// which every message touching a member of the group sees at least the
+// episode's loss rate -- and quiet OFF gaps. Episode durations come from a
+// SEPARATE seeded RNG (episode_rng_), so turning episodes on or off never
+// shifts the per-message fault stream: a message's loss/dup draws stay
+// bit-identical, only the rate they are compared against changes.
+// Precedence per directed link: explicit SetLinkLossRate override, else
+// max(base loss_rate, active episode rates of both endpoints).
+//
 // Endpoints are identified by the caller's node ids; the plane itself is
 // protocol-agnostic. Injectable *failure* patterns (correlated stub-domain
 // kills, flash departures, mid-repair deaths) live in exp/chaos.h -- they
@@ -45,6 +55,17 @@ struct FaultPlaneParams {
   double jitter_s = 0.0;
 };
 
+// One ISP-level correlated-loss process: while an episode is ON, messages
+// touching the group's nodes see at least `loss_rate`; episodes alternate
+// with OFF gaps whose durations are drawn per the `duration` kind.
+struct EpisodicLossParams {
+  double loss_rate = 1.0;  // loss floor while an episode is active
+  double mean_on_s = 2.0;  // episode duration (mean, or exact when kFixed)
+  double mean_off_s = 8.0; // gap between episodes (mean, or exact)
+  enum class Duration { kExponential, kFixed };
+  Duration duration = Duration::kExponential;
+};
+
 class FaultPlane {
  public:
   FaultPlane(Simulator& simulator, FaultPlaneParams params,
@@ -60,9 +81,25 @@ class FaultPlane {
   bool Deliver(int from, int to, double base_delay_s, Simulator::Callback cb);
 
   // Overrides the loss rate of the directed link from->to (e.g. to sever
-  // one link entirely while the rest of the plane stays healthy).
+  // one link entirely while the rest of the plane stays healthy). An
+  // explicit override beats any episodic rate.
   void SetLinkLossRate(int from, int to, double rate);
   void ClearLinkOverrides() { link_loss_.clear(); }
+
+  // --- episodic (ISP-level correlated) loss --------------------------------
+  // Assigns `node` to link group `group` (e.g. its stub domain). A node
+  // belongs to at most one group; re-assigning moves it.
+  void SetNodeGroup(int node, int group);
+  // Starts the group's on/off loss process: the first episode begins
+  // immediately (so callers can pin "outage at t"), runs for a drawn ON
+  // duration, then the process alternates OFF/ON until stopped. Restarting
+  // a running group replaces its parameters and begins a fresh episode.
+  void StartEpisodicLoss(int group, EpisodicLossParams params);
+  // Ends the group's process; a pending toggle for an older start is
+  // ignored (generation-checked), so stop/start races cannot resurrect a
+  // dead process.
+  void StopEpisodicLoss(int group);
+  bool EpisodeActive(int group) const;
 
   const FaultPlaneParams& params() const { return params_; }
 
@@ -71,6 +108,7 @@ class FaultPlane {
   long messages_dropped() const { return dropped_; }
   long messages_duplicated() const { return duplicated_; }
   long messages_delivered() const { return delivered_; }
+  long episodes_started() const { return episodes_started_; }
 
  private:
   static std::uint64_t LinkKey(int from, int to) {
@@ -78,20 +116,39 @@ class FaultPlane {
             << 32) |
            static_cast<std::uint32_t>(to);
   }
+  struct EpisodeState {
+    EpisodicLossParams params;
+    bool active = false;
+    // Bumped by every Start/Stop; a scheduled toggle carries the generation
+    // it belongs to and no-ops when the process was since restarted/stopped.
+    std::uint64_t generation = 0;
+  };
+
   double LossRateFor(int from, int to) const;
+  double EpisodicRateFor(int node) const;
   void ScheduleCopy(double base_delay_s, const Simulator::Callback& cb);
+  double DrawDuration(double mean, const EpisodicLossParams& params);
+  void ScheduleToggle(int group, std::uint64_t generation, double delay_s);
 
   Simulator& sim_;
   FaultPlaneParams params_;
   rnd::Rng rng_;
+  // Episode durations draw from their own stream so enabling episodes never
+  // perturbs per-message loss/dup/jitter draws.
+  rnd::Rng episode_rng_;
   // Point lookups only (never iterated), so the bucket order cannot leak
   // into fault decisions.
   // omcast-lint: allow(unordered-iter)
   std::unordered_map<std::uint64_t, double> link_loss_;
+  // omcast-lint: allow(unordered-iter)
+  std::unordered_map<int, int> node_group_;
+  // omcast-lint: allow(unordered-iter)
+  std::unordered_map<int, EpisodeState> episodes_;
   long sent_ = 0;
   long dropped_ = 0;
   long duplicated_ = 0;
   long delivered_ = 0;
+  long episodes_started_ = 0;
 };
 
 }  // namespace omcast::sim

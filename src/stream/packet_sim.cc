@@ -23,6 +23,21 @@ void ValidatePacketSimParams(const PacketSimParams& params) {
               "residual bandwidth cannot be negative");
   util::Check(params.residual_hi_pkts >= params.residual_lo_pkts,
               "residual bandwidth range must be ordered");
+  util::Check(params.gop_size >= 2,
+              "a GOP needs a reference and at least one dependent frame");
+  util::Check(params.warmup_absorb_s >= 0.0,
+              "warmup absorb window cannot be negative");
+  util::Check(params.regime_window_s > 0.0,
+              "regime judgment window must be positive");
+  util::Check(params.degraded_exit >= 0.0 &&
+                  params.degraded_exit < params.degraded_enter,
+              "degraded hysteresis needs 0 <= exit < enter");
+  util::Check(params.degraded_enter <= params.stalled_enter &&
+                  params.stalled_enter <= 1.0,
+              "stalled threshold must dominate the degraded one");
+  util::Check(params.stalled_exit >= params.degraded_exit &&
+                  params.stalled_exit < params.stalled_enter,
+              "stalled hysteresis needs degraded_exit <= exit < enter");
 }
 
 PacketLevelStream::PacketLevelStream(Session& session, PacketSimParams params,
@@ -82,9 +97,143 @@ PacketLevelStream::Reception& PacketLevelStream::ReceptionFor(NodeId member,
     r.first_seq = static_cast<std::int64_t>(
         std::ceil((start - stream_start_) * params_.packet_rate - 1e-9));
     r.started_at = now;
+    if (params_.frame_playback) {
+      r.playback.next_judge = r.first_seq;
+      r.playback.regime_since = now;
+      r.playback.tick = session_.simulator().ScheduleAfter(
+          params_.regime_window_s, [this, member] { JudgeWindow(member); },
+          "stream.playback");
+    }
     it = rx_.emplace(member, std::move(r)).first;
   }
   return it->second;
+}
+
+void PacketLevelStream::SetRegime(NodeId member, int regime) {
+  Playback& pb = rx_.find(member)->second.playback;
+  const double now = session_.simulator().now();
+  if (pb.regime >= 1) pb.degraded_accum += now - pb.regime_since;
+  if (pb.regime == 0 && regime >= 1) pb.degraded_since = now;
+  if (regime == 0 && pb.degraded_since >= 0.0) {
+    recovery_latency_stat_.Add(now - pb.degraded_since);
+    pb.degraded_since = -1.0;
+  }
+  pb.regime = regime;
+  pb.regime_since = now;
+  ++regime_transitions_;
+  if (obs::Tracer* tr = session_.tracer(); tr != nullptr)
+    tr->Emit(now, obs::EventKind::kPlaybackRegime, member, overlay::kNoNode,
+             regime);
+}
+
+void PacketLevelStream::JudgeWindow(NodeId member) {
+  const auto it = rx_.find(member);
+  if (it == rx_.end()) return;
+  Reception& rx = it->second;
+  Playback& pb = rx.playback;
+  pb.tick = sim::kInvalidEventId;
+  const double now = session_.simulator().now();
+  const std::int64_t gop = params_.gop_size;
+  long judged = 0;
+  long bad = 0;
+  long stalls = 0;
+  while (pb.next_judge <= last_seq_) {
+    const std::int64_t seq = pb.next_judge;
+    const double deadline = stream_start_ +
+                            static_cast<double>(seq) / params_.packet_rate +
+                            params_.buffer_s;
+    if (deadline > now) break;  // still playable; judge next window
+    ++pb.next_judge;
+    double arrival = -1.0;
+    if (seq >= rx.first_seq) {
+      const auto idx = static_cast<std::size_t>(seq - rx.first_seq);
+      if (idx < rx.arrival.size()) arrival = rx.arrival[idx];
+    }
+    const bool on_time = arrival >= 0.0 && arrival <= deadline;
+    bool played = on_time;
+    if (seq % gop == 0) {  // reference frame: independent
+      pb.last_ref_gop = seq / gop;
+      pb.last_ref_played = on_time;
+      if (on_time && !pb.synced) {
+        pb.synced = true;
+        // A member that started mid-GOP (or lost its first references) has
+        // been decoding nothing until now: this reference resynchronizes
+        // its dependency state.
+        if (pb.desync_judged > 0) {
+          ++dependency_resyncs_;
+          if (obs::Tracer* tr = session_.tracer(); tr != nullptr)
+            tr->Emit(now, obs::EventKind::kDependencyResync, member,
+                     overlay::kNoNode, pb.stalls_before_sync);
+        }
+      }
+    } else {  // dependent frame: needs its GOP's reference played
+      const bool ref_ok = seq / gop == pb.last_ref_gop && pb.last_ref_played;
+      played = on_time && ref_ok;
+      if (!pb.synced) ++pb.desync_judged;
+      if (on_time && !ref_ok) {
+        // Decode stall: the bytes are here, the reference is not.
+        if (!pb.synced) ++pb.stalls_before_sync;
+        if (deadline <= rx.started_at + params_.warmup_absorb_s)
+          continue;  // startup grace: absorbed, not judged
+        ++stalls;
+        ++decode_stalls_;
+      }
+    }
+    ++judged;
+    if (!played) ++bad;
+  }
+  if (stalls > 0) {
+    if (obs::Tracer* tr = session_.tracer(); tr != nullptr)
+      tr->Emit(now, obs::EventKind::kDecodeStall, member, overlay::kNoNode,
+               stalls);
+  }
+  if (judged > 0) {
+    const double frac = static_cast<double>(bad) / static_cast<double>(judged);
+    int target = pb.regime;
+    if (pb.regime == 2) {
+      target = frac >= params_.stalled_exit ? 2
+               : frac > params_.degraded_exit ? 1
+                                              : 0;
+    } else if (pb.regime == 1) {
+      target = frac >= params_.stalled_enter ? 2
+               : frac > params_.degraded_exit ? 1
+                                              : 0;
+    } else {
+      target = frac >= params_.stalled_enter    ? 2
+               : frac >= params_.degraded_enter ? 1
+                                                : 0;
+    }
+    if (target != pb.regime) SetRegime(member, target);
+  }
+  // The chain ends once every sequence has been judged (the last deadline
+  // is stream_end_ + buffer_s); otherwise tick again one window later.
+  if (pb.next_judge <= last_seq_)
+    pb.tick = session_.simulator().ScheduleAfter(
+        params_.regime_window_s, [this, member] { JudgeWindow(member); },
+        "stream.playback");
+}
+
+void PacketLevelStream::FinalizePlayback(const Member& m, Reception& rx,
+                                         double end_time) {
+  Playback& pb = rx.playback;
+  if (pb.tick != sim::kInvalidEventId) {
+    session_.simulator().Cancel(pb.tick);
+    pb.tick = sim::kInvalidEventId;
+  }
+  if (m.join_time < 0.0 || finalized_.contains(m.id)) return;
+  double accum = pb.degraded_accum;
+  if (pb.regime >= 1) accum += std::max(0.0, end_time - pb.regime_since);
+  const double elapsed = end_time - rx.started_at;
+  if (elapsed > 0.0)
+    degraded_fraction_stat_.Add(std::min(1.0, accum / elapsed));
+  // Stalled at stream end (not a mid-run departure): the session never
+  // recovered its cadence.
+  if (pb.regime == 2 && end_time >= stream_end_) ++permanently_stalled_;
+}
+
+int PacketLevelStream::PlaybackRegimeOf(NodeId member) const {
+  const auto it = rx_.find(member);
+  return it == rx_.end() ? -1 : it->second.playback.regime;
 }
 
 void PacketLevelStream::Deliver(NodeId member, std::int64_t seq, double now) {
@@ -351,6 +500,8 @@ void PacketLevelStream::FailoverStripe(std::size_t index) {
 
 void PacketLevelStream::FinalizeMember(const Member& m, double end_time) {
   const auto it = rx_.find(m.id);
+  if (it != rx_.end() && params_.frame_playback)
+    FinalizePlayback(m, it->second, end_time);
   if (m.join_time < 0.0 || finalized_.contains(m.id)) {
     if (it != rx_.end()) rx_.erase(it);
     return;  // pre-populated member, or already accounted

@@ -16,7 +16,12 @@
 //     repaired packets are forwarded downstream like normal traffic (the
 //     ELN rule: descendants wait for upstream recovery);
 //   * playback: packet n must arrive by emit(n) + buffer_s; every miss
-//     costs 1/packet_rate seconds of stall.
+//     costs 1/packet_rate seconds of stall;
+//   * (optional) frame-dependency playback: packets form GOPs (reference +
+//     dependents); a dependent frame that arrives on time without its
+//     reference is a DECODE STALL, and each receiver's playback regime
+//     (nominal / degraded / stalled) is tracked online with hysteresis
+//     (PacketSimParams.frame_playback -- off by default, adds no RNG draws).
 //
 // Cost is O(members x packets), so use it for validation-scale overlays
 // (hundreds of members, minutes of stream), not for the 14k-member sweeps.
@@ -48,6 +53,31 @@ struct PacketSimParams {
   core::RecoveryMode mode = core::RecoveryMode::kCooperative;
   double residual_lo_pkts = 0.0;
   double residual_hi_pkts = 9.0;
+
+  // --- frame-dependency playback (degraded-regime model) -------------------
+  // When on, packets form GOPs: seq % gop_size == 0 is a reference frame,
+  // the rest of the GOP depends on it. A dependent frame that arrives by
+  // its deadline but whose reference did not is a DECODE STALL -- distinct
+  // from packet loss, and exactly what a rejoining member landing mid-GOP
+  // suffers until the next reference. Each receiver's playback is judged in
+  // regime_window_s windows and tracked through a nominal/degraded/stalled
+  // regime machine with hysteresis. Enabling this adds NO RNG draws, so
+  // fault schedules and protocol digests are unchanged when it is off.
+  bool frame_playback = false;
+  int gop_size = 10;
+  // Startup grace: decode stalls whose deadline falls within this many
+  // seconds of the member's first reception are absorbed (not counted, not
+  // traced) -- a joiner is expected to stall until its first reference.
+  double warmup_absorb_s = 2.0;
+  // Judgment window length (also the tick period of the per-member chain).
+  double regime_window_s = 1.0;
+  // Hysteresis thresholds on the window's bad-frame fraction (losses plus
+  // unabsorbed decode stalls). enter > exit keeps the regime from
+  // flickering at a threshold.
+  double degraded_enter = 0.25;
+  double degraded_exit = 0.10;
+  double stalled_enter = 0.75;
+  double stalled_exit = 0.40;
 };
 
 // Aborts (util::Check) on nonsensical parameters: non-positive rates or
@@ -100,13 +130,53 @@ class PacketLevelStream {
   // Members that have not received anything yet read as healthy.
   core::ElnTracker::Status ElnStatusOf(overlay::NodeId member) const;
 
+  // --- frame-playback QoE (all zero unless params.frame_playback) ----------
+  // Fraction of each finalized member's viewing time spent in a non-nominal
+  // regime (degraded or stalled).
+  const util::RunningStat& degraded_fraction_stat() const {
+    return degraded_fraction_stat_;
+  }
+  // Latency of each completed degraded episode: time from leaving nominal
+  // to returning to it (recovery-to-cadence).
+  const util::RunningStat& recovery_latency_stat() const {
+    return recovery_latency_stat_;
+  }
+  long decode_stalls() const { return decode_stalls_; }
+  long regime_transitions() const { return regime_transitions_; }
+  long dependency_resyncs() const { return dependency_resyncs_; }
+  // Finalized-at-stream-end members still in the stalled regime: sessions
+  // that never recovered. The reconnect-storm invariant pins this to zero.
+  int permanently_stalled() const { return permanently_stalled_; }
+  // Current regime of a tracked member (0 nominal / 1 degraded / 2
+  // stalled); -1 when the member has no reception state.
+  int PlaybackRegimeOf(overlay::NodeId member) const;
+
  private:
+  // Online per-receiver playback state; judged window by window from a
+  // self-perpetuating tick chain so regime transitions are traced at the
+  // sim time they happen (historical timestamps would break the trace
+  // validator's monotonicity invariant).
+  struct Playback {
+    int regime = 0;                  // 0 nominal, 1 degraded, 2 stalled
+    double regime_since = 0.0;       // when the current regime was entered
+    double degraded_since = -1.0;    // left nominal at; -1 when nominal
+    double degraded_accum = 0.0;     // total non-nominal seconds so far
+    bool synced = false;             // decoded an on-time reference yet
+    bool last_ref_played = false;    // did the current GOP's reference play
+    std::int64_t last_ref_gop = -1;  // GOP index of the last judged reference
+    std::int64_t next_judge = 0;     // next sequence whose deadline to judge
+    long desync_judged = 0;          // dependent frames judged while desynced
+    long stalls_before_sync = 0;     // decode stalls absorbed before sync
+    sim::EventId tick = sim::kInvalidEventId;
+  };
+
   struct Reception {
     std::int64_t first_seq = 0;        // first packet this member expects
     std::vector<double> arrival;       // arrival[i]: seq first_seq+i; <0 none
     double started_at = 0.0;
     std::int64_t max_seen = -1;        // highest data sequence received
     core::ElnTracker tracker;          // loss classification (Section 4.2)
+    Playback playback;                 // frame-dependency regime state
   };
 
   // One stripe of one repair: a recovery-group member serving the share of
@@ -148,6 +218,18 @@ class PacketLevelStream {
   void FinalizeMember(const overlay::Member& m, double end_time);
   Reception& ReceptionFor(overlay::NodeId member, double now);
   double ResidualFraction(overlay::NodeId id);
+  // Judges every sequence whose playback deadline has passed since the
+  // member's last window: on-time, lost, or decode-stalled (on time but
+  // reference missed). Emits kDecodeStall / kDependencyResync and advances
+  // the regime machine; reschedules itself one window later.
+  void JudgeWindow(overlay::NodeId member);
+  // Regime transition (with kPlaybackRegime emission) plus degraded-time
+  // and recovery-latency accounting.
+  void SetRegime(overlay::NodeId member, int regime);
+  // Cancels the member's tick chain and folds its playback state into the
+  // QoE aggregates (skipped for pre-populated / already-finalized members).
+  void FinalizePlayback(const overlay::Member& m, Reception& rx,
+                        double end_time);
 
   overlay::Session& session_;
   PacketSimParams params_;
@@ -163,6 +245,8 @@ class PacketLevelStream {
   // chains ended stay as inert records.
   std::vector<RepairStripe> repair_stripes_;
   util::RunningStat ratio_stat_;
+  util::RunningStat degraded_fraction_stat_;
+  util::RunningStat recovery_latency_stat_;
   sim::FaultPlane* fault_plane_ = nullptr;  // nullptr: reliable ELN delivery
   double stream_start_ = 0.0;
   double stream_end_ = 0.0;
@@ -174,6 +258,10 @@ class PacketLevelStream {
   long stripe_failovers_ = 0;
   long short_group_fallbacks_ = 0;
   long next_group_id_ = 0;
+  long decode_stalls_ = 0;
+  long regime_transitions_ = 0;
+  long dependency_resyncs_ = 0;
+  int permanently_stalled_ = 0;
   bool started_ = false;
 };
 

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "core/rost/rost.h"
+#include "exp/chaos.h"
 #include "exp/scenario.h"
 #include "net/topology.h"
 #include "obs/trace.h"
@@ -235,6 +236,97 @@ TEST(QueueEquivalence, ChaosDigestsMatchAcrossQueueKinds) {
 }
 
 // ---------------------------------------------------------------------------
+// Full chaos-scenario replay under the scaled hot path: the calendar queue
+// plus the landmark delay oracle, i.e. the exact configuration the
+// million-member trajectory runs. Each of the harness's injection shapes --
+// correlated domain kill, flash crowd, mid-repair double kill -- must
+// replay bit-identically (same registry snapshot, same QoE accounting, same
+// protocol trace) and must not depend on the queue implementation.
+// ---------------------------------------------------------------------------
+
+std::uint64_t RunChaosHarnessDigest(int scenario, std::uint64_t seed,
+                                    sim::QueueKind queue) {
+  rnd::Rng topo_rng(1);
+  net::TopologyParams tp = net::TinyTopologyParams();
+  tp.delay_model = net::DelayModel::kLandmark;
+  const net::Topology topology = net::Topology::Generate(tp, topo_rng);
+
+  exp::ChaosConfig c;
+  c.population = 60;
+  c.warmup_s = 300.0;
+  c.stream_s = 60.0;
+  c.drain_s = 60.0;
+  c.seed = seed;
+  c.queue_kind = queue;
+  c.fault.loss_rate = 0.02;
+  c.fault.dup_prob = 0.01;
+  c.fault.jitter_s = 0.02;
+  c.session.root_bandwidth = 5.0;
+  c.rost.switching_interval_s = 60.0;
+  c.packet.frame_playback = true;
+  switch (scenario) {
+    case 0:  // correlated stub-domain kill
+      c.domain_kill_at_s = 10.0;
+      c.domain_kill_index = 1;
+      break;
+    case 1:  // flash crowd of simultaneous departures
+      c.flash_at_s = 10.0;
+      c.flash_departures = 5;
+      break;
+    default:  // mid-repair double kill (parent, then the repair server)
+      c.mid_repair_kill_at_s = 20.0;
+      break;
+  }
+  obs::Tracer tracer(1u << 18);
+  c.tracer = &tracer;
+  const exp::ChaosResult r = exp::RunChaosScenario(topology, c);
+
+  util::RollingHash hash;
+  for (const auto& [name, value] : r.registry) {
+    hash.MixBytes(name);
+    hash.MixDouble(value);
+  }
+  hash.MixDouble(r.avg_starving_ratio);
+  hash.MixDouble(r.degraded_time_fraction);
+  hash.MixDouble(r.mean_recovery_to_cadence_s);
+  hash.MixI64(r.decode_stalls);
+  hash.MixI64(r.regime_transitions);
+  hash.MixI64(r.dependency_resyncs);
+  hash.MixI64(r.reentries_scheduled);
+  hash.MixI64(r.reentries_attached);
+  hash.MixI64(r.reentries_abandoned);
+  hash.MixI64(r.unrooted_members);
+  hash.MixI64(r.final_population);
+  hash.MixU64(tracer.Digest());
+  return hash.digest();
+}
+
+TEST(ChaosHarnessReplay, ScenariosReplayBitIdenticallyUnderCalendarLandmark) {
+  for (int scenario : {0, 1, 2}) {
+    EXPECT_EQ(
+        RunChaosHarnessDigest(scenario, 21, sim::QueueKind::kCalendar),
+        RunChaosHarnessDigest(scenario, 21, sim::QueueKind::kCalendar))
+        << "chaos scenario " << scenario
+        << " diverged between identically-seeded runs";
+  }
+}
+
+TEST(ChaosHarnessReplay, ScenarioDigestsSeeTheSeed) {
+  EXPECT_NE(RunChaosHarnessDigest(0, 21, sim::QueueKind::kCalendar),
+            RunChaosHarnessDigest(0, 22, sim::QueueKind::kCalendar));
+}
+
+TEST(ChaosHarnessReplay, ScenarioDigestsMatchAcrossQueueKinds) {
+  for (int scenario : {0, 1, 2}) {
+    EXPECT_EQ(
+        RunChaosHarnessDigest(scenario, 21, sim::QueueKind::kCalendar),
+        RunChaosHarnessDigest(scenario, 21, sim::QueueKind::kBinaryHeap))
+        << "chaos scenario " << scenario
+        << " dispatched differently under the two queue kinds";
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Grid-level determinism: the experiment runner must produce bit-identical
 // per-cell results whether the grid executes serially or across a stolen-work
 // thread pool. Each cell runs a real (small) tree scenario against the shared
@@ -375,6 +467,70 @@ TEST(SeedReplayDeterminism, SerialAndParallelTraceJsonlAreByteIdentical) {
     EXPECT_EQ(serial[i], parallel[i])
         << "cell " << i << " exported different JSONL under 4 threads: a "
            "trace payload depends on scheduling or wall-clock";
+  }
+}
+
+// The degraded-regime scenario grid (the shape bench/degraded_grid runs)
+// must also be thread-count independent: every QoE metric and registry
+// entry of every cell digests identically serially and on four workers.
+runner::GridRunSummary RunDegradedGrid(int threads) {
+  runner::GridSpec spec;
+  spec.figure = "degraded_determinism_probe";
+  spec.title = "degraded-regime grid determinism probe";
+  spec.row_header = "scenario";
+  spec.rows = {"join_storm", "rejoin_load"};
+  spec.cols = {"loss=5%"};
+  spec.reps = 2;
+  spec.headline_metric = "degraded_time_fraction";
+  const net::Topology& topology =
+      runner::SharedTopology(net::TinyTopologyParams(), 1);
+  spec.run = [&topology](const runner::CellContext& cell) {
+    exp::ChaosConfig c;
+    c.population = 50;
+    c.warmup_s = 200.0;
+    c.stream_s = 60.0;
+    c.drain_s = 60.0;
+    c.seed = cell.seed;
+    c.fault.loss_rate = 0.05;
+    c.session.root_bandwidth = 5.0;
+    c.rost.switching_interval_s = 60.0;
+    c.packet.frame_playback = true;
+    if (cell.row == 0) {
+      c.join_storm_at_s = 10.0;
+      c.join_storm_count = 20;
+    } else {
+      c.reconnect_storm_at_s = 10.0;
+      c.reconnect_storm_fraction = 0.2;
+    }
+    const exp::ChaosResult r = exp::RunChaosScenario(topology, c);
+    runner::CellResult out;
+    out.metrics["degraded_time_fraction"] = r.degraded_time_fraction;
+    out.metrics["decode_stalls"] = static_cast<double>(r.decode_stalls);
+    out.metrics["dependency_resyncs"] =
+        static_cast<double>(r.dependency_resyncs);
+    out.metrics["reentries_pending"] = static_cast<double>(r.reentries_pending);
+    out.registry = r.registry;
+    return out;
+  };
+  runner::RunnerOptions options;
+  options.threads = threads;
+  options.base_seed = 1;
+  return runner::RunGrid(spec, options);
+}
+
+TEST(SeedReplayDeterminism, DegradedGridIsBitIdenticalSerialVsFourThreads) {
+  const runner::GridRunSummary serial = RunDegradedGrid(/*threads=*/1);
+  const runner::GridRunSummary parallel = RunDegradedGrid(/*threads=*/4);
+  ASSERT_EQ(serial.cells.size(), parallel.cells.size());
+  EXPECT_EQ(runner::DigestOutcomes(serial.cells),
+            runner::DigestOutcomes(parallel.cells))
+      << "degraded-regime cells depend on thread count";
+  for (std::size_t i = 0; i < serial.cells.size(); ++i) {
+    EXPECT_EQ(serial.cells[i].result.metrics, parallel.cells[i].result.metrics)
+        << "cell " << i << " diverged";
+    EXPECT_EQ(serial.cells[i].result.registry,
+              parallel.cells[i].result.registry)
+        << "cell " << i << " registry diverged";
   }
 }
 

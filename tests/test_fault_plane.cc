@@ -1,6 +1,7 @@
 // FaultPlane unit tests: loss/duplication/jitter statistics, per-link
-// overrides, counter accounting, and bit-reproducibility of the fault
-// schedule under a fixed seed.
+// overrides, episodic (ISP-level correlated) loss phases, counter
+// accounting, and bit-reproducibility of the fault schedule under a fixed
+// seed.
 #include "sim/fault_plane.h"
 
 #include <gtest/gtest.h>
@@ -113,6 +114,129 @@ TEST(FaultPlane, FaultScheduleIsSeedReproducible) {
   };
   EXPECT_EQ(run(99), run(99));
   EXPECT_NE(run(99), run(100));
+}
+
+TEST(FaultPlane, EpisodicLossBlanketsGroupWhileEpisodeIsOn) {
+  Simulator sim;
+  FaultPlane plane(sim, {}, 6);
+  plane.SetNodeGroup(2, 7);
+  plane.SetNodeGroup(3, 7);
+  EpisodicLossParams episode;
+  episode.loss_rate = 1.0;
+  episode.mean_on_s = 10.0;  // far beyond the test horizon
+  episode.mean_off_s = 10.0;
+  episode.duration = EpisodicLossParams::Duration::kFixed;
+  int in_group = 0;
+  int outside = 0;
+  sim.ScheduleAt(1.0, [&] {
+    plane.StartEpisodicLoss(7, episode);
+    EXPECT_TRUE(plane.EpisodeActive(7));
+    for (int i = 0; i < 20; ++i) {
+      plane.Deliver(1, 2, 0.01, [&] { ++in_group; });   // to a group node
+      plane.Deliver(3, 1, 0.01, [&] { ++in_group; });   // from a group node
+      plane.Deliver(1, 4, 0.01, [&] { ++outside; });    // group-free link
+    }
+  });
+  // Bounded run: the episodic on/off process self-perpetuates, so Run()
+  // would never drain the queue.
+  sim.RunUntil(5.0);
+  EXPECT_EQ(in_group, 0) << "episode at loss 1.0 must drop both directions";
+  EXPECT_EQ(outside, 20);
+  EXPECT_EQ(plane.episodes_started(), 1);
+}
+
+TEST(FaultPlane, EpisodicLossAlternatesOnAndOffPhases) {
+  Simulator sim;
+  FaultPlane plane(sim, {}, 7);
+  plane.SetNodeGroup(2, 1);
+  EpisodicLossParams episode;
+  episode.loss_rate = 1.0;
+  episode.mean_on_s = 1.0;
+  episode.mean_off_s = 1.0;
+  episode.duration = EpisodicLossParams::Duration::kFixed;
+  plane.StartEpisodicLoss(1, episode);
+  // Probe the link once per 0.25 s across [0, 4): ON in [0,1) and [2,3),
+  // OFF in [1,2) and [3,4) -- fixed durations make the phases exact.
+  int delivered_in_on = 0;
+  int delivered_in_off = 0;
+  for (int i = 0; i < 16; ++i) {
+    const double t = 0.25 * i + 0.01;  // keep clear of the phase edges
+    const bool on_phase = (i / 4) % 2 == 0;
+    sim.ScheduleAt(t, [&plane, &delivered_in_on, &delivered_in_off,
+                       on_phase] {
+      plane.Deliver(1, 2, 0.001, [&delivered_in_on, &delivered_in_off,
+                                  on_phase] {
+        ++(on_phase ? delivered_in_on : delivered_in_off);
+      });
+    });
+  }
+  sim.RunUntil(3.9);  // short of the t=4 toggle, which starts episode 3
+  EXPECT_EQ(delivered_in_on, 0);
+  EXPECT_EQ(delivered_in_off, 8);
+  EXPECT_EQ(plane.episodes_started(), 2);  // [0,1) and [2,3)
+}
+
+TEST(FaultPlane, StopEpisodicLossCancelsPendingToggles) {
+  Simulator sim;
+  FaultPlane plane(sim, {}, 8);
+  plane.SetNodeGroup(2, 1);
+  EpisodicLossParams episode;
+  episode.mean_on_s = 1.0;
+  episode.mean_off_s = 1.0;
+  episode.duration = EpisodicLossParams::Duration::kFixed;
+  plane.StartEpisodicLoss(1, episode);
+  sim.ScheduleAt(0.5, [&] {
+    plane.StopEpisodicLoss(1);
+    EXPECT_FALSE(plane.EpisodeActive(1));
+  });
+  int delivered = 0;
+  sim.ScheduleAt(2.5, [&] {  // would be mid-second-episode if not stopped
+    plane.Deliver(1, 2, 0.001, [&] { ++delivered; });
+  });
+  sim.RunUntil(10.0);
+  EXPECT_EQ(delivered, 1);
+  EXPECT_FALSE(plane.EpisodeActive(1));
+  EXPECT_EQ(plane.episodes_started(), 1) << "no resurrection after stop";
+}
+
+TEST(FaultPlane, EpisodicProcessDoesNotPerturbMessageFates) {
+  // The fate of each message (lost / duplicated / jitter) must be identical
+  // whether or not an episodic process is running on an UNRELATED group:
+  // episode durations draw from a separate stream.
+  auto run = [](bool with_episodes) {
+    Simulator sim;
+    FaultPlaneParams params;
+    params.loss_rate = 0.25;
+    params.dup_prob = 0.1;
+    params.jitter_s = 0.05;
+    FaultPlane plane(sim, params, 42);
+    if (with_episodes) {
+      plane.SetNodeGroup(999, 5);  // group disjoint from probed links
+      plane.StartEpisodicLoss(5, {});
+    }
+    std::vector<std::pair<double, int>> trace;
+    for (int i = 0; i < 300; ++i) {
+      sim.ScheduleAt(0.01 * i, [&plane, &trace, i, &sim] {
+        plane.Deliver(i % 7, i % 5, 0.002, [&trace, i, &sim] {
+          trace.push_back({sim.now(), i});
+        });
+      });
+    }
+    sim.RunUntil(600.0);
+    return trace;
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+TEST(FaultPlaneDeathTest, RejectsInvalidEpisodicParams) {
+  Simulator sim;
+  FaultPlane plane(sim, {}, 9);
+  EpisodicLossParams bad_rate;
+  bad_rate.loss_rate = 1.5;
+  EXPECT_DEATH(plane.StartEpisodicLoss(1, bad_rate), "CHECK failed");
+  EpisodicLossParams bad_duration;
+  bad_duration.mean_on_s = 0.0;
+  EXPECT_DEATH(plane.StartEpisodicLoss(1, bad_duration), "CHECK failed");
 }
 
 TEST(FaultPlaneDeathTest, RejectsInvalidProbabilities) {

@@ -9,8 +9,10 @@
 // description outage degrades quality; CER keeps full quality and repairs
 // the one tree. The table reports both stall and degraded-time ratios.
 #include <iostream>
+#include <string>
 
 #include "bench_common.h"
+#include "exp/scenario.h"
 #include "sim/simulator.h"
 #include "stream/multi_tree.h"
 
@@ -29,6 +31,20 @@ constexpr Scheme kSchemes[] = {
     {"3 MDC trees", 3, false},
 };
 
+// Maps --protocol to the algorithm whose protocol builds each description
+// tree (through the protocol-agnostic exp::MakeProtocol seam).
+omcast::exp::Algorithm ParseAlgorithm(const std::string& label) {
+  using omcast::exp::Algorithm;
+  for (Algorithm a : {Algorithm::kMinDepth, Algorithm::kLongestFirst,
+                      Algorithm::kRelaxedBo, Algorithm::kRelaxedTo,
+                      Algorithm::kRost, Algorithm::kClique})
+    if (label == omcast::exp::AlgorithmLabel(a)) return a;
+  std::cerr << "unknown --protocol '" << label
+            << "' (try min-depth, longest-first, relaxed-BO, relaxed-TO, "
+               "ROST, clique)\n";
+  std::exit(1);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -36,11 +52,14 @@ int main(int argc, char** argv) {
   util::FlagSet flags;
   bench::DefineCommonFlags(flags);
   flags.Define("grow", "1200", "build-up phase seconds (4x arrivals)");
+  flags.Define("protocol", "min-depth",
+               "overlay protocol per description tree (exp::Algorithm label)");
   if (!flags.Parse(argc, argv)) return 1;
   const bench::BenchEnv env = bench::MakeEnv(flags);
   bench::PrintHeader("Extension -- multiple description trees vs CER", env);
 
   const double grow_s = flags.GetDouble("grow");
+  const exp::Algorithm algorithm = ParseAlgorithm(flags.GetString("protocol"));
   runner::GridSpec spec;
   spec.figure = "ext_multi_tree";
   spec.title = "multiple description trees vs CER";
@@ -49,12 +68,13 @@ int main(int argc, char** argv) {
   spec.cols = {"stream"};
   spec.reps = env.reps;
   spec.headline_metric = "stall_ratio";
-  spec.run = [&env, grow_s](const runner::CellContext& cell) {
+  spec.run = [&env, grow_s, algorithm](const runner::CellContext& cell) {
     const Scheme& scheme = kSchemes[cell.row];
     sim::Simulator sim;
     stream::MultiTreeParams p;
     p.trees = scheme.trees;
     p.cer_recovery = scheme.cer;
+    p.make_protocol = [algorithm] { return exp::MakeProtocol(algorithm, {}); };
     stream::MultiTreeStream streams(sim, env.Topo(), p, cell.seed);
     // Build the audience quickly, then settle into normal churn.
     const double rate = env.focus_size / rnd::kMeanLifetimeSeconds;

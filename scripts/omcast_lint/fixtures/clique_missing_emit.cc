@@ -1,0 +1,59 @@
+// Fixture [rost-event-emit, CliqueProtocol table]: the clustered overlay's
+// transitions pair with the kClique* taxonomy family. An AttachWithinCluster
+// body that reattaches an orphan without emitting kCliqueLocalRecovery must
+// be flagged at the definition line -- the bake-off's recovery-locality
+// claims are proven from the trace, so a silent local reattach un-checks
+// them.
+//
+// TaxonomyRegistry() references every kClique* kind so the whole-file
+// taxonomy cross-reference (resolved against the real src/obs/trace.h by
+// walking up from this file) stays satisfied.
+namespace fixture {
+
+enum class EventKind : int {
+  kCliqueFormed,
+  kCliqueElection,
+  kCliqueDelegatePromoted,
+  kCliqueLocalRecovery,
+  kCliqueBackboneReattach,
+  kCliqueDissolved,
+};
+
+struct Tracer {
+  void Emit(EventKind kind, int subject, int peer, int detail);
+};
+
+class CliqueProtocol {
+ public:
+  bool AttachToBackbone(int id);
+  bool AttachWithinCluster(int id);
+
+ private:
+  Tracer* tracer_ = nullptr;
+};
+
+// Negative: a compliant transition emits its paired kind.
+bool CliqueProtocol::AttachToBackbone(int id) {
+  tracer_->Emit(EventKind::kCliqueBackboneReattach, id, 0, 0);
+  return true;
+}
+
+bool CliqueProtocol::AttachWithinCluster(int id) {  // expect(rost-event-emit)
+  // BUG (deliberate): the orphan reattaches under a same-cluster parent but
+  // never emits kCliqueLocalRecovery, so the localized repair is invisible
+  // in the trace.
+  return id >= 0;
+}
+
+// Keeps the file-level taxonomy cross-reference satisfied (every family
+// kind has an emit site somewhere in this file).
+inline void TaxonomyRegistry(Tracer* tracer) {
+  tracer->Emit(EventKind::kCliqueFormed, 0, 0, 0);
+  tracer->Emit(EventKind::kCliqueElection, 0, 0, 0);
+  tracer->Emit(EventKind::kCliqueDelegatePromoted, 0, 0, 0);
+  tracer->Emit(EventKind::kCliqueLocalRecovery, 0, 0, 0);
+  tracer->Emit(EventKind::kCliqueBackboneReattach, 0, 0, 0);
+  tracer->Emit(EventKind::kCliqueDissolved, 0, 0, 0);
+}
+
+}  // namespace fixture

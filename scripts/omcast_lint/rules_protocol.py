@@ -73,6 +73,24 @@ PROTOCOL_TABLES: tuple[dict, ...] = (
         },
         "family_prefixes": ("kPlayback", "kDecodeStall", "kDependencyResync"),
     },
+    # CliqueProtocol (clustered overlay): every cluster lifecycle edge --
+    # formation, election round, both promotion paths (succession and the
+    # stability challenge), localized recovery, backbone reattach,
+    # dissolution -- must land in the trace, since the bake-off's
+    # recovery-locality claims are audited from the kClique* stream.
+    {
+        "class_name": "CliqueProtocol",
+        "transitions": {
+            "FormCluster": ("kCliqueFormed",),
+            "RunElection": ("kCliqueElection",),
+            "ElectSuccessor": ("kCliqueDelegatePromoted",),
+            "PromoteDelegate": ("kCliqueDelegatePromoted",),
+            "AttachWithinCluster": ("kCliqueLocalRecovery",),
+            "AttachToBackbone": ("kCliqueBackboneReattach",),
+            "DissolveCluster": ("kCliqueDissolved",),
+        },
+        "family_prefixes": ("kClique",),
+    },
 )
 
 ENUM_KIND_RE = re.compile(r"^\s*(k[A-Z]\w*)\s*[=,]")

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/registry.h"
 #include "obs/trace.h"
 #include "proto/selection.h"
 #include "util/check.h"
@@ -434,6 +435,16 @@ long RostProtocol::WedgedLeases(sim::Time now) const {
   for (const NodeState& st : state_)
     if (st.lease_held && st.locked_until < now) ++wedged;
   return wedged;
+}
+
+void RostProtocol::ExportCounters(obs::Registry& reg) const {
+  reg.Count("rost.switches", static_cast<double>(switches_));
+  reg.Count("rost.lock_conflicts", static_cast<double>(lock_conflicts_));
+  reg.Count("rost.lock_retries", static_cast<double>(lock_retries_));
+  reg.Count("rost.lock_timeouts", static_cast<double>(lock_timeouts_));
+  reg.Count("rost.handshake_aborts", static_cast<double>(handshake_aborts_));
+  reg.Count("rost.infeasible_switches", static_cast<double>(infeasible_));
+  reg.Count("rost.preempt_joins", static_cast<double>(preempt_joins_));
 }
 
 void RostProtocol::CheckSwitch(Session& session, NodeId id) {

@@ -115,9 +115,12 @@ class RostProtocol final : public overlay::Protocol {
   // Routes the lock handshake over real (lossy) messages and switches the
   // locking discipline from the atomic oracle to leases. The plane must
   // outlive the run. Pass nullptr to restore the oracle path.
-  void SetFaultPlane(sim::FaultPlane* fault_plane) {
+  void SetFaultPlane(sim::FaultPlane* fault_plane) override {
     fault_plane_ = fault_plane;
   }
+
+  // "rost.*" message-cost counters (the Fig. 10 protocol overhead export).
+  void ExportCounters(obs::Registry& reg) const override;
 
   // The BTP/bandwidth the switching logic believes for `id`: the member's
   // claim, or the referee-attested value when referees are enabled.
@@ -151,7 +154,7 @@ class RostProtocol final : public overlay::Protocol {
   // A wedged lease is one still marked held after its expiry time, i.e. the
   // expiry event failed to reap it. Always zero unless the protocol is
   // buggy; chaos runs assert on it.
-  long WedgedLeases(sim::Time now) const;
+  long WedgedLeases(sim::Time now) const override;
 
   // Immediately evaluates `id`'s switching condition (tests drive this
   // directly; production path uses the periodic timer).

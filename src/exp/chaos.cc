@@ -64,7 +64,7 @@ ChaosResult RunChaosScenario(const net::Topology& topology,
                              const ChaosConfig& config) {
   sim::Simulator simulator(config.queue_kind);
   std::unique_ptr<overlay::Protocol> protocol =
-      MakeProtocol(config.algorithm, config.rost);
+      MakeProtocol(config.algorithm, config.rost, config.clique);
   auto* rost = config.algorithm == Algorithm::kRost
                    ? static_cast<core::RostProtocol*>(protocol.get())
                    : nullptr;
@@ -81,7 +81,7 @@ ChaosResult RunChaosScenario(const net::Topology& topology,
   simulator.SetProfiler(config.profiler);
   sim::FaultPlane fault_plane(simulator, config.fault,
                               config.seed ^ 0x9e3779b97f4a7c15ULL);
-  if (rost != nullptr) rost->SetFaultPlane(&fault_plane);
+  session.protocol().SetFaultPlane(&fault_plane);
 
   std::optional<overlay::HeartbeatService> heartbeat;
   if (config.use_heartbeats)
@@ -149,6 +149,9 @@ ChaosResult RunChaosScenario(const net::Topology& topology,
           fault_plane.SetNodeGroup(id, 0);
       fault_plane.StartEpisodicLoss(0, config.episodic);
     });
+    if (config.episodic_end_s >= 0.0)
+      simulator.ScheduleAt(t0 + config.episodic_end_s,
+                           [&] { fault_plane.StopEpisodicLoss(0); });
   }
   if (config.reconnect_storm_at_s >= 0.0 &&
       config.reconnect_storm_fraction > 0.0) {
@@ -199,9 +202,28 @@ ChaosResult RunChaosScenario(const net::Topology& topology,
   for (NodeId id : session.alive_members())
     if (!session.tree().IsRooted(id)) adrift.push_back(id);
   simulator.RunUntil(simulator.now() + config.settle_s);
-  for (NodeId id : adrift)
-    if (session.tree().Alive(id) && !session.tree().IsRooted(id))
+  // Final placement audit. A member still adrift here may simply be
+  // mid-backoff behind a slot that freed moments ago, so it gets one
+  // immediate attach attempt. Only a member the protocol refuses NOW is
+  // classified: stranded (unrooted_members) when the rooted tree still had
+  // spare slots it failed to use, capacity-starved when the tree was full
+  // -- after a correlated kill the heavy-tailed capacity mix can leave
+  // genuinely unplaceable members, which measures the workload, not the
+  // protocol.
+  long spare = 0;
+  for (NodeId m : session.alive_members())
+    if (session.tree().IsRooted(m)) spare += session.tree().SpareCapacity(m);
+  for (NodeId id : adrift) {
+    if (!session.tree().Alive(id) || session.tree().IsRooted(id)) continue;
+    if (session.protocol().TryAttach(session, id)) {
+      spare += session.tree().Capacity(id) - 1;
+      continue;
+    }
+    if (spare > 0)
       ++r.unrooted_members;
+    else
+      ++r.capacity_starved;
+  }
 
   const sim::Time now = simulator.now();
   obs::Registry reg = metrics::CollectChaosRegistry(
@@ -217,13 +239,16 @@ ChaosResult RunChaosScenario(const net::Topology& topology,
             static_cast<double>(session.reentries_abandoned()));
   reg.Count("reconnect.pending",
             static_cast<double>(session.reentries_pending()));
+  // Protocol-agnostic counter export: "rost.*" lock traffic or "clique.*"
+  // election/recovery tallies, depending on the algorithm under test.
+  session.protocol().ExportCounters(reg);
   r.counters = metrics::CountersFromRegistry(reg);
   r.registry = reg.Flatten();
   if (config.registry != nullptr) config.registry->MergeFrom(reg);
   r.avg_starving_ratio = stream.ratio_stat().mean();
   r.ci95 = stream.ratio_stat().ci95_half_width();
   r.members = static_cast<int>(stream.ratio_stat().count());
-  r.zero_wedged_locks = rost == nullptr || rost->WedgedLeases(now) == 0;
+  r.zero_wedged_locks = session.protocol().WedgedLeases(now) == 0;
   r.final_population = session.alive_count();
   r.episodes_started = fault_plane.episodes_started();
   r.degraded_time_fraction = stream.degraded_fraction_stat().count() > 0

@@ -89,6 +89,11 @@ struct ChaosConfig {
   double episodic_at_s = -1.0;
   int episodic_domain_index = 0;
   sim::EpisodicLossParams episodic;
+  // When >= 0 the episode ends (StopEpisodicLoss) at this offset; the drain
+  // then measures recovery from the incident. Negative: the on/off process
+  // outlasts the run, so members in the lossy domain stay semi-partitioned
+  // through the drain and the settle window.
+  double episodic_end_s = -1.0;
   // Rejoin-under-load storm: at reconnect_storm_at_s a
   // `reconnect_storm_fraction` sample of the alive membership departs
   // abruptly and re-enters through the session's bounded-retry re-entry
@@ -99,6 +104,7 @@ struct ChaosConfig {
   double reconnect_downtime_mean_s = 5.0;
 
   core::RostParams rost;            // algorithm == kRost
+  proto::CliqueParams clique;       // algorithm == kClique
   overlay::SessionParams session;   // external_failure_detection is set
                                     // from use_heartbeats by the runner
   stream::PacketSimParams packet;
@@ -155,9 +161,17 @@ struct ChaosResult {
   // No lease is held past its expiry (a wedged lock would deadlock
   // switching forever). Must always be true.
   bool zero_wedged_locks = false;
-  // Members unrooted at drain end that were still alive and unrooted after
-  // the settle window: orphans the hardened protocol failed to reattach.
+  // Members unrooted at drain end that were still alive, unrooted after the
+  // settle window, AND refused by the final placement audit while the
+  // rooted tree had spare capacity: orphans the protocol failed to
+  // reattach. Stranded-orphan health gates run on this field.
   int unrooted_members = 0;
+  // Members the audit could not place because the rooted tree had zero
+  // spare slots: with a heavy-tailed capacity mix the overlay can be
+  // genuinely full after correlated departures, and no protocol can attach
+  // a member to a tree with no open slot. Workload infeasibility, not a
+  // protocol failure -- reported, never gated.
+  int capacity_starved = 0;
   long final_population = 0;
 };
 

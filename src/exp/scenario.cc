@@ -23,12 +23,14 @@ const char* AlgorithmLabel(Algorithm a) {
     case Algorithm::kRelaxedBo: return "relaxed-BO";
     case Algorithm::kRelaxedTo: return "relaxed-TO";
     case Algorithm::kRost: return "ROST";
+    case Algorithm::kClique: return "clique";
   }
   return "?";
 }
 
-std::unique_ptr<overlay::Protocol> MakeProtocol(Algorithm a,
-                                                const core::RostParams& rost) {
+std::unique_ptr<overlay::Protocol> MakeProtocol(
+    Algorithm a, const core::RostParams& rost,
+    const proto::CliqueParams& clique) {
   switch (a) {
     case Algorithm::kMinDepth:
       return std::make_unique<proto::MinDepthProtocol>();
@@ -40,6 +42,8 @@ std::unique_ptr<overlay::Protocol> MakeProtocol(Algorithm a,
       return std::make_unique<proto::RelaxedTimeOrderedProtocol>();
     case Algorithm::kRost:
       return std::make_unique<core::RostProtocol>(rost);
+    case Algorithm::kClique:
+      return std::make_unique<proto::CliqueProtocol>(clique);
   }
   util::Fail("unknown algorithm");
 }
@@ -68,25 +72,13 @@ void ExportSessionCounters(obs::Registry& reg, overlay::Session& session) {
                static_cast<double>(session.alive_count()));
 }
 
-// ROST protocol-overhead tallies (the message costs behind Fig. 10).
-void ExportRostCounters(obs::Registry& reg, const core::RostProtocol& rost) {
-  reg.Count("rost.switches", static_cast<double>(rost.switches_performed()));
-  reg.Count("rost.lock_conflicts", static_cast<double>(rost.lock_conflicts()));
-  reg.Count("rost.lock_retries", static_cast<double>(rost.lock_retries()));
-  reg.Count("rost.lock_timeouts", static_cast<double>(rost.lock_timeouts()));
-  reg.Count("rost.handshake_aborts",
-            static_cast<double>(rost.handshake_aborts()));
-  reg.Count("rost.infeasible_switches",
-            static_cast<double>(rost.infeasible_switches()));
-  reg.Count("rost.preempt_joins", static_cast<double>(rost.preempt_joins()));
-}
-
 }  // namespace
 
 TreeScenarioResult RunTreeScenario(const net::Topology& topology, Algorithm a,
                                    const ScenarioConfig& config) {
   sim::Simulator simulator(config.queue_kind);
-  std::unique_ptr<overlay::Protocol> protocol = MakeProtocol(a, config.rost);
+  std::unique_ptr<overlay::Protocol> protocol =
+      MakeProtocol(a, config.rost, config.clique);
   auto* rost = a == Algorithm::kRost
                    ? static_cast<core::RostProtocol*>(protocol.get())
                    : nullptr;
@@ -122,7 +114,7 @@ TreeScenarioResult RunTreeScenario(const net::Topology& topology, Algorithm a,
   }
   if (config.registry != nullptr) {
     ExportSessionCounters(*config.registry, session);
-    if (rost != nullptr) ExportRostCounters(*config.registry, *rost);
+    session.protocol().ExportCounters(*config.registry);
   }
   return r;
 }
@@ -132,7 +124,8 @@ StreamScenarioResult RunStreamScenario(const net::Topology& topology,
                                        const ScenarioConfig& config,
                                        const stream::StreamParams& stream) {
   sim::Simulator simulator(config.queue_kind);
-  overlay::Session session(simulator, topology, MakeProtocol(a, config.rost),
+  overlay::Session session(simulator, topology,
+                           MakeProtocol(a, config.rost, config.clique),
                            config.session, config.seed);
   AttachObservability(simulator, session, config);
   stream::StreamingLayer streaming(session, stream, config.seed ^ 0x5151);
@@ -163,7 +156,8 @@ TraceResult RunMemberTraceScenario(const net::Topology& topology, Algorithm a,
                                    double member_bandwidth,
                                    double member_lifetime_s, double trace_s) {
   sim::Simulator simulator(config.queue_kind);
-  overlay::Session session(simulator, topology, MakeProtocol(a, config.rost),
+  overlay::Session session(simulator, topology,
+                           MakeProtocol(a, config.rost, config.clique),
                            config.session, config.seed);
   AttachObservability(simulator, session, config);
   metrics::MemberTrace trace(session, config.snapshot_interval_s);

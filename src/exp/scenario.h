@@ -18,6 +18,7 @@
 #include "core/rost/rost.h"
 #include "net/topology.h"
 #include "overlay/session.h"
+#include "proto/clique/clique.h"
 #include "stream/streaming.h"
 
 namespace omcast::obs {
@@ -34,13 +35,19 @@ enum class Algorithm {
   kRelaxedBo,
   kRelaxedTo,
   kRost,
+  // The clustered-overlay competitor (proto/clique) -- not one of the
+  // paper's five, so AllAlgorithms() excludes it and the bake-off harness
+  // names it explicitly.
+  kClique,
 };
 
-// The five algorithms in the paper's plotting order.
+// The five algorithms in the paper's plotting order (kClique is the
+// bake-off competitor, not a paper curve, and is deliberately absent).
 std::vector<Algorithm> AllAlgorithms();
 const char* AlgorithmLabel(Algorithm a);
-std::unique_ptr<overlay::Protocol> MakeProtocol(Algorithm a,
-                                                const core::RostParams& rost);
+std::unique_ptr<overlay::Protocol> MakeProtocol(
+    Algorithm a, const core::RostParams& rost,
+    const proto::CliqueParams& clique = {});
 
 // Plain value type: runner cells copy one per cell and patch population /
 // seed, so scenario code must never stash pointers to a shared config.
@@ -54,6 +61,7 @@ struct ScenarioConfig {
   std::uint64_t seed = 1;
   double snapshot_interval_s = 300.0;
   core::RostParams rost;          // used when algorithm == kRost
+  proto::CliqueParams clique;     // used when algorithm == kClique
   overlay::SessionParams session;
   // Pending-event set implementation. Both kinds dispatch in identical
   // (time, seq) order, so results and replay digests are unaffected; the

@@ -63,6 +63,12 @@ const char* EventKindName(EventKind kind) {
     case EventKind::kDependencyResync: return "dependency_resync";
     case EventKind::kPlaybackRegime: return "playback_regime";
     case EventKind::kDecodeStall: return "decode_stall";
+    case EventKind::kCliqueFormed: return "clique_formed";
+    case EventKind::kCliqueElection: return "clique_election";
+    case EventKind::kCliqueDelegatePromoted: return "clique_delegate_promoted";
+    case EventKind::kCliqueLocalRecovery: return "clique_local_recovery";
+    case EventKind::kCliqueBackboneReattach: return "clique_backbone_reattach";
+    case EventKind::kCliqueDissolved: return "clique_dissolved";
   }
   return "?";
 }

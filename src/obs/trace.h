@@ -77,6 +77,20 @@ enum class EventKind : int {
   kDecodeStall,      // subject's playback window had decode stalls (frames
                      // that arrived but whose reference missed its deadline);
                      // detail = stall count in the window
+  // proto/clique: clustered overlay (delegate backbone + leaf cliques).
+  kCliqueFormed,     // subject (delegate) founded a new cluster;
+                     // detail = cluster id
+  kCliqueElection,   // subject (delegate) holds the seat after an election
+                     // round over its cluster; detail = cluster id
+  kCliqueDelegatePromoted,  // subject (successor) took over peer's (former
+                     // delegate's) backbone position; detail = cluster id
+  kCliqueLocalRecovery,     // subject reattached inside its own cluster
+                     // after an intra-clique parent loss; peer = new parent,
+                     // detail = cluster id
+  kCliqueBackboneReattach,  // subject (delegate) (re)attached to the
+                     // backbone; peer = backbone parent, detail = cluster id
+  kCliqueDissolved,  // subject's cluster disbanded (undersized or its
+                     // succession timed out); detail = cluster id
 };
 
 // Stable snake_case name for JSONL/Perfetto export; never renamed, only

@@ -12,6 +12,9 @@ void Protocol::OnAttached(Session&, NodeId) {}
 void Protocol::OnDeparture(Session&, NodeId) {}
 void Protocol::OnOrphaned(Session&, NodeId) {}
 void Protocol::OnPrepopulated(Session&, NodeId) {}
+void Protocol::SetFaultPlane(sim::FaultPlane*) {}
+void Protocol::ExportCounters(obs::Registry&) const {}
+long Protocol::WedgedLeases(sim::Time) const { return 0; }
 
 void SessionHooks::AddOnDeparture(std::function<void(NodeId)> fn) {
   on_departure_.push_back(std::move(fn));

@@ -27,8 +27,13 @@
 #include "sim/simulator.h"
 
 namespace omcast::obs {
+class Registry;
 class Tracer;
 }  // namespace omcast::obs
+
+namespace omcast::sim {
+class FaultPlane;
+}  // namespace omcast::sim
 
 namespace omcast::overlay {
 
@@ -76,6 +81,26 @@ class Protocol {
   // life (e.g. ROST fast-forwards its BTP switches), so the t=0 tree is the
   // protocol's own steady-state shape rather than a freshly-joined one.
   virtual void OnPrepopulated(Session& session, NodeId id);
+
+  // --- chaos/observability seams (protocol-agnostic driver contract) -------
+  // The scenario and chaos runners talk to every protocol through these
+  // three hooks instead of downcasting, so a new protocol plugs into the
+  // harness by overriding what applies and ignoring the rest.
+
+  // Routes the protocol's own control traffic over real (lossy) messages.
+  // The plane must outlive the run; nullptr restores the oracle path.
+  // Default: ignored (the protocol has no separately-modeled control plane).
+  virtual void SetFaultPlane(sim::FaultPlane* fault_plane);
+
+  // End-of-run protocol counter snapshot (the per-protocol message costs
+  // behind Fig. 10), namespaced by the protocol ("rost.*", "clique.*").
+  // Default: exports nothing.
+  virtual void ExportCounters(obs::Registry& reg) const;
+
+  // Locks/leases still marked held past their expiry at time `now` -- the
+  // chaos harness's "no wedged locks" health gate. Protocols without a
+  // locking discipline are trivially healthy (default 0).
+  virtual long WedgedLeases(sim::Time now) const;
 };
 
 struct SessionParams {

@@ -28,8 +28,11 @@ MultiTreeStream::MultiTreeStream(sim::Simulator& simulator,
     // Each member relays each 1/K-rate description with a 1/K uplink share,
     // so its per-tree out-degree stays floor(bandwidth); members are
     // injected with their full bandwidth value into every session.
+    std::unique_ptr<overlay::Protocol> protocol =
+        params_.make_protocol ? params_.make_protocol()
+                              : std::make_unique<proto::MinDepthProtocol>();
     sessions_.push_back(std::make_unique<Session>(
-        sim_, topology, std::make_unique<proto::MinDepthProtocol>(), sp,
+        sim_, topology, std::move(protocol), sp,
         seed + 1000ull * static_cast<std::uint64_t>(k + 1)));
     Session* session = sessions_.back().get();
     const int tree = k;

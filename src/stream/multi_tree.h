@@ -24,6 +24,7 @@
 // bench/ext_multi_tree.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -50,6 +51,11 @@ struct MultiTreeParams {
   int recovery_group = 3;
   double residual_lo_pkts = 0.0;
   double residual_hi_pkts = 9.0;
+  // Per-tree overlay protocol factory (called once per description tree);
+  // null selects MinDepthProtocol. Routed through the protocol-agnostic
+  // overlay::Protocol seam so bench/ext_multi_tree can pit any algorithm's
+  // trees against each other (e.g. exp::MakeProtocol-built ROST or clique).
+  std::function<std::unique_ptr<overlay::Protocol>()> make_protocol;
 };
 
 class MultiTreeStream {

@@ -469,6 +469,13 @@ void PacketLevelStream::FailoverStripe(std::size_t index) {
     if (i == index) continue;
     const RepairStripe& c = repair_stripes_[i];
     if (c.group_id != dead.group_id || c.dead) continue;
+    // Never the dead stripe's own server: OnDeparture's failover sweep runs
+    // while the departing member is still marked alive, and a server that
+    // earlier took over a sibling stripe serves two stripes of one group.
+    // Inheriting the range back onto the dying server would mint a fresh
+    // server==failed stripe for the sweep to kill -- and the takeover it
+    // minted in turn -- growing repair_stripes_ without bound.
+    if (c.server == dead.server) continue;
     if (!session_.tree().Alive(c.server)) continue;
     if (best == repair_stripes_.size() || c.rate > repair_stripes_[best].rate)
       best = i;

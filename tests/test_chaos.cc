@@ -391,5 +391,42 @@ TEST(ChaosScenario, FiveHundredMembersSurviveLossAndDomainKill) {
   EXPECT_GT(r.final_population, 0);
 }
 
+// Regression: this exact bake-off cell (flash_crowd / clique, shared seed
+// for rep 0) once hung forever. The flash kills a member that had earlier
+// taken over a sibling repair stripe -- so it served two stripes of one
+// group -- and OnDeparture's failover sweep, running while the departing
+// member is still marked alive, handed each dead stripe back to the dying
+// server, minting server==failed stripes faster than it retired them.
+// FailoverStripe must never select the dead stripe's own server.
+TEST(ChaosScenario, FlashCrowdSurvivesMidTakeoverServerDeath) {
+  rnd::Rng topo_rng(1 ^ 0xde62adULL);
+  const net::Topology topology =
+      net::Topology::Generate(net::SmallTopologyParams(), topo_rng);
+  ChaosConfig c;
+  c.algorithm = Algorithm::kClique;
+  c.population = 150;
+  c.warmup_s = 300.0;
+  c.stream_s = 90.0;
+  c.drain_s = 90.0;
+  c.seed = 12887781531040884567ULL;  // CellSeed(1, "bakeoff", "flash_crowd",
+                                     // "shared", 0)
+  c.fault.loss_rate = 0.02;
+  c.fault.dup_prob = 0.01;
+  c.fault.jitter_s = 0.02;
+  c.session.root_bandwidth = 16.0;
+  c.rost.switching_interval_s = 120.0;
+  c.packet.frame_playback = true;
+  c.flash_at_s = 10.0;
+  c.flash_departures = 30;
+  const ChaosResult r = RunChaosScenario(topology, c);
+  EXPECT_GT(r.counters.stripe_failovers, 0)
+      << "the mid-takeover failover no longer fires; the regression is "
+         "vacuous";
+  EXPECT_TRUE(r.zero_wedged_locks);
+  EXPECT_EQ(r.unrooted_members, 0) << "orphans failed to reattach";
+  EXPECT_EQ(r.reentries_pending, 0);
+  EXPECT_GT(r.final_population, 0);
+}
+
 }  // namespace
 }  // namespace omcast::exp

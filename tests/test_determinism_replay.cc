@@ -327,6 +327,85 @@ TEST(ChaosHarnessReplay, ScenarioDigestsMatchAcrossQueueKinds) {
 }
 
 // ---------------------------------------------------------------------------
+// Clique-protocol replay: the clustered overlay's event history -- cluster
+// formation order, election timers, succession timeouts, advisory traffic
+// over the fault plane -- must replay bit-identically under the same seed,
+// under both delay models, and under both queue kinds. The flash-crowd
+// shape exercises every recovery path (local reattach, succession,
+// dissolution, overflow/preempt admission) in one run.
+// ---------------------------------------------------------------------------
+
+std::uint64_t RunCliqueChaosDigest(std::uint64_t seed, sim::QueueKind queue,
+                                   net::DelayModel delay) {
+  rnd::Rng topo_rng(1);
+  net::TopologyParams tp = net::TinyTopologyParams();
+  tp.delay_model = delay;
+  const net::Topology topology = net::Topology::Generate(tp, topo_rng);
+
+  exp::ChaosConfig c;
+  c.algorithm = exp::Algorithm::kClique;
+  c.population = 60;
+  c.warmup_s = 300.0;
+  c.stream_s = 60.0;
+  c.drain_s = 60.0;
+  c.seed = seed;
+  c.queue_kind = queue;
+  c.fault.loss_rate = 0.02;
+  c.fault.dup_prob = 0.01;
+  c.fault.jitter_s = 0.02;
+  c.session.root_bandwidth = 16.0;  // feasible post-flash rebuild
+  c.packet.frame_playback = true;
+  c.flash_at_s = 10.0;
+  c.flash_departures = 12;
+  obs::Tracer tracer(1u << 18);
+  c.tracer = &tracer;
+  const exp::ChaosResult r = exp::RunChaosScenario(topology, c);
+
+  util::RollingHash hash;
+  for (const auto& [name, value] : r.registry) {
+    hash.MixBytes(name);
+    hash.MixDouble(value);
+  }
+  hash.MixDouble(r.avg_starving_ratio);
+  hash.MixDouble(r.degraded_time_fraction);
+  hash.MixI64(r.decode_stalls);
+  hash.MixI64(r.reentries_attached);
+  hash.MixI64(r.unrooted_members);
+  hash.MixI64(r.final_population);
+  hash.MixU64(tracer.Digest());
+  return hash.digest();
+}
+
+TEST(CliqueReplay, ChaosReplaysBitIdenticallyUnderBothDelayModels) {
+  for (const net::DelayModel delay :
+       {net::DelayModel::kHierarchical, net::DelayModel::kLandmark}) {
+    EXPECT_EQ(
+        RunCliqueChaosDigest(21, sim::QueueKind::kCalendar, delay),
+        RunCliqueChaosDigest(21, sim::QueueKind::kCalendar, delay))
+        << "clique chaos run diverged between identically-seeded runs "
+           "(delay model " << static_cast<int>(delay) << ")";
+  }
+}
+
+TEST(CliqueReplay, DigestsMatchAcrossQueueKinds) {
+  for (const net::DelayModel delay :
+       {net::DelayModel::kHierarchical, net::DelayModel::kLandmark}) {
+    EXPECT_EQ(
+        RunCliqueChaosDigest(21, sim::QueueKind::kCalendar, delay),
+        RunCliqueChaosDigest(21, sim::QueueKind::kBinaryHeap, delay))
+        << "clique election/succession timers dispatched differently "
+           "under the two queue kinds";
+  }
+}
+
+TEST(CliqueReplay, DigestSeesTheSeed) {
+  EXPECT_NE(RunCliqueChaosDigest(21, sim::QueueKind::kCalendar,
+                                 net::DelayModel::kLandmark),
+            RunCliqueChaosDigest(22, sim::QueueKind::kCalendar,
+                                 net::DelayModel::kLandmark));
+}
+
+// ---------------------------------------------------------------------------
 // Grid-level determinism: the experiment runner must produce bit-identical
 // per-cell results whether the grid executes serially or across a stolen-work
 // thread pool. Each cell runs a real (small) tree scenario against the shared
@@ -525,6 +604,75 @@ TEST(SeedReplayDeterminism, DegradedGridIsBitIdenticalSerialVsFourThreads) {
   EXPECT_EQ(runner::DigestOutcomes(serial.cells),
             runner::DigestOutcomes(parallel.cells))
       << "degraded-regime cells depend on thread count";
+  for (std::size_t i = 0; i < serial.cells.size(); ++i) {
+    EXPECT_EQ(serial.cells[i].result.metrics, parallel.cells[i].result.metrics)
+        << "cell " << i << " diverged";
+    EXPECT_EQ(serial.cells[i].result.registry,
+              parallel.cells[i].result.registry)
+        << "cell " << i << " registry diverged";
+  }
+}
+
+// The bake-off's clique side must be thread-count independent too: a churn
+// row (RunTreeScenario) and a flash row (RunChaosScenario) both under the
+// clustered protocol, serially and on four workers.
+runner::GridRunSummary RunCliqueGrid(int threads) {
+  runner::GridSpec spec;
+  spec.figure = "clique_determinism_probe";
+  spec.title = "clique grid determinism probe";
+  spec.row_header = "scenario";
+  spec.rows = {"churn", "flash"};
+  spec.cols = {"clique"};
+  spec.reps = 2;
+  spec.headline_metric = "disruptions";
+  const net::Topology& topology =
+      runner::SharedTopology(net::TinyTopologyParams(), 1);
+  spec.run = [&topology](const runner::CellContext& cell) {
+    runner::CellResult out;
+    if (cell.row == 0) {
+      exp::ScenarioConfig config;
+      config.population = 50;
+      config.warmup_s = 120.0;
+      config.measure_s = 300.0;
+      config.seed = cell.seed;
+      const exp::TreeScenarioResult r =
+          exp::RunTreeScenario(topology, exp::Algorithm::kClique, config);
+      out.metrics["disruptions"] = r.avg_disruptions;
+      out.metrics["delay_ms"] = r.avg_delay_ms;
+      out.metrics["stretch"] = r.avg_stretch;
+      return out;
+    }
+    exp::ChaosConfig c;
+    c.algorithm = exp::Algorithm::kClique;
+    c.population = 50;
+    c.warmup_s = 200.0;
+    c.stream_s = 60.0;
+    c.drain_s = 60.0;
+    c.seed = cell.seed;
+    c.fault.loss_rate = 0.02;
+    c.session.root_bandwidth = 16.0;
+    c.packet.frame_playback = true;
+    c.flash_at_s = 10.0;
+    c.flash_departures = 10;
+    const exp::ChaosResult r = exp::RunChaosScenario(topology, c);
+    out.metrics["disruptions"] = r.avg_starving_ratio;
+    out.metrics["unrooted_members"] = static_cast<double>(r.unrooted_members);
+    out.registry = r.registry;
+    return out;
+  };
+  runner::RunnerOptions options;
+  options.threads = threads;
+  options.base_seed = 1;
+  return runner::RunGrid(spec, options);
+}
+
+TEST(SeedReplayDeterminism, CliqueGridIsBitIdenticalSerialVsFourThreads) {
+  const runner::GridRunSummary serial = RunCliqueGrid(/*threads=*/1);
+  const runner::GridRunSummary parallel = RunCliqueGrid(/*threads=*/4);
+  ASSERT_EQ(serial.cells.size(), parallel.cells.size());
+  EXPECT_EQ(runner::DigestOutcomes(serial.cells),
+            runner::DigestOutcomes(parallel.cells))
+      << "clique cells depend on thread count";
   for (std::size_t i = 0; i < serial.cells.size(); ++i) {
     EXPECT_EQ(serial.cells[i].result.metrics, parallel.cells[i].result.metrics)
         << "cell " << i << " diverged";

@@ -9,6 +9,7 @@
 #include "net/topology.h"
 #include "overlay/heartbeat.h"
 #include "overlay/session.h"
+#include "proto/clique/clique.h"
 #include "proto/min_depth.h"
 #include "sim/simulator.h"
 #include "stream/packet_sim.h"
@@ -94,6 +95,32 @@ TEST(RostParamsDeathTest, RejectsNonsense) {
   core::RostParams no_backoff;
   no_backoff.lock_retry_max_backoff = 0;
   EXPECT_DEATH(core::RostProtocol{no_backoff}, "CHECK failed");
+}
+
+TEST(CliqueParamsDeathTest, RejectsNonsense) {
+  proto::CliqueParams solo;
+  solo.max_cluster_size = 1;  // a delegate with no room for any leaf
+  EXPECT_DEATH(proto::CliqueProtocol{solo}, "CHECK failed");
+
+  proto::CliqueParams inverted;
+  inverted.min_cluster_size = inverted.max_cluster_size + 1;
+  EXPECT_DEATH(proto::CliqueProtocol{inverted}, "CHECK failed");
+
+  proto::CliqueParams empty;
+  empty.min_cluster_size = 0;
+  EXPECT_DEATH(proto::CliqueProtocol{empty}, "CHECK failed");
+
+  proto::CliqueParams busy;
+  busy.election_period_s = 0.0;  // would busy-loop maintenance rounds
+  EXPECT_DEATH(proto::CliqueProtocol{busy}, "CHECK failed");
+
+  proto::CliqueParams impatient;
+  impatient.promotion_timeout_s = 0.0;  // dissolves before any claim lands
+  EXPECT_DEATH(proto::CliqueProtocol{impatient}, "CHECK failed");
+
+  proto::CliqueParams jittery;
+  jittery.stability_margin = -1.0;
+  EXPECT_DEATH(proto::CliqueProtocol{jittery}, "CHECK failed");
 }
 
 TEST(HeartbeatParamsDeathTest, RejectsNonsense) {

@@ -64,6 +64,8 @@ struct GridOptions {
   double stream_s = 90.0;
   double drain_s = 90.0;
   std::uint64_t seed = 1;
+  double timeseries_window_s = 5.0;  // recovery-curve sampling (0 = off)
+  std::string trace_dir;             // per-cell streaming trace JSONL
 };
 
 exp::Algorithm ColAlgorithm(std::size_t col) {
@@ -98,6 +100,10 @@ runner::CellResult RunChurnCell(const GridOptions& opt,
   c.seed = shared_seed;
   obs::Registry reg;
   c.registry = &reg;
+  c.timeseries_window_s = opt.timeseries_window_s;
+  c.incident_analysis = true;
+  bench::CellTraceStream trace(opt.trace_dir, cell);
+  c.tracer = trace.tracer();
   const exp::TreeScenarioResult r = exp::RunTreeScenario(topo, a, c);
 
   runner::CellResult out;
@@ -112,6 +118,8 @@ runner::CellResult RunChurnCell(const GridOptions& opt,
   if (a == exp::Algorithm::kClique)
     out.metrics["clique_disruptions"] = r.avg_disruptions;
   out.registry = reg.Flatten();
+  out.incidents = r.incidents;
+  bench::ExportTimeSeries(reg, &out);
   return out;
 }
 
@@ -169,6 +177,10 @@ runner::CellResult RunChaosCell(const GridOptions& opt,
 
   obs::Registry reg;
   c.registry = &reg;
+  c.timeseries_window_s = opt.timeseries_window_s;
+  c.incident_analysis = true;
+  bench::CellTraceStream trace(opt.trace_dir, cell);
+  c.tracer = trace.tracer();
   const exp::ChaosResult r = exp::RunChaosScenario(topo, c);
 
   runner::CellResult out;
@@ -190,6 +202,8 @@ runner::CellResult RunChaosCell(const GridOptions& opt,
         reg.CounterValue("clique.backbone_reattaches");
   }
   out.registry = reg.Flatten();
+  out.incidents = r.incidents;
+  bench::ExportTimeSeries(reg, &out);
   return out;
 }
 
@@ -211,7 +225,10 @@ int main(int argc, char** argv) {
       .Define("out", "", "directory for bakeoff.json (empty: none)")
       .Define("resume", "false", "reuse matching cells from --out JSON")
       .Define("progress", "true", "per-cell progress lines on stderr")
-      .Define("log-level", "warn", "debug | info | warn | error");
+      .Define("log-level", "warn", "debug | info | warn | error")
+      .Define("timeseries", "5", "recovery-curve sampling window s (0 = off)")
+      .Define("trace-stream", "",
+              "directory for per-cell streaming trace JSONL (empty: off)");
   if (!flags.Parse(argc, argv)) return 1;
   bench::ApplyLogLevelFlag(flags.GetString("log-level"));
 
@@ -224,6 +241,8 @@ int main(int argc, char** argv) {
   opt.stream_s = flags.GetDouble("stream");
   opt.drain_s = flags.GetDouble("drain");
   opt.seed = static_cast<std::uint64_t>(flags.GetInt("seed"));
+  opt.timeseries_window_s = flags.GetDouble("timeseries");
+  opt.trace_dir = flags.GetString("trace-stream");
 
   std::cout << "=== bakeoff -- ROST/CER vs clustered overlay (clique) ===\n"
             << "chaos population: " << opt.population
@@ -306,6 +325,13 @@ int main(int argc, char** argv) {
   bench::PrintMetricTable(
       spec, sink, "capacity_starved", 1,
       "unplaceable members, tree full at audit (workload, not gated)");
+  bench::PrintRecoveryCurveTable(
+      spec, sink, "recovery.unrooted_members",
+      "recovery curve: peak unrooted members / time back to zero");
+  bench::PrintIncidentBreakdownTable(
+      spec, sink, "disruption incidents: opened/reattached/recovered");
+  bench::PrintIncidentPhaseTable(spec, sink, "reattach",
+                                 "incident reattach latency p50/p99 (s)");
 
   // Health gate over the chaos rows, both protocols: a wedged lease, a
   // stranded orphan, or an unresolved re-entry fails the whole run.

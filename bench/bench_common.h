@@ -26,12 +26,19 @@
 //   --log-level=LEVEL     debug|info|warn|error (default warn).
 //   --profile=true        per-cell obs::SimProfiler, merged process-wide;
 //                         print with MaybePrintProfile(env) after the grids.
+//   --timeseries=S        recovery-curve sampling window in sim seconds
+//                         (0 disables); curves land in each cell's
+//                         schema-v3 "timeseries" block.
+//   --trace-stream=DIR    per-cell streaming trace JSONL under DIR
+//                         (obs::JsonlStreamSink; empty disables).
 #pragma once
 
+#include <cctype>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <utility>
@@ -41,6 +48,8 @@
 #include "net/topology.h"
 #include "obs/profile.h"
 #include "obs/registry.h"
+#include "obs/timeseries.h"
+#include "obs/trace.h"
 #include "runner/results.h"
 #include "runner/runner.h"
 #include "runner/topology_cache.h"
@@ -58,6 +67,8 @@ struct BenchEnv {
   bool progress = true;
   bool resume = false;
   bool profile = false;  // per-cell SimProfiler -> GlobalProfileAggregator()
+  double timeseries_window_s = 5.0;  // 0 disables recovery-curve sampling
+  std::string trace_dir;  // --trace-stream: per-cell JSONL directory
   std::string out_dir;
   double warmup_s = 0.0;
   double measure_s = 0.0;
@@ -102,7 +113,11 @@ inline void DefineCommonFlags(util::FlagSet& flags) {
       .Define("measure", "-1", "measurement seconds (-1: scale default)")
       .Define("log-level", "warn", "debug | info | warn | error")
       .Define("profile", "false",
-              "profile simulator dispatch (per-tag counts/wall-time)");
+              "profile simulator dispatch (per-tag counts/wall-time)")
+      .Define("timeseries", "5",
+              "recovery-curve sampling window seconds (0 = off)")
+      .Define("trace-stream", "",
+              "directory for per-cell streaming trace JSONL (empty: off)");
 }
 
 // Maps a --log-level value onto util::SetLogLevel; unknown names keep the
@@ -128,6 +143,8 @@ inline BenchEnv MakeEnv(const util::FlagSet& flags) {
   env.progress = flags.GetBool("progress");
   env.resume = flags.GetBool("resume");
   env.profile = flags.GetBool("profile");
+  env.timeseries_window_s = flags.GetDouble("timeseries");
+  env.trace_dir = flags.GetString("trace-stream");
   env.out_dir = flags.GetString("out");
   ApplyLogLevelFlag(flags.GetString("log-level"));
   env.warmup_s = env.paper_scale ? 7200.0 : 5400.0;
@@ -216,6 +233,74 @@ inline runner::ResultsSink RunGridBench(const BenchEnv& env,
 }
 
 // ---------------------------------------------------------------------------
+// Observability adapters: schema-v3 timeseries export and streaming traces.
+// ---------------------------------------------------------------------------
+
+// Copies every obs::TimeSeries registered in `reg` into the cell's
+// schema-v3 "timeseries" block (dense points, window width, flavor).
+inline void ExportTimeSeries(const obs::Registry& reg,
+                             runner::CellResult* out) {
+  for (const auto& [name, ts] : reg.series()) {
+    runner::CellResult::SeriesSnapshot snap;
+    snap.kind = static_cast<int>(ts.kind());
+    snap.window_s = ts.window_s();
+    const std::vector<obs::TimeSeries::Point> points = ts.Points();
+    snap.points.reserve(points.size());
+    for (const obs::TimeSeries::Point& p : points)
+      snap.points.emplace_back(p.t, p.value);
+    out->timeseries[name] = std::move(snap);
+  }
+}
+
+// Optional per-cell streaming trace export (--trace-stream=DIR): a
+// bounded-ring tracer with a JsonlStreamSink writing the cell's FULL event
+// history to DIR/<figure>.<row>.<col>.rep<N>.trace.jsonl -- the sink sees
+// every emission before ring eviction, so nothing is lost on long runs.
+// Pass tracer() (null when streaming is off) into the scenario config.
+class CellTraceStream {
+ public:
+  CellTraceStream(const std::string& dir, const runner::CellContext& cell) {
+    if (dir.empty()) return;
+    std::filesystem::create_directories(dir);
+    const std::string name = Sanitize(cell.figure) + "." +
+                             Sanitize(cell.row_label) + "." +
+                             Sanitize(cell.col_label) + ".rep" +
+                             std::to_string(cell.rep) + ".trace.jsonl";
+    out_.open(std::filesystem::path(dir) / name);
+    if (!out_) {
+      std::cerr << "[trace-stream] FAILED to open " << dir << "/" << name
+                << "; cell runs untraced\n";
+      return;
+    }
+    tracer_.emplace();
+    sink_.emplace(out_);
+    tracer_->AddSink(&*sink_);
+  }
+  ~CellTraceStream() {
+    if (tracer_) tracer_->RemoveSink(&*sink_);
+  }
+  CellTraceStream(const CellTraceStream&) = delete;
+  CellTraceStream& operator=(const CellTraceStream&) = delete;
+
+  obs::Tracer* tracer() { return tracer_ ? &*tracer_ : nullptr; }
+
+ private:
+  // Row/col labels may hold characters awkward in filenames ('%', '/', ...).
+  static std::string Sanitize(const std::string& s) {
+    std::string t = s;
+    for (char& c : t)
+      if (std::isalnum(static_cast<unsigned char>(c)) == 0 && c != '-' &&
+          c != '_' && c != '.')
+        c = '_';
+    return t;
+  }
+
+  std::ofstream out_;
+  std::optional<obs::Tracer> tracer_;
+  std::optional<obs::JsonlStreamSink> sink_;
+};
+
+// ---------------------------------------------------------------------------
 // Cell-result adapters for the three scenario runners.
 // ---------------------------------------------------------------------------
 
@@ -268,17 +353,24 @@ inline runner::GridSpec TreeSizeSweepSpec(const BenchEnv& env,
     exp::ScenarioConfig config = env.BaseConfig();
     config.population = env.sizes[cell.row];
     config.seed = cell.seed;
-    // Per-cell observability: the registry snapshot rides along in the
-    // results JSON ("registry" object, schema v2); the profiler -- wall
-    // clock, so never part of results or digests -- merges process-wide.
+    // Per-cell observability: the registry snapshot, recovery curves, and
+    // incident breakdown ride along in the results JSON (schema v3); the
+    // profiler -- wall clock, so never part of results or digests -- merges
+    // process-wide.
     obs::Registry reg;
     config.registry = &reg;
+    config.timeseries_window_s = env.timeseries_window_s;
+    config.incident_analysis = true;
+    CellTraceStream trace(env.trace_dir, cell);
+    config.tracer = trace.tracer();
     obs::SimProfiler prof;
     if (env.profile) config.profiler = &prof;
     const exp::Algorithm a = exp::AllAlgorithms()[cell.col];
-    runner::CellResult out =
-        TreeCellResult(exp::RunTreeScenario(env.Topo(), a, config));
+    const exp::TreeScenarioResult r = exp::RunTreeScenario(env.Topo(), a, config);
+    runner::CellResult out = TreeCellResult(r);
     out.registry = reg.Flatten();
+    out.incidents = r.incidents;
+    ExportTimeSeries(reg, &out);
     if (env.profile) obs::GlobalProfileAggregator().Merge(prof);
     return out;
   };
@@ -332,6 +424,128 @@ struct MetricColumn {
   int precision = 3;
   double scale = 1.0;
 };
+
+// Mean of one incidents-block key across the reps of (row, col); cells
+// missing the key contribute nothing, and 0 is returned when none have it.
+inline double IncidentStat(const runner::GridSpec& spec,
+                           const runner::ResultsSink& sink, std::size_t row,
+                           std::size_t col, const std::string& key) {
+  util::RunningStat stat;
+  for (int rep = 0; rep < spec.reps; ++rep) {
+    const auto& inc = sink.Cell(row, col, rep).result.incidents;
+    if (const auto it = inc.find(key); it != inc.end()) stat.Add(it->second);
+  }
+  return stat.count() > 0 ? stat.mean() : 0.0;
+}
+
+// rows x cols incident-lifecycle breakdown: "opened/reattached/recovered"
+// counts (mean over reps) from each cell's incidents block.
+inline void PrintIncidentBreakdownTable(const runner::GridSpec& spec,
+                                        const runner::ResultsSink& sink,
+                                        const std::string& title) {
+  std::vector<std::string> header = {spec.row_header};
+  header.insert(header.end(), spec.cols.begin(), spec.cols.end());
+  util::Table table(std::move(header));
+  for (std::size_t row = 0; row < spec.rows.size(); ++row) {
+    std::vector<std::string> cells = {spec.rows[row]};
+    for (std::size_t col = 0; col < spec.cols.size(); ++col)
+      cells.push_back(
+          util::FormatDouble(IncidentStat(spec, sink, row, col,
+                                          "incident.count"), 1) +
+          "/" +
+          util::FormatDouble(IncidentStat(spec, sink, row, col,
+                                          "incident.reattached"), 1) +
+          "/" +
+          util::FormatDouble(IncidentStat(spec, sink, row, col,
+                                          "incident.recovered"), 1));
+    table.AddRow(std::move(cells));
+  }
+  table.Print(std::cout, title);
+}
+
+// rows x cols of one incident phase's latency: "p50/p99" in seconds (mean
+// over the reps that observed the phase; "-" when none did).
+inline void PrintIncidentPhaseTable(const runner::GridSpec& spec,
+                                    const runner::ResultsSink& sink,
+                                    const std::string& phase,
+                                    const std::string& title) {
+  const std::string base = "incident.phase." + phase;
+  std::vector<std::string> header = {spec.row_header};
+  header.insert(header.end(), spec.cols.begin(), spec.cols.end());
+  util::Table table(std::move(header));
+  for (std::size_t row = 0; row < spec.rows.size(); ++row) {
+    std::vector<std::string> cells = {spec.rows[row]};
+    for (std::size_t col = 0; col < spec.cols.size(); ++col) {
+      if (IncidentStat(spec, sink, row, col, base + ".count") <= 0.0) {
+        cells.emplace_back("-");
+        continue;
+      }
+      cells.push_back(
+          util::FormatDouble(
+              IncidentStat(spec, sink, row, col, base + ".p50_s"), 2) +
+          "/" +
+          util::FormatDouble(
+              IncidentStat(spec, sink, row, col, base + ".p99_s"), 2));
+    }
+    table.AddRow(std::move(cells));
+  }
+  table.Print(std::cout, title);
+}
+
+// rows x cols summary of one recovery curve from the cells' timeseries
+// blocks: "peak / drain", where peak is the curve's maximum value and drain
+// is how long after that peak it first returned to zero ("-" when it never
+// did within the sampled range). Means over reps; reps that never drain are
+// excluded from the drain mean.
+inline void PrintRecoveryCurveTable(const runner::GridSpec& spec,
+                                    const runner::ResultsSink& sink,
+                                    const std::string& series,
+                                    const std::string& title,
+                                    int precision = 1) {
+  std::vector<std::string> header = {spec.row_header};
+  header.insert(header.end(), spec.cols.begin(), spec.cols.end());
+  util::Table table(std::move(header));
+  for (std::size_t row = 0; row < spec.rows.size(); ++row) {
+    std::vector<std::string> cells = {spec.rows[row]};
+    for (std::size_t col = 0; col < spec.cols.size(); ++col) {
+      util::RunningStat peak_stat;
+      util::RunningStat drain_stat;
+      for (int rep = 0; rep < spec.reps; ++rep) {
+        const auto& ts = sink.Cell(row, col, rep).result.timeseries;
+        const auto it = ts.find(series);
+        if (it == ts.end() || it->second.points.empty()) continue;
+        double peak = 0.0;
+        double peak_t = 0.0;
+        for (const auto& [t, v] : it->second.points)
+          if (v > peak) {
+            peak = v;
+            peak_t = t;
+          }
+        peak_stat.Add(peak);
+        if (peak <= 0.0) {
+          drain_stat.Add(0.0);  // never rose: drained from the start
+          continue;
+        }
+        for (const auto& [t, v] : it->second.points)
+          if (t > peak_t && v == 0.0) {
+            drain_stat.Add(t - peak_t);
+            break;
+          }
+      }
+      if (peak_stat.count() == 0) {
+        cells.emplace_back("-");
+        continue;
+      }
+      std::string cell = util::FormatDouble(peak_stat.mean(), precision);
+      cell += drain_stat.count() > 0
+                  ? " / " + util::FormatDouble(drain_stat.mean(), 0) + "s"
+                  : " / -";
+      cells.push_back(std::move(cell));
+    }
+    table.AddRow(std::move(cells));
+  }
+  table.Print(std::cout, title);
+}
 
 // For single-curve grids (Fig. 11, the ablations): rows x chosen metrics
 // of column `col`.

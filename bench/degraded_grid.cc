@@ -47,6 +47,8 @@ struct GridOptions {
   double stream_s = 90.0;
   double drain_s = 90.0;
   std::uint64_t seed = 1;
+  double timeseries_window_s = 5.0;  // recovery-curve sampling (0 = off)
+  std::string trace_dir;             // per-cell streaming trace JSONL
 };
 
 runner::CellResult RunCell(const GridOptions& opt, const net::Topology& topo,
@@ -86,6 +88,10 @@ runner::CellResult RunCell(const GridOptions& opt, const net::Topology& topo,
 
   obs::Registry reg;
   c.registry = &reg;
+  c.timeseries_window_s = opt.timeseries_window_s;
+  c.incident_analysis = true;
+  bench::CellTraceStream trace(opt.trace_dir, cell);
+  c.tracer = trace.tracer();
   const exp::ChaosResult r = exp::RunChaosScenario(topo, c);
 
   runner::CellResult out;
@@ -111,6 +117,8 @@ runner::CellResult RunCell(const GridOptions& opt, const net::Topology& topo,
   out.metrics["unrooted_members"] = static_cast<double>(r.unrooted_members);
   out.metrics["final_population"] = static_cast<double>(r.final_population);
   out.registry = reg.Flatten();
+  out.incidents = r.incidents;
+  bench::ExportTimeSeries(reg, &out);
   return out;
 }
 
@@ -128,7 +136,10 @@ int main(int argc, char** argv) {
       .Define("out", "", "directory for degraded_grid.json (empty: none)")
       .Define("resume", "false", "reuse matching cells from --out JSON")
       .Define("progress", "true", "per-cell progress lines on stderr")
-      .Define("log-level", "warn", "debug | info | warn | error");
+      .Define("log-level", "warn", "debug | info | warn | error")
+      .Define("timeseries", "5", "recovery-curve sampling window s (0 = off)")
+      .Define("trace-stream", "",
+              "directory for per-cell streaming trace JSONL (empty: off)");
   if (!flags.Parse(argc, argv)) return 1;
   bench::ApplyLogLevelFlag(flags.GetString("log-level"));
 
@@ -138,6 +149,8 @@ int main(int argc, char** argv) {
   opt.stream_s = flags.GetDouble("stream");
   opt.drain_s = flags.GetDouble("drain");
   opt.seed = static_cast<std::uint64_t>(flags.GetInt("seed"));
+  opt.timeseries_window_s = flags.GetDouble("timeseries");
+  opt.trace_dir = flags.GetString("trace-stream");
 
   std::cout << "=== degraded_grid -- QoE under degraded-regime scenarios ===\n"
             << "population: " << opt.population << "  stream: " << opt.stream_s
@@ -202,6 +215,13 @@ int main(int argc, char** argv) {
                           "wedged leases (must be 0)");
   bench::PrintMetricTable(spec, sink, "unrooted_members", 0,
                           "members still unrooted after settle");
+  bench::PrintRecoveryCurveTable(
+      spec, sink, "recovery.degraded_fraction",
+      "recovery curve: peak degraded fraction / time back to zero", 3);
+  bench::PrintIncidentBreakdownTable(
+      spec, sink, "disruption incidents: opened/reattached/recovered");
+  bench::PrintIncidentPhaseTable(spec, sink, "recover",
+                                 "stream-recovery latency p50/p99 (s)");
 
   // Health gate: the grid run itself fails if any cell wedged a lease or
   // left a re-entry unresolved, so CI smoke catches regressions without

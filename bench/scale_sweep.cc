@@ -119,8 +119,13 @@ runner::CellResult RunCell(const SweepOptions& opt,
   out.metrics["events"] = static_cast<double>(sim.executed_count());
   out.metrics["events_per_sec"] = prof.events_per_sec();
   out.metrics["loop_wall_s"] = prof.loop_us() * 1e-6;
+  // peak_rss_mb is the *process* high-water mark (monotone across cells in
+  // one grid run -- a late cell inherits earlier cells' peak); rss_delta_mb
+  // is the growth attributable to this cell alone.
   out.metrics["peak_rss_mb"] =
       static_cast<double>(prof.peak_rss_bytes()) / 1e6;
+  out.metrics["rss_delta_mb"] =
+      static_cast<double>(prof.rss_delta_bytes()) / 1e6;
   out.metrics["pool_live_max"] = static_cast<double>(prof.pool_live_max());
   out.metrics["pool_capacity_max"] =
       static_cast<double>(prof.pool_capacity_max());
@@ -214,7 +219,8 @@ int main(int argc, char** argv) {
       {"events", "events", 0},
       {"events/sec", "events_per_sec", 0},
       {"loop wall (s)", "loop_wall_s", 2},
-      {"peak RSS (MB)", "peak_rss_mb", 1},
+      {"proc peak RSS (MB)", "peak_rss_mb", 1},
+      {"cell RSS delta (MB)", "rss_delta_mb", 1},
       {"pool live max", "pool_live_max", 0},
       {"delay tables (MB)", "delay_table_mb", 2},
       {"population", "population_end", 0},

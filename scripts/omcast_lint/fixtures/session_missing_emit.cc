@@ -12,6 +12,7 @@ enum class EventKind : int {
   kReconnectStart,
   kReconnectAttached,
   kReconnectAbandoned,
+  kOrphaned,
 };
 
 struct Tracer {
@@ -22,6 +23,7 @@ class Session {
  public:
   void BeginReentry(int node, int predecessor);
   void ReentryAttempt(int node, int predecessor);
+  void HandleDeparture(int node);
 
  private:
   Tracer* tracer_ = nullptr;
@@ -30,6 +32,12 @@ class Session {
 // Negative: a compliant transition emits its paired kind.
 void Session::BeginReentry(int node, int predecessor) {
   tracer_->Emit(EventKind::kReconnectStart, node, predecessor, 0);
+}
+
+// Negative: orphan creation marks each orphan (the incident analyzer opens
+// a disruption lifecycle on this emission).
+void Session::HandleDeparture(int node) {
+  tracer_->Emit(EventKind::kOrphaned, node + 1, node, 0);
 }
 
 void Session::ReentryAttempt(int node, int predecessor) {  // expect(rost-event-emit)
@@ -44,6 +52,7 @@ inline void TaxonomyRegistry(Tracer* tracer) {
   tracer->Emit(EventKind::kReconnectStart, 0, 0, 0);
   tracer->Emit(EventKind::kReconnectAttached, 0, 0, 0);
   tracer->Emit(EventKind::kReconnectAbandoned, 0, 0, 0);
+  tracer->Emit(EventKind::kOrphaned, 0, 0, 0);
 }
 
 }  // namespace fixture

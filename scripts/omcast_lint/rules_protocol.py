@@ -40,7 +40,11 @@ from .source import SourceFile, find_method_definitions
 # schedules the expiry event, so both kinds must appear in its body.
 # Session: BeginReentry materializes the returning member; ReentryAttempt
 # owns both terminal outcomes of the bounded-retry rejoin (attached,
-# abandoned). PacketLevelStream: SetRegime owns the hysteresis transition
+# abandoned); HandleDeparture must mark every orphan it creates (parent
+# death, detail 0) and ForceRejoin its eviction path (detail 1) -- the
+# incident analyzer opens a disruption lifecycle on kOrphaned, so a skipped
+# emission silently drops incidents from the flight recorder.
+# PacketLevelStream: SetRegime owns the hysteresis transition
 # event; JudgeWindow owns per-window decode-stall reporting and the
 # dependency-resync edge.
 PROTOCOL_TABLES: tuple[dict, ...] = (
@@ -62,8 +66,10 @@ PROTOCOL_TABLES: tuple[dict, ...] = (
         "transitions": {
             "BeginReentry": ("kReconnectStart",),
             "ReentryAttempt": ("kReconnectAttached", "kReconnectAbandoned"),
+            "HandleDeparture": ("kOrphaned",),
+            "ForceRejoin": ("kOrphaned",),
         },
-        "family_prefixes": ("kReconnect",),
+        "family_prefixes": ("kReconnect", "kOrphaned"),
     },
     {
         "class_name": "PacketLevelStream",

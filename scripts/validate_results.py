@@ -15,7 +15,13 @@ import pathlib
 import sys
 
 EXPECTED_KIND = "omcast-figure-results"
-EXPECTED_SCHEMA_VERSION = 2
+# v2 added the per-cell "registry" snapshot; v3 added the optional
+# "timeseries" (recovery curves) and "incidents" (per-disruption lifecycle
+# stats) blocks. Both versions validate; v3-only blocks are shape-checked
+# when present.
+ACCEPTED_SCHEMA_VERSIONS = (2, 3)
+
+TIMESERIES_KINDS = (0, 1)  # 0 = counter-rate, 1 = gauge
 
 REQUIRED_TOP_LEVEL = {
     "schema_version": (int,),
@@ -59,6 +65,62 @@ def check_fields(obj, required, where, errors):
             )
 
 
+def check_timeseries(block, where, errors):
+    """v3 recovery curves: {name: {kind, window_s, points: [[t, v], ...]}}
+    with window-aligned, strictly increasing timestamps."""
+    if not isinstance(block, dict):
+        errors.append(f"{where}: 'timeseries' is not an object")
+        return
+    for name, entry in block.items():
+        w = f"{where}: timeseries '{name}'"
+        if not isinstance(entry, dict):
+            errors.append(f"{w}: not an object")
+            continue
+        kind = entry.get("kind")
+        window = entry.get("window_s")
+        points = entry.get("points")
+        if kind not in TIMESERIES_KINDS:
+            errors.append(f"{w}: kind {kind!r} not in {TIMESERIES_KINDS}")
+        if not isinstance(window, (int, float)) or window <= 0:
+            errors.append(f"{w}: window_s {window!r} is not a positive number")
+            continue
+        if not isinstance(points, list):
+            errors.append(f"{w}: points is not an array")
+            continue
+        prev_t = None
+        for j, point in enumerate(points):
+            if (
+                not isinstance(point, list)
+                or len(point) != 2
+                or not all(isinstance(x, (int, float)) for x in point)
+            ):
+                errors.append(f"{w}: points[{j}] is not a [t, v] number pair")
+                break
+            t = point[0]
+            if prev_t is not None and t <= prev_t:
+                errors.append(
+                    f"{w}: points[{j}] t={t} does not increase past {prev_t}"
+                )
+                break
+            prev_t = t
+
+
+def check_incidents(block, where, errors):
+    """v3 per-disruption lifecycle stats: flat {name: number} with
+    non-negative counts and phase latencies."""
+    if not isinstance(block, dict):
+        errors.append(f"{where}: 'incidents' is not an object")
+        return
+    for name, value in block.items():
+        if not isinstance(value, (int, float)):
+            errors.append(f"{where}: incident stat '{name}' is not a number")
+        elif value < 0:
+            # Counts and phase latencies (suspect/detect/reattach/recover
+            # seconds) are non-negative by construction; a negative value
+            # means the stitcher mis-ordered a lifecycle.
+            errors.append(f"{where}: incident stat '{name}' is negative")
+
+
 def validate(doc, require_metric):
     errors = []
     check_fields(doc, REQUIRED_TOP_LEVEL, "document", errors)
@@ -67,10 +129,10 @@ def validate(doc, require_metric):
 
     if doc["kind"] != EXPECTED_KIND:
         errors.append(f"kind is '{doc['kind']}', expected '{EXPECTED_KIND}'")
-    if doc["schema_version"] != EXPECTED_SCHEMA_VERSION:
+    if doc["schema_version"] not in ACCEPTED_SCHEMA_VERSIONS:
         errors.append(
-            f"schema_version is {doc['schema_version']}, expected "
-            f"{EXPECTED_SCHEMA_VERSION}"
+            f"schema_version is {doc['schema_version']}, expected one of "
+            f"{ACCEPTED_SCHEMA_VERSIONS}"
         )
 
     rows, cols, reps = set(doc["rows"]), set(doc["cols"]), doc["reps"]
@@ -106,6 +168,10 @@ def validate(doc, require_metric):
         for name, value in cell["metrics"].items():
             if not isinstance(value, (int, float)):
                 errors.append(f"{where}: metric '{name}' is not a number")
+        if "timeseries" in cell:
+            check_timeseries(cell["timeseries"], where, errors)
+        if "incidents" in cell:
+            check_incidents(cell["incidents"], where, errors)
 
     metric_names = set()
     for i, agg in enumerate(doc["aggregates"]):

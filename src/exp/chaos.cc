@@ -1,10 +1,13 @@
 #include "exp/chaos.h"
 
 #include <algorithm>
+#include <functional>
 #include <optional>
 #include <vector>
 
+#include "obs/incident.h"
 #include "obs/registry.h"
+#include "obs/timeseries.h"
 #include "sim/simulator.h"
 #include "util/check.h"
 
@@ -77,7 +80,18 @@ ChaosResult RunChaosScenario(const net::Topology& topology,
 
   overlay::Session session(simulator, topology, std::move(protocol), sp,
                            config.seed);
-  session.SetTracer(config.tracer);
+  // Incident analysis consumes the live event stream through a TraceSink;
+  // when the caller did not attach a tracer, a minimal run-local one feeds
+  // the sink (its single-slot ring is discarded -- only the stream matters).
+  obs::Tracer* tracer = config.tracer;
+  std::optional<obs::Tracer> local_tracer;
+  if (config.incident_analysis && tracer == nullptr) {
+    local_tracer.emplace(/*capacity=*/1);
+    tracer = &*local_tracer;
+  }
+  session.SetTracer(tracer);
+  obs::IncidentLog incident_log;
+  if (config.incident_analysis) tracer->AddSink(&incident_log);
   simulator.SetProfiler(config.profiler);
   sim::FaultPlane fault_plane(simulator, config.fault,
                               config.seed ^ 0x9e3779b97f4a7c15ULL);
@@ -101,6 +115,10 @@ ChaosResult RunChaosScenario(const net::Topology& topology,
 
   rnd::Rng chaos_rng(config.seed ^ 0xc4a05ULL);
   ChaosResult r;
+  // Built up-front so the recovery-curve sampler can write series into it
+  // while the run executes; the end-of-run chaos counter snapshot is merged
+  // in afterwards.
+  obs::Registry reg;
 
   session.Prepopulate(config.population);
   session.StartArrivals(ArrivalRate(config.population));
@@ -108,6 +126,54 @@ ChaosResult RunChaosScenario(const net::Topology& topology,
 
   const double t0 = simulator.now();
   stream.Start(config.stream_s);
+
+  // Recovery-curve sampler: one tick per window from stream start through
+  // the settle window's end; each tick stamps the window that just ended
+  // (its start time), so the curves line up on the absolute window grid
+  // regardless of t0.
+  std::function<void()> sample_tick;
+  long frames_late_seen = 0;
+  if (config.timeseries_window_s > 0.0) {
+    const double w = config.timeseries_window_s;
+    const double ts_end = t0 + config.stream_s + config.drain_s +
+                          config.settle_s;
+    obs::TimeSeries& unrooted = reg.Series(
+        "recovery.unrooted_members", obs::TimeSeries::Kind::kGauge, w);
+    obs::TimeSeries& pending = reg.Series(
+        "recovery.reentries_pending", obs::TimeSeries::Kind::kGauge, w);
+    obs::TimeSeries& wedged = reg.Series(
+        "recovery.wedged_leases", obs::TimeSeries::Kind::kGauge, w);
+    obs::TimeSeries& backlog = reg.Series(
+        "recovery.repair_backlog", obs::TimeSeries::Kind::kGauge, w);
+    obs::TimeSeries& degraded = reg.Series(
+        "recovery.degraded_fraction", obs::TimeSeries::Kind::kGauge, w);
+    obs::TimeSeries& late = reg.Series(
+        "recovery.frames_late", obs::TimeSeries::Kind::kCounterRate, w);
+    sample_tick = [&, w, ts_end] {
+      const double now = simulator.now();
+      const double wt = now - w;  // start of the window that just ended
+      long unrooted_n = 0;
+      for (NodeId id : session.alive_members())
+        if (!session.tree().IsRooted(id)) ++unrooted_n;
+      unrooted.Sample(wt, static_cast<double>(unrooted_n));
+      pending.Sample(wt, static_cast<double>(session.reentries_pending()));
+      wedged.Sample(
+          wt, static_cast<double>(session.protocol().WedgedLeases(now)));
+      backlog.Sample(
+          wt, static_cast<double>(stream.ActiveRepairServers().size()));
+      const auto alive = static_cast<double>(session.alive_count());
+      degraded.Sample(
+          wt, alive > 0.0
+                  ? static_cast<double>(stream.degraded_receivers()) / alive
+                  : 0.0);
+      late.AddDelta(
+          wt, static_cast<double>(stream.frames_late() - frames_late_seen));
+      frames_late_seen = stream.frames_late();
+      if (now + w <= ts_end + 1e-9)
+        simulator.ScheduleAfter(w, sample_tick, "chaos.timeseries");
+    };
+    simulator.ScheduleAt(t0 + w, sample_tick, "chaos.timeseries");
+  }
 
   if (config.domain_kill_at_s >= 0.0) {
     simulator.ScheduleAt(t0 + config.domain_kill_at_s, [&] {
@@ -226,9 +292,9 @@ ChaosResult RunChaosScenario(const net::Topology& topology,
   }
 
   const sim::Time now = simulator.now();
-  obs::Registry reg = metrics::CollectChaosRegistry(
+  reg.MergeFrom(metrics::CollectChaosRegistry(
       &fault_plane, heartbeat ? &*heartbeat : nullptr, rost,
-      gossip ? &*gossip : nullptr, &stream, now);
+      gossip ? &*gossip : nullptr, &stream, now));
   // Re-entry counters live here rather than in the collector: the session
   // object is not part of the CollectChaosRegistry signature.
   reg.Count("reconnect.scheduled",
@@ -242,6 +308,17 @@ ChaosResult RunChaosScenario(const net::Topology& topology,
   // Protocol-agnostic counter export: "rost.*" lock traffic or "clique.*"
   // election/recovery tallies, depending on the algorithm under test.
   session.protocol().ExportCounters(reg);
+  if (config.incident_analysis) {
+    incident_log.Finalize(now);
+    incident_log.ExportTo(reg);
+    r.incidents = incident_log.FlatStats();
+    tracer->RemoveSink(&incident_log);
+  }
+  // Ring-eviction visibility only makes sense for a caller-attached tracer;
+  // the run-local incident feed intentionally retains nothing.
+  if (config.tracer != nullptr)
+    reg.Count("obs.trace.evicted",
+              static_cast<double>(config.tracer->dropped()));
   r.counters = metrics::CountersFromRegistry(reg);
   r.registry = reg.Flatten();
   if (config.registry != nullptr) config.registry->MergeFrom(reg);

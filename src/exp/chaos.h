@@ -116,6 +116,19 @@ struct ChaosConfig {
   obs::Tracer* tracer = nullptr;
   obs::Registry* registry = nullptr;
   obs::SimProfiler* profiler = nullptr;
+
+  // Recovery-curve sampling: when > 0, the run records deterministic
+  // sim-time-windowed series (obs::TimeSeries, this window width) into the
+  // result registry under "chaos.*" -- unrooted members, pending
+  // re-entries, wedged leases, repair backlog, degraded-receiver fraction,
+  // and the late-frame rate -- sampled from stream start through the end of
+  // the settle window.
+  double timeseries_window_s = 0.0;
+  // Stitch the live trace stream into per-disruption recovery lifecycles
+  // (obs::IncidentLog): phase latencies land in the registry and
+  // ChaosResult::incidents. Uses `tracer` when set; otherwise a minimal
+  // run-local tracer feeds the analysis (its ring contents are discarded).
+  bool incident_analysis = false;
 };
 
 struct ChaosResult {
@@ -123,6 +136,10 @@ struct ChaosResult {
   // The same snapshot as a flattened registry (obs::Registry::Flatten()):
   // the export path the runner writes into its per-cell JSON.
   std::map<std::string, double> registry;
+  // Per-disruption lifecycle stats (obs::IncidentLog::FlatStats): counts
+  // and per-phase latency percentiles. Empty unless
+  // ChaosConfig::incident_analysis.
+  std::map<std::string, double> incidents;
 
   // Starving-time ratio over finalized members (as RunStreamScenario, but
   // from the packet-level ground truth).

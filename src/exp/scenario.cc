@@ -1,7 +1,13 @@
 #include "exp/scenario.h"
 
+#include <functional>
+#include <optional>
+
 #include "metrics/collectors.h"
+#include "obs/incident.h"
 #include "obs/registry.h"
+#include "obs/timeseries.h"
+#include "obs/trace.h"
 #include "proto/longest_first.h"
 #include "proto/min_depth.h"
 #include "proto/relaxed_ordered.h"
@@ -84,7 +90,19 @@ TreeScenarioResult RunTreeScenario(const net::Topology& topology, Algorithm a,
                    : nullptr;
   overlay::Session session(simulator, topology, std::move(protocol),
                            config.session, config.seed);
-  AttachObservability(simulator, session, config);
+  // As in the chaos harness: incident analysis rides the live trace stream,
+  // and a run-local single-slot tracer feeds the sink when the caller did
+  // not attach one of its own.
+  obs::Tracer* tracer = config.tracer;
+  std::optional<obs::Tracer> local_tracer;
+  if (config.incident_analysis && tracer == nullptr) {
+    local_tracer.emplace(/*capacity=*/1);
+    tracer = &*local_tracer;
+  }
+  session.SetTracer(tracer);
+  simulator.SetProfiler(config.profiler);
+  obs::IncidentLog incident_log;
+  if (config.incident_analysis) tracer->AddSink(&incident_log);
   metrics::MemberOutcomes outcomes(session);
   metrics::TreeSnapshots snapshots(session, config.snapshot_interval_s);
 
@@ -92,6 +110,33 @@ TreeScenarioResult RunTreeScenario(const net::Topology& topology, Algorithm a,
   const double t_end = config.warmup_s + config.measure_s;
   outcomes.SetWindow(t_measure, t_end);
   snapshots.Start(t_measure, t_end);
+
+  // Recovery-curve sampler over the measurement window (same names and
+  // window grid as the chaos harness, minus the stream-only gauges).
+  std::function<void()> sample_tick;
+  if (config.timeseries_window_s > 0.0 && config.registry != nullptr) {
+    const double w = config.timeseries_window_s;
+    obs::TimeSeries& unrooted = config.registry->Series(
+        "recovery.unrooted_members", obs::TimeSeries::Kind::kGauge, w);
+    obs::TimeSeries& pending = config.registry->Series(
+        "recovery.reentries_pending", obs::TimeSeries::Kind::kGauge, w);
+    obs::TimeSeries& wedged = config.registry->Series(
+        "recovery.wedged_leases", obs::TimeSeries::Kind::kGauge, w);
+    sample_tick = [&, w, t_end] {
+      const double now = simulator.now();
+      const double wt = now - w;  // start of the window that just ended
+      long unrooted_n = 0;
+      for (overlay::NodeId id : session.alive_members())
+        if (!session.tree().IsRooted(id)) ++unrooted_n;
+      unrooted.Sample(wt, static_cast<double>(unrooted_n));
+      pending.Sample(wt, static_cast<double>(session.reentries_pending()));
+      wedged.Sample(
+          wt, static_cast<double>(session.protocol().WedgedLeases(now)));
+      if (now + w <= t_end + 1e-9)
+        simulator.ScheduleAfter(w, sample_tick, "scenario.timeseries");
+    };
+    simulator.ScheduleAt(t_measure + w, sample_tick, "scenario.timeseries");
+  }
 
   session.Prepopulate(config.population);
   session.StartArrivals(ArrivalRate(config.population));
@@ -112,9 +157,20 @@ TreeScenarioResult RunTreeScenario(const net::Topology& topology, Algorithm a,
     r.rost_switches = rost->switches_performed();
     r.rost_lock_conflicts = rost->lock_conflicts();
   }
+  if (config.incident_analysis) {
+    incident_log.Finalize(simulator.now());
+    r.incidents = incident_log.FlatStats();
+    if (config.registry != nullptr) incident_log.ExportTo(*config.registry);
+    tracer->RemoveSink(&incident_log);
+  }
   if (config.registry != nullptr) {
     ExportSessionCounters(*config.registry, session);
     session.protocol().ExportCounters(*config.registry);
+    // Ring-eviction visibility, caller-attached tracers only (the run-local
+    // incident feed intentionally retains nothing).
+    if (config.tracer != nullptr)
+      config.registry->Count("obs.trace.evicted",
+                             static_cast<double>(config.tracer->dropped()));
   }
   return r;
 }

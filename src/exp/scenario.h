@@ -12,7 +12,9 @@
 //                              (Figs. 12, 13, 14)
 #pragma once
 
+#include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/rost/rost.h"
@@ -75,6 +77,18 @@ struct ScenarioConfig {
   obs::Tracer* tracer = nullptr;
   obs::Registry* registry = nullptr;
   obs::SimProfiler* profiler = nullptr;
+
+  // Recovery-curve sampling (RunTreeScenario only): when > 0 and `registry`
+  // is set, the measurement window is sampled every `timeseries_window_s`
+  // seconds into "recovery.*" obs::TimeSeries gauges (unrooted members,
+  // pending re-entries, wedged leases) in the registry -- the same family
+  // the chaos harness records, so churn and chaos cells export uniformly.
+  double timeseries_window_s = 0.0;
+  // Stitch the trace stream into per-disruption incident lifecycles
+  // (obs::IncidentLog -> TreeScenarioResult::incidents, plus registry
+  // histograms when `registry` is set). Uses `tracer` when set; otherwise a
+  // minimal run-local tracer feeds the analysis.
+  bool incident_analysis = false;
 };
 
 struct TreeScenarioResult {
@@ -90,6 +104,9 @@ struct TreeScenarioResult {
   // ROST only; -1 otherwise.
   long rost_switches = -1;
   long rost_lock_conflicts = -1;
+  // Per-disruption lifecycle stats (obs::IncidentLog::FlatStats); empty
+  // unless ScenarioConfig::incident_analysis.
+  std::map<std::string, double> incidents;
 };
 
 TreeScenarioResult RunTreeScenario(const net::Topology& topology, Algorithm a,

@@ -1,0 +1,250 @@
+#include "obs/incident.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace omcast::obs {
+
+namespace {
+
+// Second-scale phase latencies: instant oracle rejoins up to multi-minute
+// stalls behind a wedged fragment.
+std::vector<double> PhaseBounds() {
+  return {0.05, 0.1, 0.25, 0.5, 1, 2, 5, 10, 30, 60, 120, 300};
+}
+
+// Exact nearest-rank percentile of an unsorted latency list.
+double Percentile(std::vector<double> v, double q) {
+  std::sort(v.begin(), v.end());
+  const auto n = static_cast<double>(v.size());
+  const auto rank = static_cast<std::size_t>(std::ceil(q * n));
+  return v[std::min(v.size() - 1, rank > 0 ? rank - 1 : 0)];
+}
+
+void AddPhaseStats(std::map<std::string, double>& out, const std::string& name,
+                   const std::vector<double>& v) {
+  if (v.empty()) return;
+  double sum = 0.0;
+  double max = v.front();
+  for (const double x : v) {
+    sum += x;
+    max = std::max(max, x);
+  }
+  out[name + ".count"] = static_cast<double>(v.size());
+  out[name + ".mean_s"] = sum / static_cast<double>(v.size());
+  out[name + ".p50_s"] = Percentile(v, 0.5);
+  out[name + ".p99_s"] = Percentile(v, 0.99);
+  out[name + ".max_s"] = max;
+}
+
+}  // namespace
+
+int IncidentLog::RegimeOf(std::int64_t subject) const {
+  const auto it = regime_.find(subject);
+  return it != regime_.end() ? it->second : 0;
+}
+
+void IncidentLog::OpenIncident(std::int64_t subject, Cause cause, double t) {
+  if (open_.contains(subject)) CloseIncident(subject, Close::kSuperseded, t);
+  Incident inc;
+  inc.subject = subject;
+  inc.cause = cause;
+  inc.t_open = t;
+  open_.emplace(subject, inc);
+  ++opened_;
+  ++cause_counts_[static_cast<int>(cause)];
+}
+
+void IncidentLog::CloseIncident(std::int64_t subject, Close close, double t) {
+  const auto it = open_.find(subject);
+  if (it == open_.end()) return;
+  Incident inc = it->second;
+  open_.erase(it);
+  inc.close = close;
+  inc.t_close = t;
+  if (close == Close::kRecovered) total_s_.push_back(t - inc.t_open);
+  ++close_counts_[static_cast<int>(close)];
+  closed_.push_back(inc);
+}
+
+void IncidentLog::Reattached(std::int64_t subject, double t) {
+  const auto it = open_.find(subject);
+  if (it == open_.end()) return;  // ordinary (re)join, no incident open
+  Incident& inc = it->second;
+  if (inc.t_reattach >= 0.0) return;  // already reattached, awaiting cadence
+  inc.t_reattach = t;
+  ++reattached_;
+  reattach_s_.push_back(t - inc.t_open);
+  // A member whose playback never left nominal cadence (or has no playback
+  // model at all) is fully recovered the moment it reattaches; one that is
+  // degraded/stalled stays open until kPlaybackRegime says nominal again.
+  if (RegimeOf(subject) <= 0) CloseIncident(subject, Close::kRecovered, t);
+}
+
+void IncidentLog::OnEvent(const TraceEvent& ev) {
+  switch (ev.kind) {
+    case EventKind::kOrphaned: {
+      const Cause cause = ev.detail == 1   ? Cause::kEviction
+                          : ev.detail == 2 ? Cause::kDissolve
+                                           : Cause::kParentDeath;
+      OpenIncident(ev.subject, cause, ev.t);
+      break;
+    }
+    case EventKind::kReconnectStart:
+      OpenIncident(ev.subject, Cause::kReconnect, ev.t);
+      break;
+    case EventKind::kHeartbeatMiss: {
+      const auto it = open_.find(ev.subject);
+      if (it != open_.end() && it->second.t_suspect < 0.0) {
+        it->second.t_suspect = ev.t;
+        suspect_s_.push_back(ev.t - it->second.t_open);
+      }
+      break;
+    }
+    case EventKind::kSuspicion: {
+      const auto it = open_.find(ev.subject);
+      if (it != open_.end() && it->second.t_detect < 0.0) {
+        it->second.t_detect = ev.t;
+        detect_s_.push_back(ev.t - it->second.t_open);
+      }
+      break;
+    }
+    case EventKind::kJoin:
+    case EventKind::kRejoin:
+    case EventKind::kCliqueLocalRecovery:
+    case EventKind::kCliqueBackboneReattach:
+      Reattached(ev.subject, ev.t);
+      break;
+    case EventKind::kReconnectAttached:
+      if (!open_.contains(ev.subject))
+        ++orphan_events_;  // terminal edge with no kReconnectStart seen
+      Reattached(ev.subject, ev.t);
+      break;
+    case EventKind::kReconnectAbandoned:
+      if (open_.contains(ev.subject))
+        CloseIncident(ev.subject, Close::kAbandoned, ev.t);
+      else
+        ++orphan_events_;  // includes the no-host abandon (subject -1)
+      break;
+    case EventKind::kLeave:
+      left_at_[ev.subject] = ev.t;
+      CloseIncident(ev.subject, Close::kDeparted, ev.t);
+      break;
+    case EventKind::kPlaybackRegime: {
+      regime_[ev.subject] = static_cast<int>(ev.detail);
+      if (ev.detail == 0) {
+        const auto it = open_.find(ev.subject);
+        if (it != open_.end() && it->second.t_reattach >= 0.0) {
+          recover_s_.push_back(ev.t - it->second.t_reattach);
+          CloseIncident(ev.subject, Close::kRecovered, ev.t);
+        }
+      }
+      break;
+    }
+    case EventKind::kSwitchAttempt:
+      // A fresh attempt supersedes an unfinished handshake by the same
+      // initiator (its commit/abort never made the trace).
+      open_switches_[ev.subject] = OpenSwitch{ev.t, -1.0};
+      ++switch_attempts_;
+      break;
+    case EventKind::kLockGrant: {
+      // subject leased itself to peer: peer is the initiating switcher.
+      const auto it = open_switches_.find(ev.peer);
+      if (it != open_switches_.end() && it->second.t_lock < 0.0) {
+        it->second.t_lock = ev.t;
+        switch_lock_s_.push_back(ev.t - it->second.t_attempt);
+      }
+      break;
+    }
+    case EventKind::kSwitchCommit: {
+      const auto it = open_switches_.find(ev.subject);
+      if (it != open_switches_.end()) {
+        switch_commit_s_.push_back(ev.t - it->second.t_attempt);
+        open_switches_.erase(it);
+        ++switch_commits_;
+      }
+      break;
+    }
+    case EventKind::kSwitchAbort: {
+      const auto it = open_switches_.find(ev.subject);
+      if (it != open_switches_.end()) {
+        open_switches_.erase(it);
+        ++switch_aborts_;
+      }
+      break;
+    }
+    case EventKind::kCliqueDelegatePromoted: {
+      ++promotions_;
+      const auto it = left_at_.find(ev.peer);
+      if (it != left_at_.end()) promotion_s_.push_back(ev.t - it->second);
+      break;
+    }
+    default:
+      break;  // the remaining kinds carry no incident lifecycle edge
+  }
+}
+
+void IncidentLog::Finalize(double t) {
+  // std::map iteration: stragglers close in subject order, deterministically.
+  while (!open_.empty())
+    CloseIncident(open_.begin()->first, Close::kOpenAtEnd, t);
+  open_switches_.clear();
+}
+
+std::map<std::string, double> IncidentLog::FlatStats() const {
+  std::map<std::string, double> out;
+  out["incident.count"] = static_cast<double>(opened_);
+  out["incident.cause.parent_death"] = static_cast<double>(cause_counts_[0]);
+  out["incident.cause.eviction"] = static_cast<double>(cause_counts_[1]);
+  out["incident.cause.dissolve"] = static_cast<double>(cause_counts_[2]);
+  out["incident.cause.reconnect"] = static_cast<double>(cause_counts_[3]);
+  out["incident.reattached"] = static_cast<double>(reattached_);
+  out["incident.recovered"] = static_cast<double>(close_counts_[0]);
+  out["incident.abandoned"] = static_cast<double>(close_counts_[1]);
+  out["incident.departed"] = static_cast<double>(close_counts_[2]);
+  out["incident.superseded"] = static_cast<double>(close_counts_[3]);
+  out["incident.open_at_end"] = static_cast<double>(close_counts_[4]);
+  out["incident.orphan_events"] = static_cast<double>(orphan_events_);
+  out["incident.switch.attempts"] = static_cast<double>(switch_attempts_);
+  out["incident.switch.commits"] = static_cast<double>(switch_commits_);
+  out["incident.switch.aborts"] = static_cast<double>(switch_aborts_);
+  out["incident.promotions"] = static_cast<double>(promotions_);
+  AddPhaseStats(out, "incident.phase.suspect", suspect_s_);
+  AddPhaseStats(out, "incident.phase.detect", detect_s_);
+  AddPhaseStats(out, "incident.phase.reattach", reattach_s_);
+  AddPhaseStats(out, "incident.phase.recover", recover_s_);
+  AddPhaseStats(out, "incident.phase.total", total_s_);
+  AddPhaseStats(out, "incident.phase.switch_lock", switch_lock_s_);
+  AddPhaseStats(out, "incident.phase.switch_commit", switch_commit_s_);
+  AddPhaseStats(out, "incident.phase.promotion", promotion_s_);
+  return out;
+}
+
+void IncidentLog::ExportTo(Registry& reg) const {
+  reg.Count("incident.count", static_cast<double>(opened_));
+  reg.Count("incident.reattached", static_cast<double>(reattached_));
+  reg.Count("incident.recovered", static_cast<double>(close_counts_[0]));
+  reg.Count("incident.abandoned", static_cast<double>(close_counts_[1]));
+  reg.Count("incident.departed", static_cast<double>(close_counts_[2]));
+  reg.Count("incident.superseded", static_cast<double>(close_counts_[3]));
+  reg.Count("incident.open_at_end", static_cast<double>(close_counts_[4]));
+  reg.Count("incident.orphan_events", static_cast<double>(orphan_events_));
+  const struct {
+    const char* name;
+    const std::vector<double>& values;
+  } phases[] = {
+      {"incident.phase.suspect_s", suspect_s_},
+      {"incident.phase.detect_s", detect_s_},
+      {"incident.phase.reattach_s", reattach_s_},
+      {"incident.phase.recover_s", recover_s_},
+      {"incident.phase.total_s", total_s_},
+      {"incident.phase.switch_lock_s", switch_lock_s_},
+      {"incident.phase.switch_commit_s", switch_commit_s_},
+      {"incident.phase.promotion_s", promotion_s_},
+  };
+  for (const auto& phase : phases)
+    for (const double v : phase.values)
+      reg.Observe(phase.name, PhaseBounds(), v);
+}
+
+}  // namespace omcast::obs

@@ -57,7 +57,11 @@ std::uint64_t CurrentPeakRssBytes() {
 
 }  // namespace
 
-SimProfiler::SimProfiler() : wall_us_(WallBounds()), depth_(DepthBounds()) {}
+SimProfiler::SimProfiler() : wall_us_(WallBounds()), depth_(DepthBounds()) {
+  // Snapshot the process high-water mark so rss_delta_bytes() reports this
+  // run's growth, not whatever earlier cells in the grid already touched.
+  baseline_rss_bytes_ = CurrentPeakRssBytes();
+}
 
 void SimProfiler::BeginEvent(const char* tag, std::size_t queue_depth) {
   current_ = &per_tag_[tag != nullptr ? tag : "untagged"];
@@ -118,9 +122,10 @@ std::string SimProfiler::FormatTable() const {
                 events_per_sec());
   out += buf;
   std::snprintf(buf, sizeof(buf),
-                "  memory peak_rss_mb=%.1f pool_live_max=%llu "
-                "pool_capacity_max=%llu\n",
+                "  memory process_peak_rss_mb=%.1f run_rss_delta_mb=%.1f "
+                "pool_live_max=%llu pool_capacity_max=%llu\n",
                 static_cast<double>(peak_rss_bytes_) / (1024.0 * 1024.0),
+                static_cast<double>(rss_delta_bytes()) / (1024.0 * 1024.0),
                 static_cast<unsigned long long>(pool_live_max_),
                 static_cast<unsigned long long>(pool_capacity_max_));
   out += buf;
@@ -143,6 +148,8 @@ void ProfileAggregator::Merge(const SimProfiler& profiler) {
   loop_us_ += profiler.loop_us();
   loop_events_ += profiler.loop_events();
   peak_rss_bytes_ = std::max(peak_rss_bytes_, profiler.peak_rss_bytes());
+  rss_delta_max_bytes_ =
+      std::max(rss_delta_max_bytes_, profiler.rss_delta_bytes());
   pool_live_max_ = std::max(pool_live_max_, profiler.pool_live_max());
   pool_capacity_max_ = std::max(pool_capacity_max_, profiler.pool_capacity_max());
   ++merged_;
@@ -175,6 +182,11 @@ std::uint64_t ProfileAggregator::peak_rss_bytes() const {
   return peak_rss_bytes_;
 }
 
+std::uint64_t ProfileAggregator::rss_delta_max_bytes() const {
+  util::MutexLock lock(mu_);
+  return rss_delta_max_bytes_;
+}
+
 std::string ProfileAggregator::FormatTable() const {
   util::MutexLock lock(mu_);
   std::string out = "sim profile: per-event-type dispatch (";
@@ -199,9 +211,10 @@ std::string ProfileAggregator::FormatTable() const {
                 static_cast<unsigned long long>(loop_events_), rate);
   out += buf;
   std::snprintf(buf, sizeof(buf),
-                "  memory peak_rss_mb=%.1f pool_live_max=%llu "
-                "pool_capacity_max=%llu\n",
+                "  memory process_peak_rss_mb=%.1f max_run_rss_delta_mb=%.1f "
+                "pool_live_max=%llu pool_capacity_max=%llu\n",
                 static_cast<double>(peak_rss_bytes_) / (1024.0 * 1024.0),
+                static_cast<double>(rss_delta_max_bytes_) / (1024.0 * 1024.0),
                 static_cast<unsigned long long>(pool_live_max_),
                 static_cast<unsigned long long>(pool_capacity_max_));
   out += buf;

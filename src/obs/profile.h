@@ -67,7 +67,21 @@ class SimProfiler {
                                 (loop_us_ * 1e-6)
                           : 0.0;
   }
+  // Process-wide peak RSS observed during this run. getrusage's high-water
+  // mark is monotone over the process lifetime, so in a multi-cell grid a
+  // late cell inherits every earlier cell's peak -- this is an honest
+  // process number, not a per-run attribution; see rss_delta_bytes().
   std::uint64_t peak_rss_bytes() const { return peak_rss_bytes_; }
+  // Peak-RSS growth attributable to this run: the peak observed while it
+  // ran minus the process high-water mark when the profiler was
+  // constructed. 0 when the run stayed under earlier cells' peak (its real
+  // footprint is then unobservable via getrusage).
+  std::uint64_t rss_delta_bytes() const {
+    return peak_rss_bytes_ > baseline_rss_bytes_
+               ? peak_rss_bytes_ - baseline_rss_bytes_
+               : 0;
+  }
+  std::uint64_t baseline_rss_bytes() const { return baseline_rss_bytes_; }
   std::size_t pool_live_max() const { return pool_live_max_; }
   std::size_t pool_capacity_max() const { return pool_capacity_max_; }
   const std::map<std::string, TagStats>& per_tag() const { return per_tag_; }
@@ -93,7 +107,10 @@ class SimProfiler {
   std::uint64_t loop_start_events_ = 0;
   Clock::time_point loop_started_{};
   bool in_loop_ = false;
-  // Memory high-water marks.
+  // Memory high-water marks. The baseline is the process peak RSS at
+  // construction; the delta accessor subtracts it so per-cell tables do not
+  // attribute earlier cells' allocations to this run.
+  std::uint64_t baseline_rss_bytes_ = 0;
   std::uint64_t peak_rss_bytes_ = 0;
   std::size_t pool_live_max_ = 0;
   std::size_t pool_capacity_max_ = 0;
@@ -118,6 +135,9 @@ class ProfileAggregator {
   // Maximum over merged cells (cells share the process, so peak RSS is a
   // max, not a sum).
   std::uint64_t peak_rss_bytes() const OMCAST_EXCLUDES(mu_);
+  // Largest single-run RSS growth over merged cells (max of each cell's
+  // rss_delta_bytes) -- the closest getrusage gets to "the hungriest cell".
+  std::uint64_t rss_delta_max_bytes() const OMCAST_EXCLUDES(mu_);
   std::string FormatTable() const OMCAST_EXCLUDES(mu_);
 
  private:
@@ -134,6 +154,7 @@ class ProfileAggregator {
   double loop_us_ OMCAST_GUARDED_BY(mu_) = 0.0;
   std::uint64_t loop_events_ OMCAST_GUARDED_BY(mu_) = 0;
   std::uint64_t peak_rss_bytes_ OMCAST_GUARDED_BY(mu_) = 0;
+  std::uint64_t rss_delta_max_bytes_ OMCAST_GUARDED_BY(mu_) = 0;
   std::size_t pool_live_max_ OMCAST_GUARDED_BY(mu_) = 0;
   std::size_t pool_capacity_max_ OMCAST_GUARDED_BY(mu_) = 0;
   int merged_ OMCAST_GUARDED_BY(mu_) = 0;

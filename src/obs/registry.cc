@@ -86,6 +86,13 @@ Histogram& Registry::Hist(const std::string& name,
   return histograms_.emplace(name, Histogram(std::move(bounds))).first->second;
 }
 
+TimeSeries& Registry::Series(const std::string& name, TimeSeries::Kind kind,
+                             double window_s) {
+  const auto it = series_.find(name);
+  if (it != series_.end()) return it->second;
+  return series_.emplace(name, TimeSeries(kind, window_s)).first->second;
+}
+
 double Registry::CounterValue(const std::string& name) const {
   const auto it = counters_.find(name);
   return it != counters_.end() ? it->second : 0.0;
@@ -114,6 +121,13 @@ void Registry::MergeFrom(const Registry& other) {
       histograms_.emplace(name, hist);
     else
       it->second.MergeFrom(hist);
+  }
+  for (const auto& [name, ts] : other.series_) {
+    const auto it = series_.find(name);
+    if (it == series_.end())
+      series_.emplace(name, ts);
+    else
+      it->second.MergeFrom(ts);
   }
 }
 

@@ -28,6 +28,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/timeseries.h"
+
 namespace omcast::obs {
 
 // Fixed-bucket histogram: `bounds` are the inclusive upper edges of the
@@ -80,12 +82,20 @@ class Registry {
   void Observe(const std::string& name, std::vector<double> bounds, double v) {
     Hist(name, std::move(bounds)).Observe(v);
   }
+  // Returns the named time series, creating it with (kind, window_s) on
+  // first use (later calls ignore both; the first registration wins, as
+  // with Hist). Series are the recovery-curve export path: they are NOT
+  // part of Flatten() -- the runner writes them into the per-cell
+  // `timeseries` block instead (results schema v3).
+  TimeSeries& Series(const std::string& name, TimeSeries::Kind kind,
+                     double window_s);
 
   const std::map<std::string, double>& counters() const { return counters_; }
   const std::map<std::string, double>& gauges() const { return gauges_; }
   const std::map<std::string, Histogram>& histograms() const {
     return histograms_;
   }
+  const std::map<std::string, TimeSeries>& series() const { return series_; }
 
   double CounterValue(const std::string& name) const;
 
@@ -94,14 +104,16 @@ class Registry {
   // name.count / .sum / .min / .max / .p50 / .p99.
   std::map<std::string, double> Flatten() const;
 
-  // Folds another registry in: counters add, gauges last-write-wins, and
-  // histograms merge (matching names must have matching bounds).
+  // Folds another registry in: counters add, gauges last-write-wins,
+  // histograms merge (matching names must have matching bounds), and time
+  // series merge (matching names must have matching kind and window).
   void MergeFrom(const Registry& other);
 
  private:
   std::map<std::string, double> counters_;
   std::map<std::string, double> gauges_;
   std::map<std::string, Histogram> histograms_;
+  std::map<std::string, TimeSeries> series_;
 };
 
 }  // namespace omcast::obs

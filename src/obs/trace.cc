@@ -1,6 +1,8 @@
 #include "obs/trace.h"
 
+#include <algorithm>
 #include <charconv>
+#include <ostream>
 
 #include "util/check.h"
 #include "util/hash.h"
@@ -69,8 +71,25 @@ const char* EventKindName(EventKind kind) {
     case EventKind::kCliqueLocalRecovery: return "clique_local_recovery";
     case EventKind::kCliqueBackboneReattach: return "clique_backbone_reattach";
     case EventKind::kCliqueDissolved: return "clique_dissolved";
+    case EventKind::kOrphaned: return "orphaned";
   }
   return "?";
+}
+
+void AppendEventJsonl(std::string& out, const TraceEvent& ev) {
+  out += "{\"t\":";
+  AppendDouble(out, ev.t);
+  out += ",\"id\":";
+  AppendUint(out, ev.id);
+  out += ",\"kind\":\"";
+  out += EventKindName(ev.kind);
+  out += "\",\"subject\":";
+  AppendInt(out, ev.subject);
+  out += ",\"peer\":";
+  AppendInt(out, ev.peer);
+  out += ",\"detail\":";
+  AppendInt(out, ev.detail);
+  out += "}\n";
 }
 
 Tracer::Tracer(std::size_t capacity) : capacity_(capacity) {
@@ -86,6 +105,9 @@ void Tracer::Emit(double t, EventKind kind, std::int64_t subject,
   ev.subject = subject;
   ev.peer = peer;
   ev.detail = detail;
+  // Sinks first: they see every emission, including the ones the bounded
+  // ring is about to evict.
+  for (TraceSink* sink : sinks_) sink->OnEvent(ev);
   if (ring_.size() < capacity_) {
     ring_.push_back(ev);
     return;
@@ -93,6 +115,16 @@ void Tracer::Emit(double t, EventKind kind, std::int64_t subject,
   ring_[head_] = ev;
   head_ = (head_ + 1) % capacity_;
   ++dropped_;
+}
+
+void Tracer::AddSink(TraceSink* sink) {
+  util::Check(sink != nullptr, "AddSink requires a sink");
+  sinks_.push_back(sink);
+}
+
+void Tracer::RemoveSink(TraceSink* sink) {
+  const auto it = std::find(sinks_.begin(), sinks_.end(), sink);
+  if (it != sinks_.end()) sinks_.erase(it);
 }
 
 std::vector<TraceEvent> Tracer::Events() const {
@@ -106,21 +138,7 @@ std::vector<TraceEvent> Tracer::Events() const {
 std::string Tracer::ToJsonl() const {
   std::string out;
   out.reserve(ring_.size() * 64);
-  for (const TraceEvent& ev : Events()) {
-    out += "{\"t\":";
-    AppendDouble(out, ev.t);
-    out += ",\"id\":";
-    AppendUint(out, ev.id);
-    out += ",\"kind\":\"";
-    out += EventKindName(ev.kind);
-    out += "\",\"subject\":";
-    AppendInt(out, ev.subject);
-    out += ",\"peer\":";
-    AppendInt(out, ev.peer);
-    out += ",\"detail\":";
-    AppendInt(out, ev.detail);
-    out += "}\n";
-  }
+  for (const TraceEvent& ev : Events()) AppendEventJsonl(out, ev);
   return out;
 }
 
@@ -169,6 +187,15 @@ void Tracer::Clear() {
   // an exporter drains the ring in chunks.
   ring_.clear();
   head_ = 0;
+}
+
+JsonlStreamSink::JsonlStreamSink(std::ostream& out) : out_(&out) {}
+
+void JsonlStreamSink::OnEvent(const TraceEvent& ev) {
+  line_.clear();
+  AppendEventJsonl(line_, ev);
+  out_->write(line_.data(), static_cast<std::streamsize>(line_.size()));
+  ++events_written_;
 }
 
 }  // namespace omcast::obs

@@ -20,10 +20,14 @@
 //
 // The buffer is a bounded ring: the newest `capacity` events are retained,
 // older ones are dropped (and counted), so a tracer can stay attached to an
-// arbitrarily long run with bounded memory.
+// arbitrarily long run with bounded memory. Consumers that need *every*
+// event of a long run attach a TraceSink (e.g. JsonlStreamSink, which
+// writes each event incrementally instead of snapshotting the ring) --
+// sinks see each emission before ring eviction can touch it.
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -91,6 +95,12 @@ enum class EventKind : int {
                      // backbone; peer = backbone parent, detail = cluster id
   kCliqueDissolved,  // subject's cluster disbanded (undersized or its
                      // succession timed out); detail = cluster id
+  // overlay/session: involuntary detach (the opening edge of a disruption
+  // incident; obs::IncidentLog stitches the recovery lifecycle from here).
+  kOrphaned,         // subject lost its upstream feed; peer = the failed
+                     // parent (kNoNode when there was none); detail = cause
+                     // (0 parent death, 1 eviction/false-suspicion detach,
+                     // 2 fragment dissolve released the subject)
 };
 
 // Stable snake_case name for JSONL/Perfetto export; never renamed, only
@@ -106,6 +116,22 @@ struct TraceEvent {
   std::int64_t detail = 0;    // kind-specific payload (serial, count, group id)
 };
 
+// Appends the JSONL line for one event (WITH the trailing newline):
+//   {"t":12.5,"id":3,"kind":"lock_grant","subject":17,"peer":4,"detail":2}
+// Shared by Tracer::ToJsonl and JsonlStreamSink so the ring snapshot and the
+// streaming export are byte-identical for the events both retain.
+void AppendEventJsonl(std::string& out, const TraceEvent& ev);
+
+// Push consumer of the live event stream. Sinks observe every emission in
+// order, before ring eviction, so they can retain what the bounded ring
+// cannot. Implementations must be deterministic if their output feeds a
+// digest, and cell-confined like the Tracer that feeds them.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void OnEvent(const TraceEvent& ev) = 0;
+};
+
 class Tracer {
  public:
   // `capacity` bounds retained events; emissions beyond it evict the oldest.
@@ -113,6 +139,13 @@ class Tracer {
 
   void Emit(double t, EventKind kind, std::int64_t subject,
             std::int64_t peer = -1, std::int64_t detail = 0);
+
+  // Registers a sink (non-owning; it must outlive every Emit). Sinks are
+  // notified in registration order. RemoveSink detaches one registration;
+  // callers that attach a run-scoped sink to a longer-lived tracer must
+  // remove it before the sink dies.
+  void AddSink(TraceSink* sink);
+  void RemoveSink(TraceSink* sink);
 
   // Total emissions over the tracer's lifetime (ids run [0, emitted)).
   std::uint64_t emitted() const { return next_id_; }
@@ -151,6 +184,30 @@ class Tracer {
   std::size_t head_ = 0;  // oldest element once the ring is full
   std::uint64_t next_id_ = 0;
   std::uint64_t dropped_ = 0;
+  std::vector<TraceSink*> sinks_;  // non-owning, notification order
+};
+
+// Streaming JSONL exporter: one line per event, written incrementally to
+// `out` as it is emitted, so arbitrarily long runs keep their full event
+// history (the bounded ring silently evicts; this does not). Line format is
+// byte-identical to Tracer::ToJsonl() -- equal-seed runs stream identical
+// bytes regardless of thread count, which the obs unit tests pin.
+//
+// The caller owns the stream (and its flushing/closing); one sink writes
+// one cell's trace, never shared across threads.
+class JsonlStreamSink : public TraceSink {
+ public:
+  explicit JsonlStreamSink(std::ostream& out);
+
+  void OnEvent(const TraceEvent& ev) override;
+
+  // Events written to the stream over the sink's lifetime.
+  std::uint64_t events_written() const { return events_written_; }
+
+ private:
+  std::ostream* out_;
+  std::string line_;  // reused per event to avoid per-emission allocation
+  std::uint64_t events_written_ = 0;
 };
 
 }  // namespace omcast::obs

@@ -283,6 +283,9 @@ void Session::TryJoin(NodeId id) {
     const std::vector<NodeId> children = tree_.Children(id);
     for (NodeId c : children) {
       tree_.Detach(c);
+      if (tracer_ != nullptr)
+        tracer_->Emit(sim_.now(), obs::EventKind::kOrphaned, c, id,
+                      /*detail=*/2);
       protocol_->OnOrphaned(*this, c);
       TryJoin(c);
     }
@@ -314,6 +317,9 @@ void Session::ForceRejoin(NodeId id) {
   util::Check(tree_.Alive(id) && tree_.Parent(id) == kNoNode,
               "ForceRejoin requires a detached, alive member");
   ++tree_.Get(id).reconnections;
+  if (tracer_ != nullptr)
+    tracer_->Emit(sim_.now(), obs::EventKind::kOrphaned, id, kNoNode,
+                  /*detail=*/1);
   protocol_->OnOrphaned(*this, id);
   // Defer to an event so eviction cascades unwind instead of recursing.
   sim_.ScheduleAfter(
@@ -383,6 +389,9 @@ void Session::HandleDeparture(NodeId id) {
   // failure detection the orphan does not yet *know* its parent died: the
   // detector (heartbeat misses) calls RejoinOrphan() once it notices.
   for (NodeId c : orphans) {
+    if (tracer_ != nullptr)
+      tracer_->Emit(sim_.now(), obs::EventKind::kOrphaned, c, id,
+                    /*detail=*/0);
     protocol_->OnOrphaned(*this, c);
     if (params_.external_failure_detection) continue;
     if (params_.rejoin_delay_s > 0.0) {

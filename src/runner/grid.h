@@ -37,6 +37,23 @@ struct CellResult {
   // exports, e.g. "rost.switches"). Unlike `metrics`, these are raw
   // protocol tallies -- recorded per cell, not aggregated across reps.
   std::map<std::string, double> registry;
+
+  // One flattened obs::TimeSeries: a windowed recovery curve on the
+  // absolute sim-time grid. `kind` is obs::TimeSeries::Kind as an int (0
+  // counter-rate, 1 gauge) -- kept numeric so grid.h stays obs-free;
+  // points are (window start, value), dense over the covered range.
+  struct SeriesSnapshot {
+    int kind = 0;
+    double window_s = 0.0;
+    std::vector<std::pair<double, double>> points;
+  };
+  // Schema v3 "timeseries" block: per-cell recovery curves (e.g.
+  // "chaos.unrooted_members"). Deterministic like everything else here.
+  std::map<std::string, SeriesSnapshot> timeseries;
+  // Schema v3 "incidents" block: per-disruption lifecycle stats
+  // (obs::IncidentLog::FlatStats) -- counts plus per-phase latency
+  // percentiles.
+  std::map<std::string, double> incidents;
 };
 
 // Identity and derived seed of one cell, handed to the cell function.

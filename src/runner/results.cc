@@ -47,6 +47,30 @@ Json CellToJson(const CellOutcome& cell) {
       registry.Set(name, value);
     j.Set("registry", std::move(registry));
   }
+  if (!cell.result.timeseries.empty()) {
+    Json timeseries = Json::MakeObject();
+    for (const auto& [name, snap] : cell.result.timeseries) {
+      Json entry = Json::MakeObject();
+      entry.Set("kind", snap.kind);
+      entry.Set("window_s", snap.window_s);
+      Json arr = Json::MakeArray();
+      for (const auto& [t, v] : snap.points) {
+        Json point = Json::MakeArray();
+        point.Append(t);
+        point.Append(v);
+        arr.Append(std::move(point));
+      }
+      entry.Set("points", std::move(arr));
+      timeseries.Set(name, std::move(entry));
+    }
+    j.Set("timeseries", std::move(timeseries));
+  }
+  if (!cell.result.incidents.empty()) {
+    Json incidents = Json::MakeObject();
+    for (const auto& [name, value] : cell.result.incidents)
+      incidents.Set(name, value);
+    j.Set("incidents", std::move(incidents));
+  }
   return j;
 }
 
@@ -91,6 +115,36 @@ bool CellFromJson(const Json& cell, CellOutcome* out) {
       result.registry[name] = value.AsDouble();
     }
   }
+  if (const Json* timeseries = cell.Find("timeseries");
+      timeseries != nullptr) {
+    if (!timeseries->is_object()) return false;
+    for (const auto& [name, entry] : timeseries->AsObject()) {
+      if (!entry.is_object()) return false;
+      const Json* kind = entry.Find("kind");
+      const Json* window = entry.Find("window_s");
+      const Json* points = entry.Find("points");
+      if (kind == nullptr || !kind->is_number() || window == nullptr ||
+          !window->is_number() || points == nullptr || !points->is_array())
+        return false;
+      CellResult::SeriesSnapshot& snap = result.timeseries[name];
+      snap.kind = static_cast<int>(kind->AsInt());
+      snap.window_s = window->AsDouble();
+      snap.points.reserve(points->size());
+      for (const Json& p : points->AsArray()) {
+        if (!p.is_array() || p.size() != 2) return false;
+        const Json::Array& pair = p.AsArray();
+        if (!pair[0].is_number() || !pair[1].is_number()) return false;
+        snap.points.emplace_back(pair[0].AsDouble(), pair[1].AsDouble());
+      }
+    }
+  }
+  if (const Json* incidents = cell.Find("incidents"); incidents != nullptr) {
+    if (!incidents->is_object()) return false;
+    for (const auto& [name, value] : incidents->AsObject()) {
+      if (!value.is_number()) return false;
+      result.incidents[name] = value.AsDouble();
+    }
+  }
   out->result = std::move(result);
   if (const Json* wall = cell.Find("wall_ms");
       wall != nullptr && wall->is_number())
@@ -105,7 +159,8 @@ bool FindResumedCell(const Json& doc, const CellContext& ctx,
       kind->AsString() != kResultsKind)
     return false;
   // Cells from an older schema may lack fields this version records (the
-  // registry snapshot); re-run rather than resume across versions.
+  // registry snapshot, the v3 timeseries/incidents blocks -- all of which
+  // feed DigestOutcomes); re-run rather than resume across versions.
   const Json* version = doc.Find("schema_version");
   if (version == nullptr || !version->is_number() ||
       version->AsInt() != kResultsSchemaVersion)

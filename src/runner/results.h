@@ -5,9 +5,9 @@
 // reps, git SHA, wall-clock per cell) and as the resume source for
 // interrupted sweeps.
 //
-// JSON schema, version 2 (`"kind": "omcast-figure-results"`):
+// JSON schema, version 3 (`"kind": "omcast-figure-results"`):
 //   {
-//     "schema_version": 2, "kind": "omcast-figure-results",
+//     "schema_version": 3, "kind": "omcast-figure-results",
 //     "figure": "fig04_disruptions", "title": "...",
 //     "scale": "small", "git_sha": "...", "base_seed": 1,
 //     "reps": 3, "threads": 8, "warmup_s": 5400, "measure_s": 3600,
@@ -17,7 +17,11 @@
 //     "cells": [ {"row": "...", "col": "...", "rep": 0, "seed": ...,
 //                 "wall_ms": ..., "resumed": false, "metrics": {...},
 //                 "samples": {...}, "series": {"name": [[t, v], ...]},
-//                 "registry": {"rost.switches": ..., ...}} ],
+//                 "registry": {"rost.switches": ..., ...},
+//                 "timeseries": {"chaos.unrooted_members":
+//                     {"kind": 1, "window_s": 5, "points": [[t, v], ...]}},
+//                 "incidents": {"incident.count": ...,
+//                               "incident.phase.reattach.p99_s": ...}} ],
 //     "aggregates": [ {"row": "...", "col": "...", "metric": "...",
 //                      "n": 3, "mean": ..., "stddev": ..., "ci95": ...,
 //                      "min": ..., "max": ...} ]
@@ -37,7 +41,12 @@ namespace omcast::runner {
 
 // v1 -> v2: cells gained an optional "registry" object (flattened
 // obs::Registry snapshot); resume additionally gates on schema_version.
-inline constexpr int kResultsSchemaVersion = 2;
+// v2 -> v3: cells gained optional "timeseries" (windowed recovery curves:
+// kind, window_s, dense [t, v] points) and "incidents" (per-disruption
+// lifecycle stats) objects; both feed DigestOutcomes, so resuming across
+// versions would silently change digests -- the version gate re-runs
+// instead.
+inline constexpr int kResultsSchemaVersion = 3;
 inline constexpr const char* kResultsKind = "omcast-figure-results";
 
 // Run-level manifest fields recorded alongside the grid results.

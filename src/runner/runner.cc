@@ -133,6 +133,20 @@ std::uint64_t DigestOutcomes(const std::vector<CellOutcome>& cells) {
       h.MixBytes(name);
       h.MixDouble(value);
     }
+    for (const auto& [name, snap] : cell.result.timeseries) {
+      h.MixBytes(name);
+      h.MixI64(snap.kind);
+      h.MixDouble(snap.window_s);
+      h.MixU64(snap.points.size());
+      for (const auto& [t, v] : snap.points) {
+        h.MixDouble(t);
+        h.MixDouble(v);
+      }
+    }
+    for (const auto& [name, value] : cell.result.incidents) {
+      h.MixBytes(name);
+      h.MixDouble(value);
+    }
   }
   return h.digest();
 }

@@ -113,7 +113,11 @@ void PacketLevelStream::SetRegime(NodeId member, int regime) {
   Playback& pb = rx_.find(member)->second.playback;
   const double now = session_.simulator().now();
   if (pb.regime >= 1) pb.degraded_accum += now - pb.regime_since;
-  if (pb.regime == 0 && regime >= 1) pb.degraded_since = now;
+  if (pb.regime == 0 && regime >= 1) {
+    pb.degraded_since = now;
+    ++degraded_receivers_;
+  }
+  if (pb.regime >= 1 && regime == 0) --degraded_receivers_;
   if (regime == 0 && pb.degraded_since >= 0.0) {
     recovery_latency_stat_.Add(now - pb.degraded_since);
     pb.degraded_since = -1.0;
@@ -180,7 +184,10 @@ void PacketLevelStream::JudgeWindow(NodeId member) {
       }
     }
     ++judged;
-    if (!played) ++bad;
+    if (!played) {
+      ++bad;
+      ++frames_late_;
+    }
   }
   if (stalls > 0) {
     if (obs::Tracer* tr = session_.tracer(); tr != nullptr)
@@ -220,6 +227,10 @@ void PacketLevelStream::FinalizePlayback(const Member& m, Reception& rx,
     session_.simulator().Cancel(pb.tick);
     pb.tick = sim::kInvalidEventId;
   }
+  // The member leaves the tracked set here (FinalizeMember erases its
+  // reception entry), so a non-nominal straggler must release its slot in
+  // the degraded-receiver gauge.
+  if (pb.regime >= 1) --degraded_receivers_;
   if (m.join_time < 0.0 || finalized_.contains(m.id)) return;
   double accum = pb.degraded_accum;
   if (pb.regime >= 1) accum += std::max(0.0, end_time - pb.regime_since);

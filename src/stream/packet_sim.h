@@ -143,6 +143,13 @@ class PacketLevelStream {
   }
   long decode_stalls() const { return decode_stalls_; }
   long regime_transitions() const { return regime_transitions_; }
+  // Frames judged past their playback deadline that did not play (lost,
+  // late, or decode-stalled): the numerator of the chaos harness's
+  // late-frame rate time-series.
+  long frames_late() const { return frames_late_; }
+  // Members currently tracked in a non-nominal (degraded or stalled)
+  // playback regime; the chaos harness samples it as a recovery-curve gauge.
+  int degraded_receivers() const { return degraded_receivers_; }
   long dependency_resyncs() const { return dependency_resyncs_; }
   // Finalized-at-stream-end members still in the stalled regime: sessions
   // that never recovered. The reconnect-storm invariant pins this to zero.
@@ -260,6 +267,8 @@ class PacketLevelStream {
   long next_group_id_ = 0;
   long decode_stalls_ = 0;
   long regime_transitions_ = 0;
+  long frames_late_ = 0;
+  int degraded_receivers_ = 0;
   long dependency_resyncs_ = 0;
   int permanently_stalled_ = 0;
   bool started_ = false;

@@ -17,6 +17,8 @@
 #include "exp/chaos.h"
 #include "exp/scenario.h"
 #include "net/topology.h"
+#include "obs/registry.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "overlay/gossip.h"
 #include "overlay/heartbeat.h"
@@ -550,8 +552,11 @@ TEST(SeedReplayDeterminism, SerialAndParallelTraceJsonlAreByteIdentical) {
 }
 
 // The degraded-regime scenario grid (the shape bench/degraded_grid runs)
-// must also be thread-count independent: every QoE metric and registry
-// entry of every cell digests identically serially and on four workers.
+// must also be thread-count independent: every QoE metric, registry entry,
+// recovery time-series and incident stat of every cell digests identically
+// serially and on four workers (DigestOutcomes mixes the schema-v3
+// timeseries and incidents blocks, so a scheduling leak into either fails
+// the digest comparison, and the per-cell loops localize it).
 runner::GridRunSummary RunDegradedGrid(int threads) {
   runner::GridSpec spec;
   spec.figure = "degraded_determinism_probe";
@@ -581,6 +586,10 @@ runner::GridRunSummary RunDegradedGrid(int threads) {
       c.reconnect_storm_at_s = 10.0;
       c.reconnect_storm_fraction = 0.2;
     }
+    obs::Registry reg;
+    c.registry = &reg;
+    c.timeseries_window_s = 5.0;
+    c.incident_analysis = true;
     const exp::ChaosResult r = exp::RunChaosScenario(topology, c);
     runner::CellResult out;
     out.metrics["degraded_time_fraction"] = r.degraded_time_fraction;
@@ -589,6 +598,15 @@ runner::GridRunSummary RunDegradedGrid(int threads) {
         static_cast<double>(r.dependency_resyncs);
     out.metrics["reentries_pending"] = static_cast<double>(r.reentries_pending);
     out.registry = r.registry;
+    out.incidents = r.incidents;
+    for (const auto& [name, ts] : reg.series()) {
+      runner::CellResult::SeriesSnapshot snap;
+      snap.kind = static_cast<int>(ts.kind());
+      snap.window_s = ts.window_s();
+      for (const obs::TimeSeries::Point& p : ts.Points())
+        snap.points.emplace_back(p.t, p.value);
+      out.timeseries[name] = std::move(snap);
+    }
     return out;
   };
   runner::RunnerOptions options;
@@ -610,6 +628,24 @@ TEST(SeedReplayDeterminism, DegradedGridIsBitIdenticalSerialVsFourThreads) {
     EXPECT_EQ(serial.cells[i].result.registry,
               parallel.cells[i].result.registry)
         << "cell " << i << " registry diverged";
+    // The flight-recorder blocks must be populated (the probe enables both)
+    // and thread-count independent point for point.
+    EXPECT_FALSE(serial.cells[i].result.timeseries.empty())
+        << "cell " << i << " recorded no recovery curves";
+    EXPECT_FALSE(serial.cells[i].result.incidents.empty())
+        << "cell " << i << " recorded no incident stats";
+    EXPECT_EQ(serial.cells[i].result.incidents,
+              parallel.cells[i].result.incidents)
+        << "cell " << i << " incident stats diverged";
+    const auto& serial_ts = serial.cells[i].result.timeseries;
+    const auto& parallel_ts = parallel.cells[i].result.timeseries;
+    ASSERT_EQ(serial_ts.size(), parallel_ts.size()) << "cell " << i;
+    for (const auto& [name, snap] : serial_ts) {
+      ASSERT_TRUE(parallel_ts.contains(name))
+          << "cell " << i << " lost series " << name << " under 4 threads";
+      EXPECT_EQ(snap.points, parallel_ts.at(name).points)
+          << "cell " << i << " series " << name << " diverged";
+    }
   }
 }
 

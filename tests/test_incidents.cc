@@ -1,0 +1,322 @@
+// Unit tests for the incident flight recorder (obs::IncidentLog) on
+// synthetic traces: every lifecycle edge the stitcher owns -- the three
+// kOrphaned causes and kReconnectStart, suspicion/detection timestamps,
+// reattach edges, the awaiting-cadence path through kPlaybackRegime,
+// terminal departures and abandoned re-entries, supersession on re-orphan,
+// ROST switch handshakes, clique delegate promotions -- plus the
+// robustness contract: orphaned terminal events tally instead of crashing
+// and Finalize() closes stragglers deterministically in subject order.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/incident.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+
+namespace omcast {
+namespace {
+
+using obs::EventKind;
+using obs::IncidentLog;
+using obs::TraceEvent;
+
+TraceEvent Ev(double t, EventKind kind, std::int64_t subject,
+              std::int64_t peer = -1, std::int64_t detail = 0) {
+  TraceEvent ev;
+  ev.t = t;
+  ev.kind = kind;
+  ev.subject = subject;
+  ev.peer = peer;
+  ev.detail = detail;
+  return ev;
+}
+
+TEST(IncidentLog, ParentDeathLifecycleRecordsEveryPhase) {
+  IncidentLog log;
+  log.OnEvent(Ev(10.0, EventKind::kOrphaned, 7, 3, /*detail=*/0));
+  log.OnEvent(Ev(11.0, EventKind::kHeartbeatMiss, 7, 3));
+  log.OnEvent(Ev(12.5, EventKind::kSuspicion, 7));
+  log.OnEvent(Ev(15.0, EventKind::kRejoin, 7, 4));
+  log.Finalize(100.0);
+
+  ASSERT_EQ(log.incidents().size(), 1u);
+  const IncidentLog::Incident& inc = log.incidents().front();
+  EXPECT_EQ(inc.subject, 7);
+  EXPECT_EQ(inc.cause, IncidentLog::Cause::kParentDeath);
+  EXPECT_EQ(inc.t_open, 10.0);
+  EXPECT_EQ(inc.t_suspect, 11.0);
+  EXPECT_EQ(inc.t_detect, 12.5);
+  EXPECT_EQ(inc.t_reattach, 15.0);
+  // Playback never left nominal cadence, so reattach IS recovery.
+  EXPECT_EQ(inc.close, IncidentLog::Close::kRecovered);
+  EXPECT_EQ(inc.t_close, 15.0);
+
+  const std::map<std::string, double> stats = log.FlatStats();
+  EXPECT_EQ(stats.at("incident.count"), 1.0);
+  EXPECT_EQ(stats.at("incident.cause.parent_death"), 1.0);
+  EXPECT_EQ(stats.at("incident.reattached"), 1.0);
+  EXPECT_EQ(stats.at("incident.recovered"), 1.0);
+  EXPECT_EQ(stats.at("incident.phase.suspect.mean_s"), 1.0);
+  EXPECT_EQ(stats.at("incident.phase.detect.mean_s"), 2.5);
+  EXPECT_EQ(stats.at("incident.phase.reattach.mean_s"), 5.0);
+  EXPECT_EQ(stats.at("incident.phase.total.mean_s"), 5.0);
+}
+
+TEST(IncidentLog, OrphanDetailSelectsTheCause) {
+  IncidentLog log;
+  log.OnEvent(Ev(1.0, EventKind::kOrphaned, 1, 9, /*detail=*/0));
+  log.OnEvent(Ev(1.0, EventKind::kOrphaned, 2, 9, /*detail=*/1));
+  log.OnEvent(Ev(1.0, EventKind::kOrphaned, 3, 9, /*detail=*/2));
+  log.OnEvent(Ev(2.0, EventKind::kReconnectStart, 4, 9));
+  log.Finalize(5.0);
+  const std::map<std::string, double> stats = log.FlatStats();
+  EXPECT_EQ(stats.at("incident.count"), 4.0);
+  EXPECT_EQ(stats.at("incident.cause.parent_death"), 1.0);
+  EXPECT_EQ(stats.at("incident.cause.eviction"), 1.0);
+  EXPECT_EQ(stats.at("incident.cause.dissolve"), 1.0);
+  EXPECT_EQ(stats.at("incident.cause.reconnect"), 1.0);
+}
+
+TEST(IncidentLog, SuspicionOnlyTimestampsAnOpenIncidentOnce) {
+  IncidentLog log;
+  // Noise before any incident: ignored, not crashed on.
+  log.OnEvent(Ev(0.5, EventKind::kHeartbeatMiss, 7, 3));
+  log.OnEvent(Ev(0.6, EventKind::kSuspicion, 7));
+  log.OnEvent(Ev(10.0, EventKind::kOrphaned, 7, 3, 0));
+  log.OnEvent(Ev(11.0, EventKind::kHeartbeatMiss, 7, 3));
+  log.OnEvent(Ev(12.0, EventKind::kHeartbeatMiss, 7, 3));  // first one wins
+  log.Finalize(20.0);
+  ASSERT_EQ(log.incidents().size(), 1u);
+  EXPECT_EQ(log.incidents().front().t_suspect, 11.0);
+  EXPECT_EQ(log.FlatStats().at("incident.phase.suspect.count"), 1.0);
+  // The pre-incident noise recorded no detect phase on the real incident.
+  EXPECT_EQ(log.incidents().front().t_detect, -1.0);
+}
+
+TEST(IncidentLog, ReentryLifecycleAndOrphanTerminalEvents) {
+  IncidentLog log;
+  log.OnEvent(Ev(5.0, EventKind::kReconnectStart, 11, 2));
+  log.OnEvent(Ev(9.0, EventKind::kReconnectAttached, 11, 4, /*attempts=*/2));
+  // Terminal edge with no matching open incident: tallied, never fatal.
+  log.OnEvent(Ev(10.0, EventKind::kReconnectAttached, 99, 4, 1));
+  log.Finalize(20.0);
+  const std::map<std::string, double> stats = log.FlatStats();
+  EXPECT_EQ(stats.at("incident.cause.reconnect"), 1.0);
+  EXPECT_EQ(stats.at("incident.recovered"), 1.0);
+  EXPECT_EQ(stats.at("incident.orphan_events"), 1.0);
+  EXPECT_EQ(stats.at("incident.phase.reattach.mean_s"), 4.0);
+  // The stray attach opened nothing: exactly one incident total.
+  EXPECT_EQ(stats.at("incident.count"), 1.0);
+}
+
+TEST(IncidentLog, AbandonedReentryClosesWithoutReattach) {
+  IncidentLog log;
+  log.OnEvent(Ev(5.0, EventKind::kReconnectStart, 11, 2));
+  log.OnEvent(Ev(30.0, EventKind::kReconnectAbandoned, 11, 2, /*attempts=*/8));
+  // The no-host abandon path (subject -1) has nothing open: orphan event.
+  log.OnEvent(Ev(31.0, EventKind::kReconnectAbandoned, -1, 2, 0));
+  log.Finalize(40.0);
+  ASSERT_EQ(log.incidents().size(), 1u);
+  EXPECT_EQ(log.incidents().front().close, IncidentLog::Close::kAbandoned);
+  const std::map<std::string, double> stats = log.FlatStats();
+  EXPECT_EQ(stats.at("incident.abandoned"), 1.0);
+  EXPECT_EQ(stats.at("incident.reattached"), 0.0);
+  EXPECT_EQ(stats.at("incident.orphan_events"), 1.0);
+  EXPECT_FALSE(stats.contains("incident.phase.reattach.count"));
+}
+
+TEST(IncidentLog, DepartureClosesAnOpenIncidentTerminally) {
+  IncidentLog log;
+  log.OnEvent(Ev(10.0, EventKind::kOrphaned, 7, 3, 0));
+  log.OnEvent(Ev(14.0, EventKind::kLeave, 7, -1));
+  log.Finalize(20.0);
+  ASSERT_EQ(log.incidents().size(), 1u);
+  EXPECT_EQ(log.incidents().front().close, IncidentLog::Close::kDeparted);
+  EXPECT_EQ(log.FlatStats().at("incident.departed"), 1.0);
+  // Departed, not recovered: no total-phase latency recorded.
+  EXPECT_FALSE(log.FlatStats().contains("incident.phase.total.count"));
+}
+
+TEST(IncidentLog, ReorphaningSupersedesTheOpenIncident) {
+  IncidentLog log;
+  log.OnEvent(Ev(1.0, EventKind::kOrphaned, 7, 3, 0));
+  log.OnEvent(Ev(2.0, EventKind::kOrphaned, 7, 5, 1));  // again, new parent
+  log.Finalize(9.0);
+  ASSERT_EQ(log.incidents().size(), 2u);
+  // Close order: the superseded one first, the straggler at Finalize.
+  EXPECT_EQ(log.incidents()[0].close, IncidentLog::Close::kSuperseded);
+  EXPECT_EQ(log.incidents()[0].t_close, 2.0);
+  EXPECT_EQ(log.incidents()[1].close, IncidentLog::Close::kOpenAtEnd);
+  EXPECT_EQ(log.incidents()[1].t_close, 9.0);
+  const std::map<std::string, double> stats = log.FlatStats();
+  EXPECT_EQ(stats.at("incident.count"), 2.0);
+  EXPECT_EQ(stats.at("incident.superseded"), 1.0);
+  EXPECT_EQ(stats.at("incident.open_at_end"), 1.0);
+}
+
+TEST(IncidentLog, DegradedPlaybackDefersRecoveryUntilNominalCadence) {
+  IncidentLog log;
+  log.OnEvent(Ev(5.0, EventKind::kPlaybackRegime, 7, -1, /*regime=*/1));
+  log.OnEvent(Ev(10.0, EventKind::kOrphaned, 7, 3, 0));
+  log.OnEvent(Ev(12.0, EventKind::kJoin, 7, 4));  // reattached but degraded
+  EXPECT_TRUE(log.incidents().empty());           // still open
+  log.OnEvent(Ev(20.0, EventKind::kPlaybackRegime, 7, -1, /*regime=*/0));
+  log.Finalize(30.0);
+  ASSERT_EQ(log.incidents().size(), 1u);
+  const IncidentLog::Incident& inc = log.incidents().front();
+  EXPECT_EQ(inc.close, IncidentLog::Close::kRecovered);
+  EXPECT_EQ(inc.t_reattach, 12.0);
+  EXPECT_EQ(inc.t_close, 20.0);
+  const std::map<std::string, double> stats = log.FlatStats();
+  EXPECT_EQ(stats.at("incident.phase.reattach.mean_s"), 2.0);
+  EXPECT_EQ(stats.at("incident.phase.recover.mean_s"), 8.0);  // 20 - 12
+  EXPECT_EQ(stats.at("incident.phase.total.mean_s"), 10.0);   // 20 - 10
+}
+
+TEST(IncidentLog, NominalRegimeAloneDoesNotCloseBeforeReattach) {
+  IncidentLog log;
+  log.OnEvent(Ev(5.0, EventKind::kPlaybackRegime, 7, -1, 2));
+  log.OnEvent(Ev(10.0, EventKind::kOrphaned, 7, 3, 0));
+  // Cadence returns while the member is still detached: the incident stays
+  // open (recovery needs a feed), and the later reattach closes it at once
+  // because the regime is already nominal again.
+  log.OnEvent(Ev(11.0, EventKind::kPlaybackRegime, 7, -1, 0));
+  EXPECT_TRUE(log.incidents().empty());
+  log.OnEvent(Ev(13.0, EventKind::kJoin, 7, 4));
+  log.Finalize(20.0);
+  ASSERT_EQ(log.incidents().size(), 1u);
+  EXPECT_EQ(log.incidents().front().close, IncidentLog::Close::kRecovered);
+  EXPECT_EQ(log.incidents().front().t_close, 13.0);
+}
+
+TEST(IncidentLog, SwitchHandshakeLifecycle) {
+  IncidentLog log;
+  // Commit path: attempt by 4, participant 9 leases itself to 4, commit.
+  log.OnEvent(Ev(1.0, EventKind::kSwitchAttempt, 4, 2));
+  log.OnEvent(Ev(1.5, EventKind::kLockGrant, 9, /*initiator=*/4, 1));
+  log.OnEvent(Ev(2.0, EventKind::kLockGrant, 10, 4, 2));  // later grant ignored
+  log.OnEvent(Ev(3.0, EventKind::kSwitchCommit, 4, 9));
+  // Abort path by a different initiator.
+  log.OnEvent(Ev(4.0, EventKind::kSwitchAttempt, 5, 2));
+  log.OnEvent(Ev(5.0, EventKind::kSwitchAbort, 5, -1, 1));
+  // Terminal edges with no open handshake: ignored.
+  log.OnEvent(Ev(6.0, EventKind::kSwitchCommit, 5, 9));
+  log.OnEvent(Ev(6.0, EventKind::kSwitchAbort, 4, -1, 0));
+  log.Finalize(10.0);
+  const std::map<std::string, double> stats = log.FlatStats();
+  EXPECT_EQ(stats.at("incident.switch.attempts"), 2.0);
+  EXPECT_EQ(stats.at("incident.switch.commits"), 1.0);
+  EXPECT_EQ(stats.at("incident.switch.aborts"), 1.0);
+  EXPECT_EQ(stats.at("incident.phase.switch_lock.mean_s"), 0.5);
+  EXPECT_EQ(stats.at("incident.phase.switch_commit.mean_s"), 2.0);
+}
+
+TEST(IncidentLog, DelegatePromotionLatencyFromTheLeave) {
+  IncidentLog log;
+  log.OnEvent(Ev(4.0, EventKind::kLeave, /*old delegate=*/20, 1));
+  log.OnEvent(Ev(9.0, EventKind::kCliqueDelegatePromoted, /*successor=*/21,
+                /*former=*/20, /*cluster=*/3));
+  // Promotion whose predecessor's leave predates the trace: counted, no
+  // latency sample.
+  log.OnEvent(Ev(9.5, EventKind::kCliqueDelegatePromoted, 31, 30, 4));
+  log.Finalize(10.0);
+  const std::map<std::string, double> stats = log.FlatStats();
+  EXPECT_EQ(stats.at("incident.promotions"), 2.0);
+  EXPECT_EQ(stats.at("incident.phase.promotion.count"), 1.0);
+  EXPECT_EQ(stats.at("incident.phase.promotion.mean_s"), 5.0);
+}
+
+TEST(IncidentLog, FinalizeClosesStragglersInSubjectOrder) {
+  IncidentLog log;
+  log.OnEvent(Ev(3.0, EventKind::kOrphaned, 30, 1, 0));
+  log.OnEvent(Ev(1.0, EventKind::kOrphaned, 10, 1, 0));
+  log.OnEvent(Ev(2.0, EventKind::kOrphaned, 20, 1, 0));
+  log.Finalize(7.0);
+  ASSERT_EQ(log.incidents().size(), 3u);
+  EXPECT_EQ(log.incidents()[0].subject, 10);
+  EXPECT_EQ(log.incidents()[1].subject, 20);
+  EXPECT_EQ(log.incidents()[2].subject, 30);
+  for (const IncidentLog::Incident& inc : log.incidents()) {
+    EXPECT_EQ(inc.close, IncidentLog::Close::kOpenAtEnd);
+    EXPECT_EQ(inc.t_close, 7.0);
+  }
+}
+
+TEST(IncidentLog, FlatStatsAlwaysEmitsEveryCountKey) {
+  IncidentLog log;
+  log.Finalize(0.0);
+  const std::map<std::string, double> stats = log.FlatStats();
+  const char* keys[] = {
+      "incident.count",          "incident.cause.parent_death",
+      "incident.cause.eviction", "incident.cause.dissolve",
+      "incident.cause.reconnect","incident.reattached",
+      "incident.recovered",      "incident.abandoned",
+      "incident.departed",       "incident.superseded",
+      "incident.open_at_end",    "incident.orphan_events",
+      "incident.switch.attempts","incident.switch.commits",
+      "incident.switch.aborts",  "incident.promotions",
+  };
+  for (const char* key : keys) {
+    ASSERT_TRUE(stats.contains(key)) << key;
+    EXPECT_EQ(stats.at(key), 0.0) << key;
+  }
+  // No observations -> no phase keys at all; exactly the 16 counts above.
+  EXPECT_EQ(stats.size(), 16u);
+}
+
+TEST(IncidentLog, PercentilesAreExactNearestRank) {
+  IncidentLog log;
+  // Ten reattach latencies 1..10 s via ten immediate-recovery lifecycles.
+  for (int i = 1; i <= 10; ++i) {
+    log.OnEvent(Ev(100.0 * i, EventKind::kOrphaned, i, 0, 0));
+    log.OnEvent(Ev(100.0 * i + i, EventKind::kRejoin, i, 0));
+  }
+  log.Finalize(2000.0);
+  const std::map<std::string, double> stats = log.FlatStats();
+  EXPECT_EQ(stats.at("incident.phase.reattach.count"), 10.0);
+  EXPECT_EQ(stats.at("incident.phase.reattach.p50_s"), 5.0);
+  EXPECT_EQ(stats.at("incident.phase.reattach.p99_s"), 10.0);
+  EXPECT_EQ(stats.at("incident.phase.reattach.max_s"), 10.0);
+  EXPECT_EQ(stats.at("incident.phase.reattach.mean_s"), 5.5);
+}
+
+TEST(IncidentLog, ExportToFillsCountersAndPhaseHistograms) {
+  IncidentLog log;
+  log.OnEvent(Ev(10.0, EventKind::kOrphaned, 7, 3, 0));
+  log.OnEvent(Ev(15.0, EventKind::kRejoin, 7, 4));
+  log.Finalize(20.0);
+  obs::Registry reg;
+  log.ExportTo(reg);
+  EXPECT_EQ(reg.CounterValue("incident.count"), 1.0);
+  EXPECT_EQ(reg.CounterValue("incident.recovered"), 1.0);
+  const std::map<std::string, double> flat = reg.Flatten();
+  EXPECT_EQ(flat.at("incident.phase.reattach_s.count"), 1.0);
+  EXPECT_EQ(flat.at("incident.phase.reattach_s.sum"), 5.0);
+  EXPECT_EQ(flat.at("incident.phase.total_s.count"), 1.0);
+}
+
+TEST(IncidentLog, ConsumesALiveTracerStreamAsASink) {
+  // Feeding through a capacity-1 Tracer must see every event (sinks run
+  // before ring eviction) -- the run-local incident feed in the harnesses
+  // relies on exactly this.
+  obs::Tracer tracer(/*capacity=*/1);
+  IncidentLog log;
+  tracer.AddSink(&log);
+  tracer.Emit(10.0, EventKind::kOrphaned, 7, 3, 0);
+  tracer.Emit(11.0, EventKind::kHeartbeatMiss, 7, 3);
+  tracer.Emit(15.0, EventKind::kRejoin, 7, 4);
+  tracer.RemoveSink(&log);
+  tracer.Emit(16.0, EventKind::kOrphaned, 8, 3, 0);  // after removal: unseen
+  log.Finalize(20.0);
+  ASSERT_EQ(log.incidents().size(), 1u);
+  EXPECT_EQ(log.incidents().front().t_suspect, 11.0);
+  EXPECT_EQ(log.incidents().front().close, IncidentLog::Close::kRecovered);
+  EXPECT_EQ(log.FlatStats().at("incident.count"), 1.0);
+}
+
+}  // namespace
+}  // namespace omcast

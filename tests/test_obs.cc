@@ -15,6 +15,7 @@
 
 #include "obs/profile.h"
 #include "obs/registry.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "runner/json.h"
 #include "sim/simulator.h"
@@ -26,6 +27,7 @@ namespace {
 using obs::EventKind;
 using obs::Histogram;
 using obs::Registry;
+using obs::TimeSeries;
 using obs::TraceEvent;
 using obs::Tracer;
 
@@ -182,6 +184,124 @@ TEST(Registry, MergeAddsCountersOverwritesGaugesMergesHistograms) {
 }
 
 // ---------------------------------------------------------------------------
+// TimeSeries (the recovery-curve substrate of results schema v3)
+// ---------------------------------------------------------------------------
+
+TEST(TimeSeriesTest, CounterRateSumsPerWindowAndZeroFillsGaps) {
+  TimeSeries ts(TimeSeries::Kind::kCounterRate, 5.0);
+  EXPECT_TRUE(ts.empty());
+  ts.AddDelta(1.0, 2.0);
+  ts.AddDelta(4.9, 3.0);   // same window [0, 5)
+  ts.AddDelta(17.0, 1.0);  // window [15, 20); [5,10) and [10,15) untouched
+  const std::vector<TimeSeries::Point> points = ts.Points();
+  ASSERT_EQ(points.size(), 4u);
+  EXPECT_EQ(points[0].t, 0.0);
+  EXPECT_EQ(points[0].value, 5.0);
+  EXPECT_EQ(points[1].t, 5.0);
+  EXPECT_EQ(points[1].value, 0.0);  // untouched counter window flattens to 0
+  EXPECT_EQ(points[2].value, 0.0);
+  EXPECT_EQ(points[3].t, 15.0);
+  EXPECT_EQ(points[3].value, 1.0);
+}
+
+TEST(TimeSeriesTest, GaugeLastSampleWinsAndCarriesForward) {
+  TimeSeries ts(TimeSeries::Kind::kGauge, 2.0);
+  ts.Sample(0.5, 10.0);
+  ts.Sample(1.5, 12.0);  // same window: last wins
+  ts.Sample(7.0, 3.0);   // window [6, 8); [2,4) and [4,6) untouched
+  const std::vector<TimeSeries::Point> points = ts.Points();
+  ASSERT_EQ(points.size(), 4u);
+  EXPECT_EQ(points[0].value, 12.0);
+  // A gauge holds its last observed level until re-sampled.
+  EXPECT_EQ(points[1].value, 12.0);
+  EXPECT_EQ(points[2].value, 12.0);
+  EXPECT_EQ(points[3].t, 6.0);
+  EXPECT_EQ(points[3].value, 3.0);
+}
+
+TEST(TimeSeriesTest, WindowGridIsAbsoluteNotRelativeToFirstSample) {
+  // Two series over the same scenario must bucket identically no matter when
+  // each started sampling: the grid is floor(t / window_s), not
+  // sample-relative.
+  TimeSeries late(TimeSeries::Kind::kGauge, 10.0);
+  late.Sample(27.0, 1.0);
+  const std::vector<TimeSeries::Point> points = late.Points();
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points[0].t, 20.0);  // window start, not 27.0
+}
+
+TEST(TimeSeriesTest, RecordsBeforeTheFirstWindowPrependDensely) {
+  TimeSeries ts(TimeSeries::Kind::kCounterRate, 1.0);
+  ts.AddDelta(5.5, 1.0);
+  ts.AddDelta(2.5, 4.0);  // earlier than the first touched window
+  const std::vector<TimeSeries::Point> points = ts.Points();
+  ASSERT_EQ(points.size(), 4u);  // windows 2, 3, 4, 5
+  EXPECT_EQ(points[0].t, 2.0);
+  EXPECT_EQ(points[0].value, 4.0);
+  EXPECT_EQ(points[1].value, 0.0);
+  EXPECT_EQ(points[3].value, 1.0);
+}
+
+TEST(TimeSeriesTest, ZeroDeltaStillMarksCoverage) {
+  // A sampler that ticks every window with AddDelta(t, 0) must extend the
+  // curve's range even when nothing happened, so quiet tails are explicit
+  // zeros rather than missing data.
+  TimeSeries ts(TimeSeries::Kind::kCounterRate, 1.0);
+  ts.AddDelta(0.5, 7.0);
+  ts.AddDelta(3.5, 0.0);
+  const std::vector<TimeSeries::Point> points = ts.Points();
+  ASSERT_EQ(points.size(), 4u);
+  EXPECT_EQ(points[3].t, 3.0);
+  EXPECT_EQ(points[3].value, 0.0);
+}
+
+TEST(TimeSeriesTest, MergeAddsCounterWindowsAndOverlaysGaugeWindows) {
+  TimeSeries a(TimeSeries::Kind::kCounterRate, 1.0);
+  TimeSeries b(TimeSeries::Kind::kCounterRate, 1.0);
+  a.AddDelta(0.5, 1.0);
+  b.AddDelta(0.5, 2.0);
+  b.AddDelta(2.5, 5.0);
+  a.MergeFrom(b);
+  const std::vector<TimeSeries::Point> merged = a.Points();
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0].value, 3.0);  // overlapping counter windows add
+  EXPECT_EQ(merged[2].value, 5.0);  // b-only window adopted
+
+  TimeSeries ga(TimeSeries::Kind::kGauge, 1.0);
+  TimeSeries gb(TimeSeries::Kind::kGauge, 1.0);
+  ga.Sample(0.5, 10.0);
+  ga.Sample(1.5, 11.0);
+  gb.Sample(1.5, 99.0);  // covered in gb: takes precedence on merge
+  ga.MergeFrom(gb);
+  const std::vector<TimeSeries::Point> gauge = ga.Points();
+  ASSERT_EQ(gauge.size(), 2u);
+  EXPECT_EQ(gauge[0].value, 10.0);  // gb never covered window 0: kept
+  EXPECT_EQ(gauge[1].value, 99.0);
+}
+
+TEST(TimeSeriesTest, RegistrySeriesFirstRegistrationWinsAndMerges) {
+  Registry a, b;
+  TimeSeries& s = a.Series("recovery.x", TimeSeries::Kind::kGauge, 5.0);
+  TimeSeries& again =
+      a.Series("recovery.x", TimeSeries::Kind::kCounterRate, 99.0);
+  EXPECT_EQ(&s, &again);  // first registration wins, as with Hist
+  EXPECT_EQ(again.kind(), TimeSeries::Kind::kGauge);
+  EXPECT_EQ(again.window_s(), 5.0);
+
+  s.Sample(2.0, 4.0);
+  b.Series("recovery.x", TimeSeries::Kind::kGauge, 5.0).Sample(7.0, 9.0);
+  b.Series("recovery.only_b", TimeSeries::Kind::kCounterRate, 1.0)
+      .AddDelta(0.0, 1.0);
+  a.MergeFrom(b);
+  ASSERT_EQ(a.series().size(), 2u);
+  EXPECT_EQ(a.series().at("recovery.x").Points().size(), 2u);
+  EXPECT_EQ(a.series().at("recovery.only_b").Points().size(), 1u);
+  // Series are exported through the per-cell timeseries block, never the
+  // flat registry snapshot.
+  EXPECT_TRUE(a.Flatten().empty());
+}
+
+// ---------------------------------------------------------------------------
 // Tracer
 // ---------------------------------------------------------------------------
 
@@ -283,7 +403,7 @@ TEST(Tracer, EveryKindHasAStableSnakeCaseName) {
   // full enum and require lowercase snake_case, nonempty, and unique.
   std::vector<std::string> names;
   for (int k = static_cast<int>(EventKind::kJoin);
-       k <= static_cast<int>(EventKind::kDecodeStall); ++k) {
+       k <= static_cast<int>(EventKind::kOrphaned); ++k) {
     const std::string name = obs::EventKindName(static_cast<EventKind>(k));
     ASSERT_FALSE(name.empty()) << "kind " << k;
     for (const char ch : name)
@@ -291,11 +411,87 @@ TEST(Tracer, EveryKindHasAStableSnakeCaseName) {
           << "kind " << k << " name '" << name << "'";
     names.push_back(name);
   }
-  EXPECT_EQ(names.size(), 27u);
+  EXPECT_EQ(names.size(), 34u);
   std::vector<std::string> sorted = names;
   std::sort(sorted.begin(), sorted.end());
   EXPECT_EQ(std::unique(sorted.begin(), sorted.end()), sorted.end())
       << "duplicate event kind names";
+}
+
+// ---------------------------------------------------------------------------
+// TraceSink / JsonlStreamSink (the streaming export path)
+// ---------------------------------------------------------------------------
+
+struct CollectingSink : obs::TraceSink {
+  std::vector<TraceEvent> seen;
+  void OnEvent(const TraceEvent& ev) override { seen.push_back(ev); }
+};
+
+TEST(TraceSink, SeesEveryEmissionBeforeRingEviction) {
+  Tracer tracer(2);
+  CollectingSink sink;
+  tracer.AddSink(&sink);
+  for (int i = 0; i < 5; ++i)
+    tracer.Emit(static_cast<double>(i), EventKind::kJoin, i, i - 1);
+  // The ring kept only the newest two and evicted three...
+  EXPECT_EQ(tracer.size(), 2u);
+  EXPECT_EQ(tracer.dropped(), 3u);
+  // ...but the sink observed all five, in emission order with final ids.
+  ASSERT_EQ(sink.seen.size(), 5u);
+  for (std::size_t i = 0; i < sink.seen.size(); ++i) {
+    EXPECT_EQ(sink.seen[i].id, i);
+    EXPECT_EQ(sink.seen[i].subject, static_cast<std::int64_t>(i));
+  }
+}
+
+TEST(TraceSink, RemoveSinkStopsDelivery) {
+  Tracer tracer(8);
+  CollectingSink a, b;
+  tracer.AddSink(&a);
+  tracer.AddSink(&b);
+  tracer.Emit(1.0, EventKind::kJoin, 1);
+  tracer.RemoveSink(&a);
+  tracer.Emit(2.0, EventKind::kLeave, 1);
+  EXPECT_EQ(a.seen.size(), 1u);
+  ASSERT_EQ(b.seen.size(), 2u);
+  EXPECT_EQ(b.seen[1].kind, EventKind::kLeave);
+}
+
+TEST(JsonlStreamSink, StreamsBytesIdenticalToTheRingSnapshot) {
+  // With a ring large enough to retain everything, the streaming export and
+  // the snapshot export must agree byte for byte -- same AppendEventJsonl
+  // under both, which is what makes --trace-stream artifacts diffable
+  // against in-memory exports.
+  Tracer tracer(64);
+  std::ostringstream stream;
+  obs::JsonlStreamSink sink(stream);
+  tracer.AddSink(&sink);
+  tracer.Emit(12.5, EventKind::kLockGrant, 17, 4, 2);
+  tracer.Emit(13.0, EventKind::kOrphaned, 9, 17, 1);
+  tracer.Emit(14.25, EventKind::kRejoin, 9, 3);
+  EXPECT_EQ(stream.str(), tracer.ToJsonl());
+  EXPECT_EQ(sink.events_written(), 3u);
+}
+
+TEST(JsonlStreamSink, OutlivesTheRingsEvictionHorizon) {
+  Tracer tracer(2);
+  std::ostringstream stream;
+  obs::JsonlStreamSink sink(stream);
+  tracer.AddSink(&sink);
+  for (int i = 0; i < 6; ++i)
+    tracer.Emit(static_cast<double>(i), EventKind::kGossipRound, i, -1, i);
+  EXPECT_EQ(sink.events_written(), 6u);
+  // Every line parses, and the stream kept ids the ring has already lost.
+  std::istringstream lines(stream.str());
+  std::string line;
+  std::uint64_t expected_id = 0;
+  while (std::getline(lines, line)) {
+    std::string error;
+    const runner::Json parsed = runner::Json::Parse(line, &error);
+    ASSERT_TRUE(error.empty()) << error;
+    EXPECT_EQ(parsed.Find("id")->AsUint(), expected_id++);
+  }
+  EXPECT_EQ(expected_id, 6u);
 }
 
 // ---------------------------------------------------------------------------
@@ -351,6 +547,27 @@ TEST(SimProfiler, SampleMemoryKeepsHighWaterMarks) {
   EXPECT_EQ(profiler.pool_capacity_max(), 128u);
   // getrusage-backed peak RSS: any live process has resident pages.
   EXPECT_GT(profiler.peak_rss_bytes(), 0u);
+}
+
+TEST(SimProfiler, RssDeltaIsBaselinedAtConstruction) {
+  // The per-cell attribution story: peak_rss_bytes() is process-wide (it
+  // includes every cell that ran before this one), while rss_delta_bytes()
+  // subtracts the baseline captured at construction -- so a profiler built
+  // late in a process reports only growth during its own run, never the
+  // predecessors' footprint.
+  obs::SimProfiler profiler;
+  profiler.SampleMemory(0, 0);
+  EXPECT_GT(profiler.baseline_rss_bytes(), 0u);
+  // getrusage's high-water mark is monotone, so a sampled peak can never
+  // fall below the construction-time baseline.
+  EXPECT_GE(profiler.peak_rss_bytes(), profiler.baseline_rss_bytes());
+  EXPECT_EQ(profiler.rss_delta_bytes(),
+            profiler.peak_rss_bytes() - profiler.baseline_rss_bytes());
+  EXPECT_LE(profiler.rss_delta_bytes(), profiler.peak_rss_bytes());
+
+  obs::ProfileAggregator agg;
+  agg.Merge(profiler);
+  EXPECT_EQ(agg.rss_delta_max_bytes(), profiler.rss_delta_bytes());
 }
 
 TEST(SimProfiler, RunLoopSamplesPoolOccupancy) {
